@@ -1,0 +1,76 @@
+"""Ablation: BlockZIP block size.
+
+The paper fixes 4000-byte blocks (§8.2).  This ablation sweeps the block
+size and shows the trade-off the choice balances: smaller blocks mean a
+snapshot decompresses fewer bytes but compression ratios worsen (zlib has
+less context per block) and block-table overhead grows.
+"""
+
+import pytest
+
+from repro.archis.compression import compress_records
+from repro.bench import format_table
+
+BLOCK_SIZES = [500, 1000, 4000, 16000, 64000]
+
+
+def sample_rows(n=6000):
+    return [
+        (100000 + i, 40000 + (i % 211) * 17, 6000 + i % 900, 6400 + i % 900, 1 + i // 1500)
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = sample_rows()
+    raw_bytes = len(rows) * 45  # approx encoded row size
+    out = {}
+    for size in BLOCK_SIZES:
+        blocks = compress_records(rows, block_size=size)
+        compressed = sum(len(b.data) for b in blocks)
+        out[size] = {
+            "blocks": len(blocks),
+            "compressed": compressed,
+            "ratio": compressed / raw_bytes,
+            "rows_per_block": len(rows) / len(blocks),
+        }
+    return out
+
+
+def test_ablation_table(sweep):
+    rows = [
+        [
+            size,
+            info["blocks"],
+            f"{info['rows_per_block']:.0f}",
+            f"{info['compressed']:,}",
+            f"{info['ratio']:.3f}",
+        ]
+        for size, info in sweep.items()
+    ]
+    print(
+        "\n== ablation: BlockZIP block size (paper uses 4000 B) ==\n"
+        + format_table(
+            ["block bytes", "blocks", "rows/block", "compressed bytes", "ratio"],
+            rows,
+        )
+    )
+
+
+def test_smaller_blocks_cost_compression(sweep):
+    assert sweep[500]["compressed"] >= sweep[64000]["compressed"], (
+        "tiny blocks should compress worse than huge ones"
+    )
+
+
+def test_smaller_blocks_give_finer_access(sweep):
+    assert sweep[500]["blocks"] > sweep[64000]["blocks"] * 4
+
+
+def test_paper_choice_is_reasonable(sweep):
+    """4000 B sits within ~15% of the best ratio while giving much finer
+    access granularity than the huge-block extreme."""
+    best = min(info["compressed"] for info in sweep.values())
+    assert sweep[4000]["compressed"] <= best * 1.15
+    assert sweep[4000]["blocks"] >= sweep[64000]["blocks"] * 2

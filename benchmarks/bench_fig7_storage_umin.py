@@ -1,0 +1,85 @@
+"""Fig. 7: storage size vs U_min.
+
+Paper: higher U_min ⇒ more segments ⇒ more redundant copies; the row-count
+bound is N_seg / N_noseg <= 1 / (1 - U_min) (Eq. 3).  The paper observes 3
+segments at U_min=0.2 up to 9 at U_min=0.4 on its dataset; segment counts
+here depend on the synthetic update rates, but the monotone shape and the
+bound must hold.
+"""
+
+import pytest
+
+from repro.bench import build_archis, format_table
+
+UMINS = [0.2, 0.26, 0.36, 0.4]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = {}
+    baseline = None
+    for umin in [None, *UMINS]:
+        generator, archis, _ = build_archis(
+            employees=40, years=17, umin=umin, min_segment_rows=256
+        )
+        row_count = sum(
+            archis.db.table(t).row_count
+            for t in archis.relations["employee"].all_tables()
+        )
+        if umin is None:
+            baseline = row_count
+        rows[umin] = {
+            "rows": row_count,
+            "segments": archis.segments.segment_count(),
+            "bytes": archis.storage_bytes(),
+        }
+    return rows, baseline
+
+
+def test_fig7_table(sweep):
+    rows, baseline = sweep
+    table = []
+    for umin in UMINS:
+        info = rows[umin]
+        table.append(
+            [
+                f"{umin:.2f}",
+                info["segments"],
+                f"{info['rows'] / baseline:.3f}",
+                f"{1.0 / (1.0 - umin):.3f}",
+            ]
+        )
+    print(
+        "\n== Fig. 7: storage ratio vs U_min ==\n"
+        + format_table(
+            ["U_min", "segments", "row ratio vs no-seg", "bound 1/(1-U)"],
+            table,
+        )
+    )
+
+
+def test_segments_monotone_in_umin(sweep):
+    rows, _ = sweep
+    segment_counts = [rows[u]["segments"] for u in UMINS]
+    assert segment_counts == sorted(segment_counts), (
+        f"higher U_min should not reduce segments: {segment_counts}"
+    )
+    assert rows[UMINS[-1]]["segments"] > rows[UMINS[0]]["segments"]
+
+
+def test_equation_3_bound(sweep):
+    rows, baseline = sweep
+    for umin in UMINS:
+        ratio = rows[umin]["rows"] / baseline
+        bound = 1.0 / (1.0 - umin)
+        assert ratio <= bound + 0.05, (
+            f"U_min={umin}: ratio {ratio:.3f} exceeds Eq. 3 bound {bound:.3f}"
+        )
+
+
+def test_storage_overhead_grows_with_umin(sweep):
+    rows, baseline = sweep
+    low = rows[UMINS[0]]["rows"]
+    high = rows[UMINS[-1]]["rows"]
+    assert high >= low
+    assert high >= baseline  # redundancy never shrinks the archive

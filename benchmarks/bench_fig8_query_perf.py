@@ -1,0 +1,106 @@
+"""Fig. 8 / Table 3: query performance, ArchIS on RDBMS vs native XML DB.
+
+Paper: segment-clustered ArchIS beats Tamino on every query; the snapshot
+and slicing margins are the largest (Q2 ~102x, Q5 ~66x, Q4 ~4x, Q6 ~35x on
+ArchIS-ATLaS).  Absolute factors depend on the substrate; the shape this
+bench asserts is: ArchIS wins everywhere, and the snapshot/slicing
+speedups exceed the whole-history ones.
+"""
+
+from repro.bench import (
+    compare_engines,
+    print_comparison,
+    run_archis_cold,
+    run_native_cold,
+    speedup,
+)
+
+PAPER_NOTES = {
+    "Q1": "single-object snapshot",
+    "Q2": "paper: ATLaS ~102x vs Tamino",
+    "Q3": "single-object history",
+    "Q4": "paper: ~4x",
+    "Q5": "paper: ~66x",
+    "Q6": "paper: ~35x",
+}
+
+
+def test_fig8_table(setup_atlas, queries):
+    results = compare_engines(setup_atlas, queries, repeats=2)
+    print_comparison(
+        "Fig. 8: ArchIS-ATLaS (segmented) vs native XML DB", results,
+        PAPER_NOTES,
+    )
+    for key, pair in results.items():
+        assert pair["archis"].seconds < pair["native"].seconds, (
+            f"{key}: ArchIS should beat the native XML DB"
+        )
+    snapshot_gain = speedup(results["Q2"]["native"], results["Q2"]["archis"])
+    history_gain = speedup(results["Q3"]["native"], results["Q3"]["archis"])
+    assert snapshot_gain > history_gain, (
+        "snapshot speedup should exceed single-object history speedup "
+        f"({snapshot_gain:.1f}x vs {history_gain:.1f}x)"
+    )
+
+
+def test_fig8_db2_profile_also_wins(setup_db2, queries):
+    results = compare_engines(setup_db2, queries, repeats=3)
+    print_comparison("Fig. 8: ArchIS-DB2 vs native XML DB", results)
+    # single-object queries can be a near-tie at this scale (both engines
+    # are index/loc-limited); whole-archive queries must win outright
+    for key, pair in results.items():
+        assert pair["archis"].seconds < pair["native"].seconds * 1.3, key
+    for key in ("Q2", "Q5", "Q6"):
+        pair = results[key]
+        assert pair["archis"].seconds < pair["native"].seconds, key
+
+
+# -- per-query micro-benchmarks (pytest-benchmark) ----------------------------
+
+
+def test_q1_archis(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_archis_cold(setup_atlas.archis, queries[0]))
+
+
+def test_q1_native(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_native_cold(setup_atlas.native, queries[0]))
+
+
+def test_q2_archis(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_archis_cold(setup_atlas.archis, queries[1]))
+
+
+def test_q2_native(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_native_cold(setup_atlas.native, queries[1]))
+
+
+def test_q3_archis(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_archis_cold(setup_atlas.archis, queries[2]))
+
+
+def test_q3_native(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_native_cold(setup_atlas.native, queries[2]))
+
+
+def test_q4_archis(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_archis_cold(setup_atlas.archis, queries[3]))
+
+
+def test_q4_native(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_native_cold(setup_atlas.native, queries[3]))
+
+
+def test_q5_archis(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_archis_cold(setup_atlas.archis, queries[4]))
+
+
+def test_q5_native(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_native_cold(setup_atlas.native, queries[4]))
+
+
+def test_q6_archis(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_archis_cold(setup_atlas.archis, queries[6]))
+
+
+def test_q6_native(benchmark, setup_atlas, queries):
+    benchmark(lambda: run_native_cold(setup_atlas.native, queries[6]))

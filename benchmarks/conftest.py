@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures: populated engines at the evaluation scale.
+
+All setups share one generated event stream (same seed), so every engine
+variant answers over the same history — the paper's single-dataset,
+many-systems methodology.
+"""
+
+import pytest
+
+from repro.bench import (
+    build_setup,
+    default_queries,
+    verify_equivalence,
+)
+
+EMPLOYEES = 50
+YEARS = 17
+
+
+@pytest.fixture(scope="session")
+def setup_atlas():
+    """ArchIS-ATLaS, segmented (U_min = 0.4), uncompressed + Tamino-like."""
+    setup = build_setup(
+        employees=EMPLOYEES, years=YEARS, profile="atlas", umin=0.4
+    )
+    verify_equivalence(setup, default_queries(setup.generator))
+    return setup
+
+
+@pytest.fixture(scope="session")
+def setup_db2():
+    """ArchIS-DB2 (trigger tracking), segmented, uncompressed."""
+    return build_setup(
+        employees=EMPLOYEES, years=YEARS, profile="db2", umin=0.4
+    )
+
+
+@pytest.fixture(scope="session")
+def setup_unsegmented():
+    """ArchIS without segment clustering (the Fig. 9 comparison point)."""
+    return build_setup(
+        employees=EMPLOYEES, years=YEARS, profile="atlas", umin=None
+    )
+
+
+@pytest.fixture(scope="session")
+def setup_compressed():
+    """ArchIS with BlockZIPed frozen segments (Section 8)."""
+    setup = build_setup(
+        employees=EMPLOYEES, years=YEARS, profile="atlas", umin=0.4,
+        compress=True,
+    )
+    verify_equivalence(setup, default_queries(setup.generator))
+    return setup
+
+
+@pytest.fixture(scope="session")
+def queries(setup_atlas):
+    return default_queries(setup_atlas.generator)

@@ -1,0 +1,66 @@
+"""Bitemporal data management (paper Section 9's first generalization).
+
+A contracts ledger where each fact has a *valid-time* interval (when the
+rate applied in the real world) and ArchIS supplies *transaction time*
+(when we believed it).  Corrections never destroy superseded beliefs, so
+"what did we believe in February about August?" stays answerable forever.
+
+Run:  python examples/bitemporal_contracts.py
+"""
+
+from repro.archis import ArchIS
+from repro.archis.bitemporal import BitemporalArchive
+from repro.rdb import ColumnType, Database
+from repro.xmlkit import serialize
+
+
+def main() -> None:
+    db = Database()
+    db.set_date("2000-01-01")
+    archis = ArchIS(db, profile="db2", umin=None)
+    contracts = BitemporalArchive(
+        archis, "contract", key="customer",
+        attributes={"rate": ColumnType.INT},
+    )
+
+    # January: we record that customer 7 pays 100 for all of 2000.
+    sid = contracts.assert_fact(
+        7, {"rate": 100}, vstart="2000-01-01", vend="2000-12-31"
+    )
+
+    # March: audit discovers the rate rises to 120 from July onward.
+    db.set_date("2000-03-01")
+    contracts.correct_fact(sid, {"vend": "2000-06-30"})
+    contracts.assert_fact(
+        7, {"rate": 120}, vstart="2000-07-01", vend="2000-12-31"
+    )
+
+    print("== every belief ever held (fact versions) ==")
+    for fact in contracts.facts():
+        print(
+            f"  customer={fact.key} rate={fact.values[0]} "
+            f"valid={fact.valid} believed={fact.transaction}"
+        )
+
+    print("\n== what is the rate valid on 2000-08-15 (current belief)? ==")
+    for fact in contracts.valid_at("2000-08-15"):
+        print(f"  rate {fact.values[0]}")
+
+    print("\n== what did we believe in February about 2000-08-15? ==")
+    for fact in contracts.valid_at("2000-08-15", tt="2000-02-01"):
+        print(f"  rate {fact.values[0]}  (superseded on 2000-03-01)")
+
+    print("\n== the bitemporal document (4 timestamps per fact) ==")
+    print(serialize(contracts.publish(), indent=2))
+
+    print("\n== XQuery across both axes ==")
+    out = contracts.xquery(
+        'for $c in doc("contracts.xml")/contracts/contract'
+        '[tend(.) = current-date() and @vstart <= "2000-08-15" '
+        'and @vend >= "2000-08-15"] return $c/rate'
+    )
+    print("  currently-believed rate for 2000-08-15:", out[0].text())
+
+
+if __name__ == "__main__":
+    main()

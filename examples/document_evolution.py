@@ -1,0 +1,74 @@
+"""Multi-version XML document archiving (paper Section 9).
+
+The paper closes by noting its timestamping scheme applies to "generic
+multi-version XML documents ... e.g., the successive revision of XLink
+standards, or, from the history of university catalogs, when a new course
+was first introduced".  This example archives three yearly revisions of a
+university catalog and asks exactly those evolution questions.
+
+Run:  python examples/document_evolution.py
+"""
+
+from repro.archis.xmlversions import XmlVersionArchive
+from repro.util.timeutil import format_date
+from repro.xmlkit import parse_xml, serialize
+
+
+CATALOG_2001 = """
+<catalog>
+  <course id="cs101"><title>Intro to CS</title><units>4</units></course>
+  <course id="cs130"><title>Databases</title><units>4</units></course>
+</catalog>
+"""
+
+CATALOG_2002 = """
+<catalog>
+  <course id="cs101"><title>Intro to CS</title><units>4</units></course>
+  <course id="cs130"><title>Database Systems</title><units>4</units></course>
+  <course id="cs188"><title>Temporal Databases</title><units>2</units></course>
+</catalog>
+"""
+
+CATALOG_2003 = """
+<catalog>
+  <course id="cs130"><title>Database Systems</title><units>4</units></course>
+  <course id="cs188"><title>Temporal Databases</title><units>4</units></course>
+</catalog>
+"""
+
+
+def main() -> None:
+    archive = XmlVersionArchive("catalog")
+    archive.commit(parse_xml(CATALOG_2001), "2001-09-01")
+    archive.commit(parse_xml(CATALOG_2002), "2002-09-01")
+    archive.commit(parse_xml(CATALOG_2003), "2003-09-01")
+
+    print("== the V-document (every node timestamped) ==")
+    print(serialize(archive.vdocument(), indent=2))
+
+    introduced = archive.first_appearance("title", "Temporal Databases")
+    print(
+        f"\n'Temporal Databases' was first introduced on "
+        f"{format_date(introduced)}"
+    )
+
+    print("\n== courses in the current catalog (XQuery) ==")
+    for course in archive.xquery(
+        'for $c in doc("catalog.xml")/catalog/course'
+        "[tend(.) = current-date()] return $c"
+    ):
+        print(" ", course.get("id"), "since", course.get("tstart"))
+
+    print("\n== the catalog as it stood in spring 2002 (snapshot) ==")
+    print(serialize(archive.snapshot("2002-03-15"), indent=2))
+
+    print("\n== courses dropped at some point ==")
+    for course in archive.xquery(
+        'for $c in doc("catalog.xml")/catalog/course'
+        '[tend(.) != current-date()] return $c'
+    ):
+        print(" ", course.get("id"), "removed after", course.get("tend"))
+
+
+if __name__ == "__main__":
+    main()

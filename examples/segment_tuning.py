@@ -1,0 +1,61 @@
+"""Segment clustering tuning: the U_min storage/performance trade-off.
+
+Replays the same employee history under several usefulness thresholds and
+reports segments created, archive size (the Eq. 3 redundancy) and cold
+snapshot latency — the paper's Fig. 7 / Fig. 9 trade-off on your data.
+
+Run:  python examples/segment_tuning.py
+"""
+
+from repro.bench import (
+    averaged,
+    build_archis,
+    format_table,
+    run_archis_cold,
+)
+from repro.bench.queries import q2_snapshot_avg
+
+
+def main() -> None:
+    rows = []
+    baseline_rows = None
+    for umin in (None, 0.2, 0.3, 0.4, 0.5):
+        generator, archis, _ = build_archis(
+            employees=40, years=17, umin=umin, min_segment_rows=256
+        )
+        archive_rows = sum(
+            archis.db.table(t).row_count
+            for t in archis.relations["employee"].all_tables()
+        )
+        if umin is None:
+            baseline_rows = archive_rows
+        snapshot = q2_snapshot_avg(generator.mid_history_date())
+        cost = averaged(lambda: run_archis_cold(archis, snapshot), 3)
+        rows.append(
+            [
+                "off" if umin is None else f"{umin:.1f}",
+                archis.segments.segment_count(),
+                archive_rows,
+                f"{archive_rows / baseline_rows:.2f}",
+                "-" if umin is None else f"{1/(1-umin):.2f}",
+                f"{cost.seconds*1000:.1f}",
+                cost.physical_reads,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "U_min", "segments", "archive rows", "ratio vs no-seg",
+                "Eq.3 bound", "snapshot ms", "phys reads",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nHigher U_min: more segments, more redundant copies (bounded by"
+        " 1/(1-U)), but snapshot queries touch only their own segment."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""ArchIS reproduction: transaction-time temporal databases via XML views.
+
+Reproduces Wang, Zhou & Zaniolo, *Using XML to Build Efficient
+Transaction-Time Temporal Database Systems on Relational Databases*
+(TimeCenter TR-81 / ICDE 2006).
+
+Public API (see README.md for a tour):
+
+- :class:`repro.rdb.Database` — the relational engine substrate
+- :class:`repro.archis.ArchIS` — the temporal archival system (the core)
+- :class:`repro.nativexml.NativeXmlDatabase` — the Tamino-like baseline
+- :class:`repro.dataset.EmployeeHistoryGenerator` — evaluation workload
+- :func:`repro.xquery.run_xquery` — standalone XQuery evaluation
+- :class:`repro.util.Interval` — the shared interval algebra
+"""
+
+from repro.archis import ArchIS
+from repro.dataset import EmployeeHistoryGenerator
+from repro.nativexml import NativeXmlDatabase
+from repro.rdb import ColumnType, Database
+from repro.util import FOREVER, Interval, format_date, parse_date
+from repro.xquery import run_xquery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchIS",
+    "EmployeeHistoryGenerator",
+    "NativeXmlDatabase",
+    "ColumnType",
+    "Database",
+    "FOREVER",
+    "Interval",
+    "format_date",
+    "parse_date",
+    "run_xquery",
+    "__version__",
+]

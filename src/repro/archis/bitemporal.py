@@ -1,0 +1,245 @@
+"""Bitemporal extension: valid time on top of transaction time (paper §9).
+
+The paper lists valid-time and bitemporal databases as the first natural
+generalization of ArchIS, citing a follow-up study ([49]) that found the
+temporally grouped XML representation "remains effective" for them.  This
+module implements that generalization the way the paper's machinery
+suggests:
+
+- each *fact* carries an application-supplied **valid-time** interval
+  ``[vstart, vend]``, stored as ordinary DATE attributes of the current
+  table;
+- a system-generated **surrogate key** identifies each fact version
+  (Section 5.1: "Otherwise, a system-generated surrogate key can be
+  used"), so corrections and retractions are ordinary updates/deletes and
+  the existing tracker records **transaction time** ``[tstart, tend]``
+  around them unchanged;
+- the published bitemporal document timestamps every fact element with
+  all four attributes, and the query helpers slice along either axis.
+
+The result is a fully bitemporal store in which "what did we believe on
+day T about what was true on day V?" is a single call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchisError
+from repro.rdb.database import Database
+from repro.rdb.types import ColumnType
+from repro.util.intervals import Interval
+from repro.util.timeutil import FOREVER, format_date, parse_date
+from repro.xmlkit.dom import Element, Text
+from repro.archis.system import ArchIS
+
+
+def _days(value: int | str) -> int:
+    return parse_date(value) if isinstance(value, str) else value
+
+
+@dataclass(frozen=True)
+class BitemporalFact:
+    """One fact version with both time dimensions."""
+
+    key: object
+    values: tuple
+    valid: Interval
+    transaction: Interval
+
+    @property
+    def currently_believed(self) -> bool:
+        return self.transaction.end == FOREVER
+
+
+class BitemporalArchive:
+    """A bitemporal table over an ArchIS instance.
+
+    ``attributes`` maps fact column names to their types; ``key`` names
+    the application-level entity the facts describe (not unique per row —
+    the surrogate ``sid`` is the row key).
+    """
+
+    def __init__(
+        self,
+        archis: ArchIS,
+        name: str,
+        key: str,
+        attributes: dict[str, ColumnType],
+        key_type: ColumnType = ColumnType.INT,
+    ) -> None:
+        if key in attributes:
+            raise ArchisError(f"{key} cannot be both key and attribute")
+        self.archis = archis
+        self.db: Database = archis.db
+        self.name = name
+        self.key = key
+        self.attributes = dict(attributes)
+        self._next_sid = 1
+        columns: list[tuple[str, ColumnType]] = [("sid", ColumnType.INT)]
+        columns.append((key, key_type))
+        columns.extend(attributes.items())
+        columns.append(("vstart", ColumnType.DATE))
+        columns.append(("vend", ColumnType.DATE))
+        self.db.create_table(name, columns, primary_key=("sid",))
+        archis.track_table(name, key="sid", document_name=f"{name}s.xml")
+
+    # -- fact maintenance ----------------------------------------------------
+
+    def assert_fact(
+        self,
+        key: object,
+        values: dict,
+        vstart: int | str,
+        vend: int | str = FOREVER,
+    ) -> int:
+        """Record a new fact version; returns its surrogate id."""
+        missing = set(self.attributes) - set(values)
+        if missing:
+            raise ArchisError(f"missing fact values: {sorted(missing)}")
+        sid = self._next_sid
+        self._next_sid += 1
+        row = [sid, key]
+        row.extend(values[a] for a in self.attributes)
+        row.append(_days(vstart))
+        row.append(_days(vend))
+        self.db.table(self.name).insert(tuple(row))
+        return sid
+
+    def retract_fact(self, sid: int) -> None:
+        """Stop believing a fact version (transaction-time delete)."""
+        removed = self.db.table(self.name).delete_where(
+            lambda r: r["sid"] == sid
+        )
+        if not removed:
+            raise ArchisError(f"no current fact with sid {sid}")
+
+    def correct_fact(self, sid: int, changes: dict) -> None:
+        """Revise a fact version's values or valid interval.
+
+        The correction is itself timestamped in transaction time, so the
+        superseded belief stays queryable.
+        """
+        allowed = set(self.attributes) | {"vstart", "vend"}
+        unknown = set(changes) - allowed
+        if unknown:
+            raise ArchisError(f"unknown fact columns: {sorted(unknown)}")
+        coerced = {
+            column: (_days(value) if column in ("vstart", "vend") else value)
+            for column, value in changes.items()
+        }
+        changed = self.db.table(self.name).update_where(
+            lambda r: r["sid"] == sid, coerced
+        )
+        if not changed:
+            raise ArchisError(f"no current fact with sid {sid}")
+
+    # -- bitemporal reads ----------------------------------------------------------
+
+    def facts(self) -> list[BitemporalFact]:
+        """Every fact version ever believed, with both intervals.
+
+        A fact corrected in place yields one entry per constant belief
+        period: the transaction timeline is split at every attribute
+        change, so superseded beliefs remain visible with their own
+        transaction intervals.
+        """
+        self.archis.apply_pending()
+        lifetimes: dict[int, Interval] = {}
+        for sid, tstart, tend in self.archis.history(self.name):
+            lifetimes[sid] = Interval(tstart, tend)
+        attr_names = [self.key, *self.attributes, "vstart", "vend"]
+        histories: dict[int, dict[str, list[tuple[object, Interval]]]] = {}
+        for attr in attr_names:
+            for row in self.archis.history(self.name, attr):
+                sid, value, tstart, tend = row
+                histories.setdefault(sid, {}).setdefault(attr, []).append(
+                    (value, Interval(tstart, tend))
+                )
+        out = []
+        for sid, lifetime in sorted(lifetimes.items()):
+            per_attr = histories.get(sid, {})
+            # transaction-time change points: every attribute version start
+            boundaries = {lifetime.start}
+            for versions in per_attr.values():
+                for _, interval in versions:
+                    if lifetime.contains_point(interval.start):
+                        boundaries.add(interval.start)
+            points = sorted(boundaries)
+            for index, start in enumerate(points):
+                end = (
+                    points[index + 1] - 1
+                    if index + 1 < len(points)
+                    else lifetime.end
+                )
+                def value_of(attr: str):
+                    for value, interval in per_attr.get(attr, []):
+                        if interval.contains_point(start):
+                            return value
+                    return None
+                out.append(
+                    BitemporalFact(
+                        key=value_of(self.key),
+                        values=tuple(value_of(a) for a in self.attributes),
+                        valid=Interval(
+                            value_of("vstart"), value_of("vend")
+                        ),
+                        transaction=Interval(start, end),
+                    )
+                )
+        return out
+
+    def believed_at(self, tt: int | str) -> list[BitemporalFact]:
+        """Fact versions current in transaction time ``tt``."""
+        point = _days(tt)
+        return [
+            fact for fact in self.facts()
+            if fact.transaction.contains_point(point)
+        ]
+
+    def valid_at(
+        self, vt: int | str, tt: int | str | None = None
+    ) -> list[BitemporalFact]:
+        """Facts valid at ``vt`` according to the beliefs held at ``tt``
+        (default: held now) — the bitemporal snapshot."""
+        vpoint = _days(vt)
+        beliefs = (
+            self.believed_at(tt)
+            if tt is not None
+            else [f for f in self.facts() if f.currently_believed]
+        )
+        return [f for f in beliefs if f.valid.contains_point(vpoint)]
+
+    # -- publication -------------------------------------------------------------------
+
+    def publish(self) -> Element:
+        """The bitemporal document: four timestamps on every fact."""
+        root = Element(f"{self.name}s")
+        for fact in self.facts():
+            element = Element(self.name)
+            element.set("tstart", format_date(fact.transaction.start))
+            element.set("tend", format_date(fact.transaction.end))
+            element.set("vstart", format_date(fact.valid.start))
+            element.set("vend", format_date(fact.valid.end))
+            key_el = Element(self.key)
+            key_el.append(Text(str(fact.key)))
+            element.append(key_el)
+            for attr, value in zip(self.attributes, fact.values):
+                child = Element(attr)
+                child.append(Text(str(value)))
+                element.append(child)
+            root.append(element)
+        return root
+
+    def xquery(self, query: str) -> list:
+        """Temporal XQuery over the published bitemporal document.
+
+        The standard functions read transaction time (tstart/tend);
+        valid-time predicates address ``@vstart``/``@vend`` directly.
+        """
+        from repro.xquery import run_xquery
+
+        return run_xquery(
+            query, {f"{self.name}s.xml": self.publish()},
+            self.db.current_date,
+        )

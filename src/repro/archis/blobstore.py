@@ -1,0 +1,214 @@
+"""Compressed archived segments as BLOBs (paper Section 8.2).
+
+For an attribute history table ``R_a``, compression moves frozen-segment
+rows into:
+
+- ``R_a_blob(blockno, segno, startsid, endsid, blob_id)`` — one row per
+  BlockZIP block, where sids order rows by ``(segno, id)``;
+- ``R_a_segrange(segno, startblock, endblock, segstart, segend)`` — the
+  block range and period of each compressed segment.
+
+The live segment is never compressed ("the current segment has a high
+usefulness and is used for updates, thus not compressed").  A registered
+table function ``unzip_<table>`` extracts rows from the blocks so the SQL
+path can read compressed history exactly as the paper describes
+("user-defined uncompression table functions are used to extract records
+from each BLOB").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchisError
+from repro.rdb.database import Database
+from repro.rdb.types import ColumnType
+from repro.archis.clustering import SegmentManager
+from repro.archis.compression import (
+    DEFAULT_BLOCK_SIZE,
+    compress_records,
+    decompress_block,
+)
+
+
+@dataclass
+class CompressedTableInfo:
+    table: str
+    blob_table: str
+    segrange_table: str
+    rows_compressed: int
+    blocks: int
+
+
+class CompressedArchive:
+    """Manages BLOB-compressed frozen segments for one database."""
+
+    def __init__(
+        self,
+        db: Database,
+        segments: SegmentManager,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        self.db = db
+        self.segments = segments
+        self.block_size = block_size
+        self._compressed: dict[str, CompressedTableInfo] = {}
+
+    @property
+    def compressed_tables(self) -> dict[str, CompressedTableInfo]:
+        return dict(self._compressed)
+
+    def compress_table(self, table_name: str) -> CompressedTableInfo:
+        """Move all frozen-segment rows of ``table_name`` into BLOBs."""
+        if table_name in self._compressed:
+            raise ArchisError(f"{table_name} is already compressed")
+        table = self.db.table(table_name)
+        schema = table.schema
+        seg_pos = schema.position("segno")
+        id_pos = schema.position("id")
+        live_segno = self.segments.live_segno
+
+        frozen_rows: list[tuple] = []
+        victims = []
+        for rid, row in table.scan():
+            if row[seg_pos] != live_segno:
+                frozen_rows.append(row)
+                victims.append(rid)
+        # sid order: (segno, id), the storage order of archived segments
+        frozen_rows.sort(key=lambda r: (r[seg_pos], r[id_pos]))
+
+        blob_table = f"{table_name}_blob"
+        segrange_table = f"{table_name}_segrange"
+        self._create_side_tables(blob_table, segrange_table)
+
+        blocks = compress_records(frozen_rows, self.block_size)
+        blob_rows = self.db.table(blob_table)
+        for blockno, block in enumerate(blocks):
+            blob_id = self.db.blobs.put(block.data)
+            segno = (
+                frozen_rows[block.start_sid][seg_pos] if frozen_rows else 0
+            )
+            blob_rows.insert(
+                (blockno, segno, block.start_sid, block.end_sid, blob_id)
+            )
+        self._fill_segranges(
+            segrange_table, frozen_rows, blocks, seg_pos
+        )
+        for rid in victims:
+            table.delete_rid(rid)
+        table.compact()
+        self._register_table_function(table_name, blob_table)
+        info = CompressedTableInfo(
+            table_name, blob_table, segrange_table,
+            len(frozen_rows), len(blocks),
+        )
+        self._compressed[table_name] = info
+        return info
+
+    def _create_side_tables(self, blob_table: str, segrange_table: str) -> None:
+        if not self.db.has_table(blob_table):
+            self.db.create_table(
+                blob_table,
+                [
+                    ("blockno", ColumnType.INT),
+                    ("segno", ColumnType.INT),
+                    ("startsid", ColumnType.INT),
+                    ("endsid", ColumnType.INT),
+                    ("blob_id", ColumnType.INT),
+                ],
+            )
+        if not self.db.has_table(segrange_table):
+            self.db.create_table(
+                segrange_table,
+                [
+                    ("segno", ColumnType.INT),
+                    ("startblock", ColumnType.INT),
+                    ("endblock", ColumnType.INT),
+                    ("segstart", ColumnType.DATE),
+                    ("segend", ColumnType.DATE),
+                ],
+            )
+
+    def _fill_segranges(
+        self, segrange_table: str, rows: list, blocks: list, seg_pos: int
+    ) -> None:
+        periods = {
+            segno: (segstart, segend)
+            for segno, segstart, segend in self.segments.archived_segments()
+        }
+        table = self.db.table(segrange_table)
+        for segno, (segstart, segend) in sorted(periods.items()):
+            touching = [
+                blockno
+                for blockno, block in enumerate(blocks)
+                if rows
+                and rows[block.start_sid][seg_pos] <= segno
+                and rows[block.end_sid][seg_pos] >= segno
+            ]
+            if not touching:
+                continue
+            table.insert(
+                (segno, min(touching), max(touching), segstart, segend)
+            )
+
+    def _register_table_function(self, table_name: str, blob_table: str) -> None:
+        db = self.db
+
+        def unzip(startblock: int | None = None, endblock: int | None = None):
+            """Yield rows stored in the blocks [startblock, endblock]."""
+            for blockno, segno, startsid, endsid, blob_id in db.table(
+                blob_table
+            ).rows():
+                if startblock is not None and blockno < startblock:
+                    continue
+                if endblock is not None and blockno > endblock:
+                    continue
+                yield from decompress_block(db.blobs.get(blob_id))
+
+        db.register_table_function(f"unzip_{table_name}", unzip)
+
+    # -- reads -------------------------------------------------------------------
+
+    def block_range_for_segments(
+        self, table_name: str, segnos: list[int]
+    ) -> tuple[int, int] | None:
+        """The block range covering the given frozen segments."""
+        info = self._compressed.get(table_name)
+        if info is None:
+            raise ArchisError(f"{table_name} is not compressed")
+        lows, highs = [], []
+        for segno, startblock, endblock, _, _ in self.db.table(
+            info.segrange_table
+        ).rows():
+            if segno in segnos:
+                lows.append(startblock)
+                highs.append(endblock)
+        if not lows:
+            return None
+        return (min(lows), max(highs))
+
+    def read_rows(
+        self, table_name: str, segnos: list[int] | None = None
+    ) -> list[tuple]:
+        """Decompressed rows of a table's frozen segments.
+
+        ``segnos`` restricts to the blocks covering those segments —
+        the BlockZIP payoff: only a few blocks are decompressed for a
+        snapshot query.
+        """
+        info = self._compressed.get(table_name)
+        if info is None:
+            raise ArchisError(f"{table_name} is not compressed")
+        unzip = self.db.table_function(f"unzip_{table_name}")
+        if segnos is None:
+            return list(unzip())
+        block_range = self.block_range_for_segments(table_name, segnos)
+        if block_range is None:
+            return []
+        return list(unzip(block_range[0], block_range[1]))
+
+    def blocks_touched(self, table_name: str, segnos: list[int]) -> int:
+        block_range = self.block_range_for_segments(table_name, segnos)
+        if block_range is None:
+            return 0
+        return block_range[1] - block_range[0] + 1

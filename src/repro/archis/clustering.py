@@ -1,0 +1,185 @@
+"""Usefulness-based segment clustering (paper Section 6).
+
+A segment's *usefulness* is ``U = N_live / N_all``.  All archived tuples
+start in the live segment; when U drops below ``U_min`` the live segment is
+frozen:
+
+1. a new segment number is allocated and its interval recorded in the
+   ``segment`` table;
+2. every tuple of the live segment is rewritten sorted by id under the
+   frozen segment number (including the still-live ones — this is the
+   controlled redundancy the paper trades for clustering, Eq. 3);
+3. live tuples are additionally copied into the new live segment.
+
+The invariants of Section 6.1 hold for every tuple in a frozen segment:
+``tstart <= segend`` and ``tend >= segstart``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchisError
+from repro.rdb.database import Database
+from repro.util.timeutil import FOREVER
+from repro.archis.htables import SEGMENT_TABLE
+
+
+@dataclass
+class SegmentStats:
+    live: int = 0
+    total: int = 0
+
+    @property
+    def usefulness(self) -> float:
+        return self.live / self.total if self.total else 1.0
+
+
+class SegmentManager:
+    """Tracks usefulness and performs the freeze operation.
+
+    ``umin=None`` disables segmentation entirely (everything stays in
+    segment 1), which is the paper's unclustered comparison point (Fig. 9).
+    ``min_rows`` avoids degenerate freezes on tiny archives.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        umin: float | None = 0.4,
+        min_rows: int = 64,
+    ) -> None:
+        if umin is not None and not 0.0 < umin < 1.0:
+            raise ArchisError("U_min must be in (0, 1)")
+        self.db = db
+        self.umin = umin
+        self.min_rows = min_rows
+        self.live_segno = 1
+        self.live_start = db.current_date
+        #: timestamp of the last archived change; segment boundaries are
+        #: drawn in *logical* change time so that log-based (batch)
+        #: archival produces the same segments as trigger-based archival
+        self.last_change = db.current_date
+        self.stats = SegmentStats()
+        self._tables: list[str] = []
+        self.freeze_count = 0
+
+    @property
+    def segmented(self) -> bool:
+        return self.umin is not None
+
+    def register_table(self, name: str) -> None:
+        """Register an H-table whose rows participate in segmentation."""
+        if name not in self._tables:
+            self._tables.append(name)
+
+    # -- bookkeeping hooks called by the tracker ---------------------------------
+
+    def note_insert(self) -> None:
+        self.stats.live += 1
+        self.stats.total += 1
+
+    def note_close(self) -> None:
+        """A live tuple was closed (its tend set): usefulness drops."""
+        self.stats.live -= 1
+
+    def touch(self, when: int) -> None:
+        """Record the logical timestamp of an archived change."""
+        if when > self.last_change:
+            self.last_change = when
+
+    def maybe_freeze(self, when: int | None = None) -> bool:
+        """Freeze the live segment when usefulness fell below U_min.
+
+        The freeze is deferred until the incoming change's timestamp has
+        moved past the last archived one, so every row archived afterwards
+        starts strictly after the frozen segment's period — the property
+        segment-restricted queries rely on.
+        """
+        if self.umin is None:
+            return False
+        if self.stats.total < self.min_rows:
+            return False
+        if self.stats.usefulness >= self.umin:
+            return False
+        if when is not None and when <= self.last_change:
+            return False
+        self.freeze()
+        return True
+
+    # -- the freeze operation (paper Section 6.1 steps 1-4) -------------------------
+
+    def freeze(self) -> None:
+        if not self.segmented:
+            raise ArchisError("cannot freeze: segmentation is disabled")
+        boundary = max(self.last_change, self.live_start)
+        frozen_segno = self.live_segno
+        self.db.table(SEGMENT_TABLE).insert(
+            (frozen_segno, self.live_start, boundary)
+        )
+        new_live = frozen_segno + 1
+        live_count = 0
+        for table_name in self._tables:
+            live_count += self._rewrite_table(table_name, frozen_segno, new_live)
+        self.live_segno = new_live
+        self.live_start = boundary + 1
+        self.stats = SegmentStats(live=live_count, total=live_count)
+        self.freeze_count += 1
+
+    def _rewrite_table(
+        self, table_name: str, frozen_segno: int, new_live: int
+    ) -> int:
+        """Rewrite one H-table's live segment; returns live tuples copied."""
+        table = self.db.table(table_name)
+        live_rows = []
+        frozen_rows = []
+        victims = []
+        seg_pos = table.schema.position("segno")
+        id_pos = table.schema.position("id")
+        tend_pos = table.schema.position("tend")
+        for rid, row in table.scan():
+            if row[seg_pos] == frozen_segno:
+                victims.append(rid)
+                frozen_rows.append(row)
+                if row[tend_pos] == FOREVER:
+                    live_rows.append(row)
+        for rid in victims:
+            table.delete_rid(rid)
+        # archived copy, clustered (sorted) by id
+        frozen_rows.sort(key=lambda r: r[id_pos])
+        for row in frozen_rows:
+            table.insert(row)
+        # fresh live segment holding only current tuples
+        for row in live_rows:
+            fresh = list(row)
+            fresh[seg_pos] = new_live
+            table.insert(tuple(fresh))
+        table.compact()
+        return len(live_rows)
+
+    # -- lookup used by segment-aware query rewriting (Section 6.3) -----------------
+
+    def segment_for(self, date: int) -> int:
+        """The segment whose period covers ``date`` (live when beyond all)."""
+        for segno, segstart, segend in self.db.table(SEGMENT_TABLE).rows():
+            if segstart <= date <= segend:
+                return segno
+        return self.live_segno
+
+    def segments_overlapping(self, start: int, end: int) -> list[int]:
+        """Segments whose periods overlap ``[start, end]``, live included."""
+        out = []
+        for segno, segstart, segend in self.db.table(SEGMENT_TABLE).rows():
+            if segstart <= end and start <= segend:
+                out.append(segno)
+        if end >= self.live_start:
+            out.append(self.live_segno)
+        return out
+
+    def archived_segments(self) -> list[tuple[int, int, int]]:
+        """(segno, segstart, segend) for every frozen segment."""
+        return sorted(self.db.table(SEGMENT_TABLE).rows())
+
+    def segment_count(self) -> int:
+        """Total segments including the live one."""
+        return len(self.archived_segments()) + 1

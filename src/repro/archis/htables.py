@@ -1,0 +1,145 @@
+"""H-table schemas (paper Section 5.1).
+
+For each tracked relation ``R(key, a1, ..., an)`` ArchIS stores:
+
+- a **key table** ``R_id(id, [extra key columns], tstart, tend, segno)``;
+- one **attribute history table** ``R_ai(id, ai, tstart, tend, segno)`` per
+  non-key attribute;
+- a row in the **global relation table**
+  ``relations(relationname, tstart, tend)``.
+
+The ``segno`` column supports usefulness-based clustering (Section 6); in
+unsegmented mode it stays at segment 1 forever and the indexes are built
+without the ``segno`` prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchisError
+from repro.rdb.database import Database
+from repro.rdb.types import ColumnType
+
+RELATIONS_TABLE = "relations"
+SEGMENT_TABLE = "segment"
+
+
+@dataclass(frozen=True)
+class TrackedRelation:
+    """Metadata for one relation archived into H-tables.
+
+    ``key`` is the invariant key column; ``attributes`` maps attribute
+    names to their column types (the history tables' value columns).
+    """
+
+    name: str
+    key: str
+    attributes: dict[str, ColumnType]
+
+    @property
+    def key_table(self) -> str:
+        return f"{self.name}_id"
+
+    def attribute_table(self, attribute: str) -> str:
+        if attribute not in self.attributes:
+            raise ArchisError(
+                f"relation {self.name} has no tracked attribute {attribute}"
+            )
+        return f"{self.name}_{attribute}"
+
+    def all_tables(self) -> list[str]:
+        return [self.key_table] + [
+            self.attribute_table(a) for a in self.attributes
+        ]
+
+
+def create_global_tables(db: Database) -> None:
+    """Create ``relations`` and ``segment`` if they do not exist."""
+    if not db.has_table(RELATIONS_TABLE):
+        db.create_table(
+            RELATIONS_TABLE,
+            [
+                ("relationname", ColumnType.VARCHAR),
+                ("tstart", ColumnType.DATE),
+                ("tend", ColumnType.DATE),
+            ],
+        )
+    if not db.has_table(SEGMENT_TABLE):
+        db.create_table(
+            SEGMENT_TABLE,
+            [
+                ("segno", ColumnType.INT),
+                ("segstart", ColumnType.DATE),
+                ("segend", ColumnType.DATE),
+            ],
+        )
+
+
+def create_htables(
+    db: Database,
+    relation: TrackedRelation,
+    segmented: bool,
+    value_indexes: bool = False,
+) -> None:
+    """Create the key and attribute history tables with their indexes.
+
+    Segmented mode clusters every index on ``(segno, ...)`` so that a
+    snapshot query restricted to one segment touches one index range
+    (paper Section 6.3: "all indexes are now augmented with a segno
+    information").
+    """
+    create_global_tables(db)
+    key_table = db.create_table(
+        relation.key_table,
+        [
+            ("id", ColumnType.INT),
+            ("tstart", ColumnType.DATE),
+            ("tend", ColumnType.DATE),
+            ("segno", ColumnType.INT),
+        ],
+    )
+    _history_indexes(key_table, relation.key_table, segmented)
+    for attribute, ctype in relation.attributes.items():
+        table = db.create_table(
+            relation.attribute_table(attribute),
+            [
+                ("id", ColumnType.INT),
+                (attribute, ctype),
+                ("tstart", ColumnType.DATE),
+                ("tend", ColumnType.DATE),
+                ("segno", ColumnType.INT),
+            ],
+        )
+        _history_indexes(table, relation.attribute_table(attribute), segmented)
+        if value_indexes:
+            _value_index(table, relation.attribute_table(attribute), attribute)
+    db.table(RELATIONS_TABLE).insert(
+        (relation.name, db.current_date, None)
+    )
+    # the relation history is open-ended: store 'now' in tend
+    db.table(RELATIONS_TABLE).update_where(
+        lambda r: r["relationname"] == relation.name and r["tend"] is None,
+        {"tend": _forever()},
+    )
+
+
+def _forever() -> int:
+    from repro.util.timeutil import FOREVER
+
+    return FOREVER
+
+
+def _history_indexes(table, name: str, segmented: bool) -> None:
+    if segmented:
+        table.create_index(f"{name}_ix_id", ("segno", "id"))
+        table.create_index(f"{name}_ix_tstart", ("segno", "tstart"))
+    else:
+        table.create_index(f"{name}_ix_id", ("id",))
+        table.create_index(f"{name}_ix_tstart", ("tstart",))
+
+
+def _value_index(table, name: str, attribute: str) -> None:
+    """Value index, matching the paper's "indexes are created for all
+    nodes/attributes which have values selected"."""
+    table.create_index(f"{name}_ix_value", (attribute,))

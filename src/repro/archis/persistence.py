@@ -1,0 +1,134 @@
+"""ArchIS archive persistence.
+
+Completes the persistence story: :func:`save_archive` writes an
+``.archis.json`` sidecar (next to the Database catalog sidecar) holding
+everything the relational layer does not know about — tracked relations,
+segment-manager state, compressed-table metadata and H-view names — and
+:func:`load_archive` reconstructs a fully working :class:`ArchIS` from a
+saved file-backed database: trackers re-attach, table functions re-register
+and queries over frozen or compressed history resume where they left off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import ArchisError, StorageError
+from repro.rdb.database import Database
+from repro.rdb.types import ColumnType
+
+ARCHIS_SUFFIX = ".archis.json"
+
+
+def sidecar_path(db_path: str) -> str:
+    return db_path + ARCHIS_SUFFIX
+
+
+def save_archive(archis) -> str:
+    """Persist the database catalog plus the ArchIS metadata sidecar."""
+    if archis.db.pager.path is None:
+        raise StorageError("only file-backed archives can be saved")
+    archis.apply_pending()
+    archis.db.save()
+    payload = {
+        "version": 1,
+        "profile": archis.profile.name,
+        "segments": {
+            "umin": archis.segments.umin,
+            "min_rows": archis.segments.min_rows,
+            "live_segno": archis.segments.live_segno,
+            "live_start": archis.segments.live_start,
+            "last_change": archis.segments.last_change,
+            "live": archis.segments.stats.live,
+            "total": archis.segments.stats.total,
+            "freeze_count": archis.segments.freeze_count,
+        },
+        "relations": [
+            {
+                "name": relation.name,
+                "key": relation.key,
+                "attributes": {
+                    attr: ctype.value
+                    for attr, ctype in relation.attributes.items()
+                },
+            }
+            for relation in archis.relations.values()
+        ],
+        "documents": dict(archis._doc_names),
+        "compressed": [
+            {
+                "table": info.table,
+                "blob_table": info.blob_table,
+                "segrange_table": info.segrange_table,
+                "rows_compressed": info.rows_compressed,
+                "blocks": info.blocks,
+            }
+            for info in archis.archive.compressed_tables.values()
+        ],
+    }
+    path = sidecar_path(archis.db.pager.path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_archive(path: str, buffer_pages: int = 1024):
+    """Reopen a saved archive: Database + ArchIS, ready for queries."""
+    from repro.archis.blobstore import CompressedTableInfo
+    from repro.archis.htables import TrackedRelation
+    from repro.archis.system import ArchIS
+    from repro.archis.tablefuncs import register_history_functions
+    from repro.archis.tracker import HTableWriter, LogTracker, TriggerTracker
+
+    meta_path = sidecar_path(path)
+    if not os.path.exists(meta_path):
+        raise ArchisError(f"no archive sidecar at {meta_path}")
+    with open(meta_path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != 1:
+        raise ArchisError("unsupported archive sidecar version")
+
+    db = Database.open(path, buffer_pages)
+    seg = payload["segments"]
+    archis = ArchIS(
+        db,
+        profile=payload["profile"],
+        umin=seg["umin"],
+        min_segment_rows=seg["min_rows"],
+    )
+    archis.segments.live_segno = seg["live_segno"]
+    archis.segments.live_start = seg["live_start"]
+    archis.segments.last_change = seg["last_change"]
+    archis.segments.stats.live = seg["live"]
+    archis.segments.stats.total = seg["total"]
+    archis.segments.freeze_count = seg["freeze_count"]
+
+    for spec in payload["relations"]:
+        relation = TrackedRelation(
+            spec["name"],
+            spec["key"],
+            {a: ColumnType(t) for a, t in spec["attributes"].items()},
+        )
+        archis.relations[relation.name] = relation
+        for table_name in relation.all_tables():
+            archis.segments.register_table(table_name)
+            register_history_functions(archis, table_name)
+        writer = HTableWriter(db, relation, archis.segments)
+        archis.writers[relation.name] = writer
+        if archis.profile.tracking == "triggers":
+            archis.trackers[relation.name] = TriggerTracker(db, writer)
+        else:
+            archis.trackers[relation.name] = LogTracker(db, writer)
+    archis._doc_names = dict(payload["documents"])
+
+    for spec in payload["compressed"]:
+        info = CompressedTableInfo(
+            spec["table"], spec["blob_table"], spec["segrange_table"],
+            spec["rows_compressed"], spec["blocks"],
+        )
+        archis.archive._compressed[spec["table"]] = info
+        archis.archive._register_table_function(
+            spec["table"], spec["blob_table"]
+        )
+    return archis

@@ -1,0 +1,133 @@
+"""H-document publisher: H-tables → temporally grouped XML views.
+
+Produces the XML view of a relation's history (paper Figures 3-4): one
+child element per key value, carrying the entity's interval, with an ``id``
+child and the coalesced, timestamped history of every attribute nested
+under it.
+
+Segmented archives store redundant copies of tuples that were live at a
+freeze (Section 6.1); the publisher deduplicates on ``(id, tstart)``
+keeping the *closed* version when one exists, then coalesces
+value-equivalent adjacent periods, so the published view is identical
+whatever the storage layout — the property the equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+from repro.rdb.database import Database
+from repro.util.intervals import Interval, coalesce_valued
+from repro.util.timeutil import FOREVER, format_date
+from repro.xmlkit.dom import Element, Text
+from repro.archis.htables import RELATIONS_TABLE, TrackedRelation
+
+
+def history_rows(
+    db: Database, table_name: str, raw_rows=None
+) -> list[tuple]:
+    """Deduplicated ``(id, value..., tstart, tend)`` rows of an H-table.
+
+    A tuple that was live at a segment freeze exists once per segment it
+    lived through, open (tend = forever) in all but possibly the last; the
+    closed version carries the true end, so dedup keeps ``min(tend)`` per
+    ``(id, tstart)``.
+
+    ``raw_rows`` overrides the row source (used to read through the
+    compressed archive); defaults to the table heap.
+    """
+    table = db.table(table_name)
+    schema = table.schema
+    id_pos = schema.position("id")
+    tstart_pos = schema.position("tstart")
+    tend_pos = schema.position("tend")
+    seg_pos = schema.position("segno")
+    if raw_rows is None:
+        raw_rows = table.rows()
+    best: dict[tuple, tuple] = {}
+    for row in raw_rows:
+        key = (row[id_pos], row[tstart_pos])
+        kept = best.get(key)
+        if kept is None or row[tend_pos] < kept[tend_pos]:
+            best[key] = row
+    out = []
+    for row in sorted(best.values(), key=lambda r: (r[id_pos], r[tstart_pos])):
+        trimmed = list(row)
+        del trimmed[seg_pos]
+        out.append(tuple(trimmed))
+    return out
+
+
+def _timestamped(name: str, value: object, interval: Interval) -> Element:
+    element = Element(name)
+    element.set("tstart", format_date(interval.start))
+    element.set("tend", format_date(interval.end))
+    element.append(Text(_render(value)))
+    return element
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def publish_relation(
+    db: Database,
+    relation: TrackedRelation,
+    root_name: str | None = None,
+    rows_provider=None,
+) -> Element:
+    """Build the H-document for one tracked relation.
+
+    ``rows_provider(table_name)`` overrides where raw rows come from (the
+    ArchIS facade passes an archive-aware reader so compressed segments
+    publish identically).
+    """
+    root_name = root_name or f"{relation.name}s"
+
+    def history_of(table_name: str) -> list[tuple]:
+        raw = rows_provider(table_name) if rows_provider is not None else None
+        return history_rows(db, table_name, raw)
+    root = Element(root_name)
+    root_interval = _relation_interval(db, relation.name)
+    if root_interval is not None:
+        root.set("tstart", format_date(root_interval[0]))
+        root.set("tend", format_date(root_interval[1]))
+
+    key_history: dict[object, list[Interval]] = {}
+    for row in history_of(relation.key_table):
+        key, tstart, tend = row[0], row[1], row[2]
+        key_history.setdefault(key, []).append(Interval(tstart, tend))
+
+    attr_history: dict[str, dict[object, list[tuple[object, Interval]]]] = {}
+    for attribute in relation.attributes:
+        per_key: dict[object, list[tuple[object, Interval]]] = {}
+        for row in history_of(relation.attribute_table(attribute)):
+            key, value, tstart, tend = row
+            per_key.setdefault(key, []).append((value, Interval(tstart, tend)))
+        attr_history[attribute] = per_key
+
+    for key in sorted(key_history):
+        intervals = sorted(key_history[key])
+        entity_interval = Interval(
+            intervals[0].start, max(iv.end for iv in intervals)
+        )
+        entity = Element(relation.name)
+        entity.set("tstart", format_date(entity_interval.start))
+        entity.set("tend", format_date(entity_interval.end))
+        for interval in intervals:
+            entity.append(_timestamped("id", key, interval))
+        for attribute in relation.attributes:
+            pairs = attr_history[attribute].get(key, [])
+            for value, interval in coalesce_valued(pairs):
+                entity.append(_timestamped(attribute, value, interval))
+        root.append(entity)
+    return root
+
+
+def _relation_interval(db: Database, name: str) -> tuple[int, int] | None:
+    if not db.has_table(RELATIONS_TABLE):
+        return None
+    for rel_name, tstart, tend in db.table(RELATIONS_TABLE).rows():
+        if rel_name == name:
+            return (tstart, tend if tend is not None else FOREVER)
+    return None

@@ -1,0 +1,363 @@
+"""The ArchIS system facade (paper Figure 5).
+
+Wires together the current database, H-tables, change tracking, segment
+clustering, compression and the XQuery→SQL/XML translator:
+
+- ``track_table`` registers a current table for archival (triggers in the
+  ``db2`` profile, update log in ``atlas``);
+- the current tables are updated through normal SQL/DML and changes flow
+  into the H-tables;
+- ``xquery`` answers temporal XQuery over the virtual H-documents by
+  translating to SQL/XML (with native-evaluation fallback on published
+  views when the query is outside the translatable subset);
+- ``publish`` materializes an H-document;
+- ``compress_archive`` BlockZIPs all frozen segments into BLOBs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchisError, UnsupportedQueryError
+from repro.rdb.database import Database
+from repro.archis.blobstore import CompressedArchive
+from repro.archis.clustering import SegmentManager
+from repro.archis.htables import TrackedRelation, create_htables
+from repro.archis.publisher import history_rows, publish_relation
+from repro.archis.tracker import (
+    HTableWriter,
+    LogTracker,
+    TriggerTracker,
+    apply_log,
+)
+
+
+@dataclass(frozen=True)
+class Profile:
+    """An engine profile (paper Section 7: ArchIS-DB2 vs ArchIS-ATLaS).
+
+    ``tracking`` selects triggers vs update log; ``clustered_indexes``
+    models ATLaS/BerkeleyDB's clustered index (extra storage, Fig. 11);
+    ``one_scan_join`` enables the user-defined-aggregate optimization the
+    authors applied to the temporal join on ATLaS (Section 8.3).
+    """
+
+    name: str
+    tracking: str  # "triggers" | "log"
+    clustered_indexes: bool
+    one_scan_join: bool
+
+
+PROFILES = {
+    "db2": Profile("db2", "triggers", clustered_indexes=False, one_scan_join=False),
+    "atlas": Profile("atlas", "log", clustered_indexes=True, one_scan_join=True),
+}
+
+
+class ArchIS:
+    """Archival Information System over a :class:`Database`."""
+
+    def __init__(
+        self,
+        db: Database | None = None,
+        profile: str = "atlas",
+        umin: float | None = 0.4,
+        min_segment_rows: int = 64,
+    ) -> None:
+        if profile not in PROFILES:
+            raise ArchisError(f"unknown profile {profile!r}; use db2 or atlas")
+        self.db = db if db is not None else Database()
+        self.profile = PROFILES[profile]
+        self.segments = SegmentManager(self.db, umin, min_segment_rows)
+        self.relations: dict[str, TrackedRelation] = {}
+        self.writers: dict[str, HTableWriter] = {}
+        self.trackers: dict[str, object] = {}
+        self.archive = CompressedArchive(self.db, self.segments)
+        self._doc_names: dict[str, str] = {}
+        from repro.util.timeutil import FOREVER
+
+        # tend with 'now' substitution (paper Section 4.3): the internal
+        # end-of-time marker reads as the current date.
+        self.db.register_function(
+            "tendval",
+            lambda v: self.db.current_date if v == FOREVER else v,
+        )
+
+    # -- setup -------------------------------------------------------------------
+
+    def track_table(
+        self,
+        name: str,
+        key: str | None = None,
+        document_name: str | None = None,
+        value_indexes: bool = False,
+    ) -> TrackedRelation:
+        """Start archiving a current table's history.
+
+        ``key`` defaults to the table's single-column primary key; its
+        value must remain invariant over the history (paper Section 5.1).
+        ``document_name`` names the H-view (default ``<name>s.xml``).
+        ``value_indexes`` additionally indexes every attribute's value
+        column (the paper indexes "all nodes/attributes which have values
+        selected"; off by default to keep the storage profile lean).
+        """
+        if name in self.relations:
+            raise ArchisError(f"table {name} is already tracked")
+        table = self.db.table(name)
+        if key is None:
+            if len(table.schema.primary_key) != 1:
+                raise ArchisError(
+                    f"table {name}: pass key= explicitly (no single-column "
+                    "primary key)"
+                )
+            key = table.schema.primary_key[0]
+        attributes = {
+            column.name: column.type
+            for column in table.schema.columns
+            if column.name != key
+        }
+        relation = TrackedRelation(name, key, attributes)
+        create_htables(
+            self.db, relation, self.segments.segmented, value_indexes
+        )
+        for table_name in relation.all_tables():
+            self.segments.register_table(table_name)
+        from repro.archis.tablefuncs import register_history_functions
+
+        for table_name in relation.all_tables():
+            register_history_functions(self, table_name)
+        writer = HTableWriter(self.db, relation, self.segments)
+        if self.profile.tracking == "triggers":
+            tracker = TriggerTracker(self.db, writer)
+        else:
+            tracker = LogTracker(self.db, writer)
+        self.relations[name] = relation
+        self.writers[name] = writer
+        self.trackers[name] = tracker
+        self._doc_names[document_name or f"{name}s.xml"] = name
+        # archive rows that already exist in the current table
+        for row in list(table.rows()):
+            writer.archive_insert(row, self.db.current_date)
+        return relation
+
+    # -- change flow ---------------------------------------------------------------
+
+    def apply_pending(self) -> int:
+        """Drain the update log into H-tables (ATLaS profile).
+
+        A no-op (returns 0) under trigger tracking, where archival is
+        synchronous.
+        """
+        if self.profile.tracking != "log":
+            return 0
+        return apply_log(self.db, self.writers)
+
+    # -- publication ------------------------------------------------------------------
+
+    def publish(self, relation_name: str):
+        """Materialize the H-document of one tracked relation.
+
+        Reads through the compressed archive when segments have been
+        BlockZIPed, so publication is storage-layout independent.
+        """
+        relation = self._relation(relation_name)
+        return publish_relation(
+            self.db, relation, rows_provider=self._all_rows_of
+        )
+
+    def _all_rows_of(self, table_name: str):
+        yield from self.db.table(table_name).rows()
+        if table_name in self.archive.compressed_tables:
+            yield from self.archive.read_rows(table_name)
+
+    def document_names(self) -> list[str]:
+        return sorted(self._doc_names)
+
+    def relation_for_document(self, document: str) -> TrackedRelation:
+        name = self._doc_names.get(document)
+        if name is None:
+            raise ArchisError(f"no H-view named {document!r}")
+        return self.relations[name]
+
+    def history(self, relation_name: str, attribute: str | None = None):
+        """Deduplicated history rows of the key or one attribute table."""
+        relation = self._relation(relation_name)
+        table = (
+            relation.key_table
+            if attribute is None
+            else relation.attribute_table(attribute)
+        )
+        return history_rows(self.db, table, self._all_rows_of(table))
+
+    # -- queries --------------------------------------------------------------------------
+
+    def translate(self, query: str) -> str:
+        """Translate XQuery on the H-views to SQL/XML on the H-tables."""
+        from repro.archis.translator import translate_xquery
+
+        return translate_xquery(self, query)
+
+    def xquery(self, query: str, allow_fallback: bool = True) -> list:
+        """Answer a temporal XQuery against the (virtual) H-documents.
+
+        The translated SQL/XML path is used when the query falls in the
+        translatable subset; otherwise, with ``allow_fallback``, the H-views
+        are published and the query evaluated natively (complete but slow).
+        """
+        self.apply_pending()
+        from repro.archis.translator import translate
+
+        try:
+            translation = translate(self, query)
+        except UnsupportedQueryError:
+            if not allow_fallback:
+                raise
+            return self._native_fallback(query)
+        result = self.db.sql(translation.sql, translation.params)
+        if translation.post is not None:
+            return translation.post(result)
+        return result.xml()
+
+    def _native_fallback(self, query: str) -> list:
+        from repro.xquery import make_context, parse_xquery
+        from repro.xquery.evaluator import evaluate
+
+        documents = {
+            doc: publish_relation(self.db, self.relations[rel])
+            for doc, rel in self._doc_names.items()
+        }
+        ctx = make_context(documents, self.db.current_date)
+        return evaluate(parse_xquery(query), ctx)
+
+    # -- snapshots (the segment fast path, Section 6.3) -------------------------------------
+
+    def snapshot_rows(
+        self, relation_name: str, attribute: str, date: int
+    ) -> list[tuple]:
+        """(id, value) pairs of an attribute's snapshot at ``date``."""
+        relation = self._relation(relation_name)
+        table_name = relation.attribute_table(attribute)
+        segno = self.segments.segment_for(date)
+        if table_name in self.archive.compressed_tables and (
+            segno != self.segments.live_segno
+        ):
+            rows = self.archive.read_rows(table_name, [segno])
+            table = self.db.table(table_name)
+            seg_pos = table.schema.position("segno")
+            tstart_pos = table.schema.position("tstart")
+            tend_pos = table.schema.position("tend")
+            return [
+                (row[0], row[1])
+                for row in rows
+                if row[seg_pos] == segno
+                and row[tstart_pos] <= date <= row[tend_pos]
+            ]
+        result = self.db.sql(
+            f"SELECT t.id, t.{attribute} FROM {table_name} t "
+            f"WHERE t.segno = :segno AND t.tstart <= :d AND t.tend >= :d",
+            {"segno": segno, "d": date},
+        )
+        return list(result.rows)
+
+    def max_increase_one_scan(
+        self,
+        relation_name: str,
+        attribute: str,
+        after: int,
+        window_days: int,
+    ) -> float | None:
+        """The temporal join of Table 3 Q6 as a one-scan user-defined
+        aggregate (paper Section 8.3: "we effectively optimize the join
+        through a user-defined aggregate in one scan").
+
+        Finds the maximum value increase between two versions of the same
+        key where the later version starts within ``window_days`` of the
+        earlier one and the earlier starts at/after ``after``.  Only the
+        ``atlas`` profile uses this fast path.
+        """
+        if not self.profile.one_scan_join:
+            raise ArchisError(
+                "the one-scan join optimization is an ATLaS-profile feature"
+            )
+        best: float | None = None
+        open_versions: list[tuple[int, float]] = []  # (tstart, value)
+        last_id: object = None
+        for row in self.history(relation_name, attribute):
+            key, value, tstart, _ = row
+            if key != last_id:
+                open_versions = []
+                last_id = key
+            # drop versions that can no longer pair with later ones
+            open_versions = [
+                (s, v) for s, v in open_versions
+                if tstart - s <= window_days
+            ]
+            for earlier_start, earlier_value in open_versions:
+                if earlier_start >= after and tstart > earlier_start:
+                    increase = value - earlier_value
+                    if best is None or increase > best:
+                        best = increase
+            open_versions.append((tstart, value))
+        return best
+
+    # -- compression ----------------------------------------------------------------------------
+
+    def compress_archive(self) -> dict[str, object]:
+        """BlockZIP every tracked H-table's frozen segments into BLOBs."""
+        report = {}
+        for relation in self.relations.values():
+            for table_name in relation.all_tables():
+                if table_name in self.archive.compressed_tables:
+                    continue
+                report[table_name] = self.archive.compress_table(table_name)
+        return report
+
+    # -- persistence ------------------------------------------------------------------------
+
+    def save(self) -> str:
+        """Persist a file-backed archive (catalog + ArchIS metadata)."""
+        from repro.archis.persistence import save_archive
+
+        return save_archive(self)
+
+    @classmethod
+    def open(cls, path: str, buffer_pages: int = 1024) -> "ArchIS":
+        """Reopen an archive saved with :meth:`save`."""
+        from repro.archis.persistence import load_archive
+
+        return load_archive(path, buffer_pages)
+
+    # -- measurement hooks ------------------------------------------------------------------------
+
+    def reset_caches(self) -> None:
+        self.db.reset_caches()
+
+    def storage_bytes(self) -> int:
+        """Footprint of all H-tables + compressed blobs (+ index models).
+
+        The ATLaS profile charges its clustered-index overhead here
+        (BerkeleyDB keeps tables inside a clustered B-tree; Fig. 11 shows
+        the resulting storage penalty).
+        """
+        total = 0
+        for relation in self.relations.values():
+            for table_name in relation.all_tables():
+                table = self.db.table(table_name)
+                total += table.size_bytes(include_indexes=True)
+                if self.profile.clustered_indexes:
+                    # clustered index ~ one extra key entry per row plus
+                    # B-tree page slack over the heap payload
+                    total += table.size_bytes(include_indexes=False) // 2
+            for table_name in relation.all_tables():
+                info = self.archive.compressed_tables.get(table_name)
+                if info is not None:
+                    for row in self.db.table(info.blob_table).rows():
+                        blob_id = row[4]
+                        total += len(self.db.blobs.get(blob_id))
+        return total
+
+    def _relation(self, name: str) -> TrackedRelation:
+        relation = self.relations.get(name)
+        if relation is None:
+            raise ArchisError(f"table {name} is not tracked")
+        return relation

@@ -1,0 +1,103 @@
+"""Registered table functions that abstract H-table storage.
+
+Two access paths the translator uses as FROM sources:
+
+- ``history_<table>()`` — the deduplicated full history (heap rows plus
+  decompressed BLOB rows, ``(id, tstart)``-deduped keeping the closed
+  version).  Needed in segmented mode because frozen segments carry
+  redundant copies of tuples live at freeze time (paper Section 6.2).
+- ``seg_<table>(lo, hi)`` — rows of segments ``lo..hi``: an index range
+  scan over the heap when uncompressed, or block-range decompression plus
+  the live heap when compressed (paper Section 8.2's uncompression table
+  functions).
+
+Both yield rows in the table's column order (``id, [value], tstart, tend,
+segno``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.archis.system import ArchIS
+
+
+def register_history_functions(archis: "ArchIS", table_name: str) -> None:
+    """Register ``history_<t>`` and ``seg_<t>`` for one H-table."""
+    db = archis.db
+
+    def all_rows() -> Iterator[tuple]:
+        table = db.table(table_name)
+        yield from table.rows()
+        info = archis.archive.compressed_tables.get(table_name)
+        if info is not None:
+            yield from archis.archive.read_rows(table_name)
+
+    def history_fn() -> Iterator[tuple]:
+        table = db.table(table_name)
+        id_pos = table.schema.position("id")
+        tstart_pos = table.schema.position("tstart")
+        tend_pos = table.schema.position("tend")
+        best: dict[tuple, tuple] = {}
+        for row in all_rows():
+            key = (row[id_pos], row[tstart_pos])
+            kept = best.get(key)
+            if kept is None or row[tend_pos] < kept[tend_pos]:
+                best[key] = row
+        yield from sorted(
+            best.values(), key=lambda r: (r[id_pos], r[tstart_pos])
+        )
+
+    def seg_fn(lo: int, hi: int) -> Iterator[tuple]:
+        table = db.table(table_name)
+        seg_pos = table.schema.position("segno")
+        info = archis.archive.compressed_tables.get(table_name)
+        if info is not None:
+            frozen = [
+                s for s in range(lo, hi + 1)
+                if s != archis.segments.live_segno
+            ]
+            if frozen:
+                for row in archis.archive.read_rows(table_name, frozen):
+                    if lo <= row[seg_pos] <= hi:
+                        yield row
+            if lo <= archis.segments.live_segno <= hi:
+                yield from table.rows()
+            return
+        index = table.find_index(("segno",))
+        if index is not None:
+            for _, row in table.index_scan(index.name, (lo,), (hi + 1,),
+                                           high_inclusive=False):
+                yield row
+            return
+        for row in table.rows():
+            if lo <= row[seg_pos] <= hi:
+                yield row
+
+    def slice_fn(lo: int, hi: int) -> Iterator[tuple]:
+        """Deduplicated rows of segments ``lo..hi`` for slicing queries.
+
+        Frozen segments carry forward copies of tuples live at freeze time
+        (Section 6.1 step 3), so a window spanning several segments would
+        count those versions once per segment.  Each version is kept only
+        in its *last* copy within the range — the copy whose ``tend``
+        closed inside its segment, or any copy in the final segment —
+        which also carries the version's true end timestamp.
+        """
+        table = db.table(table_name)
+        seg_pos = table.schema.position("segno")
+        tend_pos = table.schema.position("tend")
+        segend = {
+            segno: end
+            for segno, _, end in archis.segments.archived_segments()
+        }
+        last = hi
+        for row in seg_fn(lo, hi):
+            segno = row[seg_pos]
+            if segno == last or row[tend_pos] <= segend.get(segno, -1):
+                yield row
+
+    db.register_table_function(f"history_{table_name}", history_fn)
+    db.register_table_function(f"seg_{table_name}", seg_fn)
+    db.register_table_function(f"slice_{table_name}", slice_fn)

@@ -1,0 +1,251 @@
+"""Change tracking: current tables → H-tables (paper Section 5.2).
+
+Two mechanisms, matching the paper's two deployments:
+
+- **triggers** (ArchIS-DB2): a row trigger on the current table archives
+  every change synchronously;
+- **update log** (ArchIS-ATLaS): mutations append to the database's update
+  log and :meth:`LogArchiver.apply_pending` archives them in batch.
+
+Timestamp semantics follow the paper's sample data: when an attribute
+changes on day T, the old version is closed with ``tend = T - 1`` and the
+new version opens with ``tstart = T`` (adjacent closed intervals); a tuple
+created and closed on the same day keeps a one-day interval.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArchisError
+from repro.rdb.database import Database
+from repro.rdb.table import Table
+from repro.util.timeutil import FOREVER
+from repro.archis.clustering import SegmentManager
+from repro.archis.htables import TrackedRelation
+
+
+class HTableWriter:
+    """Applies archival operations to the H-tables of one relation."""
+
+    def __init__(
+        self,
+        db: Database,
+        relation: TrackedRelation,
+        segments: SegmentManager,
+    ) -> None:
+        self.db = db
+        self.relation = relation
+        self.segments = segments
+        current = db.table(relation.name)
+        self._key_pos = current.schema.position(relation.key)
+        self._attr_pos = {
+            attr: current.schema.position(attr)
+            for attr in relation.attributes
+        }
+
+    # -- row-level archival -------------------------------------------------------
+
+    def archive_insert(self, row: tuple, when: int) -> None:
+        self.segments.maybe_freeze(when)
+        key = row[self._key_pos]
+        self._upsert_version(self.relation.key_table, key, None, when)
+        for attr, pos in self._attr_pos.items():
+            self._upsert_version(
+                self.relation.attribute_table(attr), key, row[pos], when
+            )
+        self.segments.touch(when)
+
+    def archive_delete(self, row: tuple, when: int) -> None:
+        self.segments.maybe_freeze(when)
+        key = row[self._key_pos]
+        self._close_history(self.relation.key_table, key, when)
+        for attr in self._attr_pos:
+            self._close_history(
+                self.relation.attribute_table(attr), key, when
+            )
+        self.segments.touch(when)
+
+    def archive_update(self, new_row: tuple, old_row: tuple, when: int) -> None:
+        self.segments.maybe_freeze(when)
+        key = new_row[self._key_pos]
+        old_key = old_row[self._key_pos]
+        if key != old_key:
+            raise ArchisError(
+                f"relation {self.relation.name}: keys must remain invariant "
+                f"({old_key} -> {key}); use a surrogate key"
+            )
+        for attr, pos in self._attr_pos.items():
+            if new_row[pos] == old_row[pos]:
+                continue
+            table_name = self.relation.attribute_table(attr)
+            self._close_history(table_name, key, when, same_day_ok=True)
+            self._upsert_version(table_name, key, new_row[pos], when)
+        self.segments.touch(when)
+
+    def _upsert_version(
+        self, table_name: str, key: int, value: object, when: int
+    ) -> None:
+        """Open a version starting at ``when``.
+
+        Transaction time is day-granular: if a version of this key already
+        starts on ``when`` (opened or closed earlier the same day), it is
+        *rewritten in place* — only the day's final state is part of the
+        history — instead of creating a duplicate ``(id, tstart)`` version.
+        ``value=None`` means the key table (no value column).
+        """
+        table = self.db.table(table_name)
+        tstart_pos = table.schema.position("tstart")
+        tend_pos = table.schema.position("tend")
+        for rid, row in self._versions_of(table, key):
+            if row[tstart_pos] == when:
+                fresh = list(row)
+                if value is not None:
+                    fresh[table.schema.position(
+                        table.schema.column_names[1]
+                    )] = value
+                was_live = row[tend_pos] == FOREVER
+                fresh[tend_pos] = FOREVER
+                table.update_rid(rid, tuple(fresh))
+                if not was_live:
+                    self.segments.stats.live += 1
+                return
+        if value is None:
+            table.insert((key, when, FOREVER, self.segments.live_segno))
+        else:
+            table.insert(
+                (key, value, when, FOREVER, self.segments.live_segno)
+            )
+        self.segments.note_insert()
+
+    def _close_history(
+        self, table_name: str, key: int, when: int, same_day_ok: bool = False
+    ) -> None:
+        """Set tend of the live version of ``key`` in the live segment."""
+        table = self.db.table(table_name)
+        live_segno = self.segments.live_segno
+        closed = 0
+        skipped_same_day = False
+        end = max(when - 1, 0)
+        for rid, row in self._live_rows(table, key, live_segno):
+            tstart = row[table.schema.position("tstart")]
+            if same_day_ok and tstart == when:
+                # the version opened today will be rewritten in place by
+                # the upsert that follows (day-granular transaction time)
+                skipped_same_day = True
+                continue
+            new_row = list(row)
+            new_row[table.schema.position("tend")] = max(tstart, end)
+            table.update_rid(rid, tuple(new_row))
+            closed += 1
+            self.segments.note_close()
+        if closed == 0 and not skipped_same_day:
+            raise ArchisError(
+                f"{table_name}: no live history row for key {key}"
+            )
+
+    def _versions_of(self, table: Table, key: int):
+        """All versions of ``key`` in the live segment (live or closed)."""
+        id_pos = table.schema.position("id")
+        seg_pos = table.schema.position("segno")
+        live_segno = self.segments.live_segno
+        index = table.find_index(("segno", "id")) or table.find_index(("id",))
+        if index is not None:
+            if index.columns[0] == "segno":
+                candidates = table.index_scan(
+                    index.name, (live_segno, key), (live_segno, key)
+                )
+            else:
+                candidates = table.index_scan(index.name, (key,), (key,))
+        else:
+            candidates = table.scan()
+        for rid, row in candidates:
+            if row[id_pos] == key and row[seg_pos] == live_segno:
+                yield rid, row
+
+    @staticmethod
+    def _live_rows(table: Table, key: int, live_segno: int):
+        id_pos = table.schema.position("id")
+        tend_pos = table.schema.position("tend")
+        seg_pos = table.schema.position("segno")
+        index = table.find_index(("segno", "id")) or table.find_index(("id",))
+        if index is not None:
+            if index.columns[0] == "segno":
+                candidates = table.index_scan(
+                    index.name, (live_segno, key), (live_segno, key)
+                )
+            else:
+                candidates = table.index_scan(index.name, (key,), (key,))
+        else:
+            candidates = table.scan()
+        for rid, row in candidates:
+            if (
+                row[id_pos] == key
+                and row[tend_pos] == FOREVER
+                and row[seg_pos] == live_segno
+            ):
+                yield rid, row
+
+
+class TriggerTracker:
+    """DB2-profile tracking: archives synchronously via row triggers."""
+
+    def __init__(self, db: Database, writer: HTableWriter) -> None:
+        self.db = db
+        self.writer = writer
+        self._table = db.table(writer.relation.name)
+        self._table.add_trigger(self._on_change)
+
+    def _on_change(self, op: str, row: tuple, old: tuple | None) -> None:
+        when = self.db.current_date
+        if op == "insert":
+            self.writer.archive_insert(row, when)
+        elif op == "update":
+            self.writer.archive_update(row, old, when)
+        elif op == "delete":
+            self.writer.archive_delete(row, when)
+
+    def detach(self) -> None:
+        self._table.remove_trigger(self._on_change)
+
+
+class LogTracker:
+    """ATLaS-profile tracking: records to the update log, archives in batch.
+
+    The paper uses update logs "for better performance": the current
+    transaction only appends a log record; archival IO happens when the
+    log drains.
+    """
+
+    def __init__(self, db: Database, writer: HTableWriter) -> None:
+        self.db = db
+        self.writer = writer
+        self._table = db.table(writer.relation.name)
+        self._table.add_trigger(self._on_change)
+
+    def _on_change(self, op: str, row: tuple, old: tuple | None) -> None:
+        self.db.update_log.append(
+            self.db.current_date, self.writer.relation.name, op, row, old
+        )
+
+    def detach(self) -> None:
+        self._table.remove_trigger(self._on_change)
+
+
+def apply_log(db: Database, writers: dict[str, HTableWriter]) -> int:
+    """Drain the update log into H-tables, dispatching by relation name.
+
+    Entries for untracked tables are dropped (they have no H-tables).
+    Returns the number of entries applied.
+    """
+    applied = 0
+    for entry in db.update_log.drain():
+        writer = writers.get(entry.table)
+        if writer is None:
+            continue
+        if entry.op == "insert":
+            writer.archive_insert(entry.row, entry.timestamp)
+        elif entry.op == "update":
+            writer.archive_update(entry.row, entry.old, entry.timestamp)
+        elif entry.op == "delete":
+            writer.archive_delete(entry.row, entry.timestamp)
+        applied += 1
+    return applied

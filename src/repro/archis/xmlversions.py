@@ -1,0 +1,256 @@
+"""Multi-version XML document archiving (paper Section 9).
+
+The paper's closing contribution claims the temporally grouped
+timestamping scheme "is also applicable to generic multi-version XML
+documents, to support evolution queries using XQuery ... e.g., the
+successive revision of XLink standards, or, from the history of
+university catalogs, when a new course was first introduced."
+
+:class:`XmlVersionArchive` implements that: commit successive versions of
+an arbitrary XML document; the archive diffs each version against the
+previous one and maintains a **V-document** — a single tree in which every
+node carries an inclusive ``[tstart, tend]`` interval, nodes that changed
+are closed and re-opened, and unchanged subtrees keep their timestamps.
+The V-document is ordinary timestamped XML, so the whole temporal XQuery
+function library (``tstart``, ``tend``, ``toverlaps``, ...) works on it
+unchanged.
+
+Node identity follows the versioned-XML convention of [24]/[51]: a child
+matches across versions when it has the same element name and the same
+value of its *key attribute* (``id`` or ``name``, when present), else by
+ordinal position among same-named siblings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ArchisError
+from repro.util.timeutil import FOREVER, format_date, parse_date
+from repro.xmlkit.dom import Element, Text
+
+_KEY_ATTRS = ("id", "name", "key")
+
+
+@dataclass
+class _VNode:
+    """One versioned element: static shape + lifetime interval."""
+
+    name: str
+    attrs: dict
+    tstart: int
+    tend: int = FOREVER
+    text_runs: list = field(default_factory=list)  # [(value, tstart, tend)]
+    children: list = field(default_factory=list)  # of _VNode
+
+    @property
+    def live(self) -> bool:
+        return self.tend == FOREVER
+
+    def close(self, end: int) -> None:
+        self.tend = max(self.tstart, end)
+        self.text_runs = [
+            (value, start, t_end if t_end != FOREVER else max(start, end))
+            for value, start, t_end in self.text_runs
+        ]
+        for child in self.children:
+            if child.live:
+                child.close(end)
+
+    def identity(self) -> tuple:
+        for attr in _KEY_ATTRS:
+            if attr in self.attrs:
+                return (self.name, attr, self.attrs[attr])
+        return (self.name, None, None)
+
+    def own_text(self) -> str:
+        live = [v for v, _, end in self.text_runs if end == FOREVER]
+        return "".join(live)
+
+
+def _identity_of(element: Element) -> tuple:
+    for attr in _KEY_ATTRS:
+        if attr in element.attrs:
+            return (element.name, attr, element.attrs[attr])
+    return (element.name, None, None)
+
+
+def _own_text(element: Element) -> str:
+    return "".join(
+        child.value for child in element.children if isinstance(child, Text)
+    )
+
+
+class XmlVersionArchive:
+    """Archives the version history of one XML document."""
+
+    def __init__(self, name: str = "document") -> None:
+        self.name = name
+        self._root: _VNode | None = None
+        self._versions: list[int] = []
+
+    @property
+    def version_count(self) -> int:
+        return len(self._versions)
+
+    @property
+    def version_dates(self) -> list[int]:
+        return list(self._versions)
+
+    # -- committing versions ---------------------------------------------------
+
+    def commit(self, root: Element, date: int | str) -> None:
+        """Record ``root`` as the document's content as of ``date``."""
+        when = parse_date(date) if isinstance(date, str) else date
+        if self._versions and when <= self._versions[-1]:
+            raise ArchisError(
+                "versions must be committed in increasing date order"
+            )
+        if self._root is None:
+            self._root = self._build(root, when)
+        else:
+            if (
+                self._root.name != root.name
+                or self._root.attrs != root.attrs
+            ):
+                raise ArchisError(
+                    "the document root must keep its name and attributes"
+                )
+            self._merge(self._root, root, when)
+        self._versions.append(when)
+
+    def _build(self, element: Element, when: int) -> _VNode:
+        node = _VNode(element.name, dict(element.attrs), when)
+        text = _own_text(element)
+        if text.strip():
+            node.text_runs.append((text, when, FOREVER))
+        for child in element.elements():
+            node.children.append(self._build(child, when))
+        return node
+
+    def _merge(self, vnode: _VNode, element: Element, when: int) -> None:
+        # text content
+        new_text = _own_text(element)
+        old_text = vnode.own_text()
+        if new_text != old_text:
+            vnode.text_runs = [
+                (v, s, e if e != FOREVER else max(s, when - 1))
+                for v, s, e in vnode.text_runs
+            ]
+            if new_text.strip():
+                vnode.text_runs.append((new_text, when, FOREVER))
+        # children, matched by identity then ordinal
+        live_children = [c for c in vnode.children if c.live]
+        unmatched = list(live_children)
+        ordinal_seen: dict[tuple, int] = {}
+        for child in element.elements():
+            identity = _identity_of(child)
+            match = self._take_match(unmatched, child, identity, ordinal_seen)
+            if match is None:
+                vnode.children.append(self._build(child, when))
+            elif match.attrs != dict(child.attrs):
+                # attribute change = node replacement (new lifetime)
+                match.close(when - 1)
+                vnode.children.append(self._build(child, when))
+            else:
+                self._merge(match, child, when)
+        for leftover in unmatched:
+            leftover.close(when - 1)
+
+    @staticmethod
+    def _take_match(
+        unmatched: list, child: Element, identity: tuple, ordinal_seen: dict
+    ) -> "_VNode | None":
+        if identity[1] is not None:
+            for candidate in unmatched:
+                if candidate.identity() == identity:
+                    unmatched.remove(candidate)
+                    return candidate
+            return None
+        # positional: pair with the first unmatched same-named sibling
+        del ordinal_seen  # identity here is purely positional
+        for candidate in unmatched:
+            if candidate.name == child.name:
+                unmatched.remove(candidate)
+                return candidate
+        return None
+
+    # -- views ---------------------------------------------------------------------
+
+    def vdocument(self) -> Element:
+        """The temporally grouped V-document with tstart/tend everywhere."""
+        if self._root is None:
+            raise ArchisError("no versions committed yet")
+        return self._render(self._root)
+
+    def _render(self, vnode: _VNode) -> Element:
+        element = Element(vnode.name, dict(vnode.attrs))
+        element.set("tstart", format_date(vnode.tstart))
+        element.set("tend", format_date(vnode.tend))
+        for value, start, end in vnode.text_runs:
+            run = Element("text")
+            run.set("tstart", format_date(start))
+            run.set("tend", format_date(end))
+            run.append(Text(value))
+            element.append(run)
+        for child in vnode.children:
+            element.append(self._render(child))
+        return element
+
+    def snapshot(self, date: int | str) -> Element | None:
+        """Reconstruct the document as it stood on ``date``."""
+        when = parse_date(date) if isinstance(date, str) else date
+        if self._root is None:
+            raise ArchisError("no versions committed yet")
+        return self._reconstruct(self._root, when)
+
+    def _reconstruct(self, vnode: _VNode, when: int) -> Element | None:
+        if not (vnode.tstart <= when <= vnode.tend):
+            return None
+        element = Element(vnode.name, dict(vnode.attrs))
+        for value, start, end in vnode.text_runs:
+            if start <= when <= end:
+                element.append(Text(value))
+        for child in vnode.children:
+            rebuilt = self._reconstruct(child, when)
+            if rebuilt is not None:
+                element.append(rebuilt)
+        return element
+
+    # -- evolution queries ----------------------------------------------------------
+
+    def first_appearance(self, name: str, text: str | None = None) -> int | None:
+        """When an element (optionally with given text) first appeared.
+
+        The paper's "when a new course was first introduced" query.
+        Returns days since epoch, or None when never present.
+        """
+        if self._root is None:
+            return None
+        best: int | None = None
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children)
+            if node.name != name:
+                continue
+            if text is not None:
+                texts = {v for v, _, _ in node.text_runs}
+                if text not in texts:
+                    continue
+            if best is None or node.tstart < best:
+                best = node.tstart
+        return best
+
+    def xquery(self, query: str, current_date: int | None = None) -> list:
+        """Run a temporal XQuery against the V-document."""
+        from repro.xquery import run_xquery
+
+        today = (
+            current_date
+            if current_date is not None
+            else (self._versions[-1] if self._versions else 0)
+        )
+        return run_xquery(
+            query, {f"{self.name}.xml": self.vdocument()}, today
+        )

@@ -1,0 +1,34 @@
+"""Benchmark harness: Table 3 queries, engine builders, reporting."""
+
+from repro.bench.harness import (
+    BenchSetup,
+    Measurement,
+    averaged,
+    build_archis,
+    build_native,
+    build_setup,
+    compare_engines,
+    run_archis_cold,
+    run_native_cold,
+    verify_equivalence,
+)
+from repro.bench.queries import BenchQuery, default_queries
+from repro.bench.report import format_table, print_comparison, speedup
+
+__all__ = [
+    "BenchSetup",
+    "averaged",
+    "Measurement",
+    "build_archis",
+    "build_native",
+    "build_setup",
+    "compare_engines",
+    "run_archis_cold",
+    "run_native_cold",
+    "verify_equivalence",
+    "BenchQuery",
+    "default_queries",
+    "format_table",
+    "print_comparison",
+    "speedup",
+]

@@ -1,0 +1,165 @@
+"""One-shot reproduction report.
+
+Runs the core experiments (Table 3/Fig. 8, Fig. 9 clustering, Fig. 11/13
+storage, Fig. 14 compressed queries, translation cost) at a configurable
+scale and renders a single markdown report with paper-vs-measured rows —
+the artifact a reviewer regenerates with one command:
+
+    python -m repro.tools report -o report.md
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import (
+    averaged,
+    build_archis,
+    build_native,
+    build_setup,
+    compare_engines,
+    run_archis_cold,
+    verify_equivalence,
+)
+from repro.bench.queries import default_queries
+from repro.bench.report import format_table, speedup
+from repro.xmlkit import serialize
+
+
+def generate_report(employees: int = 50, years: int = 17, repeats: int = 2) -> str:
+    sections = [
+        "# ArchIS reproduction report",
+        "",
+        f"dataset: {employees} employees x {years} years "
+        f"(synthetic TimeCenter-style history); {repeats} repeats per "
+        "measurement, cold caches.",
+        "",
+    ]
+    setup = build_setup(employees=employees, years=years)
+    queries = default_queries(setup.generator)
+    verify_equivalence(setup, queries)
+    sections.append(
+        f"equivalence: ArchIS (translated SQL/XML) and the native XML DB "
+        f"agree on all {len(queries)} Table 3 queries.\n"
+    )
+    segment_count = setup.archis.segments.segment_count()
+    sections.append(
+        f"segments: {segment_count} "
+        f"({setup.archis.segments.freeze_count} freezes at U_min=0.4). "
+        "Clustering and BlockZIP effects need >= 2 segments; increase "
+        "--employees/--years if this run shows only one.\n"
+    )
+
+    # Fig. 8
+    results = compare_engines(setup, queries, repeats=repeats)
+    paper8 = {"Q2": "~102x", "Q4": "~4x", "Q5": "~66x", "Q6": "~35x"}
+    rows = [
+        [
+            key,
+            f"{results[key]['native'].seconds*1000:.1f}",
+            f"{results[key]['archis'].seconds*1000:.1f}",
+            f"{speedup(results[key]['native'], results[key]['archis']):.1f}x",
+            paper8.get(key, "wins"),
+        ]
+        for key in sorted(results)
+    ]
+    sections.append("## Table 3 / Fig. 8 — ArchIS vs native XML DB\n")
+    sections.append(
+        format_table(
+            ["query", "native ms", "archis ms", "speedup", "paper"], rows
+        )
+    )
+
+    # Fig. 9 (clustering)
+    _, unclustered, _ = build_archis(
+        employees=employees, years=years, umin=None
+    )
+    paper9 = {"Q2": "5.7x", "Q5": "5.5x", "Q6": "1.7x", "Q4": "slower"}
+    rows = []
+    for query in queries:
+        clustered_cost = averaged(
+            lambda q=query: run_archis_cold(setup.archis, q), repeats
+        )
+        unclustered_cost = averaged(
+            lambda q=query: run_archis_cold(unclustered, q), repeats
+        )
+        rows.append(
+            [
+                query.key,
+                f"{unclustered_cost.seconds*1000:.1f}",
+                f"{clustered_cost.seconds*1000:.1f}",
+                f"{unclustered_cost.seconds / max(clustered_cost.seconds, 1e-9):.2f}x",
+                paper9.get(query.key, "~1x"),
+            ]
+        )
+    sections.append("\n## Fig. 9 — segment clustering effect (ArchIS)\n")
+    sections.append(
+        format_table(
+            ["query", "no-cluster ms", "clustered ms", "gain", "paper"], rows
+        )
+    )
+
+    # Fig. 11 / 13 storage
+    hdoc_bytes = len(serialize(setup.archis.publish("employee")).encode())
+    tamino = build_native(setup.archis, compress=True).storage_bytes()
+    tamino_plain = build_native(setup.archis, compress=False).storage_bytes()
+    storage_rows = [
+        ["tamino (compressed)", f"{tamino / hdoc_bytes:.2f}", "0.22"],
+        ["tamino (uncompressed)", f"{tamino_plain / hdoc_bytes:.2f}", "1.47"],
+    ]
+    for profile, paper_plain, paper_zip in (
+        ("db2", "0.75", "0.23"), ("atlas", "1.02", "0.23"),
+    ):
+        _, engine, _ = build_archis(
+            employees=employees, years=years, profile=profile, umin=0.4
+        )
+        plain = engine.storage_bytes()
+        engine.compress_archive()
+        compressed = engine.storage_bytes()
+        storage_rows.append(
+            [f"archis-{profile} (plain)", f"{plain / hdoc_bytes:.2f}",
+             paper_plain]
+        )
+        storage_rows.append(
+            [f"archis-{profile} (blockzip)",
+             f"{compressed / hdoc_bytes:.2f}", paper_zip]
+        )
+    sections.append("\n## Fig. 11 / Fig. 13 — storage over H-document size\n")
+    sections.append(
+        format_table(["system", "measured", "paper"], storage_rows)
+    )
+
+    # Fig. 14: compressed queries
+    compressed_setup = build_setup(
+        employees=employees, years=years, compress=True
+    )
+    verify_equivalence(compressed_setup, queries)
+    results14 = compare_engines(compressed_setup, queries, repeats=repeats)
+    rows = [
+        [
+            key,
+            f"{results14[key]['native'].seconds*1000:.1f}",
+            f"{results14[key]['archis'].seconds*1000:.1f}",
+            f"{speedup(results14[key]['native'], results14[key]['archis']):.1f}x",
+        ]
+        for key in sorted(results14)
+    ]
+    sections.append("\n## Fig. 14 — query performance with BlockZIP\n")
+    sections.append(
+        format_table(["query", "native ms", "archis ms", "speedup"], rows)
+    )
+
+    # translation cost
+    rows = []
+    for query in queries:
+        start = time.perf_counter()
+        for _ in range(50):
+            setup.archis.translate(query.xquery)
+        per = (time.perf_counter() - start) / 50
+        rows.append([query.key, f"{per*1000:.3f}"])
+    sections.append(
+        "\n## translation cost (paper: < 0.1 ms per query)\n"
+    )
+    sections.append(format_table(["query", "ms"], rows))
+    sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,110 @@
+"""The Table 3 benchmark queries, in XQuery over the employees H-view.
+
+Dates are parameters so the harness can aim them at the generated
+dataset's history; the defaults mirror the paper's mid-history choices.
+
+Q5 counts matching salary *versions* (the paper counts employees; with
+at most one salary version per employee live at any instant the two
+coincide for snapshot-like windows, and the shape of the comparison is
+unaffected — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchQuery:
+    key: str
+    title: str
+    xquery: str
+
+
+def q1_snapshot_single(employee_id: int, date: str) -> BenchQuery:
+    return BenchQuery(
+        "Q1",
+        f"snapshot (single object): salary of {employee_id} on {date}",
+        f'for $s in doc("employees.xml")/employees/employee[id="{employee_id}"]'
+        f'/salary[tstart(.) <= xs:date("{date}") and '
+        f'tend(.) >= xs:date("{date}")] return $s',
+    )
+
+
+def q2_snapshot_avg(date: str) -> BenchQuery:
+    return BenchQuery(
+        "Q2",
+        f"snapshot: average salary on {date}",
+        f'avg(doc("employees.xml")/employees/employee/salary'
+        f'[tstart(.) <= xs:date("{date}") and tend(.) >= xs:date("{date}")])',
+    )
+
+
+def q3_history_single(employee_id: int) -> BenchQuery:
+    return BenchQuery(
+        "Q3",
+        f"history (single object): salary history of {employee_id}",
+        f'for $s in doc("employees.xml")/employees/employee'
+        f'[id="{employee_id}"]/salary return $s',
+    )
+
+
+def q4_history_count() -> BenchQuery:
+    return BenchQuery(
+        "Q4",
+        "history: total number of salary changes",
+        'count(doc("employees.xml")/employees/employee/salary)',
+    )
+
+
+def q5_slicing(threshold: int, start: str, end: str) -> BenchQuery:
+    return BenchQuery(
+        "Q5",
+        f"temporal slicing: salaries > {threshold} in [{start}, {end}]",
+        f'count(doc("employees.xml")/employees/employee/salary'
+        f'[toverlaps(., telement(xs:date("{start}"), xs:date("{end}"))) '
+        f"and . > {threshold}])",
+    )
+
+
+def q5_slicing_employees(threshold: int, start: str, end: str) -> BenchQuery:
+    """The paper's exact Q5 wording: count *employees* whose salary
+    exceeded the threshold during the window (distinct ids)."""
+    return BenchQuery(
+        "Q5e",
+        f"temporal slicing: employees with salary > {threshold} "
+        f"in [{start}, {end}]",
+        f'count(distinct-values(doc("employees.xml")/employees/employee'
+        f'[salary[toverlaps(., telement(xs:date("{start}"), '
+        f'xs:date("{end}"))) and . > {threshold}]]/id))',
+    )
+
+
+def q6_temporal_join(after: str, window_days: int = 730) -> BenchQuery:
+    return BenchQuery(
+        "Q6",
+        f"temporal join: max salary increase within {window_days} days "
+        f"after {after}",
+        f'max(for $e in doc("employees.xml")/employees/employee '
+        f"for $a in $e/salary for $b in $e/salary "
+        f'where tstart($a) >= xs:date("{after}") '
+        f"and tstart($b) > tstart($a) "
+        f"and tstart($b) - tstart($a) <= {window_days} "
+        f"return $b - $a)",
+    )
+
+
+def default_queries(generator) -> list[BenchQuery]:
+    """The Table 3 suite aimed at a generated dataset."""
+    mid = generator.mid_history_date()
+    late = generator.late_history_date()
+    emp = generator.known_employee_id()
+    return [
+        q1_snapshot_single(emp, mid),
+        q2_snapshot_avg(mid),
+        q3_history_single(emp),
+        q4_history_count(),
+        q5_slicing(60000, mid, late),
+        q5_slicing_employees(60000, mid, late),
+        q6_temporal_join(mid),
+    ]

@@ -1,0 +1,72 @@
+"""Paper-vs-measured reporting for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import Measurement
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One shape claim from the paper's evaluation."""
+
+    experiment: str
+    claim: str
+    paper_value: str
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(str(row[i])) for row in [headers, *rows])
+        for i in range(len(headers))
+    ]
+    def line(row):
+        return "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep, *[line(r) for r in rows]])
+
+
+def speedup(native: Measurement, archis: Measurement) -> float:
+    if archis.seconds <= 0:
+        return float("inf")
+    return native.seconds / archis.seconds
+
+
+def comparison_rows(
+    results: dict[str, dict[str, Measurement]]
+) -> list[list[str]]:
+    rows = []
+    for key in sorted(results):
+        native = results[key]["native"]
+        archis = results[key]["archis"]
+        rows.append(
+            [
+                key,
+                f"{native.seconds * 1000:.1f}",
+                f"{archis.seconds * 1000:.1f}",
+                f"{speedup(native, archis):.1f}x",
+                str(archis.physical_reads),
+                str(archis.result_size),
+            ]
+        )
+    return rows
+
+
+def print_comparison(
+    title: str,
+    results: dict[str, dict[str, Measurement]],
+    paper_notes: dict[str, str] | None = None,
+) -> str:
+    headers = [
+        "query", "native ms", "archis ms", "archis speedup",
+        "archis phys reads", "rows",
+    ]
+    rows = comparison_rows(results)
+    if paper_notes:
+        headers.append("paper")
+        for row in rows:
+            row.append(paper_notes.get(row[0], ""))
+    text = f"\n== {title} ==\n" + format_table(headers, rows)
+    print(text)
+    return text

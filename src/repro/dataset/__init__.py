@@ -1,0 +1,18 @@
+"""Evaluation workloads: the synthetic temporal employee dataset."""
+
+from repro.dataset.employees import (
+    DEPARTMENTS,
+    TITLES,
+    EmployeeHistoryGenerator,
+    Event,
+)
+from repro.dataset.workload import DailyUpdateBatch, single_salary_update
+
+__all__ = [
+    "DEPARTMENTS",
+    "TITLES",
+    "EmployeeHistoryGenerator",
+    "Event",
+    "DailyUpdateBatch",
+    "single_salary_update",
+]

@@ -1,0 +1,197 @@
+"""Synthetic temporal employee dataset (the paper's evaluation workload).
+
+The paper uses the TimeCenter employee data set: "the history of employees
+over 17 years, [simulating] the increases of salaries, changes of titles,
+and changes of departments".  That data is not redistributable, so this
+generator produces a deterministic synthetic equivalent with the same
+schema and update behaviour:
+
+- an initial cohort hired at the start date, plus a steady hire rate;
+- annual salary raises per employee (with jitter);
+- occasional title promotions and department moves;
+- a small attrition rate (departures close an employee's history).
+
+``scale`` multiplies the employee population, which is how the paper's
+1x vs 7x scalability experiment (Fig. 10) is reproduced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.rdb.database import Database
+from repro.rdb.types import ColumnType
+from repro.util.timeutil import format_date, parse_date
+
+TITLES = [
+    "Assistant Engineer",
+    "Engineer",
+    "Sr Engineer",
+    "TechLeader",
+    "Manager",
+    "Sr Manager",
+]
+
+DEPARTMENTS = [f"d{n:03d}" for n in range(1, 10)]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One change to the current employee table, in transaction order."""
+
+    date: int  # days since epoch
+    op: str  # "hire" | "raise" | "title" | "move" | "leave"
+    employee_id: int
+    payload: dict
+
+    @property
+    def date_str(self) -> str:
+        return format_date(self.date)
+
+
+class EmployeeHistoryGenerator:
+    """Deterministic event stream for an evolving employee table."""
+
+    def __init__(
+        self,
+        employees: int = 100,
+        years: int = 17,
+        scale: int = 1,
+        seed: int = 20060403,
+        start: str = "1985-01-01",
+        hire_rate: float = 0.08,
+        leave_rate: float = 0.02,
+        promote_rate: float = 0.15,
+        move_rate: float = 0.10,
+    ) -> None:
+        self.population = employees * scale
+        self.years = years
+        self.seed = seed
+        self.start = parse_date(start)
+        self.hire_rate = hire_rate
+        self.leave_rate = leave_rate
+        self.promote_rate = promote_rate
+        self.move_rate = move_rate
+
+    # -- the event stream -----------------------------------------------------
+
+    def events(self) -> Iterator[Event]:
+        rng = random.Random(self.seed)
+        next_id = 100001
+        active: dict[int, dict] = {}
+
+        def hire(date: int) -> Event:
+            nonlocal next_id
+            employee_id = next_id
+            next_id += 1
+            state = {
+                "name": f"emp{employee_id}",
+                "salary": rng.randrange(30000, 70000, 500),
+                "title": rng.choice(TITLES[:3]),
+                "deptno": rng.choice(DEPARTMENTS),
+            }
+            active[employee_id] = state
+            return Event(date, "hire", employee_id, dict(state))
+
+        # initial cohort
+        for _ in range(self.population):
+            yield hire(self.start)
+
+        # monthly event loop over the history period
+        months = self.years * 12
+        for month in range(1, months + 1):
+            date = self.start + month * 30
+            # raises: each employee gets ~one raise a year
+            for employee_id, state in list(active.items()):
+                if rng.random() < 1.0 / 12.0:
+                    state["salary"] = int(state["salary"] * rng.uniform(1.02, 1.09))
+                    yield Event(
+                        date, "raise", employee_id, {"salary": state["salary"]}
+                    )
+                if rng.random() < self.promote_rate / 12.0:
+                    current = TITLES.index(state["title"])
+                    if current + 1 < len(TITLES):
+                        state["title"] = TITLES[current + 1]
+                        yield Event(
+                            date, "title", employee_id, {"title": state["title"]}
+                        )
+                if rng.random() < self.move_rate / 12.0:
+                    choices = [d for d in DEPARTMENTS if d != state["deptno"]]
+                    state["deptno"] = rng.choice(choices)
+                    yield Event(
+                        date, "move", employee_id, {"deptno": state["deptno"]}
+                    )
+                if rng.random() < self.leave_rate / 12.0:
+                    del active[employee_id]
+                    yield Event(date, "leave", employee_id, {})
+            # replacement hires keep the population roughly stable
+            hires = 0
+            while rng.random() < self.hire_rate and hires < 5:
+                yield hire(date)
+                hires += 1
+
+    # -- application to a current database -----------------------------------------
+
+    @staticmethod
+    def create_current_table(db: Database, name: str = "employee"):
+        return db.create_table(
+            name,
+            [
+                ("id", ColumnType.INT),
+                ("name", ColumnType.VARCHAR),
+                ("salary", ColumnType.INT),
+                ("title", ColumnType.VARCHAR),
+                ("deptno", ColumnType.VARCHAR),
+            ],
+            primary_key=("id",),
+        )
+
+    def apply_to(self, db: Database, table_name: str = "employee") -> int:
+        """Replay the event stream as DML against a current table.
+
+        Advances the database clock along the way so transaction timestamps
+        land on the event dates.  Returns the number of events applied.
+        """
+        table = db.table(table_name)
+        count = 0
+        for event in self.events():
+            if db.current_date < event.date:
+                db.set_date(event.date)
+            if event.op == "hire":
+                table.insert(
+                    (
+                        event.employee_id,
+                        event.payload["name"],
+                        event.payload["salary"],
+                        event.payload["title"],
+                        event.payload["deptno"],
+                    )
+                )
+            elif event.op == "leave":
+                table.delete_where(
+                    lambda r: r["id"] == event.employee_id
+                )
+            else:
+                table.update_where(
+                    lambda r: r["id"] == event.employee_id, event.payload
+                )
+            count += 1
+        return count
+
+    # -- helpers the benchmarks use ---------------------------------------------------
+
+    def known_employee_id(self) -> int:
+        """An id guaranteed to exist from the initial cohort."""
+        return 100001
+
+    def mid_history_date(self) -> str:
+        """A date halfway through the generated history."""
+        return format_date(self.start + (self.years * 365) // 2)
+
+    def late_history_date(self) -> str:
+        return format_date(self.start + (self.years * 365 * 3) // 4)
+
+    def end_date(self) -> str:
+        return format_date(self.start + self.years * 365 + 30)

@@ -1,0 +1,74 @@
+"""Update workloads for the Section 8.4 update-performance experiments."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.rdb.database import Database
+
+
+@dataclass
+class DailyUpdateBatch:
+    """A simulated daily update: a mix of raises, moves and hires.
+
+    The paper measures "a simulated daily update" against both systems;
+    this class applies a deterministic batch to the current table.
+    """
+
+    raises: int = 20
+    moves: int = 5
+    hires: int = 2
+    seed: int = 7
+
+    def apply(self, db: Database, table_name: str = "employee") -> int:
+        rng = random.Random(self.seed + db.current_date)
+        table = db.table(table_name)
+        rows = list(table.rows())
+        if not rows:
+            return 0
+        applied = 0
+        targets = rng.sample(rows, min(self.raises, len(rows)))
+        for row in targets:
+            table.update_where(
+                lambda r, i=row[0]: r["id"] == i,
+                {"salary": int(row[2] * 1.05)},
+            )
+            applied += 1
+        targets = rng.sample(rows, min(self.moves, len(rows)))
+        for row in targets:
+            table.update_where(
+                lambda r, i=row[0]: r["id"] == i,
+                {"deptno": f"d{rng.randrange(1, 10):03d}"},
+            )
+            applied += 1
+        max_id = max(r[0] for r in rows)
+        for offset in range(self.hires):
+            table.insert(
+                (
+                    max_id + 1 + offset,
+                    f"emp{max_id + 1 + offset}",
+                    rng.randrange(30000, 70000, 500),
+                    "Engineer",
+                    f"d{rng.randrange(1, 10):03d}",
+                )
+            )
+            applied += 1
+        return applied
+
+
+def single_salary_update(
+    db: Database, employee_id: int, factor: float = 1.10,
+    table_name: str = "employee",
+) -> None:
+    """The paper's single-update example: raise one salary by 10%."""
+    table = db.table(table_name)
+    rid = table.lookup_pk((employee_id,))
+    if rid is None:
+        raise ValueError(f"no current employee {employee_id}")
+    row = table.read(rid)
+    salary_pos = table.schema.position("salary")
+    table.update_where(
+        lambda r: r["id"] == employee_id,
+        {"salary": int(row[salary_pos] * factor)},
+    )

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the ArchIS reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can distinguish library failures from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Low-level storage failure (pager, pages, heap files, blobs)."""
+
+
+class PageFullError(StorageError):
+    """A record or payload did not fit into the target page."""
+
+
+class IndexError_(ReproError):
+    """B+ tree index failure (named with a trailing underscore to avoid
+    shadowing the builtin :class:`IndexError`)."""
+
+
+class CatalogError(ReproError):
+    """Schema-level failure: unknown table/column, duplicate definitions."""
+
+
+class IntegrityError(ReproError):
+    """Constraint violation (duplicate primary key, type mismatch on row)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end failures."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SqlPlanError(SqlError):
+    """The SQL statement parsed but could not be planned or executed."""
+
+
+class XmlError(ReproError):
+    """XML parsing or construction failure."""
+
+
+class XPathError(ReproError):
+    """XPath parsing or evaluation failure."""
+
+
+class XQueryError(ReproError):
+    """Base class for XQuery front-end failures."""
+
+
+class XQuerySyntaxError(XQueryError):
+    """The XQuery text could not be tokenized or parsed."""
+
+
+class XQueryTypeError(XQueryError):
+    """An XQuery expression was applied to a value of the wrong kind."""
+
+
+class TranslationError(ReproError):
+    """XQuery-to-SQL/XML translation failed outright (bad mapping input)."""
+
+
+class UnsupportedQueryError(TranslationError):
+    """The query is valid XQuery but outside the translatable subset.
+
+    Callers may fall back to native evaluation over the published H-view
+    (see ``ArchIS.query(allow_fallback=True)``).
+    """
+
+
+class ArchisError(ReproError):
+    """ArchIS system-level failure (tracking, clustering, compression)."""
+
+
+class CompressionError(ArchisError):
+    """BlockZIP compression or decompression failure."""

@@ -1,0 +1,5 @@
+"""Index structures: a B+ tree with duplicates and range scans."""
+
+from repro.index.bptree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,402 @@
+"""B+ tree index with duplicate keys, range scans and deletion.
+
+The relational engine builds one of these per ``CREATE INDEX``.  Keys are
+tuples of comparable Python values (ints, floats, strings); payloads are
+RIDs.  Duplicates are supported by appending the payload to the key's entry
+list in the leaf.
+
+The tree is kept in memory but reports an approximate on-disk footprint
+through :meth:`BPlusTree.approx_bytes`, which the storage experiments charge
+as index overhead (see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.errors import IndexError_
+
+Key = tuple
+Payload = object
+
+
+class _Node:
+    __slots__ = ("keys", "leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: list[Key] = []
+        self.leaf = leaf
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self) -> None:
+        super().__init__(leaf=True)
+        self.values: list[list[Payload]] = []
+        self.next: _Leaf | None = None
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__(leaf=False)
+        self.children: list[_Node] = []
+
+
+class BPlusTree:
+    """Order-``order`` B+ tree (max ``order`` keys per node)."""
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 4:
+            raise IndexError_("B+ tree order must be at least 4")
+        self._order = order
+        self._root: _Node = _Leaf()
+        self._size = 0
+
+    # -- public API -------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    def __len__(self) -> int:
+        """Total number of (key, payload) entries."""
+        return self._size
+
+    def insert(self, key: Key, payload: Payload) -> None:
+        """Insert a payload under ``key`` (duplicates allowed)."""
+        self._check_key(key)
+        split = self._insert(self._root, key, payload)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def delete(self, key: Key, payload: Payload | None = None) -> bool:
+        """Delete one entry.
+
+        With ``payload`` given, removes that specific payload under the key;
+        otherwise removes the whole key with all duplicates.  Returns True
+        when something was removed.
+        """
+        self._check_key(key)
+        removed = self._delete(self._root, key, payload)
+        if removed and isinstance(self._root, _Internal):
+            if len(self._root.children) == 1:
+                self._root = self._root.children[0]
+        return removed > 0
+
+    def search(self, key: Key) -> list[Payload]:
+        """All payloads stored under ``key`` (empty list when absent)."""
+        self._check_key(key)
+        leaf = self._find_leaf(key)
+        position = bisect.bisect_left(leaf.keys, key)
+        if position < len(leaf.keys) and leaf.keys[position] == key:
+            return list(leaf.values[position])
+        return []
+
+    def range(
+        self,
+        low: Key | None = None,
+        high: Key | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[Key, Payload]]:
+        """Iterate entries with ``low <= key <= high`` in key order.
+
+        Either bound may be None (unbounded).  Prefix bounds work because
+        tuple comparison is lexicographic.
+        """
+        leaf = self._leftmost_leaf() if low is None else self._find_leaf(low)
+        position = 0
+        if low is not None:
+            position = (
+                bisect.bisect_left(leaf.keys, low)
+                if low_inclusive
+                else bisect.bisect_right(leaf.keys, low)
+            )
+        while leaf is not None:
+            while position < len(leaf.keys):
+                key = leaf.keys[position]
+                if high is not None:
+                    if high_inclusive and key > high:
+                        return
+                    if not high_inclusive and key >= high:
+                        return
+                for payload in leaf.values[position]:
+                    yield key, payload
+                position += 1
+            leaf = leaf.next
+            position = 0
+
+    def prefix(self, prefix_key: Key) -> Iterator[tuple[Key, Payload]]:
+        """Iterate entries whose key starts with ``prefix_key``."""
+        for key, payload in self.range(low=prefix_key):
+            if key[: len(prefix_key)] != prefix_key:
+                return
+            yield key, payload
+
+    def items(self) -> Iterator[tuple[Key, Payload]]:
+        """All entries in key order."""
+        return self.range()
+
+    def keys(self) -> Iterator[Key]:
+        """Distinct keys in order."""
+        leaf: _Leaf | None = self._leftmost_leaf()
+        while leaf is not None:
+            yield from leaf.keys
+            leaf = leaf.next
+
+    def height(self) -> int:
+        node = self._root
+        levels = 1
+        while isinstance(node, _Internal):
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def approx_bytes(self) -> int:
+        """Approximate serialized size, used for storage accounting.
+
+        Charges 8 bytes per key component plus 8 bytes per payload pointer
+        and a small per-node header — a compact-but-realistic estimate for
+        a disk-resident B+ tree with our integer/short-string keys.
+        """
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            node_bytes = 24  # header
+            for key in node.keys:
+                node_bytes += 8 * len(key)
+            if isinstance(node, _Leaf):
+                node_bytes += 8 * sum(len(v) for v in node.values)
+            else:
+                node_bytes += 8 * len(node.children)
+                stack.extend(node.children)
+            total += node_bytes
+        return total
+
+    # -- insertion ---------------------------------------------------------
+
+    def _insert(
+        self, node: _Node, key: Key, payload: Payload
+    ) -> tuple[Key, _Node] | None:
+        if isinstance(node, _Leaf):
+            position = bisect.bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                node.values[position].append(payload)
+                return None
+            node.keys.insert(position, key)
+            node.values.insert(position, [payload])
+            if len(node.keys) > self._order:
+                return self._split_leaf(node)
+            return None
+        assert isinstance(node, _Internal)
+        position = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[position], key, payload)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(position, sep)
+        node.children.insert(position + 1, right)
+        if len(node.keys) > self._order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Leaf) -> tuple[Key, _Leaf]:
+        middle = len(node.keys) // 2
+        right = _Leaf()
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> tuple[Key, _Internal]:
+        middle = len(node.keys) // 2
+        sep = node.keys[middle]
+        right = _Internal()
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return sep, right
+
+    # -- deletion -----------------------------------------------------------
+
+    def _delete(
+        self, node: _Node, key: Key, payload: Payload | None
+    ) -> int:
+        """Returns the number of entries removed under ``node``."""
+        if isinstance(node, _Leaf):
+            position = bisect.bisect_left(node.keys, key)
+            if position >= len(node.keys) or node.keys[position] != key:
+                return 0
+            bucket = node.values[position]
+            if payload is None:
+                removed = len(bucket)
+                bucket.clear()
+            else:
+                try:
+                    bucket.remove(payload)
+                except ValueError:
+                    return 0
+                removed = 1
+            if not bucket:
+                node.keys.pop(position)
+                node.values.pop(position)
+            self._size -= removed
+            return removed
+        assert isinstance(node, _Internal)
+        position = bisect.bisect_right(node.keys, key)
+        child = node.children[position]
+        removed = self._delete(child, key, payload)
+        if removed:
+            self._rebalance(node, position)
+        return removed
+
+    def _min_keys(self) -> int:
+        return self._order // 2
+
+    def _rebalance(self, parent: _Internal, position: int) -> None:
+        child = parent.children[position]
+        if len(child.keys) >= self._min_keys():
+            return
+        left = parent.children[position - 1] if position > 0 else None
+        right = (
+            parent.children[position + 1]
+            if position + 1 < len(parent.children)
+            else None
+        )
+        if left is not None and len(left.keys) > self._min_keys():
+            self._borrow_from_left(parent, position, left, child)
+        elif right is not None and len(right.keys) > self._min_keys():
+            self._borrow_from_right(parent, position, child, right)
+        elif left is not None:
+            self._merge(parent, position - 1, left, child)
+        elif right is not None:
+            self._merge(parent, position, child, right)
+
+    def _borrow_from_left(
+        self, parent: _Internal, position: int, left: _Node, child: _Node
+    ) -> None:
+        if isinstance(child, _Leaf):
+            assert isinstance(left, _Leaf)
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[position - 1] = child.keys[0]
+        else:
+            assert isinstance(left, _Internal) and isinstance(child, _Internal)
+            child.keys.insert(0, parent.keys[position - 1])
+            parent.keys[position - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, parent: _Internal, position: int, child: _Node, right: _Node
+    ) -> None:
+        if isinstance(child, _Leaf):
+            assert isinstance(right, _Leaf)
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[position] = right.keys[0]
+        else:
+            assert isinstance(right, _Internal) and isinstance(child, _Internal)
+            child.keys.append(parent.keys[position])
+            parent.keys[position] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(
+        self, parent: _Internal, left_pos: int, left: _Node, right: _Node
+    ) -> None:
+        if isinstance(left, _Leaf):
+            assert isinstance(right, _Leaf)
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            assert isinstance(left, _Internal) and isinstance(right, _Internal)
+            left.keys.append(parent.keys[left_pos])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_pos)
+        parent.children.pop(left_pos + 1)
+
+    # -- lookup helpers -------------------------------------------------------
+
+    def _find_leaf(self, key: Key) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            position = bisect.bisect_right(node.keys, key)
+            node = node.children[position]
+        assert isinstance(node, _Leaf)
+        return node
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        assert isinstance(node, _Leaf)
+        return node
+
+    @staticmethod
+    def _check_key(key: Key) -> None:
+        if not isinstance(key, tuple):
+            raise IndexError_(
+                f"index keys must be tuples, got {type(key).__name__}"
+            )
+
+    # -- invariant checking (used by property tests) ---------------------------
+
+    def check_invariants(self) -> None:
+        """Raise when any structural invariant is violated."""
+        self._check_node(self._root, None, None, is_root=True)
+        # leaf chain must be sorted and complete
+        chained = []
+        leaf: _Leaf | None = self._leftmost_leaf()
+        while leaf is not None:
+            chained.extend(leaf.keys)
+            leaf = leaf.next
+        if chained != sorted(chained):
+            raise IndexError_("leaf chain keys out of order")
+        if len(chained) != self._distinct_count(self._root):
+            raise IndexError_("leaf chain misses keys")
+
+    def _distinct_count(self, node: _Node) -> int:
+        if isinstance(node, _Leaf):
+            return len(node.keys)
+        assert isinstance(node, _Internal)
+        return sum(self._distinct_count(child) for child in node.children)
+
+    def _check_node(
+        self,
+        node: _Node,
+        low: Key | None,
+        high: Key | None,
+        is_root: bool,
+    ) -> None:
+        if node.keys != sorted(node.keys):
+            raise IndexError_("node keys out of order")
+        for key in node.keys:
+            if low is not None and key < low:
+                raise IndexError_("key below subtree lower bound")
+            if high is not None and key >= high and isinstance(node, _Internal):
+                raise IndexError_("separator above subtree upper bound")
+        if not is_root and len(node.keys) > self._order:
+            raise IndexError_("node overflow")
+        if isinstance(node, _Internal):
+            if len(node.children) != len(node.keys) + 1:
+                raise IndexError_("fanout mismatch")
+            bounds = [low, *node.keys, high]
+            for index, child in enumerate(node.children):
+                self._check_node(
+                    child, bounds[index], bounds[index + 1], is_root=False
+                )

@@ -1,0 +1,6 @@
+"""Native XML database baseline (the paper's Tamino comparator)."""
+
+from repro.nativexml.engine import NativeXmlDatabase
+from repro.nativexml.store import NativeXmlStore
+
+__all__ = ["NativeXmlDatabase", "NativeXmlStore"]

@@ -1,0 +1,17 @@
+"""Relational engine substrate: tables, indexes, triggers, update log."""
+
+from repro.rdb.database import Database
+from repro.rdb.table import IndexInfo, Table
+from repro.rdb.types import Column, ColumnType, TableSchema
+from repro.rdb.updatelog import LogEntry, UpdateLog
+
+__all__ = [
+    "Database",
+    "IndexInfo",
+    "Table",
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "LogEntry",
+    "UpdateLog",
+]

@@ -1,0 +1,186 @@
+"""The Database facade: catalog + storage + clock + update log + SQL.
+
+This is the "RDBMS" of the reproduction.  ArchIS attaches to one of these:
+the current tables, the H-tables, the segment table and the BLOB store all
+live inside a single :class:`Database`, exactly as in the paper's
+implementation ("the 'current database' and H-tables are implemented as
+tables in a same database", Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import CatalogError
+from repro.rdb.table import Table
+from repro.rdb.types import Column, ColumnType, TableSchema
+from repro.rdb.updatelog import UpdateLog
+from repro.storage.blob import BlobStore
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.util.timeutil import parse_date
+
+
+class Database:
+    """A self-contained mini relational database.
+
+    Parameters
+    ----------
+    path:
+        Backing file for the pager; ``None`` keeps everything in memory.
+    buffer_pages:
+        Buffer-pool capacity in pages.
+    """
+
+    def __init__(self, path: str | None = None, buffer_pages: int = 1024) -> None:
+        self.pager = Pager(path)
+        self.pool = BufferPool(self.pager, capacity=buffer_pages)
+        self.blobs = BlobStore(self.pool)
+        self._tables: dict[str, Table] = {}
+        self.update_log = UpdateLog()
+        self._clock = parse_date("1985-01-01")
+        self._functions: dict[str, Callable] = {}
+        self._table_functions: dict[str, Callable] = {}
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def current_date(self) -> int:
+        """The transaction-time clock, in days since the epoch.
+
+        Transaction timestamps are drawn from this logical clock so that
+        runs are deterministic; the workload driver advances it.
+        """
+        return self._clock
+
+    def set_date(self, value: int | str) -> None:
+        if isinstance(value, str):
+            value = parse_date(value)
+        if value < self._clock:
+            raise CatalogError("transaction-time clock cannot move backwards")
+        self._clock = value
+
+    def advance_days(self, days: int = 1) -> None:
+        self._clock += days
+
+    # -- catalog ---------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: list[tuple[str, ColumnType]] | list[Column],
+        primary_key: tuple[str, ...] = (),
+    ) -> Table:
+        if name in self._tables:
+            raise CatalogError(f"table {name} already exists")
+        cols = [
+            c if isinstance(c, Column) else Column(c[0], c[1])
+            for c in columns
+        ]
+        schema = TableSchema(name, cols, primary_key)
+        table = Table(schema, self.pool)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        table = self.table(name)
+        table.truncate()
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no table named {name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- scalar / table functions (UDF registry for SQL) -------------------------
+
+    def register_function(self, name: str, fn: Callable) -> None:
+        """Register a scalar SQL function (case-insensitive name)."""
+        self._functions[name.lower()] = fn
+
+    def function(self, name: str) -> Callable | None:
+        return self._functions.get(name.lower())
+
+    def register_table_function(self, name: str, fn: Callable) -> None:
+        """Register a table function: callable(args...) -> iterator of rows.
+
+        The BlockZIP blob reader is exposed this way (paper Section 8.2:
+        "user-defined uncompression table functions are used to extract
+        records from each BLOB").
+        """
+        self._table_functions[name.lower()] = fn
+
+    def table_function(self, name: str) -> Callable | None:
+        return self._table_functions.get(name.lower())
+
+    # -- SQL -----------------------------------------------------------------------
+
+    def sql(self, text: str, params: dict | None = None):
+        """Parse, plan and execute a SQL statement.
+
+        Returns a :class:`repro.sql.result.ResultSet` for queries or an
+        affected-row count for DML.  Imported lazily to keep the storage
+        layers importable on their own.
+        """
+        from repro.sql.session import execute_sql
+
+        return execute_sql(self, text, params)
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self) -> str:
+        """Persist the catalog beside a file-backed database.
+
+        Page data is already durable through the pager; this saves the
+        schema/index/blob directory so :meth:`open` can restore the
+        database in another process.  Returns the sidecar path.
+        """
+        from repro.rdb.persistence import save_catalog
+
+        return save_catalog(self)
+
+    @classmethod
+    def open(cls, path: str, buffer_pages: int = 1024) -> "Database":
+        """Reopen a previously :meth:`save`-d file-backed database."""
+        from repro.rdb.persistence import load_catalog
+
+        db = cls(path, buffer_pages)
+        load_catalog(db)
+        return db
+
+    # -- measurement hooks -------------------------------------------------------
+
+    def reset_caches(self) -> None:
+        """Drop buffered pages: the cold-cache measurement protocol."""
+        self.pool.reset()
+
+    def storage_bytes(self, include_indexes: bool = True) -> int:
+        """Total logical footprint: table pages + index estimates + blobs."""
+        total = sum(
+            t.size_bytes(include_indexes) for t in self._tables.values()
+        )
+        return total + self.blobs.size_bytes()
+
+    def storage_report(self) -> dict[str, int]:
+        """Per-table byte footprint plus blob storage."""
+        report = {
+            name: table.size_bytes() for name, table in self._tables.items()
+        }
+        report["<blobs>"] = self.blobs.size_bytes()
+        return report
+
+    def close(self) -> None:
+        self.pager.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

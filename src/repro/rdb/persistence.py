@@ -1,0 +1,109 @@
+"""Catalog persistence for file-backed databases.
+
+The pager already persists page data; this module saves and restores the
+*catalog* — table schemas, heap page ownership, index definitions and the
+blob directory — as a JSON sidecar next to the database file, so a
+file-backed :class:`~repro.rdb.database.Database` survives process
+restarts.  Indexes are rebuilt by scanning on load (they are derived
+state); registered functions are code and must be re-registered by the
+application.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import CatalogError, StorageError
+from repro.rdb.types import Column, ColumnType
+
+CATALOG_SUFFIX = ".catalog.json"
+
+
+def sidecar_path(db_path: str) -> str:
+    return db_path + CATALOG_SUFFIX
+
+
+def save_catalog(db) -> str:
+    """Write the catalog sidecar; returns its path."""
+    if db.pager.path is None:
+        raise StorageError("only file-backed databases can be saved")
+    payload = {
+        "version": 1,
+        "clock": db.current_date,
+        "tables": [],
+        "blobs": {
+            "next_id": db.blobs._next_id,
+            "entries": [
+                {"id": blob_id, "pages": pages, "length": length}
+                for blob_id, (pages, length) in db.blobs._blobs.items()
+            ],
+        },
+    }
+    for name in db.tables():
+        table = db.table(name)
+        payload["tables"].append(
+            {
+                "name": name,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "type": column.type.value,
+                        "nullable": column.nullable,
+                    }
+                    for column in table.schema.columns
+                ],
+                "primary_key": list(table.schema.primary_key),
+                "pages": table._heap.page_numbers,
+                "indexes": [
+                    {
+                        "name": info.name,
+                        "columns": list(info.columns),
+                        "unique": info.unique,
+                    }
+                    for info in table.indexes.values()
+                ],
+            }
+        )
+    db.pager.sync()
+    path = sidecar_path(db.pager.path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_catalog(db) -> None:
+    """Restore the catalog from the sidecar into a freshly opened db."""
+    if db.pager.path is None:
+        raise StorageError("only file-backed databases can be loaded")
+    path = sidecar_path(db.pager.path)
+    if not os.path.exists(path):
+        raise CatalogError(f"no catalog sidecar at {path}")
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != 1:
+        raise CatalogError("unsupported catalog version")
+    db._clock = payload["clock"]
+    for spec in payload["tables"]:
+        columns = [
+            Column(c["name"], ColumnType(c["type"]), c["nullable"])
+            for c in spec["columns"]
+        ]
+        table = db.create_table(
+            spec["name"], columns, tuple(spec["primary_key"])
+        )
+        table._heap.adopt_pages(spec["pages"])
+        # rebuild the primary-key index from the adopted rows
+        if table._pk_index is not None:
+            for rid, row in table._heap.scan():
+                table._pk_index.insert(table.schema.key_of(row), rid)
+        for index in spec["indexes"]:
+            table.create_index(
+                index["name"], tuple(index["columns"]), index["unique"]
+            )
+    blob_spec = payload["blobs"]
+    db.blobs._next_id = blob_spec["next_id"]
+    db.blobs._blobs = {
+        entry["id"]: (list(entry["pages"]), entry["length"])
+        for entry in blob_spec["entries"]
+    }

@@ -1,0 +1,295 @@
+"""Tables: a heap file plus secondary indexes plus trigger hooks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import CatalogError, IntegrityError
+from repro.index.bptree import BPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile, Rid
+from repro.rdb.types import TableSchema
+
+
+@dataclass
+class IndexInfo:
+    """Metadata + structure for one secondary index."""
+
+    name: str
+    columns: tuple[str, ...]
+    tree: BPlusTree
+    unique: bool = False
+
+
+RowCallback = Callable[[str, tuple, "tuple | None"], None]
+# signature: (operation, new_or_old_row, old_row_for_updates)
+
+
+class _NullKey:
+    """Sorts before every real value: represents NULL in index keys.
+
+    SQL NULLs are not comparable, but B+ tree keys must have a total
+    order; mapping NULL to this sentinel keeps null-keyed rows out of any
+    real-valued range scan while still letting them be indexed.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other) -> bool:
+        return other is not self
+
+    def __gt__(self, other) -> bool:
+        return False
+
+    def __le__(self, other) -> bool:
+        return True
+
+    def __ge__(self, other) -> bool:
+        return other is self
+
+    def __eq__(self, other) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return 0x2170
+
+    def __repr__(self) -> str:
+        return "<NULL>"
+
+
+NULL_KEY = _NullKey()
+
+
+class Table:
+    """A stored table.
+
+    Maintains its indexes on every mutation and fires registered triggers
+    *after* the mutation, which is how the DB2-profile ArchIS tracker
+    archives changes (paper Section 5.2).
+    """
+
+    def __init__(self, schema: TableSchema, pool: BufferPool) -> None:
+        self.schema = schema
+        self._heap = HeapFile(pool, schema.name)
+        self._indexes: dict[str, IndexInfo] = {}
+        self._pk_index: BPlusTree | None = None
+        if schema.primary_key:
+            self._pk_index = BPlusTree()
+        self._triggers: list[RowCallback] = []
+
+    # -- metadata -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        return self._heap.record_count
+
+    @property
+    def indexes(self) -> dict[str, IndexInfo]:
+        return dict(self._indexes)
+
+    def size_bytes(self, include_indexes: bool = True) -> int:
+        """On-disk footprint of heap pages (plus index estimates)."""
+        total = self._heap.size_bytes()
+        if include_indexes:
+            for info in self._indexes.values():
+                total += info.tree.approx_bytes()
+            if self._pk_index is not None:
+                total += self._pk_index.approx_bytes()
+        return total
+
+    # -- triggers ------------------------------------------------------------
+
+    def add_trigger(self, callback: RowCallback) -> None:
+        """Register an after-row trigger: fired with ("insert", row, None),
+        ("update", new_row, old_row) or ("delete", row, None)."""
+        self._triggers.append(callback)
+
+    def remove_trigger(self, callback: RowCallback) -> None:
+        self._triggers.remove(callback)
+
+    def _fire(self, op: str, row: tuple, old: tuple | None) -> None:
+        for callback in self._triggers:
+            callback(op, row, old)
+
+    # -- indexes ------------------------------------------------------------
+
+    def create_index(
+        self, name: str, columns: tuple[str, ...], unique: bool = False
+    ) -> None:
+        if name in self._indexes:
+            raise CatalogError(f"index {name} already exists")
+        for column in columns:
+            self.schema.position(column)  # validates existence
+        tree = BPlusTree()
+        info = IndexInfo(name, columns, tree, unique)
+        for rid, row in self._heap.scan():
+            self._index_insert(info, row, rid)
+        self._indexes[name] = info
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise CatalogError(f"no index named {name}")
+        del self._indexes[name]
+
+    def _index_key(self, info: IndexInfo, row: tuple) -> tuple:
+        return tuple(
+            NULL_KEY if row[self.schema.position(c)] is None
+            else row[self.schema.position(c)]
+            for c in info.columns
+        )
+
+    def _index_insert(self, info: IndexInfo, row: tuple, rid: Rid) -> None:
+        key = self._index_key(info, row)
+        if info.unique and info.tree.search(key):
+            raise IntegrityError(
+                f"unique index {info.name}: duplicate key {key}"
+            )
+        info.tree.insert(key, rid)
+
+    def _index_delete(self, info: IndexInfo, row: tuple, rid: Rid) -> None:
+        info.tree.delete(self._index_key(info, row), rid)
+
+    def find_index(self, columns: tuple[str, ...]) -> IndexInfo | None:
+        """An index whose column list starts with ``columns`` (prefix match)."""
+        for info in self._indexes.values():
+            if info.columns[: len(columns)] == columns:
+                return info
+        return None
+
+    # -- mutations -----------------------------------------------------------
+
+    def insert(self, values: tuple) -> Rid:
+        row = self.schema.validate_row(values)
+        if self._pk_index is not None:
+            key = self.schema.key_of(row)
+            if self._pk_index.search(key):
+                raise IntegrityError(
+                    f"table {self.name}: duplicate primary key {key}"
+                )
+        rid = self._heap.insert(row)
+        if self._pk_index is not None:
+            self._pk_index.insert(self.schema.key_of(row), rid)
+        for info in self._indexes.values():
+            self._index_insert(info, row, rid)
+        self._fire("insert", row, None)
+        return rid
+
+    def read(self, rid: Rid) -> tuple:
+        return self._heap.read(rid)
+
+    def update_rid(self, rid: Rid, values: tuple) -> Rid:
+        """Rewrite the row at ``rid``; returns the (possibly moved) RID."""
+        row = self.schema.validate_row(values)
+        old = self._heap.read(rid)
+        new_rid = self._heap.update(rid, row)
+        if self._pk_index is not None:
+            self._pk_index.delete(self.schema.key_of(old), rid)
+            self._pk_index.insert(self.schema.key_of(row), new_rid)
+        for info in self._indexes.values():
+            self._index_delete(info, old, rid)
+            self._index_insert(info, row, new_rid)
+        self._fire("update", row, old)
+        return new_rid
+
+    def delete_rid(self, rid: Rid) -> None:
+        old = self._heap.read(rid)
+        self._heap.delete(rid)
+        if self._pk_index is not None:
+            self._pk_index.delete(self.schema.key_of(old), rid)
+        for info in self._indexes.values():
+            self._index_delete(info, old, rid)
+        self._fire("delete", old, None)
+
+    def lookup_pk(self, key: tuple) -> Rid | None:
+        """RID of the row with the given primary key, when one exists."""
+        if self._pk_index is None:
+            raise CatalogError(f"table {self.name} has no primary key")
+        hits = self._pk_index.search(key)
+        return hits[0] if hits else None
+
+    def update_where(
+        self, predicate: Callable[[dict], bool], changes: dict[str, object]
+    ) -> int:
+        """Update all rows matching a predicate over a row dict.
+
+        Convenience API for direct (non-SQL) callers such as the workload
+        driver.  Returns the number of rows changed.
+        """
+        for column in changes:
+            self.schema.position(column)
+        victims = [
+            (rid, row) for rid, row in self._heap.scan()
+            if predicate(self.row_dict(row))
+        ]
+        for rid, row in victims:
+            new_row = list(row)
+            for column, value in changes.items():
+                new_row[self.schema.position(column)] = value
+            self.update_rid(rid, tuple(new_row))
+        return len(victims)
+
+    def delete_where(self, predicate: Callable[[dict], bool]) -> int:
+        victims = [
+            rid for rid, row in self._heap.scan()
+            if predicate(self.row_dict(row))
+        ]
+        for rid in victims:
+            self.delete_rid(rid)
+        return len(victims)
+
+    def truncate(self) -> None:
+        self._heap.truncate()
+        for info in self._indexes.values():
+            info.tree = BPlusTree()
+        if self._pk_index is not None:
+            self._pk_index = BPlusTree()
+
+    def compact(self) -> None:
+        """Rewrite the heap densely and rebuild all indexes.
+
+        Does not fire triggers: compaction is a physical reorganization,
+        not a logical change.  Used after segment freezes and archive
+        compression reclaim space (paper Section 6.1 rewrites segments).
+        """
+        self._heap.compact()
+        for info in self._indexes.values():
+            info.tree = BPlusTree()
+        if self._pk_index is not None:
+            self._pk_index = BPlusTree()
+        for rid, row in self._heap.scan():
+            if self._pk_index is not None:
+                self._pk_index.insert(self.schema.key_of(row), rid)
+            for info in self._indexes.values():
+                self._index_insert(info, row, rid)
+
+    # -- reads ----------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[Rid, tuple]]:
+        return self._heap.scan()
+
+    def rows(self) -> Iterator[tuple]:
+        for _, row in self._heap.scan():
+            yield row
+
+    def row_dict(self, row: tuple) -> dict[str, object]:
+        return dict(zip(self.schema.column_names, row))
+
+    def index_scan(
+        self,
+        index_name: str,
+        low: tuple | None = None,
+        high: tuple | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[Rid, tuple]]:
+        """Range-scan an index, yielding (rid, row) in key order."""
+        info = self._indexes.get(index_name)
+        if info is None:
+            raise CatalogError(f"no index named {index_name}")
+        for _, rid in info.tree.range(low, high, low_inclusive, high_inclusive):
+            yield rid, self._heap.read(rid)

@@ -1,0 +1,130 @@
+"""Column types and schemas for the relational engine.
+
+The engine is deliberately small: the types below are exactly what ArchIS
+needs for H-tables (integers, strings, floats, day-granularity dates and
+BLOBs for compressed segments).  DATE values are stored as ``int`` days
+since the epoch — see :mod:`repro.util.timeutil`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import IntegrityError
+from repro.util.timeutil import parse_date
+
+
+class ColumnType(enum.Enum):
+    """Storage types understood by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    VARCHAR = "varchar"
+    DATE = "date"
+    BLOB = "blob"
+
+    def validate(self, value: object, column: str) -> object:
+        """Coerce/validate a Python value for this column type.
+
+        Returns the storable value; raises :class:`IntegrityError` on type
+        mismatch.  DATE accepts ``int`` day counts or ``YYYY-MM-DD``/``now``
+        strings.
+        """
+        if value is None:
+            return None
+        if self is ColumnType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise IntegrityError(f"column {column}: expected int, got {value!r}")
+            return value
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise IntegrityError(f"column {column}: expected float, got {value!r}")
+            return float(value)
+        if self is ColumnType.VARCHAR:
+            if not isinstance(value, str):
+                raise IntegrityError(f"column {column}: expected str, got {value!r}")
+            return value
+        if self is ColumnType.DATE:
+            if isinstance(value, bool):
+                raise IntegrityError(f"column {column}: expected date, got {value!r}")
+            if isinstance(value, int):
+                return value
+            if isinstance(value, str):
+                try:
+                    return parse_date(value)
+                except ValueError as exc:
+                    raise IntegrityError(
+                        f"column {column}: bad date literal {value!r}"
+                    ) from exc
+            raise IntegrityError(f"column {column}: expected date, got {value!r}")
+        if self is ColumnType.BLOB:
+            if not isinstance(value, (bytes, bytearray)):
+                raise IntegrityError(f"column {column}: expected bytes, got {value!r}")
+            return bytes(value)
+        raise IntegrityError(f"unhandled column type {self}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+
+@dataclass
+class TableSchema:
+    """A table definition: ordered columns plus an optional primary key."""
+
+    name: str
+    columns: list[Column]
+    primary_key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise IntegrityError(f"table {self.name}: duplicate column names")
+        for key_col in self.primary_key:
+            if key_col not in names:
+                raise IntegrityError(
+                    f"table {self.name}: primary key column {key_col} undefined"
+                )
+        self._positions = {name: i for i, name in enumerate(names)}
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def position(self, column: str) -> int:
+        """Ordinal position of ``column``; raises on unknown names."""
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise IntegrityError(
+                f"table {self.name}: no column named {column}"
+            ) from None
+
+    def has_column(self, column: str) -> bool:
+        return column in self._positions
+
+    def validate_row(self, values: tuple) -> tuple:
+        """Type-check and coerce a full row tuple."""
+        if len(values) != len(self.columns):
+            raise IntegrityError(
+                f"table {self.name}: expected {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        out = []
+        for column, value in zip(self.columns, values):
+            if value is None and not column.nullable:
+                raise IntegrityError(
+                    f"table {self.name}: column {column.name} is NOT NULL"
+                )
+            out.append(column.type.validate(value, column.name))
+        return tuple(out)
+
+    def key_of(self, values: tuple) -> tuple:
+        """Extract the primary-key tuple from a row."""
+        return tuple(values[self.position(c)] for c in self.primary_key)

@@ -1,0 +1,70 @@
+"""Update log.
+
+The ATLaS-profile ArchIS tracks changes through an update log rather than
+triggers (paper Section 5.2).  The log records every mutation against the
+current database; the archiver drains it in commit order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One change to the current database.
+
+    ``op`` is ``insert``, ``update`` or ``delete``; ``row`` is the new row
+    (for insert/update) or the deleted row; ``old`` is the pre-image for
+    updates.  ``timestamp`` is the transaction day.
+    """
+
+    sequence: int
+    timestamp: int
+    table: str
+    op: str
+    row: tuple
+    old: tuple | None = None
+
+
+class UpdateLog:
+    """An append-only in-memory log with drain semantics."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+        self._next_seq = 1
+        self._drained = 0
+
+    def append(
+        self,
+        timestamp: int,
+        table: str,
+        op: str,
+        row: tuple,
+        old: tuple | None = None,
+    ) -> LogEntry:
+        entry = LogEntry(self._next_seq, timestamp, table, op, row, old)
+        self._next_seq += 1
+        self._entries.append(entry)
+        return entry
+
+    def pending(self) -> list[LogEntry]:
+        """Entries appended since the last drain."""
+        return self._entries[self._drained :]
+
+    def drain(self) -> list[LogEntry]:
+        """Return pending entries and mark them consumed."""
+        out = self.pending()
+        self._drained = len(self._entries)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._drained = 0

@@ -1,0 +1,7 @@
+"""SQL front-end: parser, planner, executor, SQL/XML constructs."""
+
+from repro.sql.parser import parse_sql
+from repro.sql.result import ResultSet
+from repro.sql.session import execute_sql
+
+__all__ = ["parse_sql", "ResultSet", "execute_sql"]

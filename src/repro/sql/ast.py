@@ -1,0 +1,230 @@
+"""SQL AST node definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object  # str, int, float, None
+
+
+@dataclass(frozen=True)
+class DateLiteral:
+    days: int
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    table: str | None  # alias, or None when unqualified
+    column: str
+
+
+@dataclass(frozen=True)
+class Star:
+    table: str | None = None  # for COUNT(*) and SELECT *
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    op: str  # = <> < <= > >= + - * / || and or
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # not, -
+    operand: object
+
+
+@dataclass(frozen=True)
+class InList:
+    operand: object
+    items: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    operand: object
+    low: object
+    high: object
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: object
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikeOp:
+    operand: object
+    pattern: object
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CaseExpr:
+    whens: tuple  # of (condition, result)
+    else_result: object | None
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    name: str  # lower-cased
+    args: tuple
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Subquery:
+    """A parenthesized SELECT used as a value or IN-list source.
+
+    As a value it must produce a single column; scalar usage additionally
+    requires at most one row (NULL when empty).
+    """
+
+    select: object  # ast.Select
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    operand: object
+    subquery: "Subquery"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsSubquery:
+    subquery: "Subquery"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class XmlAttribute:
+    value: object
+    name: str
+
+
+@dataclass(frozen=True)
+class XmlElementExpr:
+    """``XMLElement(Name "tag", [XMLAttributes(...)], content...)``."""
+
+    tag: str
+    attributes: tuple  # of XmlAttribute
+    content: tuple  # of expressions
+
+
+@dataclass(frozen=True)
+class XmlAggExpr:
+    """``XMLAgg(expr [ORDER BY ...])`` — an aggregate over group rows."""
+
+    operand: object
+    order_by: tuple = ()  # of OrderItem
+
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: object
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class TableFunctionRef:
+    """``TABLE(fn(args)) AS alias(col, ...)``."""
+
+    function: str
+    args: tuple
+    alias: str
+    columns: tuple
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: object
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple
+    sources: tuple  # of TableRef | TableFunctionRef
+    where: object | None = None
+    group_by: tuple = ()
+    order_by: tuple = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple
+    rows: tuple  # of tuples of expressions
+
+
+@dataclass(frozen=True)
+class InsertSelect:
+    table: str
+    columns: tuple
+    select: Select
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple  # of (column, expr)
+    where: object | None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: object | None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple  # of ColumnDef
+    primary_key: tuple = ()
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    columns: tuple
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str

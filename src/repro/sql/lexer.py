@@ -1,0 +1,74 @@
+"""SQL lexer.
+
+Tokenizes the dialect the ArchIS translator emits: SELECT with SQL/XML
+constructs, DML, DDL, ``DATE '...'`` literals and ``:name`` parameters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<qname>"[^"]+")
+  | (?P<name>[A-Za-z_][A-Za-z_0-9$]*)
+  | (?P<param>:[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|<=|>=|!=|\|\||[(),.*=<>+\-/;])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "order", "limit", "offset",
+    "as", "and", "or", "not", "in", "between", "is", "null", "like",
+    "insert", "into", "values", "update", "set", "delete",
+    "create", "table", "index", "unique", "on", "drop", "primary", "key",
+    "asc", "desc", "distinct", "date", "case", "when", "then", "else", "end",
+    "int", "integer", "float", "double", "varchar", "blob", "char",
+    "xmlelement", "xmlattributes", "xmlagg", "name",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # NUMBER STRING QNAME NAME KEYWORD PARAM OP EOF
+    value: str
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise SqlSyntaxError(
+                f"SQL lexer: unexpected character {text[pos]!r} at offset {pos}"
+            )
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        value = match.group(0)
+        kind = match.lastgroup.upper()
+        if kind == "NAME":
+            # unquoted identifiers fold to lower case (SQL folds unquoted
+            # identifiers; this engine's convention is lower)
+            value = value.lower()
+            if value in KEYWORDS:
+                kind = "KEYWORD"
+        elif kind == "STRING":
+            value = value[1:-1].replace("''", "'")
+        elif kind == "QNAME":
+            value = value[1:-1]
+        elif kind == "PARAM":
+            value = value[1:]
+        tokens.append(Token(kind, value, match.start()))
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens

@@ -1,0 +1,62 @@
+"""Query result sets."""
+
+from __future__ import annotations
+
+from repro.xmlkit.dom import Element
+from repro.xmlkit.serializer import serialize
+
+
+class ResultSet:
+    """Rows returned by a SELECT.
+
+    Supports iteration, indexing, and XML extraction for SQL/XML queries
+    (the translator's output column is a forest of elements).
+    """
+
+    def __init__(self, columns: list[str], rows: list[tuple]) -> None:
+        self.columns = columns
+        self.rows = rows
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, index: int) -> tuple:
+        return self.rows[index]
+
+    def first(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self):
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() on a {len(self.rows)}x{len(self.columns)} result"
+            )
+        return self.rows[0][0]
+
+    def column(self, name_or_index: str | int = 0) -> list:
+        if isinstance(name_or_index, str):
+            index = self.columns.index(name_or_index)
+        else:
+            index = name_or_index
+        return [row[index] for row in self.rows]
+
+    def xml(self) -> list[Element]:
+        """Flatten all Element values in the result into a forest."""
+        forest: list[Element] = []
+        for row in self.rows:
+            for value in row:
+                if isinstance(value, Element):
+                    forest.append(value)
+                elif isinstance(value, list):
+                    forest.extend(v for v in value if isinstance(v, Element))
+        return forest
+
+    def xml_text(self) -> str:
+        return "".join(serialize(e) for e in self.xml())
+
+    def __repr__(self) -> str:
+        return f"<ResultSet {self.columns} ({len(self.rows)} rows)>"

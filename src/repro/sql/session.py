@@ -1,0 +1,169 @@
+"""SQL statement execution against a Database."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SqlPlanError
+from repro.rdb.database import Database
+from repro.rdb.types import ColumnType
+from repro.sql import ast
+from repro.sql.expr import Scope, compile_expr
+from repro.sql.parser import parse_sql
+from repro.sql.planner import SelectPlan
+
+_TYPE_MAP = {
+    "int": ColumnType.INT,
+    "integer": ColumnType.INT,
+    "float": ColumnType.FLOAT,
+    "double": ColumnType.FLOAT,
+    "varchar": ColumnType.VARCHAR,
+    "char": ColumnType.VARCHAR,
+    "text": ColumnType.VARCHAR,
+    "date": ColumnType.DATE,
+    "blob": ColumnType.BLOB,
+}
+
+
+def execute_sql(db: Database, text: str, params: Mapping | None = None):
+    """Parse and execute one SQL statement.
+
+    SELECT returns a :class:`ResultSet`; DML returns the affected row
+    count; DDL returns 0.
+    """
+    statement = parse_sql(text)
+    params = dict(params or {})
+    if isinstance(statement, ast.Select):
+        return SelectPlan(db, statement).execute(params)
+    if isinstance(statement, ast.Insert):
+        return _execute_insert(db, statement, params)
+    if isinstance(statement, ast.InsertSelect):
+        return _execute_insert_select(db, statement, params)
+    if isinstance(statement, ast.Update):
+        return _execute_update(db, statement, params)
+    if isinstance(statement, ast.Delete):
+        return _execute_delete(db, statement, params)
+    if isinstance(statement, ast.CreateTable):
+        return _execute_create_table(db, statement)
+    if isinstance(statement, ast.CreateIndex):
+        table = db.table(statement.table)
+        table.create_index(statement.name, statement.columns, statement.unique)
+        return 0
+    if isinstance(statement, ast.DropTable):
+        db.drop_table(statement.name)
+        return 0
+    raise SqlPlanError(f"cannot execute {type(statement).__name__}")
+
+
+def _execute_create_table(db: Database, statement: ast.CreateTable) -> int:
+    columns = []
+    for col in statement.columns:
+        ctype = _TYPE_MAP.get(col.type_name)
+        if ctype is None:
+            raise SqlPlanError(f"unknown column type {col.type_name!r}")
+        columns.append((col.name, ctype))
+    db.create_table(statement.name, columns, statement.primary_key)
+    return 0
+
+
+def _scalar_functions(db: Database) -> dict:
+    from repro.sql.functions import BUILTIN_FUNCTIONS
+
+    registry = dict(BUILTIN_FUNCTIONS)
+    registry["current_date"] = lambda: db.current_date
+    registry.update(db._functions)
+    return registry
+
+
+def _execute_insert(db: Database, statement: ast.Insert, params) -> int:
+    table = db.table(statement.table)
+    schema = table.schema
+    functions = _scalar_functions(db)
+    empty_scope = Scope({}, db)
+    count = 0
+    for row_exprs in statement.rows:
+        values = [
+            compile_expr(e, empty_scope, functions)(None, params)
+            for e in row_exprs
+        ]
+        if statement.columns:
+            if len(values) != len(statement.columns):
+                raise SqlPlanError("INSERT arity mismatch")
+            full = [None] * len(schema.columns)
+            for column, value in zip(statement.columns, values):
+                full[schema.position(column)] = value
+            values = full
+        table.insert(tuple(values))
+        count += 1
+    return count
+
+
+def _execute_insert_select(db: Database, statement: ast.InsertSelect, params) -> int:
+    result = SelectPlan(db, statement.select).execute(params)
+    table = db.table(statement.table)
+    schema = table.schema
+    count = 0
+    for row in result.rows:
+        values = list(row)
+        if statement.columns:
+            full = [None] * len(schema.columns)
+            for column, value in zip(statement.columns, values):
+                full[schema.position(column)] = value
+            values = full
+        table.insert(tuple(values))
+        count += 1
+    return count
+
+
+def _single_table_scope(db: Database, table_name: str) -> Scope:
+    table = db.table(table_name)
+    return Scope({table_name: list(table.schema.column_names)}, db)
+
+
+def _execute_update(db: Database, statement: ast.Update, params) -> int:
+    table = db.table(statement.table)
+    scope = _single_table_scope(db, statement.table)
+    functions = _scalar_functions(db)
+    where = (
+        compile_expr(statement.where, scope, functions)
+        if statement.where is not None
+        else None
+    )
+    assignments = [
+        (column, compile_expr(expr, scope, functions))
+        for column, expr in statement.assignments
+    ]
+    names = table.schema.column_names
+    alias = statement.table
+    victims = []
+    for rid, row in table.scan():
+        env = {(alias, n): v for n, v in zip(names, row)}
+        if where is None or where(env, params):
+            victims.append((rid, row, env))
+    for rid, row, env in victims:
+        new_row = list(row)
+        for column, value_fn in assignments:
+            new_row[table.schema.position(column)] = value_fn(env, params)
+        table.update_rid(rid, tuple(new_row))
+    return len(victims)
+
+
+def _execute_delete(db: Database, statement: ast.Delete, params) -> int:
+    table = db.table(statement.table)
+    scope = _single_table_scope(db, statement.table)
+    functions = _scalar_functions(db)
+    where = (
+        compile_expr(statement.where, scope, functions)
+        if statement.where is not None
+        else None
+    )
+    names = table.schema.column_names
+    alias = statement.table
+    victims = []
+    for rid, row in table.scan():
+        env = {(alias, n): v for n, v in zip(names, row)}
+        if where is None or where(env, params):
+            victims.append(rid)
+    for rid in victims:
+        table.delete_rid(rid)
+    return len(victims)

@@ -1,0 +1,69 @@
+"""SQL/XML value constructors (paper Section 5.3).
+
+``XMLElement``, ``XMLAttributes`` and ``XMLAgg`` build
+:class:`~repro.xmlkit.dom.Element` values *inside the relational engine*,
+which is the design the paper adopts from [34]: tag binding and structure
+construction pushed into the SQL executor.
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit.dom import Element, Text
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def build_xml_element(
+    tag: str,
+    attributes: list[tuple[str, object]],
+    content: list[object],
+) -> Element:
+    """Construct one XML element from evaluated attribute/content values.
+
+    NULL attribute values and NULL content items are skipped (SQL/XML
+    semantics); Element content is attached as a child, scalars become
+    text.
+    """
+    element = Element(tag)
+    for name, value in attributes:
+        if value is None:
+            continue
+        element.set(name, _render(value))
+    for item in content:
+        if item is None:
+            continue
+        if isinstance(item, Element):
+            element.append(item.copy() if item.parent is not None else item)
+        elif isinstance(item, list):
+            for sub in item:
+                if isinstance(sub, Element):
+                    element.append(
+                        sub.copy() if sub.parent is not None else sub
+                    )
+                elif sub is not None:
+                    element.append(Text(_render(sub)))
+        else:
+            element.append(Text(_render(item)))
+    return element
+
+
+def xml_agg(values: list[object]) -> list[Element]:
+    """Aggregate a group's element values into a forest (list).
+
+    ``XMLAgg`` returns an XML value that concatenates the per-row elements;
+    we model the forest as a Python list of elements, which
+    ``build_xml_element`` splices when used as content.
+    """
+    forest: list[Element] = []
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, list):
+            forest.extend(v for v in value if isinstance(v, Element))
+        elif isinstance(value, Element):
+            forest.append(value)
+    return forest

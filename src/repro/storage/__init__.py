@@ -1,0 +1,22 @@
+"""Paged storage: slotted pages, pager, buffer pool, heaps, blobs."""
+
+from repro.storage.blob import BlobStore
+from repro.storage.buffer import BufferPool, CacheStats
+from repro.storage.heap import HeapFile, Rid
+from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.pager import IoStats, Pager
+from repro.storage.record import decode_record, encode_record
+
+__all__ = [
+    "BlobStore",
+    "BufferPool",
+    "CacheStats",
+    "HeapFile",
+    "Rid",
+    "PAGE_SIZE",
+    "SlottedPage",
+    "IoStats",
+    "Pager",
+    "decode_record",
+    "encode_record",
+]

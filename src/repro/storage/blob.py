@@ -1,0 +1,68 @@
+"""BLOB store.
+
+Compressed BlockZIP segments (paper Section 8.2) are stored as BLOBs.  Each
+BLOB occupies whole pages of its own so that reading one compressed block
+costs a predictable number of physical page reads, and the store's size
+feeds the compression-ratio experiments (Fig. 13).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PAGE_SIZE
+
+_LEN = struct.Struct("<I")
+_PAYLOAD_PER_PAGE = PAGE_SIZE  # pages carry raw payload; length in the map
+
+
+class BlobStore:
+    """Stores opaque byte strings, addressed by integer blob ids."""
+
+    def __init__(self, pool: BufferPool) -> None:
+        self._pool = pool
+        self._blobs: dict[int, tuple[list[int], int]] = {}
+        self._next_id = 1
+
+    def put(self, data: bytes) -> int:
+        """Store a blob, returning its id."""
+        if not isinstance(data, (bytes, bytearray)):
+            raise StorageError("blob payload must be bytes")
+        data = bytes(data)
+        pages: list[int] = []
+        for offset in range(0, max(len(data), 1), _PAYLOAD_PER_PAGE):
+            chunk = data[offset : offset + _PAYLOAD_PER_PAGE]
+            page_no = self._pool.allocate()
+            image = chunk + b"\x00" * (PAGE_SIZE - len(chunk))
+            self._pool.put(page_no, image)
+            pages.append(page_no)
+        blob_id = self._next_id
+        self._next_id += 1
+        self._blobs[blob_id] = (pages, len(data))
+        return blob_id
+
+    def get(self, blob_id: int) -> bytes:
+        """Fetch a blob by id."""
+        try:
+            pages, length = self._blobs[blob_id]
+        except KeyError:
+            raise StorageError(f"unknown blob id {blob_id}") from None
+        chunks = [self._pool.get(page_no) for page_no in pages]
+        return b"".join(chunks)[:length]
+
+    def delete(self, blob_id: int) -> None:
+        if blob_id not in self._blobs:
+            raise StorageError(f"unknown blob id {blob_id}")
+        del self._blobs[blob_id]
+
+    def size_bytes(self) -> int:
+        """Bytes occupied by all live blobs (page-rounded)."""
+        return sum(len(pages) for pages, _ in self._blobs.values()) * PAGE_SIZE
+
+    def __contains__(self, blob_id: int) -> bool:
+        return blob_id in self._blobs
+
+    def __len__(self) -> int:
+        return len(self._blobs)

@@ -1,0 +1,143 @@
+"""Heap files: unordered collections of records addressed by RID.
+
+A RID is ``(page_no, slot_no)``.  A heap file owns a contiguous run of pages
+inside a shared buffer pool/pager.  Page numbers are tracked per heap (heaps
+are allocated interleaved in one file), so a heap scan touches exactly its
+own pages — this is what makes segment clustering measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import PageFullError, StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import SlottedPage
+from repro.storage.record import decode_record, encode_record
+
+Rid = tuple[int, int]
+
+
+class HeapFile:
+    """Append-mostly record heap over a buffer pool."""
+
+    def __init__(self, pool: BufferPool, name: str = "heap") -> None:
+        self._pool = pool
+        self._name = name
+        self._pages: list[int] = []
+        self._live = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def page_numbers(self) -> list[int]:
+        return list(self._pages)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def record_count(self) -> int:
+        return self._live
+
+    def insert(self, values: tuple) -> Rid:
+        """Append a record, returning its RID."""
+        payload = encode_record(values)
+        if self._pages:
+            last = self._pages[-1]
+            page = SlottedPage(self._pool.get(last))
+            try:
+                slot = page.insert(payload)
+                self._pool.put(last, page.to_bytes())
+                self._live += 1
+                return (last, slot)
+            except PageFullError:
+                pass
+        page_no = self._pool.allocate()
+        self._pages.append(page_no)
+        page = SlottedPage(self._pool.get(page_no))
+        slot = page.insert(payload)  # a fresh page always fits sane records
+        self._pool.put(page_no, page.to_bytes())
+        self._live += 1
+        return (page_no, slot)
+
+    def read(self, rid: Rid) -> tuple:
+        """Fetch the record at ``rid``."""
+        page_no, slot_no = rid
+        payload = SlottedPage(self._pool.get(page_no)).read(slot_no)
+        if payload is None:
+            raise StorageError(f"record {rid} is deleted")
+        return decode_record(payload)
+
+    def update(self, rid: Rid, values: tuple) -> Rid:
+        """Rewrite the record at ``rid``; may relocate it.
+
+        Returns the (possibly new) RID.  Callers maintaining indexes must
+        re-key when the RID changes.
+        """
+        page_no, slot_no = rid
+        payload = encode_record(values)
+        page = SlottedPage(self._pool.get(page_no))
+        if page.update_in_place(slot_no, payload):
+            self._pool.put(page_no, page.to_bytes())
+            return rid
+        page.delete(slot_no)
+        self._pool.put(page_no, page.to_bytes())
+        self._live -= 1
+        return self.insert(values)
+
+    def delete(self, rid: Rid) -> None:
+        """Tombstone the record at ``rid``."""
+        page_no, slot_no = rid
+        page = SlottedPage(self._pool.get(page_no))
+        page.delete(slot_no)
+        self._pool.put(page_no, page.to_bytes())
+        self._live -= 1
+
+    def scan(self) -> Iterator[tuple[Rid, tuple]]:
+        """Iterate live records in page order."""
+        for page_no in self._pages:
+            page = SlottedPage(self._pool.get(page_no))
+            for slot_no, payload in page.records():
+                yield (page_no, slot_no), decode_record(payload)
+
+    def adopt_pages(self, pages: list[int]) -> None:
+        """Attach existing pages (catalog restore) and recount records."""
+        self._pages = list(pages)
+        self._live = sum(1 for _ in self.scan())
+
+    def compact(self) -> list[tuple]:
+        """Rewrite live records densely into fresh pages.
+
+        Returns the records in their new storage order.  RIDs change, so
+        callers owning indexes must rebuild them (see ``Table.compact``).
+        Old pages are released from this heap's page list (the shared
+        pager file is append-only; released pages model reclaimed space).
+        """
+        rows = [row for _, row in self.scan()]
+        self._pages.clear()
+        self._live = 0
+        for row in rows:
+            self.insert(row)
+        return rows
+
+    def truncate(self) -> None:
+        """Forget every record.  Pages are abandoned, not reclaimed; the
+        database compacts by rebuilding files, as the paper's segment
+        rewrite does."""
+        for page_no in self._pages:
+            page = SlottedPage(self._pool.get(page_no))
+            for slot_no, _ in page.records():
+                page.delete(slot_no)
+            self._pool.put(page_no, page.to_bytes())
+        self._pages.clear()
+        self._live = 0
+
+    def size_bytes(self) -> int:
+        """Bytes occupied by this heap's pages."""
+        from repro.storage.page import PAGE_SIZE
+
+        return len(self._pages) * PAGE_SIZE

@@ -1,0 +1,138 @@
+"""Slotted pages.
+
+A page is a fixed-size byte buffer laid out the classical way: a header,
+a slot directory growing from the front and record payloads growing from the
+back.  Deleted slots are tombstoned so record ids (page_no, slot_no) stay
+stable, which the heap file and indexes rely on.
+
+Layout (little-endian):
+
+    [0:2)   slot count (including tombstones)
+    [2:4)   free-space pointer (offset of the lowest used payload byte)
+    [4:..)  slot directory: (offset: u16, length: u16) per slot;
+            offset == 0xFFFF marks a tombstone
+    ...
+    [free .. PAGE_SIZE) record payloads
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import PageFullError, StorageError
+
+PAGE_SIZE = 4096
+
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+_TOMBSTONE = 0xFFFF
+
+
+class SlottedPage:
+    """A mutable slotted page over a ``bytearray`` buffer."""
+
+    def __init__(self, data: bytes | bytearray | None = None) -> None:
+        if data is None:
+            self._buf = bytearray(PAGE_SIZE)
+            self._set_header(0, PAGE_SIZE)
+        else:
+            if len(data) != PAGE_SIZE:
+                raise StorageError(
+                    f"page buffer must be {PAGE_SIZE} bytes, got {len(data)}"
+                )
+            self._buf = bytearray(data)
+
+    # -- header helpers -------------------------------------------------
+
+    def _header(self) -> tuple[int, int]:
+        slot_count, free_ptr = _HEADER.unpack_from(self._buf, 0)
+        if free_ptr == 0:
+            # A zero-filled (freshly allocated) page: no record payload can
+            # ever end at offset 0, so 0 is safely read as "empty page".
+            free_ptr = PAGE_SIZE
+        return slot_count, free_ptr
+
+    def _set_header(self, slot_count: int, free_ptr: int) -> None:
+        _HEADER.pack_into(self._buf, 0, slot_count, free_ptr)
+
+    def _slot(self, slot_no: int) -> tuple[int, int]:
+        return _SLOT.unpack_from(self._buf, _HEADER.size + slot_no * _SLOT.size)
+
+    def _set_slot(self, slot_no: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(
+            self._buf, _HEADER.size + slot_no * _SLOT.size, offset, length
+        )
+
+    # -- public API -------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        """Number of slots, including tombstones."""
+        return self._header()[0]
+
+    def free_space(self) -> int:
+        """Bytes available for one more record (including its slot entry)."""
+        slot_count, free_ptr = self._header()
+        directory_end = _HEADER.size + slot_count * _SLOT.size
+        gap = free_ptr - directory_end
+        return max(0, gap - _SLOT.size)
+
+    def insert(self, payload: bytes) -> int:
+        """Insert a record payload, returning its slot number."""
+        if not payload:
+            raise StorageError("cannot insert empty payload")
+        if len(payload) > self.free_space():
+            raise PageFullError(
+                f"payload of {len(payload)} bytes does not fit "
+                f"({self.free_space()} free)"
+            )
+        slot_count, free_ptr = self._header()
+        offset = free_ptr - len(payload)
+        self._buf[offset:free_ptr] = payload
+        self._set_slot(slot_count, offset, len(payload))
+        self._set_header(slot_count + 1, offset)
+        return slot_count
+
+    def read(self, slot_no: int) -> bytes | None:
+        """Return the payload at ``slot_no``, or None for a tombstone."""
+        if slot_no < 0 or slot_no >= self.slot_count:
+            raise StorageError(f"slot {slot_no} out of range")
+        offset, length = self._slot(slot_no)
+        if offset == _TOMBSTONE:
+            return None
+        return bytes(self._buf[offset : offset + length])
+
+    def delete(self, slot_no: int) -> None:
+        """Tombstone a slot.  The payload space is not reclaimed in place;
+        heap compaction happens when segments are rewritten (paper §6.1)."""
+        if slot_no < 0 or slot_no >= self.slot_count:
+            raise StorageError(f"slot {slot_no} out of range")
+        self._set_slot(slot_no, _TOMBSTONE, 0)
+
+    def update_in_place(self, slot_no: int, payload: bytes) -> bool:
+        """Overwrite a record if the new payload is no larger.
+
+        Returns False when the payload does not fit, in which case the
+        caller must delete + reinsert elsewhere.
+        """
+        offset, length = self._slot(slot_no)
+        if offset == _TOMBSTONE:
+            raise StorageError(f"slot {slot_no} is deleted")
+        if len(payload) > length:
+            return False
+        self._buf[offset : offset + len(payload)] = payload
+        self._set_slot(slot_no, offset, len(payload))
+        return True
+
+    def records(self) -> list[tuple[int, bytes]]:
+        """All live ``(slot_no, payload)`` pairs in slot order."""
+        out = []
+        for slot_no in range(self.slot_count):
+            payload = self.read(slot_no)
+            if payload is not None:
+                out.append((slot_no, payload))
+        return out
+
+    def to_bytes(self) -> bytes:
+        """The raw page image."""
+        return bytes(self._buf)

@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+Self-contained commands over a generated employee history:
+
+    python -m repro.tools generate --employees 50 --years 17 -o hdoc.xml
+    python -m repro.tools query "for \\$e in doc(\\"employees.xml\\")..."
+    python -m repro.tools sql "for ..."          # show the SQL/XML only
+    python -m repro.tools bench                  # quick Table 3 comparison
+
+All commands build a deterministic dataset in memory (same seed ⇒ same
+answers), so they are reproducible without a persistent store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import (
+    build_setup,
+    compare_engines,
+    default_queries,
+    print_comparison,
+)
+from repro.xmlkit import serialize
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--employees", type=int, default=30)
+    parser.add_argument("--years", type=int, default=10)
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument(
+        "--profile", choices=["db2", "atlas"], default="atlas"
+    )
+    parser.add_argument(
+        "--umin", type=float, default=0.4,
+        help="usefulness threshold; 0 disables segmentation",
+    )
+    parser.add_argument(
+        "--compress", action="store_true",
+        help="BlockZIP the frozen segments before querying",
+    )
+
+
+def _build(args) -> "object":
+    umin = None if args.umin == 0 else args.umin
+    return build_setup(
+        employees=args.employees,
+        years=args.years,
+        scale=args.scale,
+        profile=args.profile,
+        umin=umin,
+        compress=args.compress,
+    )
+
+
+def cmd_generate(args) -> int:
+    setup = _build(args)
+    text = serialize(setup.archis.publish("employee"), indent=2)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(text):,} chars of H-document to {args.output} "
+            f"({setup.events_applied} events archived)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_query(args) -> int:
+    setup = _build(args)
+    query = args.xquery
+    if query == "-":
+        query = sys.stdin.read()
+    results = setup.archis.xquery(query, allow_fallback=not args.no_fallback)
+    for item in results:
+        if hasattr(item, "name"):
+            print(serialize(item))
+        else:
+            print(item)
+    return 0
+
+
+def cmd_sql(args) -> int:
+    setup = _build(args)
+    query = args.xquery
+    if query == "-":
+        query = sys.stdin.read()
+    print(setup.archis.translate(query))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    setup = _build(args)
+    queries = default_queries(setup.generator)
+    results = compare_engines(setup, queries, repeats=args.repeats)
+    print_comparison(
+        f"Table 3 queries: ArchIS-{args.profile} vs native XML DB", results
+    )
+    return 0
+
+
+def cmd_check(args) -> int:
+    from repro.archis.validation import check_archive
+
+    setup = _build(args)
+    violations = check_archive(setup.archis)
+    if not violations:
+        print("archive is consistent (0 violations)")
+        return 0
+    for violation in violations:
+        print(violation)
+    return 1
+
+
+def cmd_report(args) -> int:
+    from repro.bench.fullreport import generate_report
+
+    text = generate_report(args.employees, args.years, args.repeats)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote report to {args.output}", file=sys.stderr)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    setup = _build(args)
+    archis = setup.archis
+    print(f"events archived:  {setup.events_applied}")
+    print(f"segments:         {archis.segments.segment_count()} "
+          f"(freezes: {archis.segments.freeze_count})")
+    for name, size in sorted(archis.db.storage_report().items()):
+        print(f"  {name:30s} {size:>12,} bytes")
+    print(f"archive total:    {archis.storage_bytes():,} bytes")
+    print(f"native XML store: {setup.native.storage_bytes():,} bytes")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="ArchIS reproduction command-line interface",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="publish the H-document of a generated history"
+    )
+    _add_dataset_args(generate)
+    generate.add_argument("-o", "--output", default="-")
+    generate.set_defaults(fn=cmd_generate)
+
+    query = commands.add_parser("query", help="run XQuery over the H-views")
+    _add_dataset_args(query)
+    query.add_argument("xquery", help="query text, or '-' for stdin")
+    query.add_argument(
+        "--no-fallback", action="store_true",
+        help="fail instead of falling back to native evaluation",
+    )
+    query.set_defaults(fn=cmd_query)
+
+    sql = commands.add_parser(
+        "sql", help="show the SQL/XML translation of an XQuery"
+    )
+    _add_dataset_args(sql)
+    sql.add_argument("xquery")
+    sql.set_defaults(fn=cmd_sql)
+
+    bench = commands.add_parser(
+        "bench", help="run the Table 3 comparison at a small scale"
+    )
+    _add_dataset_args(bench)
+    bench.add_argument("--repeats", type=int, default=2)
+    bench.set_defaults(fn=cmd_bench)
+
+    stats = commands.add_parser("stats", help="archive storage statistics")
+    _add_dataset_args(stats)
+    stats.set_defaults(fn=cmd_stats)
+
+    check = commands.add_parser(
+        "check", help="audit archive invariants (consistency checker)"
+    )
+    _add_dataset_args(check)
+    check.set_defaults(fn=cmd_check)
+
+    report = commands.add_parser(
+        "report", help="regenerate the full paper-vs-measured report"
+    )
+    report.add_argument("--employees", type=int, default=50)
+    report.add_argument("--years", type=int, default=17)
+    report.add_argument("--repeats", type=int, default=2)
+    report.add_argument("-o", "--output", default="-")
+    report.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

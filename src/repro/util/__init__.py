@@ -1,0 +1,29 @@
+"""Shared utilities: day-granularity dates and closed temporal intervals."""
+
+from repro.util.intervals import (
+    Interval,
+    coalesce,
+    coalesce_valued,
+    restructure,
+    sweep_aggregate,
+)
+from repro.util.timeutil import (
+    FOREVER,
+    FOREVER_STR,
+    NOW_LABEL,
+    format_date,
+    parse_date,
+)
+
+__all__ = [
+    "Interval",
+    "coalesce",
+    "coalesce_valued",
+    "restructure",
+    "sweep_aggregate",
+    "FOREVER",
+    "FOREVER_STR",
+    "NOW_LABEL",
+    "format_date",
+    "parse_date",
+]

@@ -1,0 +1,70 @@
+"""Day-granularity time utilities.
+
+The paper uses dates with day granularity, closed intervals
+``[tstart, tend]`` and the *end-of-time* value ``9999-12-31`` as the internal
+representation of ``now`` (until-changed).  Dates are represented internally
+as ``int`` days since the Unix epoch (1970-01-01): this keeps rows compact,
+makes interval arithmetic trivial and sorts correctly.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+EPOCH = _dt.date(1970, 1, 1)
+
+#: The internal ``now`` marker (paper Section 4.3): 9999-12-31.
+FOREVER_DATE = _dt.date(9999, 12, 31)
+FOREVER = (FOREVER_DATE - EPOCH).days
+
+#: String form of the end-of-time marker, as it appears in H-documents.
+FOREVER_STR = "9999-12-31"
+
+#: External label substituted by ``externalnow`` (paper Section 4.3).
+NOW_LABEL = "now"
+
+
+def date_to_days(value: _dt.date) -> int:
+    """Convert a :class:`datetime.date` to days since the epoch."""
+    return (value - EPOCH).days
+
+
+def days_to_date(days: int) -> _dt.date:
+    """Convert days since the epoch back to a :class:`datetime.date`."""
+    return EPOCH + _dt.timedelta(days=days)
+
+
+def parse_date(text: str) -> int:
+    """Parse ``YYYY-MM-DD`` (or ``now``) into days since the epoch.
+
+    ``now`` parses to :data:`FOREVER`, matching the paper's convention that
+    the symbol is stored internally as the end-of-time value.
+    """
+    text = text.strip()
+    if text == NOW_LABEL:
+        return FOREVER
+    year, month, day = text.split("-")
+    return date_to_days(_dt.date(int(year), int(month), int(day)))
+
+
+def format_date(days: int) -> str:
+    """Render days since the epoch as ``YYYY-MM-DD``."""
+    if days == FOREVER:
+        return FOREVER_STR
+    return days_to_date(days).isoformat()
+
+
+def is_now(days: int) -> bool:
+    """True when the value is the internal ``now`` marker."""
+    return days == FOREVER
+
+
+def external_date(days: int, current_date: int) -> str:
+    """Render a date for end users, mapping ``now`` to the current date.
+
+    Implements the ``rtend`` convention (paper Section 4.3): the end-of-time
+    marker is replaced by the query-evaluation date.
+    """
+    if days == FOREVER:
+        return format_date(current_date)
+    return format_date(days)

@@ -1,0 +1,16 @@
+"""XML substrate: DOM, parser, serializer and an XPath subset."""
+
+from repro.xmlkit.dom import Element, Node, Text
+from repro.xmlkit.parser import parse_fragment, parse_xml
+from repro.xmlkit.serializer import serialize
+from repro.xmlkit.xpath import xpath
+
+__all__ = [
+    "Element",
+    "Node",
+    "Text",
+    "parse_fragment",
+    "parse_xml",
+    "serialize",
+    "xpath",
+]

@@ -1,0 +1,165 @@
+"""A small XML DOM.
+
+H-documents are trees of elements with attributes and text; this module is
+the in-memory representation shared by the XML parser, the XQuery engine,
+the SQL/XML constructors and the H-document publisher.
+
+Only what XML needs for the paper is implemented: elements, attributes,
+text; no namespaces beyond prefixed names treated literally, no processing
+instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import XmlError
+
+
+def escape_text(value: str) -> str:
+    return (
+        value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def escape_attr(value: str) -> str:
+    return escape_text(value).replace('"', "&quot;")
+
+
+class Element:
+    """An XML element with attributes and mixed content.
+
+    Children are :class:`Element` or :class:`Text` nodes.  Parent pointers
+    are maintained by :meth:`append`, enabling upward navigation.
+    """
+
+    __slots__ = ("name", "attrs", "children", "parent")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, str] | None = None,
+        children: "list[Element | Text] | None" = None,
+    ) -> None:
+        if not name:
+            raise XmlError("element name cannot be empty")
+        self.name = name
+        self.attrs: dict[str, str] = dict(attrs or {})
+        self.children: list[Element | Text] = []
+        self.parent: Element | None = None
+        for child in children or []:
+            self.append(child)
+
+    # -- construction ------------------------------------------------------
+
+    def append(self, child: "Element | Text | str") -> "Element | Text":
+        """Attach a child node (strings become Text nodes)."""
+        if isinstance(child, str):
+            child = Text(child)
+        if not isinstance(child, (Element, Text)):
+            raise XmlError(f"cannot append {type(child).__name__} to element")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def set(self, attr: str, value: str) -> None:
+        self.attrs[attr] = str(value)
+
+    def get(self, attr: str, default: str | None = None) -> str | None:
+        return self.attrs.get(attr, default)
+
+    # -- navigation -----------------------------------------------------------
+
+    def elements(self, name: str | None = None) -> "list[Element]":
+        """Child elements, optionally filtered by name (``*`` matches all)."""
+        out = []
+        for child in self.children:
+            if isinstance(child, Element):
+                if name is None or name == "*" or child.name == name:
+                    out.append(child)
+        return out
+
+    def first(self, name: str) -> "Element | None":
+        for child in self.children:
+            if isinstance(child, Element) and child.name == name:
+                return child
+        return None
+
+    def descendants(self) -> "Iterator[Element]":
+        """All descendant elements, document order, self excluded."""
+        for child in self.children:
+            if isinstance(child, Element):
+                yield child
+                yield from child.descendants()
+
+    def text(self) -> str:
+        """Concatenated text content of the whole subtree."""
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, Text):
+                parts.append(child.value)
+            else:
+                parts.append(child.text())
+        return "".join(parts)
+
+    def root(self) -> "Element":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    # -- equality / copying ------------------------------------------------------
+
+    def deep_equal(self, other: "Element") -> bool:
+        """Structural equality: names, attributes and ordered content."""
+        if not isinstance(other, Element):
+            return False
+        if self.name != other.name or self.attrs != other.attrs:
+            return False
+        mine = [c for c in self.children if not _ignorable(c)]
+        theirs = [c for c in other.children if not _ignorable(c)]
+        if len(mine) != len(theirs):
+            return False
+        for a, b in zip(mine, theirs):
+            if isinstance(a, Text) and isinstance(b, Text):
+                if a.value != b.value:
+                    return False
+            elif isinstance(a, Element) and isinstance(b, Element):
+                if not a.deep_equal(b):
+                    return False
+            else:
+                return False
+        return True
+
+    def copy(self) -> "Element":
+        """Detached deep copy."""
+        clone = Element(self.name, dict(self.attrs))
+        for child in self.children:
+            if isinstance(child, Element):
+                clone.append(child.copy())
+            else:
+                clone.append(Text(child.value))
+        return clone
+
+    def __repr__(self) -> str:
+        return f"<Element {self.name} attrs={self.attrs}>"
+
+
+class Text:
+    """A text node."""
+
+    __slots__ = ("value", "parent")
+
+    def __init__(self, value: str) -> None:
+        self.value = str(value)
+        self.parent: Element | None = None
+
+    def __repr__(self) -> str:
+        return f"<Text {self.value!r}>"
+
+
+def _ignorable(node: "Element | Text") -> bool:
+    return isinstance(node, Text) and not node.value.strip()
+
+
+Node = Element | Text

@@ -1,0 +1,185 @@
+"""A small, strict XML parser producing :mod:`repro.xmlkit.dom` trees."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import XmlError
+from repro.xmlkit.dom import Element, Text
+
+_NAME = re.compile(r"[A-Za-z_][\w.\-:]*")
+_ENTITIES = {
+    "&lt;": "<",
+    "&gt;": ">",
+    "&amp;": "&",
+    "&quot;": '"',
+    "&apos;": "'",
+}
+
+
+def _unescape(value: str) -> str:
+    def replace(match: re.Match) -> str:
+        entity = match.group(0)
+        if entity in _ENTITIES:
+            return _ENTITIES[entity]
+        if entity.startswith("&#x"):
+            return chr(int(entity[3:-1], 16))
+        if entity.startswith("&#"):
+            return chr(int(entity[2:-1]))
+        raise XmlError(f"unknown entity {entity}")
+
+    return re.sub(r"&#x[0-9A-Fa-f]+;|&#\d+;|&\w+;", replace, value)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> XmlError:
+        line = self.text.count("\n", 0, self.pos) + 1
+        return XmlError(f"XML parse error at line {line}: {message}")
+
+    def parse_document(self) -> Element:
+        self._skip_misc()
+        root = self._parse_element()
+        self._skip_misc()
+        if self.pos != len(self.text):
+            raise self.error("content after document element")
+        return root
+
+    # -- pieces -------------------------------------------------------------
+
+    def _skip_misc(self) -> None:
+        while True:
+            while self.pos < len(self.text) and self.text[self.pos].isspace():
+                self.pos += 1
+            if self.text.startswith("<?", self.pos):
+                end = self.text.find("?>", self.pos)
+                if end < 0:
+                    raise self.error("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+            elif self.text.startswith("<!DOCTYPE", self.pos):
+                end = self.text.find(">", self.pos)
+                if end < 0:
+                    raise self.error("unterminated DOCTYPE")
+                self.pos = end + 1
+            else:
+                return
+
+    def _parse_name(self) -> str:
+        match = _NAME.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected a name")
+        self.pos = match.end()
+        return match.group(0)
+
+    def _parse_element(self) -> Element:
+        if not self.text.startswith("<", self.pos):
+            raise self.error("expected '<'")
+        self.pos += 1
+        name = self._parse_name()
+        element = Element(name)
+        self._parse_attributes(element)
+        if self.text.startswith("/>", self.pos):
+            self.pos += 2
+            return element
+        if not self.text.startswith(">", self.pos):
+            raise self.error(f"malformed start tag for <{name}>")
+        self.pos += 1
+        self._parse_content(element)
+        return element
+
+    def _parse_attributes(self, element: Element) -> None:
+        while True:
+            while self.pos < len(self.text) and self.text[self.pos].isspace():
+                self.pos += 1
+            char = self.text[self.pos : self.pos + 1]
+            if char in (">", "/") or not char:
+                return
+            attr = self._parse_name()
+            if not self.text.startswith("=", self.pos):
+                raise self.error(f"attribute {attr} missing '='")
+            self.pos += 1
+            quote = self.text[self.pos : self.pos + 1]
+            if quote not in ("'", '"'):
+                raise self.error(f"attribute {attr} value not quoted")
+            self.pos += 1
+            end = self.text.find(quote, self.pos)
+            if end < 0:
+                raise self.error(f"unterminated attribute value for {attr}")
+            if attr in element.attrs:
+                raise self.error(f"duplicate attribute {attr}")
+            element.attrs[attr] = _unescape(self.text[self.pos : end])
+            self.pos = end + 1
+
+    def _parse_content(self, element: Element) -> None:
+        buffer: list[str] = []
+
+        def flush() -> None:
+            if buffer:
+                text = _unescape("".join(buffer))
+                if text:
+                    element.append(Text(text))
+                buffer.clear()
+
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error(f"unterminated element <{element.name}>")
+            if self.text.startswith("</", self.pos):
+                flush()
+                self.pos += 2
+                name = self._parse_name()
+                if name != element.name:
+                    raise self.error(
+                        f"mismatched end tag </{name}> for <{element.name}>"
+                    )
+                while self.pos < len(self.text) and self.text[self.pos].isspace():
+                    self.pos += 1
+                if not self.text.startswith(">", self.pos):
+                    raise self.error("malformed end tag")
+                self.pos += 1
+                return
+            if self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 3
+                continue
+            if self.text.startswith("<![CDATA[", self.pos):
+                end = self.text.find("]]>", self.pos)
+                if end < 0:
+                    raise self.error("unterminated CDATA section")
+                buffer.append(self.text[self.pos + 9 : end])
+                self.pos = end + 3
+                continue
+            if self.text.startswith("<", self.pos):
+                flush()
+                element.append(self._parse_element())
+                continue
+            next_tag = self.text.find("<", self.pos)
+            if next_tag < 0:
+                raise self.error(f"unterminated element <{element.name}>")
+            buffer.append(self.text[self.pos : next_tag])
+            self.pos = next_tag
+
+
+def parse_xml(text: str) -> Element:
+    """Parse an XML document, returning its root element."""
+    return _Parser(text).parse_document()
+
+
+def parse_fragment(text: str) -> list[Element]:
+    """Parse a sequence of sibling elements (no single-root requirement)."""
+    wrapped = parse_xml(f"<__fragment__>{text}</__fragment__>")
+    out = []
+    for child in wrapped.children:
+        if isinstance(child, Element):
+            child.parent = None
+            out.append(child)
+    return out

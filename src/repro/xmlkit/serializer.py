@@ -1,0 +1,59 @@
+"""Serialization of DOM trees back to XML text."""
+
+from __future__ import annotations
+
+from repro.xmlkit.dom import Element, Text, escape_attr, escape_text
+
+
+def serialize(node: Element | Text, indent: int | None = None) -> str:
+    """Serialize a node.
+
+    ``indent=None`` produces compact output; an integer pretty-prints with
+    that many spaces per level (text-only elements stay on one line).
+    """
+    if isinstance(node, Text):
+        return escape_text(node.value)
+    if indent is None:
+        return _compact(node)
+    return _pretty(node, indent, 0)
+
+
+def _start_tag(element: Element) -> str:
+    attrs = "".join(
+        f' {name}="{escape_attr(value)}"'
+        for name, value in element.attrs.items()
+    )
+    return f"<{element.name}{attrs}"
+
+
+def _compact(element: Element) -> str:
+    head = _start_tag(element)
+    if not element.children:
+        return head + "/>"
+    body = []
+    for child in element.children:
+        if isinstance(child, Text):
+            body.append(escape_text(child.value))
+        else:
+            body.append(_compact(child))
+    return f"{head}>{''.join(body)}</{element.name}>"
+
+
+def _pretty(element: Element, indent: int, level: int) -> str:
+    pad = " " * (indent * level)
+    head = pad + _start_tag(element)
+    if not element.children:
+        return head + "/>"
+    only_text = all(isinstance(c, Text) for c in element.children)
+    if only_text:
+        text = "".join(escape_text(c.value) for c in element.children)  # type: ignore[union-attr]
+        return f"{head}>{text}</{element.name}>"
+    lines = [head + ">"]
+    for child in element.children:
+        if isinstance(child, Text):
+            if child.value.strip():
+                lines.append(" " * (indent * (level + 1)) + escape_text(child.value))
+        else:
+            lines.append(_pretty(child, indent, level + 1))
+    lines.append(f"{pad}</{element.name}>")
+    return "\n".join(lines)

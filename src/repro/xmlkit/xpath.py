@@ -1,0 +1,312 @@
+"""A compact XPath subset for direct DOM navigation.
+
+Supports the axes and predicates the native XML store and the tests need:
+
+- absolute (``/a/b``) and relative (``a/b``) location paths
+- descendant-or-self ``//name``
+- wildcard ``*`` steps and attribute steps ``@name``
+- predicates: positional (``[2]``, 1-based), existence (``[title]``),
+  comparisons (``[name="Bob"]``, ``[@tstart<="1994-05-06"]``, numeric
+  comparisons when both sides are numeric), ``and`` / ``or``.
+
+XQuery path expressions are handled separately by the XQuery engine; this
+module exists for standalone DOM work (value indexes, assertions in tests).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import XPathError
+from repro.xmlkit.dom import Element
+
+_TOKEN = re.compile(
+    r"\s*(//|/|\[|\]|@|\*|<=|>=|!=|=|<|>|\band\b|\bor\b|"
+    r"'[^']*'|\"[^\"]*\"|\d+(?:\.\d+)?|[A-Za-z_][\w.\-:]*\(\)|[A-Za-z_][\w.\-:]*)"
+)
+
+
+def _tokenize(path: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(path):
+        match = _TOKEN.match(path, pos)
+        if not match:
+            if path[pos:].strip():
+                raise XPathError(f"bad XPath syntax near {path[pos:]!r}")
+            break
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+@dataclass
+class _Step:
+    axis: str  # "child" or "descendant"
+    name: str  # element name, "*", "@attr" or "text()"
+    predicates: list
+
+
+class _PathParser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise XPathError("unexpected end of XPath")
+        self.pos += 1
+        return token
+
+    def parse(self) -> tuple[bool, list[_Step]]:
+        absolute = False
+        steps: list[_Step] = []
+        if self.peek() in ("/", "//"):
+            absolute = True
+        first = True
+        while self.peek() is not None and self.peek() not in ("]",):
+            axis = "child"
+            token = self.peek()
+            if token in ("/", "//"):
+                self.take()
+                axis = "descendant" if token == "//" else "child"
+            elif not first:
+                break
+            steps.append(self._parse_step(axis))
+            first = False
+        return absolute, steps
+
+    def _parse_step(self, axis: str) -> _Step:
+        token = self.take()
+        if token == "@":
+            name = "@" + self.take()
+        elif token == "*":
+            name = "*"
+        elif token == "text()":
+            name = "text()"
+        elif re.fullmatch(r"[A-Za-z_][\w.\-:]*", token):
+            name = token
+        else:
+            raise XPathError(f"unexpected step token {token!r}")
+        predicates = []
+        while self.peek() == "[":
+            self.take()
+            predicates.append(self._parse_predicate())
+            if self.take() != "]":
+                raise XPathError("expected ']'")
+        return _Step(axis, name, predicates)
+
+    def _parse_predicate(self):
+        left = self._parse_or()
+        return left
+
+    def _parse_or(self):
+        node = self._parse_and()
+        while self.peek() == "or":
+            self.take()
+            node = ("or", node, self._parse_and())
+        return node
+
+    def _parse_and(self):
+        node = self._parse_comparison()
+        while self.peek() == "and":
+            self.take()
+            node = ("and", node, self._parse_comparison())
+        return node
+
+    def _parse_comparison(self):
+        left = self._parse_operand()
+        if self.peek() in ("=", "!=", "<", "<=", ">", ">="):
+            op = self.take()
+            right = self._parse_operand()
+            return ("cmp", op, left, right)
+        return ("exists", left)
+
+    def _parse_operand(self):
+        token = self.peek()
+        if token is None:
+            raise XPathError("unexpected end in predicate")
+        if token[0] in ("'", '"'):
+            self.take()
+            return ("lit", token[1:-1])
+        if re.fullmatch(r"\d+(?:\.\d+)?", token):
+            self.take()
+            return ("num", float(token))
+        # a relative sub-path
+        _, steps = _PathParser(self._slice_subpath()).parse()
+        return ("path", steps)
+
+    def _slice_subpath(self) -> list[str]:
+        # Collect tokens forming a relative path until a comparison/closing token.
+        out = []
+        depth = 0
+        while self.pos < len(self.tokens):
+            token = self.tokens[self.pos]
+            if depth == 0 and token in ("=", "!=", "<", "<=", ">", ">=", "]", "and", "or"):
+                break
+            if token == "[":
+                depth += 1
+            elif token == "]":
+                depth -= 1
+            out.append(token)
+            self.pos += 1
+        return out
+
+
+def _step_candidates(node: Element, step: _Step) -> list:
+    if step.axis == "descendant":
+        pool: list[Element] = list(node.descendants())
+    else:
+        pool = node.elements()
+    if step.name == "*":
+        return pool
+    if step.name.startswith("@"):
+        attr = step.name[1:]
+        source = [node, *pool] if step.axis == "descendant" else [node]
+        values = []
+        for candidate in source:
+            if attr in candidate.attrs:
+                values.append(candidate.attrs[attr])
+        return values
+    if step.name == "text()":
+        source = pool if step.axis == "descendant" else [node]
+        return [n.text() for n in source]
+    return [n for n in pool if n.name == step.name]
+
+
+def _eval_operand(node: Element, operand) -> object:
+    kind = operand[0]
+    if kind == "lit":
+        return operand[1]
+    if kind == "num":
+        return operand[1]
+    if kind == "path":
+        return _walk([node], operand[1])
+    raise XPathError(f"bad operand {operand!r}")
+
+
+def _as_strings(value: object) -> list[str]:
+    if isinstance(value, list):
+        out = []
+        for item in value:
+            out.append(item.text() if isinstance(item, Element) else str(item))
+        return out
+    return [str(value)]
+
+
+def _compare(op: str, left: object, right: object) -> bool:
+    left_values = _as_strings(left)
+    right_values = _as_strings(right)
+    for lv in left_values:
+        for rv in right_values:
+            try:
+                lnum, rnum = float(lv), float(rv)
+                ok = _apply(op, lnum, rnum)
+            except ValueError:
+                ok = _apply(op, lv, rv)
+            if ok:
+                return True
+    return False
+
+
+def _apply(op: str, a, b) -> bool:
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise XPathError(f"unknown operator {op}")
+
+
+def _eval_predicate(node: Element, predicate, position: int) -> bool:
+    kind = predicate[0]
+    if kind == "and":
+        return _eval_predicate(node, predicate[1], position) and _eval_predicate(
+            node, predicate[2], position
+        )
+    if kind == "or":
+        return _eval_predicate(node, predicate[1], position) or _eval_predicate(
+            node, predicate[2], position
+        )
+    if kind == "cmp":
+        _, op, left, right = predicate
+        return _compare(op, _eval_operand(node, left), _eval_operand(node, right))
+    if kind == "exists":
+        operand = predicate[1]
+        if operand[0] == "num":
+            return position == int(operand[1])
+        value = _eval_operand(node, operand)
+        if isinstance(value, list):
+            return bool(value)
+        return bool(value)
+    raise XPathError(f"bad predicate {predicate!r}")
+
+
+def _walk(nodes: list, steps: list[_Step]) -> list:
+    current = nodes
+    for step in steps:
+        gathered = []
+        for node in current:
+            if not isinstance(node, Element):
+                raise XPathError("cannot navigate below an atomic value")
+            candidates = _step_candidates(node, step)
+            survivors = []
+            position = 0
+            for candidate in candidates:
+                position += 1
+                keep = True
+                for predicate in step.predicates:
+                    if not isinstance(candidate, Element):
+                        raise XPathError("predicates require element context")
+                    if not _eval_predicate(candidate, predicate, position):
+                        keep = False
+                        break
+                if keep:
+                    survivors.append(candidate)
+            gathered.extend(survivors)
+        current = gathered
+    return current
+
+
+def xpath(context: Element, path: str) -> list:
+    """Evaluate an XPath subset expression from ``context``.
+
+    Returns a list of Elements and/or strings (for ``@attr``/``text()``
+    terminal steps).  Absolute paths start from the document root and match
+    the root element itself as the first step (as if addressing the
+    document node).
+    """
+    tokens = _tokenize(path)
+    if not tokens:
+        raise XPathError("empty XPath")
+    absolute, steps = _PathParser(tokens).parse()
+    if absolute:
+        root = context.root()
+        if not steps:
+            return [root]
+        first, rest = steps[0], steps[1:]
+        if first.axis == "child":
+            # '/name' addresses the root element itself.
+            if first.name != "*" and first.name != root.name:
+                return []
+            start = [root]
+            for predicate in first.predicates:
+                if not _eval_predicate(root, predicate, 1):
+                    return []
+            return _walk(start, rest)
+        return _walk([root], steps) + (
+            [root] if steps and steps[0].name == root.name else []
+        )
+    return _walk([context], steps)

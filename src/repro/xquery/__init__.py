@@ -1,0 +1,60 @@
+"""XQuery engine: parser, tree-walking evaluator, temporal function library."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.xmlkit.dom import Element
+from repro.xquery.evaluator import XQueryContext, evaluate
+from repro.xquery.functions import STANDARD_FUNCTIONS
+from repro.xquery.parser import parse_xquery
+from repro.xquery.temporal import TEMPORAL_FUNCTIONS
+from repro.xquery.values import DateValue
+
+ALL_FUNCTIONS = {**STANDARD_FUNCTIONS, **TEMPORAL_FUNCTIONS}
+
+
+def make_context(
+    documents: Mapping[str, Element] | Callable[[str], Element],
+    current_date: int,
+    extra_functions: Mapping[str, Callable] | None = None,
+) -> XQueryContext:
+    """Build an evaluation context.
+
+    ``documents`` is a mapping from URI to DOM root, or a resolver callable.
+    """
+    if callable(documents):
+        resolver = documents
+    else:
+        mapping = dict(documents)
+
+        def resolver(uri: str) -> Element | None:
+            return mapping.get(uri)
+
+    functions = dict(ALL_FUNCTIONS)
+    if extra_functions:
+        functions.update(extra_functions)
+    return XQueryContext(resolver, current_date, {}, functions)
+
+
+def run_xquery(
+    query: str,
+    documents: Mapping[str, Element] | Callable[[str], Element],
+    current_date: int,
+    extra_functions: Mapping[str, Callable] | None = None,
+) -> list:
+    """Parse and evaluate an XQuery, returning the result sequence."""
+    return evaluate(
+        parse_xquery(query), make_context(documents, current_date, extra_functions)
+    )
+
+
+__all__ = [
+    "ALL_FUNCTIONS",
+    "DateValue",
+    "XQueryContext",
+    "evaluate",
+    "make_context",
+    "parse_xquery",
+    "run_xquery",
+]

@@ -1,0 +1,426 @@
+"""Tree-walking XQuery evaluator.
+
+This is the "native XML database" execution path (the Tamino role in the
+paper's experiments) and the reference semantics against which the
+SQL/XML translation is tested for equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import XQueryError, XQueryTypeError
+from repro.xmlkit.dom import Element, Text
+from repro.xquery import ast
+from repro.xquery.values import (
+    DateValue,
+    as_sequence,
+    atomize,
+    compare_atoms,
+    effective_boolean,
+    numeric_value,
+    string_value,
+)
+
+
+@dataclass
+class XQueryContext:
+    """Static + dynamic context for one evaluation.
+
+    ``resolver`` maps document URIs (e.g. ``employees.xml``) to DOM roots.
+    ``current_date`` backs ``current-date()`` and the temporal functions'
+    *now* substitution; it is days since the epoch.
+    ``focus_position``/``focus_size`` carry the predicate focus for
+    ``position()`` and ``last()``.
+    """
+
+    resolver: Callable[[str], Element]
+    current_date: int
+    variables: dict[str, list] = field(default_factory=dict)
+    functions: dict[str, Callable] = field(default_factory=dict)
+    focus_position: int | None = None
+    focus_size: int | None = None
+
+    def child(self, var: str, value: list) -> "XQueryContext":
+        variables = dict(self.variables)
+        variables[var] = value
+        return XQueryContext(
+            self.resolver, self.current_date, variables, self.functions,
+            self.focus_position, self.focus_size,
+        )
+
+    def with_focus(self, position: int, size: int) -> "XQueryContext":
+        return XQueryContext(
+            self.resolver, self.current_date, self.variables,
+            self.functions, position, size,
+        )
+
+
+def evaluate(node: object, ctx: XQueryContext, focus: object | None = None) -> list:
+    """Evaluate an AST node to a sequence (list of items)."""
+    handler = _HANDLERS.get(type(node))
+    if handler is None:
+        raise XQueryError(f"no evaluator for {type(node).__name__}")
+    return handler(node, ctx, focus)
+
+
+# -- leaf expressions ------------------------------------------------------
+
+
+def _eval_literal(node: ast.Literal, ctx, focus) -> list:
+    return [node.value]
+
+
+def _eval_varref(node: ast.VarRef, ctx, focus) -> list:
+    try:
+        return list(ctx.variables[node.name])
+    except KeyError:
+        raise XQueryError(f"unbound variable ${node.name}") from None
+
+
+def _eval_context_item(node: ast.ContextItem, ctx, focus) -> list:
+    if focus is None:
+        raise XQueryError("context item '.' used without a focus")
+    return [focus]
+
+
+def _eval_sequence(node: ast.SequenceExpr, ctx, focus) -> list:
+    out: list = []
+    for item in node.items:
+        out.extend(evaluate(item, ctx, focus))
+    return out
+
+
+# -- operators ---------------------------------------------------------------
+
+
+def _eval_binary(node: ast.BinaryOp, ctx, focus) -> list:
+    op = node.op
+    if op == "and":
+        left = effective_boolean(evaluate(node.left, ctx, focus))
+        if not left:
+            return [False]
+        return [effective_boolean(evaluate(node.right, ctx, focus))]
+    if op == "or":
+        left = effective_boolean(evaluate(node.left, ctx, focus))
+        if left:
+            return [True]
+        return [effective_boolean(evaluate(node.right, ctx, focus))]
+    left_seq = evaluate(node.left, ctx, focus)
+    right_seq = evaluate(node.right, ctx, focus)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        for lv in atomize(left_seq):
+            for rv in atomize(right_seq):
+                if compare_atoms(op, lv, rv):
+                    return [True]
+        return [False]
+    # arithmetic: empty sequence propagates
+    if not left_seq or not right_seq:
+        return []
+    lv, rv = left_seq[0], right_seq[0]
+    if isinstance(lv, DateValue) or isinstance(rv, DateValue):
+        return [_date_arith(op, lv, rv)]
+    a, b = numeric_value(lv), numeric_value(rv)
+    if op == "+":
+        result = a + b
+    elif op == "-":
+        result = a - b
+    elif op == "*":
+        result = a * b
+    elif op == "div":
+        if b == 0:
+            raise XQueryTypeError("division by zero")
+        result = a / b
+    elif op == "mod":
+        if b == 0:
+            raise XQueryTypeError("modulo by zero")
+        result = a % b
+    else:
+        raise XQueryError(f"unknown operator {op}")
+    if result.is_integer() and op != "div":
+        return [int(result)]
+    return [result]
+
+
+def _date_arith(op: str, lv: object, rv: object):
+    if op == "-" and isinstance(lv, DateValue) and isinstance(rv, DateValue):
+        return lv.days - rv.days
+    if op == "+" and isinstance(lv, DateValue):
+        return DateValue(lv.days + int(numeric_value(rv)))
+    if op == "+" and isinstance(rv, DateValue):
+        return DateValue(rv.days + int(numeric_value(lv)))
+    if op == "-" and isinstance(lv, DateValue):
+        return DateValue(lv.days - int(numeric_value(rv)))
+    raise XQueryTypeError(f"unsupported date arithmetic {op}")
+
+
+def _eval_unary(node: ast.UnaryOp, ctx, focus) -> list:
+    seq = evaluate(node.operand, ctx, focus)
+    if not seq:
+        return []
+    value = numeric_value(seq[0])
+    if node.op == "-":
+        value = -value
+    if value.is_integer():
+        return [int(value)]
+    return [value]
+
+
+# -- paths ----------------------------------------------------------------------
+
+
+def _eval_path(node: ast.PathExpr, ctx, focus) -> list:
+    if node.start is None:
+        raise XQueryError(
+            "absolute paths require doc(): use doc(\"name\")/... instead"
+        )
+    current = evaluate(node.start, ctx, focus)
+    for step in node.steps:
+        current = _apply_step(current, step, ctx)
+    return current
+
+
+def _apply_step(sequence: list, step: ast.Step, ctx: XQueryContext) -> list:
+    gathered: list = []
+    for item in sequence:
+        gathered.extend(_step_candidates(item, step))
+    # document order dedup is unnecessary for our tree shapes; keep order.
+    if not step.predicates:
+        return gathered
+    survivors = gathered
+    for predicate in step.predicates:
+        filtered = []
+        position = 0
+        size = len(survivors)
+        for candidate in survivors:
+            position += 1
+            focused = ctx.with_focus(position, size)
+            value = evaluate(predicate, focused, candidate)
+            if _predicate_truth(value, position):
+                filtered.append(candidate)
+        survivors = filtered
+    return survivors
+
+
+def _predicate_truth(value: list, position: int) -> bool:
+    if len(value) == 1 and isinstance(value[0], (int, float)) and not isinstance(
+        value[0], bool
+    ):
+        return position == int(value[0])
+    return effective_boolean(value)
+
+
+def _step_candidates(item: object, step: ast.Step) -> list:
+    if step.axis == "self":
+        return [item]
+    if not isinstance(item, Element):
+        raise XQueryTypeError(
+            f"cannot navigate {step.test!r} below an atomic value"
+        )
+    if step.axis == "descendant":
+        pool = list(item.descendants())
+    else:
+        pool = item.elements()
+    test = step.test
+    if test == "*":
+        return pool
+    if test == "node()":
+        if step.axis == "descendant":
+            return pool
+        return list(item.children)
+    if test == "text()":
+        source = pool if step.axis == "descendant" else [item]
+        out = []
+        for element in source:
+            for child in element.children:
+                if isinstance(child, Text):
+                    out.append(child.value)
+        return out
+    if test.startswith("@"):
+        attr = test[1:]
+        source = [item, *pool] if step.axis == "descendant" else [item]
+        return [e.attrs[attr] for e in source if attr in e.attrs]
+    return [e for e in pool if e.name == test]
+
+
+# -- FLWOR ------------------------------------------------------------------------
+
+
+def _eval_flwor(node: ast.Flwor, ctx, focus) -> list:
+    out: list = []
+    if any(isinstance(c, ast.OrderByClause) for c in node.clauses):
+        rows = list(_expand_clauses(list(node.clauses), ctx, focus))
+        rows.sort(key=lambda pair: tuple(pair[1]))
+        for binding_ctx, _ in rows:
+            out.extend(evaluate(node.return_expr, binding_ctx, focus))
+        return out
+    for binding_ctx, _ in _expand_clauses(list(node.clauses), ctx, focus):
+        out.extend(evaluate(node.return_expr, binding_ctx, focus))
+    return out
+
+
+class _SortKey:
+    """Wraps heterogeneous order-by keys so sort tuples always compare."""
+
+    __slots__ = ("value", "rank", "descending")
+
+    def __init__(self, value, descending: bool) -> None:
+        if isinstance(value, DateValue):
+            value = value.days
+        if isinstance(value, bool):
+            value = int(value)
+        self.rank = 0 if value is None else 1
+        if descending and isinstance(value, (int, float)):
+            value = -value
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        if type(self.value) is not type(other.value):
+            return str(self.value) < str(other.value)
+        if self.descending and isinstance(self.value, str):
+            return self.value > other.value
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+def _expand_clauses(clauses: list, ctx: XQueryContext, focus):
+    """Yield (context, order_keys) for every binding tuple."""
+    if not clauses:
+        yield ctx, []
+        return
+    head, rest = clauses[0], clauses[1:]
+    if isinstance(head, ast.ForClause):
+        source = evaluate(head.source, ctx, focus)
+        for position, item in enumerate(source, start=1):
+            bound = ctx.child(head.var, [item])
+            if head.position_var:
+                bound = bound.child(head.position_var, [position])
+            yield from _expand_clauses(rest, bound, focus)
+    elif isinstance(head, ast.LetClause):
+        value = evaluate(head.source, ctx, focus)
+        yield from _expand_clauses(rest, ctx.child(head.var, value), focus)
+    elif isinstance(head, ast.WhereClause):
+        if effective_boolean(evaluate(head.condition, ctx, focus)):
+            yield from _expand_clauses(rest, ctx, focus)
+    elif isinstance(head, ast.OrderByClause):
+        for inner_ctx, keys in _expand_clauses(rest, ctx, focus):
+            new_keys = []
+            for spec in head.specs:
+                seq = evaluate(spec.key, inner_ctx, focus)
+                raw = atomize(seq)[0] if seq else None
+                new_keys.append(_SortKey(raw, spec.descending))
+            yield inner_ctx, new_keys + keys
+    else:
+        raise XQueryError(f"unknown clause {type(head).__name__}")
+
+
+def _eval_quantified(node: ast.Quantified, ctx, focus) -> list:
+    def recurse(bindings: tuple, bound: XQueryContext) -> bool:
+        if not bindings:
+            return effective_boolean(evaluate(node.condition, bound, focus))
+        head, rest = bindings[0], bindings[1:]
+        source = evaluate(head.source, bound, focus)
+        if node.kind == "some":
+            return any(
+                recurse(rest, bound.child(head.var, [item])) for item in source
+            )
+        return all(
+            recurse(rest, bound.child(head.var, [item])) for item in source
+        )
+
+    return [recurse(node.bindings, ctx)]
+
+
+def _eval_if(node: ast.IfExpr, ctx, focus) -> list:
+    if effective_boolean(evaluate(node.condition, ctx, focus)):
+        return evaluate(node.then_branch, ctx, focus)
+    return evaluate(node.else_branch, ctx, focus)
+
+
+# -- constructors ----------------------------------------------------------------------
+
+
+def _content_to_children(element: Element, sequence: list) -> None:
+    """Append evaluated content to an element, XQuery-style.
+
+    Adjacent atomic values are joined with single spaces; nodes are copied.
+    """
+    pending_atoms: list[str] = []
+
+    def flush() -> None:
+        if pending_atoms:
+            element.append(Text(" ".join(pending_atoms)))
+            pending_atoms.clear()
+
+    for item in sequence:
+        if isinstance(item, Element):
+            flush()
+            element.append(item.copy())
+        elif isinstance(item, Text):
+            flush()
+            element.append(Text(item.value))
+        else:
+            pending_atoms.append(string_value(item))
+    flush()
+
+
+def _eval_computed_element(node: ast.ComputedElement, ctx, focus) -> list:
+    element = Element(node.name)
+    if node.content is not None:
+        _content_to_children(element, evaluate(node.content, ctx, focus))
+    return [element]
+
+
+def _eval_direct_element(node: ast.DirectElement, ctx, focus) -> list:
+    element = Element(node.name)
+    for attr in node.attrs:
+        pieces = []
+        for part in attr.parts:
+            if isinstance(part, str):
+                pieces.append(part)
+            else:
+                seq = evaluate(part, ctx, focus)
+                pieces.append(" ".join(string_value(i) for i in seq))
+        element.set(attr.name, "".join(pieces))
+    for part in node.content:
+        if isinstance(part, str):
+            element.append(Text(part))
+        else:
+            _content_to_children(element, evaluate(part, ctx, focus))
+    return [element]
+
+
+# -- function calls --------------------------------------------------------------------
+
+
+def _eval_function(node: ast.FunctionCall, ctx, focus) -> list:
+    name = node.name.lower()
+    fn = ctx.functions.get(name)
+    if fn is None:
+        raise XQueryError(f"unknown function {node.name}()")
+    args = [evaluate(arg, ctx, focus) for arg in node.args]
+    result = fn(ctx, *args)
+    return as_sequence(result)
+
+
+_HANDLERS = {
+    ast.Literal: _eval_literal,
+    ast.VarRef: _eval_varref,
+    ast.ContextItem: _eval_context_item,
+    ast.SequenceExpr: _eval_sequence,
+    ast.BinaryOp: _eval_binary,
+    ast.UnaryOp: _eval_unary,
+    ast.PathExpr: _eval_path,
+    ast.Flwor: _eval_flwor,
+    ast.Quantified: _eval_quantified,
+    ast.IfExpr: _eval_if,
+    ast.ComputedElement: _eval_computed_element,
+    ast.DirectElement: _eval_direct_element,
+    ast.FunctionCall: _eval_function,
+}

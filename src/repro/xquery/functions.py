@@ -1,0 +1,297 @@
+"""Standard XQuery function library (the subset the paper's queries use).
+
+Functions receive the :class:`~repro.xquery.evaluator.XQueryContext` as the
+first argument and already-evaluated argument sequences after it.  They
+return a sequence, a single item, or ``None`` (empty sequence).
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQueryError, XQueryTypeError
+from repro.util.timeutil import parse_date
+from repro.xmlkit.dom import Element
+from repro.xquery.values import (
+    DateValue,
+    atomize,
+    effective_boolean,
+    numeric_value,
+    string_value,
+)
+
+
+def _single(seq: list, fn: str) -> object:
+    if len(seq) != 1:
+        raise XQueryTypeError(f"{fn}() expects a single item, got {len(seq)}")
+    return seq[0]
+
+
+# -- documents ----------------------------------------------------------------
+
+
+def fn_doc(ctx, uri_seq):
+    """Resolve a document URI to its *document node*.
+
+    XQuery's ``doc()`` returns a document node whose single element child is
+    the root, so ``doc("e.xml")/employees`` addresses the root element.  The
+    wrapper is created lazily and reused via the root's parent pointer.
+    """
+    uri = string_value(_single(uri_seq, "doc"))
+    root = ctx.resolver(uri)
+    if root is None:
+        raise XQueryError(f"document not found: {uri}")
+    if root.name == "#document":
+        return [root]
+    if root.parent is not None and root.parent.name == "#document":
+        return [root.parent]
+    wrapper = Element("#document")
+    wrapper.append(root)
+    return [wrapper]
+
+
+# -- boolean ---------------------------------------------------------------------
+
+
+def fn_not(ctx, seq):
+    return [not effective_boolean(seq)]
+
+
+def fn_boolean(ctx, seq):
+    return [effective_boolean(seq)]
+
+
+def fn_true(ctx):
+    return [True]
+
+
+def fn_false(ctx):
+    return [False]
+
+
+def fn_empty(ctx, seq):
+    return [not seq]
+
+
+def fn_exists(ctx, seq):
+    return [bool(seq)]
+
+
+# -- aggregates -----------------------------------------------------------------------
+
+
+def fn_count(ctx, seq):
+    return [len(seq)]
+
+
+def _numeric_items(seq: list) -> list[float]:
+    return [numeric_value(item) for item in seq]
+
+
+def fn_max(ctx, seq):
+    if not seq:
+        return []
+    atoms = atomize(seq)
+    if all(isinstance(a, DateValue) for a in atoms):
+        return [max(atoms)]
+    return [max(_numeric_items(seq))]
+
+
+def fn_min(ctx, seq):
+    if not seq:
+        return []
+    atoms = atomize(seq)
+    if all(isinstance(a, DateValue) for a in atoms):
+        return [min(atoms)]
+    return [min(_numeric_items(seq))]
+
+
+def fn_sum(ctx, seq):
+    return [sum(_numeric_items(seq))] if seq else [0]
+
+
+def fn_avg(ctx, seq):
+    if not seq:
+        return []
+    values = _numeric_items(seq)
+    return [sum(values) / len(values)]
+
+
+# -- strings --------------------------------------------------------------------------
+
+
+def fn_string(ctx, seq=None):
+    if seq is None:
+        raise XQueryError("string() without argument is unsupported")
+    if not seq:
+        return [""]
+    return [string_value(_single(seq, "string"))]
+
+
+def fn_concat(ctx, *seqs):
+    return ["".join(string_value(_single(s, "concat")) for s in seqs)]
+
+
+def fn_contains(ctx, haystack, needle):
+    h = string_value(_single(haystack, "contains")) if haystack else ""
+    n = string_value(_single(needle, "contains")) if needle else ""
+    return [n in h]
+
+
+def fn_starts_with(ctx, haystack, needle):
+    h = string_value(_single(haystack, "starts-with")) if haystack else ""
+    n = string_value(_single(needle, "starts-with")) if needle else ""
+    return [h.startswith(n)]
+
+
+def fn_string_length(ctx, seq):
+    if not seq:
+        return [0]
+    return [len(string_value(_single(seq, "string-length")))]
+
+
+def fn_substring(ctx, source, start, length=None):
+    text = string_value(_single(source, "substring")) if source else ""
+    begin = int(numeric_value(_single(start, "substring"))) - 1
+    if length is None:
+        return [text[max(begin, 0) :]]
+    count = int(numeric_value(_single(length, "substring")))
+    return [text[max(begin, 0) : max(begin, 0) + count]]
+
+
+def fn_string_join(ctx, seq, separator):
+    sep = string_value(_single(separator, "string-join")) if separator else ""
+    return [sep.join(string_value(item) for item in seq)]
+
+
+# -- numbers -----------------------------------------------------------------------------
+
+
+def fn_number(ctx, seq):
+    if not seq:
+        return [float("nan")]
+    return [numeric_value(_single(seq, "number"))]
+
+
+def fn_round(ctx, seq):
+    if not seq:
+        return []
+    return [round(numeric_value(_single(seq, "round")))]
+
+
+def fn_floor(ctx, seq):
+    if not seq:
+        return []
+    import math
+
+    return [math.floor(numeric_value(_single(seq, "floor")))]
+
+
+def fn_abs(ctx, seq):
+    if not seq:
+        return []
+    return [abs(numeric_value(_single(seq, "abs")))]
+
+
+# -- sequences --------------------------------------------------------------------------------
+
+
+def fn_distinct_values(ctx, seq):
+    seen = []
+    for atom in atomize(seq):
+        if atom not in seen:
+            seen.append(atom)
+    return seen
+
+
+def fn_reverse(ctx, seq):
+    return list(reversed(seq))
+
+
+def fn_data(ctx, seq):
+    return atomize(seq)
+
+
+def fn_name(ctx, seq):
+    node = _single(seq, "name")
+    if not isinstance(node, Element):
+        raise XQueryTypeError("name() requires an element")
+    return [node.name]
+
+
+# -- dates -------------------------------------------------------------------------------------
+
+
+def fn_xs_date(ctx, seq):
+    raw = _single(seq, "xs:date")
+    if isinstance(raw, DateValue):
+        return [raw]
+    text = string_value(raw)
+    try:
+        return [DateValue(parse_date(text))]
+    except ValueError:
+        raise XQueryTypeError(f"invalid xs:date literal {text!r}") from None
+
+
+def fn_xs_integer(ctx, seq):
+    return [int(numeric_value(_single(seq, "xs:integer")))]
+
+
+def fn_xs_string(ctx, seq):
+    return [string_value(_single(seq, "xs:string"))]
+
+
+def fn_current_date(ctx):
+    return [DateValue(ctx.current_date)]
+
+
+def fn_position(ctx):
+    if ctx.focus_position is None:
+        raise XQueryError("position() used outside a predicate")
+    return [ctx.focus_position]
+
+
+def fn_last(ctx):
+    if ctx.focus_size is None:
+        raise XQueryError("last() used outside a predicate")
+    return [ctx.focus_size]
+
+
+STANDARD_FUNCTIONS = {
+    "doc": fn_doc,
+    "document": fn_doc,
+    "not": fn_not,
+    "boolean": fn_boolean,
+    "true": fn_true,
+    "false": fn_false,
+    "empty": fn_empty,
+    "exists": fn_exists,
+    "count": fn_count,
+    "max": fn_max,
+    "min": fn_min,
+    "sum": fn_sum,
+    "avg": fn_avg,
+    "string": fn_string,
+    "concat": fn_concat,
+    "contains": fn_contains,
+    "starts-with": fn_starts_with,
+    "string-length": fn_string_length,
+    "substring": fn_substring,
+    "string-join": fn_string_join,
+    "number": fn_number,
+    "round": fn_round,
+    "floor": fn_floor,
+    "abs": fn_abs,
+    "distinct-values": fn_distinct_values,
+    "reverse": fn_reverse,
+    "data": fn_data,
+    "name": fn_name,
+    "xs:date": fn_xs_date,
+    "xs:integer": fn_xs_integer,
+    "xs:string": fn_xs_string,
+    "current-date": fn_current_date,
+    "position": fn_position,
+    "last": fn_last,
+    "fn:doc": fn_doc,
+    "fn:not": fn_not,
+    "fn:empty": fn_empty,
+    "fn:count": fn_count,
+}

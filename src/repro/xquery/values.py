@@ -1,0 +1,159 @@
+"""XQuery data model (XDM-lite): sequences, atomics and dates.
+
+Sequences are plain Python lists.  Items are DOM nodes
+(:class:`~repro.xmlkit.dom.Element` / ``Text``), strings, numbers, booleans
+or :class:`DateValue`.  Helpers here implement atomization, effective
+boolean value and general-comparison value matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XQueryTypeError
+from repro.util.timeutil import format_date, parse_date
+from repro.xmlkit.dom import Element, Text
+
+
+@dataclass(frozen=True, order=True)
+class DateValue:
+    """An ``xs:date`` value, in days since the epoch."""
+
+    days: int
+
+    def __str__(self) -> str:
+        return format_date(self.days)
+
+
+def as_sequence(value: object) -> list:
+    """Normalize any evaluator result to a sequence (list)."""
+    if value is None:
+        return []
+    if isinstance(value, list):
+        return value
+    return [value]
+
+
+def atomize_item(item: object) -> object:
+    """Atomize one item: nodes become their string value."""
+    if isinstance(item, Element):
+        return item.text()
+    if isinstance(item, Text):
+        return item.value
+    return item
+
+
+def atomize(sequence: list) -> list:
+    return [atomize_item(item) for item in sequence]
+
+
+def effective_boolean(sequence: list) -> bool:
+    """XQuery effective boolean value."""
+    if not sequence:
+        return False
+    first = sequence[0]
+    if isinstance(first, (Element, Text)):
+        return True
+    if len(sequence) > 1:
+        raise XQueryTypeError(
+            "effective boolean value of a multi-item atomic sequence"
+        )
+    if isinstance(first, bool):
+        return first
+    if isinstance(first, (int, float)):
+        return first != 0
+    if isinstance(first, str):
+        return len(first) > 0
+    if isinstance(first, DateValue):
+        return True
+    raise XQueryTypeError(f"no boolean value for {type(first).__name__}")
+
+
+def string_value(item: object) -> str:
+    """String value of one item."""
+    atom = atomize_item(item)
+    if isinstance(atom, bool):
+        return "true" if atom else "false"
+    if isinstance(atom, float) and atom.is_integer():
+        return str(int(atom))
+    return str(atom)
+
+
+def numeric_value(item: object) -> float:
+    atom = atomize_item(item)
+    if isinstance(atom, bool):
+        raise XQueryTypeError("cannot use a boolean as a number")
+    if isinstance(atom, (int, float)):
+        return float(atom)
+    if isinstance(atom, str):
+        try:
+            return float(atom)
+        except ValueError:
+            raise XQueryTypeError(f"cannot cast {atom!r} to a number") from None
+    if isinstance(atom, DateValue):
+        return float(atom.days)
+    raise XQueryTypeError(f"no numeric value for {type(atom).__name__}")
+
+
+def compare_atoms(op: str, left: object, right: object) -> bool:
+    """Value comparison between two atomized items.
+
+    Follows the untyped-data conventions the paper's queries rely on:
+    if either side is a date, both are treated as dates; else if either
+    side is numeric, numeric comparison (with string casts); otherwise
+    string comparison.
+    """
+    if isinstance(left, DateValue) or isinstance(right, DateValue):
+        lv = _to_days(left)
+        rv = _to_days(right)
+        return _apply(op, lv, rv)
+    if isinstance(left, bool) or isinstance(right, bool):
+        return _apply(op, bool(left), bool(right))
+    if isinstance(left, (int, float)) or isinstance(right, (int, float)):
+        try:
+            return _apply(op, _to_number(left), _to_number(right))
+        except XQueryTypeError:
+            return _apply(op, str(left), str(right))
+    return _apply(op, str(left), str(right))
+
+
+def _to_days(value: object) -> int:
+    if isinstance(value, DateValue):
+        return value.days
+    if isinstance(value, str):
+        try:
+            return parse_date(value)
+        except ValueError:
+            raise XQueryTypeError(f"cannot cast {value!r} to xs:date") from None
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return int(value)
+    raise XQueryTypeError(f"cannot compare {value!r} with a date")
+
+
+def _to_number(value: object) -> float:
+    if isinstance(value, bool):
+        raise XQueryTypeError("boolean in numeric comparison")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise XQueryTypeError(f"cannot cast {value!r} to a number") from None
+    raise XQueryTypeError(f"no numeric value for {type(value).__name__}")
+
+
+def _apply(op: str, a, b) -> bool:
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise XQueryTypeError(f"unknown comparison operator {op}")

@@ -1,0 +1,59 @@
+"""Shared fixtures: a small current database with a tracked employee table."""
+
+import pytest
+
+from repro.archis import ArchIS
+from repro.rdb import ColumnType, Database
+
+
+def make_archis(profile="db2", umin=0.4, min_segment_rows=8):
+    db = Database()
+    db.set_date("1995-01-01")
+    db.create_table(
+        "employee",
+        [
+            ("id", ColumnType.INT),
+            ("name", ColumnType.VARCHAR),
+            ("salary", ColumnType.INT),
+            ("title", ColumnType.VARCHAR),
+            ("deptno", ColumnType.VARCHAR),
+        ],
+        primary_key=("id",),
+    )
+    archis = ArchIS(db, profile=profile, umin=umin,
+                    min_segment_rows=min_segment_rows)
+    archis.track_table("employee", document_name="employees.xml")
+    return archis
+
+
+def load_bob_history(archis):
+    """Replay the paper's Table 1 history for employee Bob (id 1001)."""
+    db = archis.db
+    emp = db.table("employee")
+    emp.insert((1001, "Bob", 60000, "Engineer", "d01"))
+    db.set_date("1995-06-01")
+    emp.update_where(lambda r: r["id"] == 1001, {"salary": 70000})
+    db.set_date("1995-10-01")
+    emp.update_where(
+        lambda r: r["id"] == 1001, {"title": "Sr Engineer", "deptno": "d02"}
+    )
+    db.set_date("1996-02-01")
+    emp.update_where(lambda r: r["id"] == 1001, {"title": "TechLeader"})
+    db.set_date("1997-01-01")
+    emp.delete_where(lambda r: r["id"] == 1001)
+    archis.apply_pending()
+
+
+@pytest.fixture
+def archis():
+    return make_archis()
+
+
+@pytest.fixture
+def archis_atlas():
+    return make_archis(profile="atlas")
+
+
+@pytest.fixture
+def archis_unsegmented():
+    return make_archis(umin=None)

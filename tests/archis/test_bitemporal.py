@@ -1,0 +1,145 @@
+"""Tests for the bitemporal extension (paper Section 9)."""
+
+import pytest
+
+from repro.archis import ArchIS
+from repro.archis.bitemporal import BitemporalArchive
+from repro.errors import ArchisError
+from repro.rdb import ColumnType, Database
+from repro.util.timeutil import FOREVER, parse_date
+
+
+@pytest.fixture
+def store():
+    db = Database()
+    db.set_date("2000-01-01")
+    archis = ArchIS(db, profile="db2", umin=None)
+    return BitemporalArchive(
+        archis, "contract", key="customer",
+        attributes={"rate": ColumnType.INT},
+    )
+
+
+class TestFactMaintenance:
+    def test_assert_fact(self, store):
+        sid = store.assert_fact(7, {"rate": 100}, "2000-01-01", "2000-12-31")
+        assert sid == 1
+        facts = store.facts()
+        assert len(facts) == 1
+        assert facts[0].key == 7
+        assert facts[0].values == (100,)
+
+    def test_missing_value_rejected(self, store):
+        with pytest.raises(ArchisError):
+            store.assert_fact(7, {}, "2000-01-01")
+
+    def test_retract_closes_transaction_time(self, store):
+        sid = store.assert_fact(7, {"rate": 100}, "2000-01-01")
+        store.db.set_date("2000-06-01")
+        store.retract_fact(sid)
+        (fact,) = store.facts()
+        assert fact.transaction.end == parse_date("2000-05-31")
+        assert not fact.currently_believed
+
+    def test_retract_unknown_raises(self, store):
+        with pytest.raises(ArchisError):
+            store.retract_fact(99)
+
+    def test_correct_fact_keeps_superseded_belief(self, store):
+        sid = store.assert_fact(7, {"rate": 100}, "2000-01-01")
+        store.db.set_date("2000-06-01")
+        store.correct_fact(sid, {"rate": 120})
+        facts = store.facts()
+        assert len(facts) == 2
+        old, new = facts
+        assert old.values == (100,)
+        assert old.transaction.end == parse_date("2000-05-31")
+        assert new.values == (120,)
+        assert new.currently_believed
+
+    def test_correct_valid_interval(self, store):
+        sid = store.assert_fact(7, {"rate": 100}, "2000-01-01", "2000-12-31")
+        store.db.set_date("2000-06-01")
+        store.correct_fact(sid, {"vend": "2001-06-30"})
+        facts = store.facts()
+        assert facts[0].valid.end == parse_date("2000-12-31")
+        assert facts[1].valid.end == parse_date("2001-06-30")
+
+    def test_correct_unknown_column(self, store):
+        sid = store.assert_fact(7, {"rate": 1}, "2000-01-01")
+        with pytest.raises(ArchisError):
+            store.correct_fact(sid, {"bogus": 1})
+
+    def test_key_collision_with_attribute(self):
+        db = Database()
+        archis = ArchIS(db, umin=None)
+        with pytest.raises(ArchisError):
+            BitemporalArchive(
+                archis, "t", key="rate", attributes={"rate": ColumnType.INT}
+            )
+
+
+class TestBitemporalQueries:
+    @pytest.fixture
+    def history(self, store):
+        # Jan 1: believe the rate is 100 for all of 2000.
+        sid = store.assert_fact(7, {"rate": 100}, "2000-01-01", "2000-12-31")
+        # Mar 1: learn it actually rose to 120 from July onward.
+        store.db.set_date("2000-03-01")
+        store.correct_fact(sid, {"vend": "2000-06-30"})
+        store.assert_fact(7, {"rate": 120}, "2000-07-01", "2000-12-31")
+        return store
+
+    def test_valid_snapshot_current_beliefs(self, history):
+        facts = history.valid_at("2000-08-15")
+        assert [f.values for f in facts] == [(120,)]
+        facts = history.valid_at("2000-05-15")
+        assert [f.values for f in facts] == [(100,)]
+
+    def test_bitemporal_snapshot_past_belief(self, history):
+        # In February we still believed 100 held in August.
+        facts = history.valid_at("2000-08-15", tt="2000-02-01")
+        assert [f.values for f in facts] == [(100,)]
+
+    def test_believed_at(self, history):
+        then = history.believed_at("2000-02-01")
+        assert len(then) == 1
+        now = history.believed_at(history.db.current_date)
+        assert len(now) == 2
+
+    def test_valid_point_outside_any_fact(self, history):
+        assert history.valid_at("1999-01-01") == []
+
+
+class TestPublication:
+    def test_four_timestamps(self, store):
+        store.assert_fact(7, {"rate": 100}, "2000-01-01", "2000-12-31")
+        doc = store.publish()
+        (fact,) = doc.elements("contract")
+        assert fact.get("tstart") == "2000-01-01"
+        assert fact.get("tend") == "9999-12-31"
+        assert fact.get("vstart") == "2000-01-01"
+        assert fact.get("vend") == "2000-12-31"
+        assert fact.first("customer").text() == "7"
+        assert fact.first("rate").text() == "100"
+
+    def test_xquery_transaction_axis(self, store):
+        sid = store.assert_fact(7, {"rate": 100}, "2000-01-01")
+        store.db.set_date("2000-06-01")
+        store.retract_fact(sid)
+        store.assert_fact(8, {"rate": 90}, "2000-06-01")
+        out = store.xquery(
+            'for $c in doc("contracts.xml")/contracts/contract'
+            "[tend(.) = current-date()] return $c/customer"
+        )
+        assert [e.text() for e in out] == ["8"]
+
+    def test_xquery_valid_axis(self, store):
+        store.assert_fact(7, {"rate": 100}, "2000-01-01", "2000-06-30")
+        store.assert_fact(7, {"rate": 120}, "2000-07-01", "2000-12-31")
+        out = store.xquery(
+            'for $c in doc("contracts.xml")/contracts/contract'
+            '[@vstart <= "2000-08-15" and @vend >= "2000-08-15"] '
+            "return $c/rate"
+        )
+        assert [e.text() for e in out] == ["120"]

@@ -1,0 +1,167 @@
+"""Tests for BlockZIP (Algorithm 2) and BLOB-backed compressed segments."""
+
+import pytest
+
+from repro.errors import ArchisError, CompressionError
+from repro.archis.compression import (
+    DEFAULT_BLOCK_SIZE,
+    compress_records,
+    compression_ratio,
+    decompress_block,
+    iter_all_rows,
+)
+from repro.util.timeutil import parse_date
+
+from tests.archis.conftest import make_archis
+from tests.archis.test_clustering import churn
+
+
+def sample_rows(n=2000):
+    return [
+        (100000 + i, 40000 + (i % 50) * 10, 6000 + i, 6400 + i, 1 + i // 700)
+        for i in range(n)
+    ]
+
+
+class TestBlockZip:
+    def test_roundtrip_all_rows(self):
+        rows = sample_rows()
+        blocks = compress_records(rows)
+        assert list(iter_all_rows(blocks)) == rows
+
+    def test_empty_input(self):
+        assert compress_records([]) == []
+
+    def test_single_row(self):
+        blocks = compress_records([(1, "x", 2)])
+        assert len(blocks) == 1
+        assert decompress_block(blocks[0]) == [(1, "x", 2)]
+
+    def test_sids_are_contiguous(self):
+        blocks = compress_records(sample_rows())
+        assert blocks[0].start_sid == 0
+        for left, right in zip(blocks, blocks[1:]):
+            assert right.start_sid == left.end_sid + 1
+        assert blocks[-1].end_sid == 1999
+
+    def test_blocks_near_target_size(self):
+        blocks = compress_records(sample_rows(), block_size=DEFAULT_BLOCK_SIZE)
+        assert len(blocks) > 1
+        for block in blocks[:-1]:
+            assert len(block.data) <= 2 * DEFAULT_BLOCK_SIZE
+
+    def test_block_granular_access(self):
+        """Reading one block yields exactly its sid range: the BlockZIP
+        property that makes snapshot queries cheap (Section 8.1)."""
+        rows = sample_rows()
+        blocks = compress_records(rows)
+        middle = blocks[len(blocks) // 2]
+        got = decompress_block(middle)
+        assert got == rows[middle.start_sid : middle.end_sid + 1]
+
+    def test_compression_actually_compresses(self):
+        rows = sample_rows(5000)
+        blocks = compress_records(rows)
+        raw = sum(len(str(r)) for r in rows)  # rough raw size
+        assert compression_ratio(blocks, raw) < 0.5
+
+    def test_corrupt_block_raises(self):
+        with pytest.raises(CompressionError):
+            decompress_block(b"not zlib data")
+
+    def test_custom_block_size(self):
+        small = compress_records(sample_rows(), block_size=1000)
+        large = compress_records(sample_rows(), block_size=16000)
+        assert len(small) > len(large)
+
+
+class TestCompressedArchive:
+    @pytest.fixture
+    def frozen_archis(self):
+        archis = make_archis(umin=0.4, min_segment_rows=8)
+        churn(archis, employees=12, rounds=12)
+        assert archis.segments.freeze_count >= 1
+        return archis
+
+    def test_compress_moves_frozen_rows(self, frozen_archis):
+        table = frozen_archis.db.table("employee_salary")
+        live = frozen_archis.segments.live_segno
+        frozen_before = sum(1 for r in table.rows() if r[4] != live)
+        info = frozen_archis.archive.compress_table("employee_salary")
+        assert info.rows_compressed == frozen_before
+        assert all(r[4] == live for r in table.rows())
+
+    def test_live_segment_never_compressed(self, frozen_archis):
+        frozen_archis.archive.compress_table("employee_salary")
+        table = frozen_archis.db.table("employee_salary")
+        assert table.row_count > 0  # live rows stay in the heap
+
+    def test_read_rows_roundtrip(self, frozen_archis):
+        table = frozen_archis.db.table("employee_salary")
+        live = frozen_archis.segments.live_segno
+        frozen_rows = sorted(
+            r for r in table.rows() if r[4] != live
+        )
+        frozen_archis.archive.compress_table("employee_salary")
+        got = sorted(frozen_archis.archive.read_rows("employee_salary"))
+        assert got == frozen_rows
+
+    def test_segment_restricted_read_touches_fewer_blocks(self, frozen_archis):
+        frozen_archis.archive.compress_table("employee_salary")
+        segments = [s for s, _, _ in frozen_archis.segments.archived_segments()]
+        one = frozen_archis.archive.blocks_touched("employee_salary", segments[:1])
+        all_segs = frozen_archis.archive.blocks_touched("employee_salary", segments)
+        assert one <= all_segs
+
+    def test_segment_restricted_rows_match_filter(self, frozen_archis):
+        table = frozen_archis.db.table("employee_salary")
+        live = frozen_archis.segments.live_segno
+        target = frozen_archis.segments.archived_segments()[0][0]
+        expected = sorted(
+            r for r in table.rows() if r[4] == target
+        )
+        frozen_archis.archive.compress_table("employee_salary")
+        got = sorted(
+            r
+            for r in frozen_archis.archive.read_rows("employee_salary", [target])
+            if r[4] == target
+        )
+        assert got == expected
+
+    def test_unzip_table_function_via_sql(self, frozen_archis):
+        frozen_archis.archive.compress_table("employee_salary")
+        result = frozen_archis.db.sql(
+            "SELECT count(*) FROM TABLE(unzip_employee_salary()) "
+            "AS z(id, salary, tstart, tend, segno)"
+        )
+        assert result.scalar() > 0
+
+    def test_double_compress_rejected(self, frozen_archis):
+        frozen_archis.archive.compress_table("employee_salary")
+        with pytest.raises(ArchisError):
+            frozen_archis.archive.compress_table("employee_salary")
+
+    def test_compress_archive_all_tables(self, frozen_archis):
+        report = frozen_archis.compress_archive()
+        assert "employee_salary" in report
+        assert "employee_id" in report
+
+    def test_history_identical_after_compression(self, frozen_archis):
+        before = frozen_archis.history("employee", "salary")
+        frozen_archis.compress_archive()
+        history_fn = frozen_archis.db.table_function("history_employee_salary")
+        after = [(r[0], r[1], r[2], r[3]) for r in history_fn()]
+        assert after == [tuple(r) for r in before]
+
+    def test_snapshot_identical_after_compression(self, frozen_archis):
+        date = parse_date("1995-03-15")
+        before = sorted(frozen_archis.snapshot_rows("employee", "salary", date))
+        frozen_archis.compress_archive()
+        after = sorted(frozen_archis.snapshot_rows("employee", "salary", date))
+        assert before == after
+
+    def test_storage_shrinks_with_compression(self, frozen_archis):
+        before = frozen_archis.storage_bytes()
+        frozen_archis.compress_archive()
+        after = frozen_archis.storage_bytes()
+        assert after < before

@@ -1,0 +1,138 @@
+"""Tests for H-table schema generation and 'now' handling."""
+
+import pytest
+
+from repro.archis.htables import (
+    RELATIONS_TABLE,
+    SEGMENT_TABLE,
+    TrackedRelation,
+    create_global_tables,
+    create_htables,
+)
+from repro.errors import ArchisError
+from repro.rdb import ColumnType, Database
+from repro.util.timeutil import FOREVER, format_date
+
+from tests.archis.conftest import load_bob_history, make_archis
+
+
+@pytest.fixture
+def relation():
+    return TrackedRelation(
+        "employee", "id",
+        {"name": ColumnType.VARCHAR, "salary": ColumnType.INT},
+    )
+
+
+class TestSchemas:
+    def test_table_names(self, relation):
+        assert relation.key_table == "employee_id"
+        assert relation.attribute_table("salary") == "employee_salary"
+        assert relation.all_tables() == [
+            "employee_id", "employee_name", "employee_salary",
+        ]
+
+    def test_unknown_attribute_raises(self, relation):
+        with pytest.raises(ArchisError):
+            relation.attribute_table("bonus")
+
+    def test_create_htables_segmented_indexes(self, relation):
+        db = Database()
+        create_htables(db, relation, segmented=True)
+        table = db.table("employee_salary")
+        names = set(table.indexes)
+        assert "employee_salary_ix_id" in names
+        info = table.indexes["employee_salary_ix_id"]
+        assert info.columns == ("segno", "id")
+
+    def test_create_htables_unsegmented_indexes(self, relation):
+        db = Database()
+        create_htables(db, relation, segmented=False)
+        info = db.table("employee_salary").indexes["employee_salary_ix_id"]
+        assert info.columns == ("id",)
+
+    def test_value_indexes_optional(self, relation):
+        db = Database()
+        create_htables(db, relation, segmented=False, value_indexes=True)
+        assert "employee_salary_ix_value" in db.table("employee_salary").indexes
+
+    def test_relations_table_records_history(self, relation):
+        db = Database()
+        db.set_date("1992-01-01")
+        create_htables(db, relation, segmented=False)
+        rows = list(db.table(RELATIONS_TABLE).rows())
+        assert rows[0][0] == "employee"
+        assert rows[0][2] == FOREVER  # open-ended relation history
+
+    def test_global_tables_idempotent(self):
+        db = Database()
+        create_global_tables(db)
+        create_global_tables(db)
+        assert db.has_table(SEGMENT_TABLE)
+
+
+class TestNowHandling:
+    def test_current_tuples_carry_end_of_time(self):
+        archis = make_archis()
+        archis.db.table("employee").insert((1, "Ann", 1, "T", "d"))
+        archis.apply_pending()
+        (row,) = archis.history("employee", "salary")
+        assert row[3] == FOREVER
+
+    def test_published_now_is_end_of_time_string(self):
+        archis = make_archis()
+        archis.db.table("employee").insert((1, "Ann", 1, "T", "d"))
+        archis.apply_pending()
+        doc = archis.publish("employee")
+        assert doc.elements()[0].get("tend") == "9999-12-31"
+
+    def test_tend_function_substitutes_current_date(self):
+        archis = make_archis()
+        archis.db.table("employee").insert((1, "Ann", 1, "T", "d"))
+        archis.db.set_date("1996-03-15")
+        archis.apply_pending()
+        out = archis.xquery(
+            'for $e in doc("employees.xml")/employees/employee'
+            "[tend(.) = current-date()] return $e/name"
+        )
+        assert [e.text() for e in out] == ["Ann"]
+
+    def test_rtend_via_fallback(self):
+        archis = make_archis()
+        archis.db.table("employee").insert((1, "Ann", 1, "T", "d"))
+        archis.db.set_date("1996-03-15")
+        archis.apply_pending()
+        out = archis.xquery(
+            'rtend(doc("employees.xml")/employees/employee[1])'
+        )
+        assert out[0].get("tend") == "1996-03-15"
+
+    def test_externalnow_via_fallback(self):
+        archis = make_archis()
+        archis.db.table("employee").insert((1, "Ann", 1, "T", "d"))
+        archis.apply_pending()
+        out = archis.xquery(
+            'externalnow(doc("employees.xml")/employees/employee[1])'
+        )
+        assert out[0].get("tend") == "now"
+
+    def test_tendval_udf_registered(self):
+        archis = make_archis()
+        fn = archis.db.function("tendval")
+        assert fn(FOREVER) == archis.db.current_date
+        assert fn(100) == 100
+
+    def test_range_predicates_work_on_raw_marker(self):
+        """Paper 4.3: the internal representation supports index-based
+        search without change — tend >= d matches current tuples."""
+        archis = make_archis()
+        archis.db.table("employee").insert((1, "Ann", 1, "T", "d"))
+        archis.db.set_date("1996-01-01")
+        archis.apply_pending()
+        out = archis.xquery(
+            'for $e in doc("employees.xml")/employees/employee'
+            '[tstart(.) <= xs:date("1995-06-01") and '
+            'tend(.) >= xs:date("1995-06-01")] return $e/name',
+            allow_fallback=False,
+        )
+        assert [e.text() for e in out] == ["Ann"]

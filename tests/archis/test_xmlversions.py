@@ -1,0 +1,180 @@
+"""Tests for multi-version XML document archiving (paper Section 9)."""
+
+import pytest
+
+from repro.archis.xmlversions import XmlVersionArchive
+from repro.errors import ArchisError
+from repro.util.timeutil import parse_date
+from repro.xmlkit import parse_xml, serialize
+
+V1 = """
+<catalog year="v">
+  <course id="cs101"><title>Intro to CS</title><units>4</units></course>
+  <course id="cs130"><title>Databases</title><units>4</units></course>
+</catalog>
+"""
+
+V2 = """
+<catalog year="v">
+  <course id="cs101"><title>Intro to CS</title><units>4</units></course>
+  <course id="cs130"><title>Database Systems</title><units>4</units></course>
+  <course id="cs188"><title>Temporal Databases</title><units>2</units></course>
+</catalog>
+"""
+
+V3 = """
+<catalog year="v">
+  <course id="cs130"><title>Database Systems</title><units>4</units></course>
+  <course id="cs188"><title>Temporal Databases</title><units>4</units></course>
+</catalog>
+"""
+
+
+@pytest.fixture
+def archive():
+    arch = XmlVersionArchive("catalog")
+    arch.commit(parse_xml(V1), "2001-09-01")
+    arch.commit(parse_xml(V2), "2002-09-01")
+    arch.commit(parse_xml(V3), "2003-09-01")
+    return arch
+
+
+class TestCommit:
+    def test_version_count(self, archive):
+        assert archive.version_count == 3
+
+    def test_out_of_order_commit_rejected(self, archive):
+        with pytest.raises(ArchisError):
+            archive.commit(parse_xml(V1), "2000-01-01")
+
+    def test_root_rename_rejected(self, archive):
+        with pytest.raises(ArchisError):
+            archive.commit(parse_xml("<syllabus/>"), "2004-09-01")
+
+    def test_empty_archive_has_no_views(self):
+        arch = XmlVersionArchive()
+        with pytest.raises(ArchisError):
+            arch.vdocument()
+        with pytest.raises(ArchisError):
+            arch.snapshot("2001-01-01")
+        assert arch.first_appearance("x") is None
+
+
+class TestVDocument:
+    def test_every_element_is_timestamped(self, archive):
+        vdoc = archive.vdocument()
+        for node in [vdoc, *vdoc.descendants()]:
+            assert node.get("tstart") is not None
+            assert node.get("tend") is not None
+
+    def test_unchanged_course_keeps_original_interval(self, archive):
+        vdoc = archive.vdocument()
+        cs130 = [c for c in vdoc.elements("course") if c.get("id") == "cs130"]
+        assert len(cs130) == 1
+        assert cs130[0].get("tstart") == "2001-09-01"
+        assert cs130[0].get("tend") == "9999-12-31"
+
+    def test_removed_course_closed(self, archive):
+        vdoc = archive.vdocument()
+        cs101 = [c for c in vdoc.elements("course") if c.get("id") == "cs101"][0]
+        assert cs101.get("tend") == "2003-08-31"
+
+    def test_text_change_recorded_as_runs(self, archive):
+        vdoc = archive.vdocument()
+        cs130 = [c for c in vdoc.elements("course") if c.get("id") == "cs130"][0]
+        title = cs130.first("title")
+        runs = [
+            (r.text(), r.get("tstart"), r.get("tend"))
+            for r in title.elements("text")
+        ]
+        assert runs == [
+            ("Databases", "2001-09-01", "2002-08-31"),
+            ("Database Systems", "2002-09-01", "9999-12-31"),
+        ]
+
+    def test_vdocument_is_serializable(self, archive):
+        text = serialize(archive.vdocument())
+        assert parse_xml(text) is not None
+
+
+class TestSnapshots:
+    def test_snapshot_reproduces_each_version(self, archive):
+        for date, original in [
+            ("2001-09-01", V1), ("2002-09-01", V2), ("2003-09-01", V3),
+            ("2002-03-15", V1), ("2003-03-15", V2), ("2010-01-01", V3),
+        ]:
+            snapshot = archive.snapshot(date)
+            assert snapshot.deep_equal(parse_xml(original)), date
+
+    def test_snapshot_before_first_version_is_none(self, archive):
+        assert archive.snapshot("1999-01-01") is None
+
+
+class TestEvolutionQueries:
+    def test_first_appearance_of_course(self, archive):
+        """The paper's example: when was a new course first introduced."""
+        when = archive.first_appearance("title", "Temporal Databases")
+        assert when == parse_date("2002-09-01")
+
+    def test_first_appearance_missing(self, archive):
+        assert archive.first_appearance("title", "Quantum Computing") is None
+
+    def test_xquery_over_vdocument(self, archive):
+        out = archive.xquery(
+            'for $c in doc("catalog.xml")/catalog/course'
+            '[tend(.) = current-date()] return $c'
+        )
+        ids = {e.get("id") for e in out}
+        assert ids == {"cs130", "cs188"}
+
+    def test_xquery_temporal_functions_work(self, archive):
+        out = archive.xquery(
+            'tstart(doc("catalog.xml")/catalog/course[1])'
+        )
+        assert str(out[0]) == "2001-09-01"
+
+    def test_xquery_slicing_over_versions(self, archive):
+        out = archive.xquery(
+            'for $c in doc("catalog.xml")/catalog/course[toverlaps(.,'
+            ' telement(xs:date("2001-10-01"), xs:date("2002-01-01")))]'
+            " return $c"
+        )
+        assert {e.get("id") for e in out} == {"cs101", "cs130"}
+
+
+class TestAttributeChanges:
+    def test_attr_change_is_replacement(self):
+        arch = XmlVersionArchive()
+        arch.commit(parse_xml('<doc><item name="a" level="1"/></doc>'), "2001-01-01")
+        arch.commit(parse_xml('<doc><item name="a" level="2"/></doc>'), "2002-01-01")
+        vdoc = arch.vdocument()
+        items = vdoc.elements("item")
+        assert len(items) == 2
+        assert items[0].get("tend") == "2001-12-31"
+        assert items[1].get("tstart") == "2002-01-01"
+
+    def test_positional_matching_without_keys(self):
+        arch = XmlVersionArchive()
+        arch.commit(parse_xml("<doc><p>one</p><p>two</p></doc>"), "2001-01-01")
+        arch.commit(parse_xml("<doc><p>one</p><p>TWO</p></doc>"), "2002-01-01")
+        vdoc = arch.vdocument()
+        paragraphs = vdoc.elements("p")
+        assert len(paragraphs) == 2  # matched positionally, text run changed
+        second = paragraphs[1]
+        runs = [r.text() for r in second.elements("text")]
+        assert runs == ["two", "TWO"]
+
+    def test_deep_subtree_changes_tracked(self):
+        arch = XmlVersionArchive()
+        arch.commit(
+            parse_xml('<spec><sec id="1"><sub>old</sub></sec></spec>'),
+            "2001-01-01",
+        )
+        arch.commit(
+            parse_xml('<spec><sec id="1"><sub>new</sub></sec></spec>'),
+            "2002-01-01",
+        )
+        snapshot_old = arch.snapshot("2001-06-01")
+        snapshot_new = arch.snapshot("2002-06-01")
+        assert snapshot_old.first("sec").first("sub").text() == "old"
+        assert snapshot_new.first("sec").first("sub").text() == "new"

@@ -1,0 +1,153 @@
+"""Tests for the synthetic employee dataset generator."""
+
+import pytest
+
+from repro.archis import ArchIS
+from repro.dataset import (
+    DEPARTMENTS,
+    TITLES,
+    DailyUpdateBatch,
+    EmployeeHistoryGenerator,
+    single_salary_update,
+)
+from repro.rdb import Database
+from repro.util.timeutil import parse_date
+
+
+@pytest.fixture
+def generator():
+    return EmployeeHistoryGenerator(employees=12, years=3, seed=99)
+
+
+class TestEventStream:
+    def test_deterministic(self, generator):
+        first = list(generator.events())
+        second = list(EmployeeHistoryGenerator(employees=12, years=3, seed=99).events())
+        assert first == second
+
+    def test_different_seeds_differ(self, generator):
+        other = EmployeeHistoryGenerator(employees=12, years=3, seed=100)
+        assert list(generator.events()) != list(other.events())
+
+    def test_initial_cohort(self, generator):
+        events = list(generator.events())
+        hires = [e for e in events if e.op == "hire"]
+        assert len(hires) >= 12
+        assert all(e.date == generator.start for e in hires[:12])
+
+    def test_events_in_chronological_order(self, generator):
+        dates = [e.date for e in generator.events()]
+        assert dates == sorted(dates)
+
+    def test_event_kinds(self, generator):
+        kinds = {e.op for e in generator.events()}
+        assert {"hire", "raise"}.issubset(kinds)
+
+    def test_raises_change_salary(self, generator):
+        for event in generator.events():
+            if event.op == "raise":
+                assert event.payload["salary"] > 0
+
+    def test_titles_and_departments_from_catalog(self, generator):
+        for event in generator.events():
+            if event.op == "title":
+                assert event.payload["title"] in TITLES
+            if event.op == "move":
+                assert event.payload["deptno"] in DEPARTMENTS
+
+    def test_scale_multiplies_population(self):
+        small = EmployeeHistoryGenerator(employees=10, years=1, scale=1)
+        large = EmployeeHistoryGenerator(employees=10, years=1, scale=3)
+        assert large.population == 3 * small.population
+
+    def test_no_events_for_departed_employees(self, generator):
+        departed = set()
+        for event in generator.events():
+            if event.op == "leave":
+                departed.add(event.employee_id)
+            elif event.op != "hire":
+                assert event.employee_id not in departed
+
+    def test_date_str(self, generator):
+        event = next(iter(generator.events()))
+        assert event.date_str == "1985-01-01"
+
+
+class TestApplication:
+    def test_apply_to_database(self, generator):
+        db = Database()
+        db.set_date("1985-01-01")
+        EmployeeHistoryGenerator.create_current_table(db)
+        count = generator.apply_to(db)
+        assert count > 12
+        assert db.table("employee").row_count > 0
+
+    def test_apply_with_archis_builds_history(self, generator):
+        db = Database()
+        db.set_date("1985-01-01")
+        EmployeeHistoryGenerator.create_current_table(db)
+        archis = ArchIS(db, profile="db2", umin=None)
+        archis.track_table("employee")
+        generator.apply_to(db)
+        salary_history = archis.history("employee", "salary")
+        raises = sum(1 for e in generator.events() if e.op == "raise")
+        assert len(salary_history) >= 12 + raises - 1
+
+    def test_known_employee_exists(self, generator):
+        db = Database()
+        db.set_date("1985-01-01")
+        EmployeeHistoryGenerator.create_current_table(db)
+        generator.apply_to(db)
+        # present in history even if they left
+        assert generator.known_employee_id() == 100001
+
+    def test_helper_dates_ordered(self, generator):
+        assert (
+            parse_date(generator.mid_history_date())
+            < parse_date(generator.late_history_date())
+            < parse_date(generator.end_date())
+        )
+
+
+class TestWorkload:
+    @pytest.fixture
+    def populated(self, generator):
+        db = Database()
+        db.set_date("1985-01-01")
+        EmployeeHistoryGenerator.create_current_table(db)
+        generator.apply_to(db)
+        return db
+
+    def test_daily_batch_applies_changes(self, populated):
+        populated.advance_days(1)
+        batch = DailyUpdateBatch(raises=3, moves=1, hires=1)
+        applied = batch.apply(populated)
+        assert applied == 5
+
+    def test_daily_batch_deterministic_given_date(self, generator):
+        results = []
+        for _ in range(2):
+            db = Database()
+            db.set_date("1985-01-01")
+            EmployeeHistoryGenerator.create_current_table(db)
+            generator.apply_to(db)
+            db.advance_days(1)
+            DailyUpdateBatch(raises=3, moves=1, hires=1).apply(db)
+            results.append(sorted(db.table("employee").rows()))
+        assert results[0] == results[1]
+
+    def test_single_salary_update(self, populated):
+        row = next(iter(populated.table("employee").rows()))
+        employee_id, old_salary = row[0], row[2]
+        single_salary_update(populated, employee_id, factor=1.10)
+        rid = populated.table("employee").lookup_pk((employee_id,))
+        assert populated.table("employee").read(rid)[2] == int(old_salary * 1.1)
+
+    def test_single_update_missing_employee(self, populated):
+        with pytest.raises(ValueError):
+            single_salary_update(populated, 999999)
+
+    def test_batch_on_empty_table(self):
+        db = Database()
+        EmployeeHistoryGenerator.create_current_table(db)
+        assert DailyUpdateBatch().apply(db) == 0

@@ -1,0 +1,160 @@
+"""Tests for the B+ tree."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.bptree import BPlusTree
+
+
+def test_insert_search():
+    tree = BPlusTree(order=4)
+    tree.insert((5,), "a")
+    assert tree.search((5,)) == ["a"]
+
+
+def test_missing_key_empty():
+    assert BPlusTree().search((1,)) == []
+
+
+def test_duplicates_accumulate():
+    tree = BPlusTree(order=4)
+    tree.insert((1,), "a")
+    tree.insert((1,), "b")
+    assert tree.search((1,)) == ["a", "b"]
+    assert len(tree) == 2
+
+
+def test_many_inserts_split_and_stay_searchable():
+    tree = BPlusTree(order=4)
+    for i in range(1000):
+        tree.insert((i,), i * 2)
+    assert tree.height() > 2
+    for i in range(0, 1000, 37):
+        assert tree.search((i,)) == [i * 2]
+    tree.check_invariants()
+
+
+def test_reverse_insertion_order():
+    tree = BPlusTree(order=4)
+    for i in reversed(range(500)):
+        tree.insert((i,), i)
+    assert [k[0] for k in tree.keys()] == list(range(500))
+    tree.check_invariants()
+
+
+def test_range_scan_inclusive():
+    tree = BPlusTree(order=8)
+    for i in range(100):
+        tree.insert((i,), i)
+    got = [k[0] for k, _ in tree.range((10,), (20,))]
+    assert got == list(range(10, 21))
+
+
+def test_range_scan_exclusive_bounds():
+    tree = BPlusTree(order=8)
+    for i in range(30):
+        tree.insert((i,), i)
+    got = [
+        k[0]
+        for k, _ in tree.range((10,), (20,), low_inclusive=False, high_inclusive=False)
+    ]
+    assert got == list(range(11, 20))
+
+
+def test_range_unbounded():
+    tree = BPlusTree(order=8)
+    for i in range(50):
+        tree.insert((i,), i)
+    assert len(list(tree.range())) == 50
+    assert [k[0] for k, _ in tree.range(high=(5,))] == list(range(6))
+    assert [k[0] for k, _ in tree.range(low=(45,))] == list(range(45, 50))
+
+
+def test_composite_keys_sort_lexicographically():
+    tree = BPlusTree(order=4)
+    tree.insert((1, "b"), "x")
+    tree.insert((1, "a"), "y")
+    tree.insert((2, "a"), "z")
+    assert [k for k, _ in tree.items()] == [(1, "a"), (1, "b"), (2, "a")]
+
+
+def test_prefix_scan():
+    tree = BPlusTree(order=4)
+    for seg in (1, 2):
+        for ident in range(5):
+            tree.insert((seg, ident), seg * 100 + ident)
+    got = [payload for _, payload in tree.prefix((1,))]
+    assert got == [100, 101, 102, 103, 104]
+
+
+def test_delete_specific_payload():
+    tree = BPlusTree(order=4)
+    tree.insert((1,), "a")
+    tree.insert((1,), "b")
+    assert tree.delete((1,), "a")
+    assert tree.search((1,)) == ["b"]
+    assert len(tree) == 1
+
+
+def test_delete_whole_key():
+    tree = BPlusTree(order=4)
+    tree.insert((1,), "a")
+    tree.insert((1,), "b")
+    assert tree.delete((1,))
+    assert tree.search((1,)) == []
+    assert len(tree) == 0
+
+
+def test_delete_absent_returns_false():
+    tree = BPlusTree(order=4)
+    tree.insert((1,), "a")
+    assert not tree.delete((2,))
+    assert not tree.delete((1,), "zz")
+
+
+def test_mass_delete_keeps_invariants():
+    tree = BPlusTree(order=4)
+    for i in range(300):
+        tree.insert((i,), i)
+    for i in range(0, 300, 2):
+        assert tree.delete((i,))
+    tree.check_invariants()
+    assert [k[0] for k in tree.keys()] == list(range(1, 300, 2))
+
+
+def test_delete_everything_then_reuse():
+    tree = BPlusTree(order=4)
+    for i in range(100):
+        tree.insert((i,), i)
+    for i in range(100):
+        assert tree.delete((i,))
+    assert len(tree) == 0
+    tree.insert((7,), "back")
+    assert tree.search((7,)) == ["back"]
+    tree.check_invariants()
+
+
+def test_non_tuple_key_raises():
+    with pytest.raises(IndexError_):
+        BPlusTree().insert(5, "x")  # type: ignore[arg-type]
+
+
+def test_tiny_order_rejected():
+    with pytest.raises(IndexError_):
+        BPlusTree(order=2)
+
+
+def test_approx_bytes_grows():
+    tree = BPlusTree(order=16)
+    empty = tree.approx_bytes()
+    for i in range(1000):
+        tree.insert((i,), i)
+    assert tree.approx_bytes() > empty
+
+
+def test_string_keys():
+    tree = BPlusTree(order=4)
+    names = ["Bob", "Alice", "Carol", "Dave"]
+    for n in names:
+        tree.insert((n,), n.lower())
+    assert [k[0] for k in tree.keys()] == sorted(names)

@@ -1,0 +1,119 @@
+"""Tests for the benchmark harness itself (small scales)."""
+
+import pytest
+
+from repro.bench import (
+    BenchQuery,
+    averaged,
+    build_archis,
+    build_native,
+    build_setup,
+    compare_engines,
+    default_queries,
+    format_table,
+    print_comparison,
+    run_archis_cold,
+    run_native_cold,
+    speedup,
+    verify_equivalence,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return build_setup(employees=10, years=4)
+
+
+class TestBuilders:
+    def test_build_archis_populates(self, setup):
+        assert setup.events_applied > 10
+        assert setup.archis.db.table("employee_salary").row_count > 0
+
+    def test_build_native_holds_document(self, setup):
+        assert "employees.xml" in setup.native.store.documents()
+
+    def test_native_clock_synced(self, setup):
+        assert setup.native.current_date == setup.archis.db.current_date
+
+    def test_compressed_build(self):
+        setup = build_setup(employees=10, years=4, compress=True)
+        assert setup.archis.archive.compressed_tables
+
+
+class TestQueries:
+    def test_default_queries_keys(self, setup):
+        queries = default_queries(setup.generator)
+        assert [q.key for q in queries] == ["Q1", "Q2", "Q3", "Q4", "Q5", "Q5e", "Q6"]
+
+    def test_queries_are_parseable(self, setup):
+        from repro.xquery import parse_xquery
+
+        for query in default_queries(setup.generator):
+            parse_xquery(query.xquery)
+
+
+class TestMeasurement:
+    def test_run_archis_cold(self, setup):
+        query = default_queries(setup.generator)[1]
+        m = run_archis_cold(setup.archis, query)
+        assert m.seconds > 0
+        assert m.result_size == 1
+
+    def test_run_native_cold(self, setup):
+        query = default_queries(setup.generator)[1]
+        m = run_native_cold(setup.native, query)
+        assert m.seconds > 0
+        assert m.physical_reads > 0  # cold: had to reload the document
+
+    def test_averaged(self, setup):
+        query = default_queries(setup.generator)[0]
+        m = averaged(lambda: run_archis_cold(setup.archis, query), repeats=2)
+        assert m.seconds > 0
+
+    def test_compare_engines_shape(self, setup):
+        queries = default_queries(setup.generator)[:2]
+        results = compare_engines(setup, queries, repeats=1)
+        assert set(results) == {"Q1", "Q2"}
+        assert {"archis", "native"} == set(results["Q1"])
+
+    def test_verify_equivalence_passes(self, setup):
+        verify_equivalence(setup, default_queries(setup.generator))
+
+    def test_verify_equivalence_catches_divergence(self, setup):
+        bogus = BenchQuery("QX", "bogus", "count(doc(\"employees.xml\")/employees/employee)")
+        good = BenchQuery(
+            "QY", "native-only variant",
+            "count(doc(\"employees.xml\")/employees/employee/salary)",
+        )
+        # sabotage: compare different queries by faking the native engine
+        class Lying:
+            def xquery(self, q):
+                return [42424242]
+
+        import repro.bench.harness as h
+
+        broken = h.BenchSetup(setup.generator, setup.archis, Lying())
+        with pytest.raises(AssertionError):
+            verify_equivalence(broken, [bogus])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_speedup(self):
+        from repro.bench.harness import Measurement
+
+        fast = Measurement(0.5, 0, 0)
+        slow = Measurement(1.0, 0, 0)
+        assert speedup(slow, fast) == 2.0
+
+    def test_print_comparison_returns_text(self, setup, capsys):
+        queries = default_queries(setup.generator)[:1]
+        results = compare_engines(setup, queries, repeats=1)
+        text = print_comparison("t", results, {"Q1": "note"})
+        assert "Q1" in text
+        assert "note" in text

@@ -1,0 +1,139 @@
+"""Tests for the native XML database baseline."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.nativexml import NativeXmlDatabase, NativeXmlStore
+from repro.xmlkit import parse_xml
+
+from tests.xquery.conftest import DEPTS_XML, EMPLOYEES_XML
+
+
+@pytest.fixture
+def db():
+    database = NativeXmlDatabase()
+    database.store_text("employees.xml", EMPLOYEES_XML)
+    database.store_text("depts.xml", DEPTS_XML)
+    database.set_date("1997-06-15")
+    return database
+
+
+class TestStore:
+    def test_roundtrip(self):
+        store = NativeXmlStore()
+        original = parse_xml("<a><b>text</b></a>")
+        store.put_document("d.xml", original)
+        store.reset_caches()
+        loaded = store.load_document("d.xml")
+        assert loaded.deep_equal(original)
+
+    def test_multi_block_document(self):
+        store = NativeXmlStore()
+        big = parse_xml(
+            "<r>" + "".join(f"<i>{n}</i>" for n in range(5000)) + "</r>"
+        )
+        store.put_document("big.xml", big)
+        store.reset_caches()
+        loaded = store.load_document("big.xml")
+        assert len(loaded.elements("i")) == 5000
+
+    def test_compression_shrinks_storage(self):
+        compressed = NativeXmlStore(compress=True)
+        plain = NativeXmlStore(compress=False)
+        doc = parse_xml(
+            "<r>" + "<x tstart='1995-01-01' tend='9999-12-31'>v</x>" * 3000 + "</r>"
+        )
+        compressed.put_document("d.xml", doc)
+        plain.put_document("d.xml", doc.copy())
+        assert compressed.storage_bytes() < plain.storage_bytes() / 3
+
+    def test_replace_document_frees_old_blobs(self):
+        store = NativeXmlStore()
+        store.put_document("d.xml", parse_xml("<a>" + "x" * 50000 + "</a>"))
+        first = len(store.blobs)
+        store.put_document("d.xml", parse_xml("<a>tiny</a>"))
+        assert len(store.blobs) <= first
+
+    def test_remove_document(self):
+        store = NativeXmlStore()
+        store.put_document("d.xml", parse_xml("<a/>"))
+        store.remove_document("d.xml")
+        assert "d.xml" not in store
+        with pytest.raises(XmlError):
+            store.load_document("d.xml")
+
+    def test_missing_document_raises(self):
+        with pytest.raises(XmlError):
+            NativeXmlStore().load_document("nope.xml")
+
+    def test_documents_listing(self):
+        store = NativeXmlStore()
+        store.put_document("b.xml", parse_xml("<b/>"))
+        store.put_document("a.xml", parse_xml("<a/>"))
+        assert store.documents() == ["a.xml", "b.xml"]
+
+    def test_cold_load_costs_physical_reads(self):
+        store = NativeXmlStore()
+        store.put_document("d.xml", parse_xml("<a>" + "y" * 40000 + "</a>"))
+        store.reset_caches()
+        before = store.pager.io_stats()
+        store.load_document("d.xml")
+        assert store.pager.io_stats().delta(before).reads > 0
+
+
+class TestEngine:
+    def test_simple_query(self, db):
+        out = db.xquery('doc("employees.xml")/employees/employee/name')
+        assert [e.text() for e in out] == ["Bob", "Ann", "Carl"]
+
+    def test_temporal_query(self, db):
+        out = db.xquery(
+            'for $m in doc("depts.xml")/depts/dept/mgrno'
+            '[tstart(.)<=xs:date("1994-05-06") and tend(.)>=xs:date("1994-05-06")]'
+            " return $m"
+        )
+        assert sorted(e.text() for e in out) == ["2501", "3402", "4748"]
+
+    def test_cross_document_join(self, db):
+        out = db.xquery(
+            'for $e in doc("employees.xml")/employees/employee '
+            'for $d in doc("depts.xml")/depts/dept '
+            "where $e/deptno = $d/deptno return $e/name"
+        )
+        assert len(out) >= 2
+
+    def test_update_document(self, db):
+        def raise_salary(root):
+            bob = [
+                e
+                for e in root.elements("employee")
+                if e.first("name").text() == "Bob"
+            ][0]
+            bob.elements("salary")[-1].children[0].value = "77000"
+
+        db.update_document("employees.xml", raise_salary)
+        db.reset_caches()
+        out = db.xquery(
+            'doc("employees.xml")/employees/employee[name="Bob"]/salary'
+        )
+        assert [e.text() for e in out] == ["60000", "77000"]
+
+    def test_current_date_in_queries(self, db):
+        out = db.xquery(
+            'tend(doc("employees.xml")/employees/employee[name="Ann"])'
+        )
+        assert str(out[0]) == "1997-06-15"
+
+    def test_reset_caches_forces_reload(self, db):
+        db.xquery('doc("employees.xml")/employees')
+        db.reset_caches()
+        before = db.store.pager.io_stats()
+        db.xquery('doc("employees.xml")/employees')
+        assert db.store.pager.io_stats().delta(before).reads > 0
+
+    def test_register_function(self, db):
+        db.register_function("fortytwo", lambda ctx: [42])
+        assert db.xquery("fortytwo()") == [42]
+
+    def test_storage_bytes_positive(self, db):
+        assert db.storage_bytes() > 0

@@ -1,0 +1,55 @@
+"""Property-based tests: the B+ tree behaves like a sorted multimap."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.index.bptree import BPlusTree
+
+KEYS = st.integers(min_value=0, max_value=200)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(KEYS, st.integers()), max_size=200), st.integers(4, 16))
+def test_matches_reference_multimap(entries, order):
+    tree = BPlusTree(order=order)
+    reference: dict[int, list[int]] = {}
+    for key, value in entries:
+        tree.insert((key,), value)
+        reference.setdefault(key, []).append(value)
+    tree.check_invariants()
+    for key, values in reference.items():
+        assert sorted(tree.search((key,))) == sorted(values)
+    assert [k[0] for k in tree.keys()] == sorted(reference)
+    assert len(tree) == sum(len(v) for v in reference.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(KEYS, st.integers(0, 5)), max_size=150),
+    st.lists(KEYS, max_size=80),
+    st.integers(4, 12),
+)
+def test_interleaved_deletes(entries, deletions, order):
+    tree = BPlusTree(order=order)
+    reference: dict[int, list[int]] = {}
+    for key, value in entries:
+        tree.insert((key,), value)
+        reference.setdefault(key, []).append(value)
+    for key in deletions:
+        expected = key in reference
+        assert tree.delete((key,)) == expected
+        reference.pop(key, None)
+        tree.check_invariants()
+    assert [k[0] for k in tree.keys()] == sorted(reference)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(KEYS, max_size=150), KEYS, KEYS)
+def test_range_matches_filter(keys, low, high):
+    if low > high:
+        low, high = high, low
+    tree = BPlusTree(order=8)
+    for key in keys:
+        tree.insert((key,), key)
+    got = [k[0] for k, _ in tree.range((low,), (high,))]
+    expected = sorted(k for k in keys if low <= k <= high)
+    assert got == expected

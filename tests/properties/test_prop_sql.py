@@ -1,0 +1,117 @@
+"""Property test: the SQL planner agrees with a naive Python reference,
+with and without indexes."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdb import ColumnType, Database
+
+COLUMNS = ["a", "b", "c"]
+
+
+def null_safe(rows):
+    return sorted(
+        rows, key=lambda r: tuple((v is not None, v if v is not None else 0) for v in r)
+    )
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 50),
+        st.integers(0, 50),
+        st.one_of(st.none(), st.integers(0, 50)),
+    ),
+    max_size=60,
+)
+
+predicate_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(COLUMNS),
+        st.sampled_from(["=", "<", "<=", ">", ">=", "<>"]),
+        st.integers(0, 50),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def reference_filter(rows, predicates):
+    def match(row):
+        for column, op, value in predicates:
+            cell = row[COLUMNS.index(column)]
+            if cell is None:
+                return False
+            if op == "=" and not cell == value:
+                return False
+            if op == "<>" and not cell != value:
+                return False
+            if op == "<" and not cell < value:
+                return False
+            if op == "<=" and not cell <= value:
+                return False
+            if op == ">" and not cell > value:
+                return False
+            if op == ">=" and not cell >= value:
+                return False
+        return True
+
+    return null_safe(row for row in rows if match(row))
+
+
+def run_sql(rows, predicates, with_index):
+    db = Database()
+    db.create_table("t", [(c, ColumnType.INT) for c in COLUMNS])
+    table = db.table("t")
+    for row in rows:
+        table.insert(row)
+    if with_index:
+        db.sql("CREATE INDEX ix_a ON t (a)")
+        db.sql("CREATE INDEX ix_bc ON t (b, c)")
+    where = " AND ".join(
+        f"{column} {op} {value}" for column, op, value in predicates
+    )
+    result = db.sql(f"SELECT a, b, c FROM t WHERE {where}")
+    return null_safe(result.rows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_strategy, predicate_strategy)
+def test_planner_matches_reference_without_index(rows, predicates):
+    assert run_sql(rows, predicates, False) == reference_filter(rows, predicates)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_strategy, predicate_strategy)
+def test_planner_matches_reference_with_index(rows, predicates):
+    assert run_sql(rows, predicates, True) == reference_filter(rows, predicates)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy)
+def test_aggregates_match_reference(rows):
+    db = Database()
+    db.create_table("t", [(c, ColumnType.INT) for c in COLUMNS])
+    for row in rows:
+        db.table("t").insert(row)
+    non_null_c = [r[2] for r in rows if r[2] is not None]
+    result = db.sql("SELECT count(*), count(c), sum(c), min(c), max(c) FROM t")
+    count_star, count_c, sum_c, min_c, max_c = result.first()
+    assert count_star == len(rows)
+    assert count_c == len(non_null_c)
+    assert sum_c == (sum(non_null_c) if non_null_c else None)
+    assert min_c == (min(non_null_c) if non_null_c else None)
+    assert max_c == (max(non_null_c) if non_null_c else None)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows_strategy, st.sampled_from(COLUMNS))
+def test_group_by_matches_reference(rows, key_column):
+    db = Database()
+    db.create_table("t", [(c, ColumnType.INT) for c in COLUMNS])
+    for row in rows:
+        db.table("t").insert(row)
+    result = db.sql(f"SELECT {key_column}, count(*) FROM t GROUP BY {key_column}")
+    got = dict(result.rows)
+    expected: dict = {}
+    key_pos = COLUMNS.index(key_column)
+    for row in rows:
+        expected[row[key_pos]] = expected.get(row[key_pos], 0) + 1
+    assert got == expected

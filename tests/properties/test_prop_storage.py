@@ -1,0 +1,83 @@
+"""Property tests for the storage layer: record codec, pages, BlockZIP."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.archis.compression import compress_records, decompress_block, iter_all_rows
+from repro.storage.page import SlottedPage
+from repro.storage.record import decode_record, encode_record
+
+field = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=60),
+    st.binary(max_size=60),
+)
+rows = st.lists(
+    st.tuples(st.integers(0, 10**6), field, field), max_size=120
+)
+
+
+@given(st.lists(field, max_size=12).map(tuple))
+def test_record_codec_roundtrip(values):
+    assert decode_record(encode_record(values)) == values
+
+
+@given(st.lists(st.binary(min_size=1, max_size=300), max_size=40))
+def test_slotted_page_roundtrip(payloads):
+    page = SlottedPage()
+    stored = []
+    for payload in payloads:
+        if page.free_space() < len(payload):
+            break
+        slot = page.insert(payload)
+        stored.append((slot, payload))
+    # survive serialization
+    reloaded = SlottedPage(page.to_bytes())
+    for slot, payload in stored:
+        assert reloaded.read(slot) == payload
+
+
+@given(st.lists(st.binary(min_size=1, max_size=120), min_size=2, max_size=30))
+def test_slotted_page_delete_keeps_others(payloads):
+    page = SlottedPage()
+    slots = []
+    for payload in payloads:
+        if page.free_space() < len(payload):
+            break
+        slots.append((page.insert(payload), payload))
+    if len(slots) < 2:
+        return
+    victim = slots[0][0]
+    page.delete(victim)
+    assert page.read(victim) is None
+    for slot, payload in slots[1:]:
+        assert page.read(slot) == payload
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows, st.integers(min_value=200, max_value=8000))
+def test_blockzip_roundtrip(data, block_size):
+    blocks = compress_records(data, block_size=block_size)
+    assert list(iter_all_rows(blocks)) == data
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows)
+def test_blockzip_sids_partition_input(data):
+    blocks = compress_records(data)
+    covered = []
+    for block in blocks:
+        covered.extend(range(block.start_sid, block.end_sid + 1))
+    assert covered == list(range(len(data)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows, st.integers(min_value=300, max_value=4000))
+def test_blockzip_random_block_access(data, block_size):
+    blocks = compress_records(data, block_size=block_size)
+    for block in blocks:
+        assert (
+            decompress_block(block)
+            == data[block.start_sid : block.end_sid + 1]
+        )

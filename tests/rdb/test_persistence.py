@@ -1,0 +1,113 @@
+"""Tests for catalog persistence: save, reopen, keep working."""
+
+import pytest
+
+from repro.errors import CatalogError, StorageError
+from repro.rdb import ColumnType, Database
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "archive.db")
+
+
+def build(path):
+    db = Database(path)
+    db.set_date("1995-06-01")
+    db.create_table(
+        "employee",
+        [("id", ColumnType.INT), ("name", ColumnType.VARCHAR),
+         ("salary", ColumnType.INT)],
+        primary_key=("id",),
+    )
+    db.sql("CREATE INDEX emp_sal ON employee (salary)")
+    db.sql(
+        "INSERT INTO employee VALUES (1, 'Bob', 60000), (2, 'Ann', 72000)"
+    )
+    return db
+
+
+def test_save_and_reopen_roundtrip(db_path):
+    db = build(db_path)
+    db.save()
+    db.close()
+
+    again = Database.open(db_path)
+    assert again.tables() == ["employee"]
+    assert again.sql("SELECT name FROM employee ORDER BY id").column(0) == [
+        "Bob", "Ann",
+    ]
+
+
+def test_clock_restored(db_path):
+    db = build(db_path)
+    db.save()
+    db.close()
+    again = Database.open(db_path)
+    from repro.util.timeutil import format_date
+
+    assert format_date(again.current_date) == "1995-06-01"
+
+
+def test_indexes_restored_and_usable(db_path):
+    db = build(db_path)
+    db.save()
+    db.close()
+    again = Database.open(db_path)
+    table = again.table("employee")
+    assert "emp_sal" in table.indexes
+    result = again.sql("SELECT name FROM employee WHERE salary = 72000")
+    assert result.scalar() == "Ann"
+
+
+def test_pk_enforced_after_reopen(db_path):
+    db = build(db_path)
+    db.save()
+    db.close()
+    again = Database.open(db_path)
+    from repro.errors import IntegrityError
+
+    with pytest.raises(IntegrityError):
+        again.table("employee").insert((1, "Dup", 1))
+
+
+def test_writes_after_reopen_persist(db_path):
+    db = build(db_path)
+    db.save()
+    db.close()
+    again = Database.open(db_path)
+    again.sql("INSERT INTO employee VALUES (3, 'Carl', 55000)")
+    again.save()
+    again.close()
+    third = Database.open(db_path)
+    assert third.sql("SELECT count(*) FROM employee").scalar() == 3
+
+
+def test_blobs_survive(db_path):
+    db = build(db_path)
+    blob_id = db.blobs.put(b"compressed segment data")
+    db.save()
+    db.close()
+    again = Database.open(db_path)
+    assert again.blobs.get(blob_id) == b"compressed segment data"
+
+
+def test_deleted_rows_stay_deleted(db_path):
+    db = build(db_path)
+    db.sql("DELETE FROM employee WHERE id = 1")
+    db.save()
+    db.close()
+    again = Database.open(db_path)
+    assert again.sql("SELECT count(*) FROM employee").scalar() == 1
+
+
+def test_memory_database_cannot_save():
+    with pytest.raises(StorageError):
+        Database().save()
+
+
+def test_open_without_sidecar_raises(db_path):
+    db = build(db_path)
+    db.close()  # never saved
+    with pytest.raises(CatalogError):
+        Database.open(db_path)

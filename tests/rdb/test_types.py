@@ -1,0 +1,102 @@
+"""Tests for column types and schemas."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.rdb.types import Column, ColumnType, TableSchema
+from repro.util.timeutil import FOREVER
+
+
+def make_schema():
+    return TableSchema(
+        "employee",
+        [
+            Column("id", ColumnType.INT, nullable=False),
+            Column("name", ColumnType.VARCHAR),
+            Column("salary", ColumnType.FLOAT),
+            Column("hired", ColumnType.DATE),
+        ],
+        primary_key=("id",),
+    )
+
+
+class TestColumnType:
+    def test_int_ok(self):
+        assert ColumnType.INT.validate(5, "c") == 5
+
+    def test_int_rejects_str(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.INT.validate("5", "c")
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.INT.validate(True, "c")
+
+    def test_float_coerces_int(self):
+        assert ColumnType.FLOAT.validate(5, "c") == 5.0
+
+    def test_varchar(self):
+        assert ColumnType.VARCHAR.validate("Bob", "c") == "Bob"
+
+    def test_varchar_rejects_int(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.VARCHAR.validate(3, "c")
+
+    def test_date_from_string(self):
+        assert ColumnType.DATE.validate("1970-01-02", "c") == 1
+
+    def test_date_now_string(self):
+        assert ColumnType.DATE.validate("now", "c") == FOREVER
+
+    def test_date_from_int_passthrough(self):
+        assert ColumnType.DATE.validate(100, "c") == 100
+
+    def test_date_bad_string(self):
+        with pytest.raises(IntegrityError):
+            ColumnType.DATE.validate("yesterday-ish", "c")
+
+    def test_blob(self):
+        assert ColumnType.BLOB.validate(bytearray(b"x"), "c") == b"x"
+
+    def test_null_passes_all(self):
+        for ct in ColumnType:
+            assert ct.validate(None, "c") is None
+
+
+class TestTableSchema:
+    def test_positions(self):
+        schema = make_schema()
+        assert schema.position("salary") == 2
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(IntegrityError):
+            make_schema().position("nope")
+
+    def test_has_column(self):
+        assert make_schema().has_column("name")
+        assert not make_schema().has_column("nope")
+
+    def test_validate_row(self):
+        schema = make_schema()
+        row = schema.validate_row((1, "Bob", 60000, "1995-01-01"))
+        assert row[3] == ColumnType.DATE.validate("1995-01-01", "hired")
+
+    def test_wrong_arity(self):
+        with pytest.raises(IntegrityError):
+            make_schema().validate_row((1, "Bob"))
+
+    def test_not_null_enforced(self):
+        with pytest.raises(IntegrityError):
+            make_schema().validate_row((None, "Bob", 1.0, 0))
+
+    def test_key_of(self):
+        schema = make_schema()
+        assert schema.key_of((7, "Bob", 1.0, 0)) == (7,)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(IntegrityError):
+            TableSchema("t", [Column("a", ColumnType.INT), Column("a", ColumnType.INT)])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(IntegrityError):
+            TableSchema("t", [Column("a", ColumnType.INT)], primary_key=("b",))

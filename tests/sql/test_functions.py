@@ -1,0 +1,105 @@
+"""Direct unit tests for the SQL scalar function library."""
+
+import pytest
+
+from repro.errors import SqlPlanError
+from repro.sql.functions import (
+    BUILTIN_FUNCTIONS,
+    sql_coalesce,
+    sql_datestr,
+    sql_dateval,
+    sql_greatest,
+    sql_is_now,
+    sql_least,
+    sql_overlap_end,
+    sql_overlap_start,
+    sql_substr,
+    sql_tcontains,
+    sql_tequals,
+    sql_timespan,
+    sql_tmeets,
+    sql_toverlaps,
+    sql_tprecedes,
+)
+from repro.util.timeutil import FOREVER, parse_date
+
+D = parse_date
+
+
+class TestTemporalUdfs:
+    def test_toverlaps(self):
+        assert sql_toverlaps(D("1995-01-01"), D("1995-06-30"),
+                             D("1995-06-01"), D("1995-12-31"))
+        assert not sql_toverlaps(D("1995-01-01"), D("1995-05-31"),
+                                 D("1995-06-01"), D("1995-12-31"))
+
+    def test_tcontains(self):
+        assert sql_tcontains(D("1994-01-01"), D("1998-12-31"),
+                             D("1995-01-01"), D("1995-12-31"))
+        assert not sql_tcontains(D("1995-01-01"), D("1995-12-31"),
+                                 D("1994-01-01"), D("1998-12-31"))
+
+    def test_tequals(self):
+        assert sql_tequals(1, 2, 1, 2)
+        assert not sql_tequals(1, 2, 1, 3)
+
+    def test_tmeets(self):
+        assert sql_tmeets(D("1995-01-01"), D("1995-05-31"),
+                          D("1995-06-01"), D("1995-12-31"))
+
+    def test_tprecedes(self):
+        assert sql_tprecedes(1, 2, 4, 5)
+        assert not sql_tprecedes(1, 3, 3, 5)
+
+    def test_string_dates_accepted(self):
+        assert sql_toverlaps("1995-01-01", "1995-12-31",
+                             "1995-06-01", "1996-06-01")
+
+    def test_overlap_interval(self):
+        assert sql_overlap_start(1, 10, 5, 20) == 5
+        assert sql_overlap_end(1, 10, 5, 20) == 10
+        assert sql_overlap_start(1, 2, 5, 6) is None
+        assert sql_overlap_end(1, 2, 5, 6) is None
+
+    def test_timespan(self):
+        assert sql_timespan(D("1995-01-01"), D("1995-01-31")) == 31
+
+    def test_bad_date_type_raises(self):
+        with pytest.raises(SqlPlanError):
+            sql_toverlaps(1.5, 2, 3, 4)
+
+
+class TestDateHelpers:
+    def test_datestr(self):
+        assert sql_datestr(0) == "1970-01-01"
+        assert sql_datestr(FOREVER) == "9999-12-31"
+        assert sql_datestr(None) is None
+
+    def test_dateval(self):
+        assert sql_dateval("1970-01-02") == 1
+        assert sql_dateval("now") == FOREVER
+        assert sql_dateval(None) is None
+
+    def test_is_now(self):
+        assert sql_is_now(FOREVER)
+        assert not sql_is_now(0)
+
+
+class TestGenericScalars:
+    def test_coalesce(self):
+        assert sql_coalesce(None, None, 3) == 3
+        assert sql_coalesce(None, None) is None
+
+    def test_greatest_least(self):
+        assert sql_greatest(1, None, 3) == 3
+        assert sql_least(1, None, 3) == 1
+        assert sql_greatest(None) is None
+
+    def test_substr(self):
+        assert sql_substr("hello", 2) == "ello"
+        assert sql_substr("hello", 2, 3) == "ell"
+        assert sql_substr(None, 1) is None
+
+    def test_registry_complete(self):
+        for name in ("toverlaps", "datestr", "coalesce", "upper", "substr"):
+            assert name in BUILTIN_FUNCTIONS

@@ -1,0 +1,319 @@
+"""Tests for SQL DDL, DML and basic SELECT."""
+
+import pytest
+
+from repro.errors import SqlPlanError, SqlSyntaxError
+from repro.rdb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.sql(
+        "CREATE TABLE employee (id INT, name VARCHAR, salary INT, "
+        "hired DATE, PRIMARY KEY (id))"
+    )
+    database.sql(
+        "INSERT INTO employee VALUES "
+        "(1, 'Bob', 60000, DATE '1995-01-01'), "
+        "(2, 'Ann', 72000, DATE '1993-03-01'), "
+        "(3, 'Carl', 55000, DATE '1994-02-01')"
+    )
+    return database
+
+
+class TestDdlDml:
+    def test_create_and_insert(self, db):
+        assert db.table("employee").row_count == 3
+
+    def test_insert_with_columns(self, db):
+        db.sql("INSERT INTO employee (id, name) VALUES (9, 'Zoe')")
+        row = db.sql("SELECT salary FROM employee WHERE id = 9")
+        assert row.rows == [(None,)]
+
+    def test_update(self, db):
+        count = db.sql("UPDATE employee SET salary = 61000 WHERE name = 'Bob'")
+        assert count == 1
+        assert db.sql("SELECT salary FROM employee WHERE name = 'Bob'").scalar() == 61000
+
+    def test_update_expression(self, db):
+        db.sql("UPDATE employee SET salary = salary + 1000 WHERE id = 1")
+        assert db.sql("SELECT salary FROM employee WHERE id = 1").scalar() == 61000
+
+    def test_delete(self, db):
+        assert db.sql("DELETE FROM employee WHERE salary < 60000") == 1
+        assert db.table("employee").row_count == 2
+
+    def test_delete_all(self, db):
+        assert db.sql("DELETE FROM employee") == 3
+
+    def test_drop_table(self, db):
+        db.sql("DROP TABLE employee")
+        assert not db.has_table("employee")
+
+    def test_create_index_via_sql(self, db):
+        db.sql("CREATE INDEX emp_name ON employee (name)")
+        assert "emp_name" in db.table("employee").indexes
+
+    def test_bad_type(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("CREATE TABLE t (x GEOMETRY)")
+
+    def test_syntax_error(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.sql("SELEC * FROM employee")
+
+
+class TestSelect:
+    def test_select_star(self, db):
+        result = db.sql("SELECT * FROM employee")
+        assert len(result) == 3
+        assert result.columns == ["id", "name", "salary", "hired"]
+
+    def test_projection(self, db):
+        result = db.sql("SELECT name, salary FROM employee WHERE id = 2")
+        assert result.rows == [("Ann", 72000)]
+
+    def test_alias(self, db):
+        result = db.sql("SELECT e.name AS who FROM employee AS e WHERE e.id = 1")
+        assert result.columns == ["who"]
+        assert result.scalar() == "Bob"
+
+    def test_where_and_or(self, db):
+        result = db.sql(
+            "SELECT name FROM employee WHERE salary > 50000 AND salary < 70000"
+        )
+        assert sorted(r[0] for r in result) == ["Bob", "Carl"]
+
+    def test_date_literal_comparison(self, db):
+        result = db.sql(
+            "SELECT name FROM employee WHERE hired <= DATE '1994-06-01'"
+        )
+        assert sorted(r[0] for r in result) == ["Ann", "Carl"]
+
+    def test_arithmetic_projection(self, db):
+        assert db.sql("SELECT salary * 2 FROM employee WHERE id = 1").scalar() == 120000
+
+    def test_in_list(self, db):
+        result = db.sql("SELECT name FROM employee WHERE id IN (1, 3)")
+        assert sorted(r[0] for r in result) == ["Bob", "Carl"]
+
+    def test_not_in(self, db):
+        result = db.sql("SELECT name FROM employee WHERE id NOT IN (1, 3)")
+        assert [r[0] for r in result] == ["Ann"]
+
+    def test_between(self, db):
+        result = db.sql("SELECT name FROM employee WHERE salary BETWEEN 56000 AND 65000")
+        assert [r[0] for r in result] == ["Bob"]
+
+    def test_is_null(self, db):
+        db.sql("INSERT INTO employee (id, name) VALUES (9, 'Zoe')")
+        result = db.sql("SELECT name FROM employee WHERE salary IS NULL")
+        assert [r[0] for r in result] == ["Zoe"]
+        result = db.sql("SELECT count(*) FROM employee WHERE salary IS NOT NULL")
+        assert result.scalar() == 3
+
+    def test_like(self, db):
+        result = db.sql("SELECT name FROM employee WHERE name LIKE 'B%'")
+        assert [r[0] for r in result] == ["Bob"]
+
+    def test_order_by(self, db):
+        result = db.sql("SELECT name FROM employee ORDER BY salary DESC")
+        assert [r[0] for r in result] == ["Ann", "Bob", "Carl"]
+
+    def test_order_by_two_keys(self, db):
+        db.sql("INSERT INTO employee VALUES (4, 'Dan', 72000, DATE '1999-01-01')")
+        result = db.sql("SELECT name FROM employee ORDER BY salary DESC, name ASC")
+        assert [r[0] for r in result] == ["Ann", "Dan", "Bob", "Carl"]
+
+    def test_limit(self, db):
+        result = db.sql("SELECT name FROM employee ORDER BY id LIMIT 2")
+        assert [r[0] for r in result] == ["Bob", "Ann"]
+
+    def test_distinct(self, db):
+        db.sql("INSERT INTO employee VALUES (5, 'Bob', 1, DATE '2000-01-01')")
+        result = db.sql("SELECT DISTINCT name FROM employee ORDER BY name")
+        assert [r[0] for r in result] == ["Ann", "Bob", "Carl"]
+
+    def test_case(self, db):
+        result = db.sql(
+            "SELECT CASE WHEN salary >= 60000 THEN 'high' ELSE 'low' END "
+            "FROM employee ORDER BY id"
+        )
+        assert [r[0] for r in result] == ["high", "high", "low"]
+
+    def test_params(self, db):
+        result = db.sql(
+            "SELECT name FROM employee WHERE salary > :floor", {"floor": 60000}
+        )
+        assert [r[0] for r in result] == ["Ann"]
+
+    def test_missing_param(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT name FROM employee WHERE salary > :floor")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT wages FROM employee")
+
+    def test_ambiguous_column(self, db):
+        db.sql("CREATE TABLE other (id INT, x INT)")
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT id FROM employee, other")
+
+    def test_scalar_functions(self, db):
+        assert db.sql("SELECT upper(name) FROM employee WHERE id = 1").scalar() == "BOB"
+        assert db.sql("SELECT length(name) FROM employee WHERE id = 3").scalar() == 4
+        assert (
+            db.sql("SELECT datestr(hired) FROM employee WHERE id = 1").scalar()
+            == "1995-01-01"
+        )
+
+    def test_concat_operator(self, db):
+        assert (
+            db.sql("SELECT name || '!' FROM employee WHERE id = 1").scalar()
+            == "Bob!"
+        )
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert db.sql("SELECT count(*) FROM employee").scalar() == 3
+
+    def test_sum_avg_min_max(self, db):
+        row = db.sql(
+            "SELECT sum(salary), avg(salary), min(salary), max(salary) FROM employee"
+        ).first()
+        assert row[0] == 187000
+        assert abs(row[1] - 62333.333) < 0.01
+        assert row[2] == 55000
+        assert row[3] == 72000
+
+    def test_count_ignores_null(self, db):
+        db.sql("INSERT INTO employee (id, name) VALUES (9, 'Zoe')")
+        assert db.sql("SELECT count(salary) FROM employee").scalar() == 3
+
+    def test_group_by(self, db):
+        db.sql("INSERT INTO employee VALUES (4, 'Bob', 10000, DATE '2001-01-01')")
+        result = db.sql(
+            "SELECT name, count(*), sum(salary) FROM employee "
+            "GROUP BY name ORDER BY name"
+        )
+        assert result.rows == [
+            ("Ann", 1, 72000),
+            ("Bob", 2, 70000),
+            ("Carl", 1, 55000),
+        ]
+
+    def test_aggregate_over_empty(self, db):
+        db.sql("DELETE FROM employee")
+        assert db.sql("SELECT count(*) FROM employee").scalar() == 0
+        assert db.sql("SELECT max(salary) FROM employee").scalar() is None
+
+    def test_count_distinct(self, db):
+        db.sql("INSERT INTO employee VALUES (4, 'Bob', 10000, DATE '2001-01-01')")
+        assert db.sql("SELECT count(DISTINCT name) FROM employee").scalar() == 3
+
+    def test_expression_over_aggregate(self, db):
+        assert db.sql("SELECT max(salary) - min(salary) FROM employee").scalar() == 17000
+
+
+class TestJoins:
+    @pytest.fixture
+    def db2(self, db):
+        db.sql("CREATE TABLE dept (deptno VARCHAR, empid INT)")
+        db.sql(
+            "INSERT INTO dept VALUES ('d01', 1), ('d02', 2), ('d02', 3), ('d09', 99)"
+        )
+        return db
+
+    def test_equi_join(self, db2):
+        result = db2.sql(
+            "SELECT e.name, d.deptno FROM employee e, dept d "
+            "WHERE e.id = d.empid ORDER BY e.id"
+        )
+        assert result.rows == [("Bob", "d01"), ("Ann", "d02"), ("Carl", "d02")]
+
+    def test_join_with_filter(self, db2):
+        result = db2.sql(
+            "SELECT e.name FROM employee e, dept d "
+            "WHERE e.id = d.empid AND d.deptno = 'd02' ORDER BY e.name"
+        )
+        assert [r[0] for r in result] == ["Ann", "Carl"]
+
+    def test_cartesian_product(self, db2):
+        result = db2.sql("SELECT count(*) FROM employee e, dept d")
+        assert result.scalar() == 12
+
+    def test_three_way_join(self, db2):
+        db2.sql("CREATE TABLE loc (deptno VARCHAR, city VARCHAR)")
+        db2.sql("INSERT INTO loc VALUES ('d01', 'LA'), ('d02', 'SF')")
+        result = db2.sql(
+            "SELECT e.name, l.city FROM employee e, dept d, loc l "
+            "WHERE e.id = d.empid AND d.deptno = l.deptno ORDER BY e.id"
+        )
+        assert result.rows == [("Bob", "LA"), ("Ann", "SF"), ("Carl", "SF")]
+
+    def test_non_equi_join(self, db2):
+        result = db2.sql(
+            "SELECT count(*) FROM employee a, employee b WHERE a.salary < b.salary"
+        )
+        assert result.scalar() == 3
+
+
+class TestIndexUsage:
+    def test_index_scan_equality(self, db):
+        db.sql("CREATE INDEX emp_sal ON employee (salary)")
+        db.reset_caches()
+        result = db.sql("SELECT name FROM employee WHERE salary = 72000")
+        assert [r[0] for r in result] == ["Ann"]
+
+    def test_index_scan_range(self, db):
+        db.sql("CREATE INDEX emp_sal ON employee (salary)")
+        result = db.sql(
+            "SELECT name FROM employee WHERE salary >= 56000 AND salary <= 73000"
+        )
+        assert sorted(r[0] for r in result) == ["Ann", "Bob"]
+
+    def test_composite_index_prefix(self, db):
+        db.sql("CREATE INDEX comp ON employee (name, salary)")
+        result = db.sql(
+            "SELECT id FROM employee WHERE name = 'Bob' AND salary >= 1"
+        )
+        assert [r[0] for r in result] == [1]
+
+    def test_index_and_residual_filter(self, db):
+        db.sql("CREATE INDEX emp_sal ON employee (salary)")
+        result = db.sql(
+            "SELECT name FROM employee WHERE salary >= 50000 AND name LIKE 'C%'"
+        )
+        assert [r[0] for r in result] == ["Carl"]
+
+    def test_results_equal_with_and_without_index(self, db):
+        before = sorted(db.sql("SELECT name FROM employee WHERE salary > 56000").rows)
+        db.sql("CREATE INDEX emp_sal ON employee (salary)")
+        after = sorted(db.sql("SELECT name FROM employee WHERE salary > 56000").rows)
+        assert before == after
+
+
+class TestTableFunctions:
+    def test_table_function_source(self, db):
+        db.register_table_function(
+            "gen", lambda n: ((i, i * i) for i in range(n))
+        )
+        result = db.sql(
+            "SELECT t.a, t.b FROM TABLE(gen(4)) AS t(a, b) WHERE t.a > 1"
+        )
+        assert result.rows == [(2, 4), (3, 9)]
+
+    def test_table_function_join(self, db):
+        db.register_table_function("gen", lambda n: ((i,) for i in range(n)))
+        result = db.sql(
+            "SELECT e.name FROM employee e, TABLE(gen(10)) AS g(n) "
+            "WHERE e.id = g.n ORDER BY e.id"
+        )
+        assert [r[0] for r in result] == ["Bob", "Ann", "Carl"]
+
+    def test_unknown_table_function(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT * FROM TABLE(nope()) AS t(a)")

@@ -1,0 +1,165 @@
+"""Tests for SQL/XML constructs: XMLElement, XMLAttributes, XMLAgg.
+
+Includes the paper's Section 5.3 example: new_employees hired after a date.
+"""
+
+import pytest
+
+from repro.rdb import Database
+from repro.xmlkit import serialize
+from repro.xmlkit.dom import Element
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.sql(
+        "CREATE TABLE employee_name (id INT, name VARCHAR, tstart DATE, tend DATE)"
+    )
+    database.sql(
+        "INSERT INTO employee_name VALUES "
+        "(1, 'Bob', DATE '2003-03-01', DATE '9999-12-31'), "
+        "(2, 'Jack', DATE '2003-04-01', DATE '9999-12-31'), "
+        "(3, 'Old', DATE '1999-01-01', DATE '9999-12-31')"
+    )
+    database.sql(
+        "CREATE TABLE employee_title (id INT, title VARCHAR, tstart DATE, tend DATE)"
+    )
+    database.sql(
+        "INSERT INTO employee_title VALUES "
+        "(1, 'Engineer', DATE '2003-03-01', DATE '2003-12-31'), "
+        "(1, 'Sr Engineer', DATE '2004-01-01', DATE '9999-12-31'), "
+        "(2, 'QA', DATE '2003-04-01', DATE '9999-12-31')"
+    )
+    return database
+
+
+def test_xmlelement_simple(db):
+    result = db.sql(
+        "SELECT XMLElement(Name \"employee\", e.name) FROM employee_name e "
+        "WHERE e.id = 1"
+    )
+    element = result.scalar()
+    assert isinstance(element, Element)
+    assert serialize(element) == "<employee>Bob</employee>"
+
+
+def test_xmlelement_attributes(db):
+    result = db.sql(
+        'SELECT XMLElement(Name "name", XMLAttributes('
+        'datestr(e.tstart) AS "tstart", datestr(e.tend) AS "tend"), e.name) '
+        "FROM employee_name e WHERE e.id = 1"
+    )
+    element = result.scalar()
+    assert element.get("tstart") == "2003-03-01"
+    assert element.get("tend") == "9999-12-31"
+    assert element.text() == "Bob"
+
+
+def test_xmlelement_nested(db):
+    result = db.sql(
+        'SELECT XMLElement(Name "emp", XMLElement(Name "id", e.id), '
+        'XMLElement(Name "name", e.name)) FROM employee_name e WHERE e.id = 2'
+    )
+    element = result.scalar()
+    assert element.first("id").text() == "2"
+    assert element.first("name").text() == "Jack"
+
+
+def test_null_attribute_skipped(db):
+    db.sql("INSERT INTO employee_name VALUES (9, NULL, DATE '2003-01-01', DATE '9999-12-31')")
+    result = db.sql(
+        'SELECT XMLElement(Name "e", XMLAttributes(e.name AS "n"), e.id) '
+        "FROM employee_name e WHERE e.id = 9"
+    )
+    element = result.scalar()
+    assert element.get("n") is None
+    assert element.text() == "9"
+
+
+def test_paper_new_employees_example(db):
+    """The Section 5.3 example: employees hired after 2003-02-04."""
+    result = db.sql(
+        'SELECT XMLElement (Name "new_employees", '
+        "XMLAttributes ('2003-02-04' AS \"start\"), "
+        'XMLAgg (XMLElement (Name "employee", e.name))) '
+        "FROM employee_name AS e "
+        "WHERE e.tstart >= DATE '2003-02-04'"
+    )
+    element = result.scalar()
+    assert element.name == "new_employees"
+    assert element.get("start") == "2003-02-04"
+    names = [child.text() for child in element.elements("employee")]
+    assert names == ["Bob", "Jack"]
+
+
+def test_xmlagg_group_by(db):
+    """The QUERY 1 translation shape: one title_history per employee id."""
+    result = db.sql(
+        'SELECT XMLElement(Name "title_history", '
+        'XMLAgg(XMLElement(Name "title", XMLAttributes('
+        'datestr(t.tstart) AS "tstart", datestr(t.tend) AS "tend"), t.title))) '
+        "FROM employee_title t, employee_name n "
+        "WHERE n.id = t.id AND n.name = 'Bob' "
+        "GROUP BY n.id"
+    )
+    assert len(result) == 1
+    history = result.scalar()
+    titles = [(e.text(), e.get("tstart")) for e in history.elements("title")]
+    assert titles == [
+        ("Engineer", "2003-03-01"),
+        ("Sr Engineer", "2004-01-01"),
+    ]
+
+
+def test_xmlagg_order_by(db):
+    result = db.sql(
+        'SELECT XMLAgg(XMLElement(Name "t", t.title) ORDER BY t.tstart DESC) '
+        "FROM employee_title t WHERE t.id = 1"
+    )
+    forest = result.scalar()
+    assert [e.text() for e in forest] == ["Sr Engineer", "Engineer"]
+
+
+def test_xmlagg_empty_group(db):
+    result = db.sql(
+        'SELECT XMLAgg(XMLElement(Name "x", e.id)) FROM employee_name e '
+        "WHERE e.id = 12345"
+    )
+    assert result.scalar() == []
+
+
+def test_result_xml_forest(db):
+    result = db.sql(
+        'SELECT XMLElement(Name "n", e.name) FROM employee_name e ORDER BY e.id'
+    )
+    forest = result.xml()
+    assert [e.text() for e in forest] == ["Bob", "Jack", "Old"]
+    assert result.xml_text() == "<n>Bob</n><n>Jack</n><n>Old</n>"
+
+
+def test_temporal_udfs_in_sql(db):
+    result = db.sql(
+        "SELECT e.name FROM employee_name e "
+        "WHERE toverlaps(e.tstart, e.tend, DATE '2003-03-15', DATE '2003-03-20') "
+        "ORDER BY e.id"
+    )
+    assert [r[0] for r in result] == ["Bob", "Old"]
+
+
+def test_overlap_interval_udfs(db):
+    result = db.sql(
+        "SELECT datestr(overlap_start(e.tstart, e.tend, DATE '2003-01-01', "
+        "DATE '2003-03-15')), datestr(overlap_end(e.tstart, e.tend, "
+        "DATE '2003-01-01', DATE '2003-03-15')) "
+        "FROM employee_name e WHERE e.id = 1"
+    )
+    assert result.rows == [("2003-03-01", "2003-03-15")]
+
+
+def test_overlap_null_when_disjoint(db):
+    result = db.sql(
+        "SELECT overlap_start(e.tstart, e.tend, DATE '1990-01-01', "
+        "DATE '1990-12-31') FROM employee_name e WHERE e.id = 1"
+    )
+    assert result.scalar() is None

@@ -1,0 +1,140 @@
+"""Tests for uncorrelated subqueries: IN (SELECT ...), scalar, EXISTS."""
+
+import pytest
+
+from repro.errors import SqlPlanError
+from repro.rdb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.sql("CREATE TABLE emp (id INT, dept VARCHAR, salary INT)")
+    database.sql(
+        "INSERT INTO emp VALUES "
+        "(1, 'eng', 100), (2, 'eng', 200), (3, 'sales', 300), (4, NULL, 50)"
+    )
+    database.sql("CREATE TABLE active_dept (dept VARCHAR)")
+    database.sql("INSERT INTO active_dept VALUES ('eng')")
+    return database
+
+
+class TestInSubquery:
+    def test_basic(self, db):
+        result = db.sql(
+            "SELECT id FROM emp WHERE dept IN (SELECT dept FROM active_dept) "
+            "ORDER BY id"
+        )
+        assert result.column(0) == [1, 2]
+
+    def test_not_in(self, db):
+        result = db.sql(
+            "SELECT id FROM emp WHERE dept NOT IN "
+            "(SELECT dept FROM active_dept) ORDER BY id"
+        )
+        # NULL dept never matches either way
+        assert result.column(0) == [3]
+
+    def test_empty_subquery(self, db):
+        db.sql("DELETE FROM active_dept")
+        result = db.sql(
+            "SELECT id FROM emp WHERE dept IN (SELECT dept FROM active_dept)"
+        )
+        assert result.rows == []
+
+    def test_subquery_with_where(self, db):
+        result = db.sql(
+            "SELECT id FROM emp WHERE salary IN "
+            "(SELECT salary FROM emp WHERE dept = 'sales')"
+        )
+        assert result.column(0) == [3]
+
+    def test_with_params(self, db):
+        result = db.sql(
+            "SELECT id FROM emp WHERE dept IN "
+            "(SELECT dept FROM active_dept WHERE dept = :d) ORDER BY id",
+            {"d": "eng"},
+        )
+        assert result.column(0) == [1, 2]
+
+
+class TestScalarSubquery:
+    def test_in_comparison(self, db):
+        # avg(100, 200, 300, 50) = 162.5
+        result = db.sql(
+            "SELECT id FROM emp WHERE salary > (SELECT avg(salary) FROM emp)"
+        )
+        assert sorted(result.column(0)) == [2, 3]
+
+    def test_in_projection(self, db):
+        result = db.sql(
+            "SELECT id, (SELECT max(salary) FROM emp) FROM emp WHERE id = 1"
+        )
+        assert result.rows == [(1, 300)]
+
+    def test_empty_scalar_is_null(self, db):
+        result = db.sql(
+            "SELECT (SELECT dept FROM active_dept WHERE dept = 'zz') "
+            "FROM emp WHERE id = 1"
+        )
+        assert result.scalar() is None
+
+    def test_multi_row_scalar_raises(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT id FROM emp WHERE salary > (SELECT salary FROM emp)")
+
+    def test_multi_column_scalar_raises(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql(
+                "SELECT id FROM emp WHERE salary > "
+                "(SELECT id, salary FROM emp WHERE id = 1)"
+            )
+
+
+class TestExists:
+    def test_exists_true(self, db):
+        result = db.sql(
+            "SELECT count(*) FROM emp WHERE exists "
+            "(SELECT dept FROM active_dept)"
+        )
+        assert result.scalar() == 4
+
+    def test_exists_false(self, db):
+        result = db.sql(
+            "SELECT count(*) FROM emp WHERE exists "
+            "(SELECT dept FROM active_dept WHERE dept = 'zz')"
+        )
+        assert result.scalar() == 0
+
+    def test_not_exists(self, db):
+        result = db.sql(
+            "SELECT count(*) FROM emp WHERE NOT exists "
+            "(SELECT dept FROM active_dept WHERE dept = 'zz')"
+        )
+        assert result.scalar() == 4
+
+
+class TestNested:
+    def test_in_inside_in(self, db):
+        db.sql("CREATE TABLE regions (dept VARCHAR, region VARCHAR)")
+        db.sql("INSERT INTO regions VALUES ('eng', 'west'), ('sales', 'east')")
+        result = db.sql(
+            "SELECT id FROM emp WHERE dept IN "
+            "(SELECT dept FROM regions WHERE region IN "
+            "(SELECT dept FROM active_dept WHERE dept = 'eng' )) "
+        )
+        # inner IN matches nothing (region 'west'/'east' not in active_dept)
+        assert result.rows == []
+
+    def test_subquery_result_reused_not_reexecuted(self, db):
+        """The IN-subquery result is cached per statement execution."""
+        calls = []
+        original = db.table("active_dept").scan
+
+        def counting_scan():
+            calls.append(1)
+            return original()
+
+        db.table("active_dept").scan = counting_scan
+        db.sql("SELECT id FROM emp WHERE dept IN (SELECT dept FROM active_dept)")
+        assert len(calls) == 1

@@ -1,0 +1,138 @@
+"""Tests for heap files and the blob store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.blob import BlobStore
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.page import PAGE_SIZE
+from repro.storage.pager import Pager
+
+
+@pytest.fixture
+def pool():
+    return BufferPool(Pager(), capacity=64)
+
+
+class TestHeapFile:
+    def test_insert_read(self, pool):
+        heap = HeapFile(pool)
+        rid = heap.insert((1, "Bob", 60000))
+        assert heap.read(rid) == (1, "Bob", 60000)
+
+    def test_many_inserts_span_pages(self, pool):
+        heap = HeapFile(pool)
+        rids = [heap.insert((i, "name" * 20, i * 10)) for i in range(500)]
+        assert heap.page_count > 1
+        assert heap.read(rids[499]) == (499, "name" * 20, 4990)
+
+    def test_scan_returns_all_in_order(self, pool):
+        heap = HeapFile(pool)
+        for i in range(100):
+            heap.insert((i,))
+        assert [row[0] for _, row in heap.scan()] == list(range(100))
+
+    def test_delete_removes_from_scan(self, pool):
+        heap = HeapFile(pool)
+        rid = heap.insert((1,))
+        keep = heap.insert((2,))
+        heap.delete(rid)
+        assert [row for _, row in heap.scan()] == [(2,)]
+        assert heap.read(keep) == (2,)
+        assert heap.record_count == 1
+
+    def test_read_deleted_raises(self, pool):
+        heap = HeapFile(pool)
+        rid = heap.insert((1,))
+        heap.delete(rid)
+        with pytest.raises(StorageError):
+            heap.read(rid)
+
+    def test_update_in_place(self, pool):
+        heap = HeapFile(pool)
+        rid = heap.insert((1, "longer-value"))
+        new_rid = heap.update(rid, (1, "short"))
+        assert new_rid == rid
+        assert heap.read(rid) == (1, "short")
+
+    def test_update_relocates_when_bigger(self, pool):
+        heap = HeapFile(pool)
+        rid = heap.insert((1, "a"))
+        heap.insert((2, "b"))  # take the adjacent space
+        new_rid = heap.update(rid, (1, "a" * 200))
+        assert new_rid != rid
+        assert heap.read(new_rid) == (1, "a" * 200)
+        assert heap.record_count == 2
+
+    def test_two_heaps_share_pool_but_not_pages(self, pool):
+        a = HeapFile(pool, "a")
+        b = HeapFile(pool, "b")
+        a.insert((1,))
+        b.insert((2,))
+        assert set(a.page_numbers).isdisjoint(b.page_numbers)
+
+    def test_truncate(self, pool):
+        heap = HeapFile(pool)
+        for i in range(10):
+            heap.insert((i,))
+        heap.truncate()
+        assert list(heap.scan()) == []
+        assert heap.record_count == 0
+
+    def test_size_bytes(self, pool):
+        heap = HeapFile(pool)
+        heap.insert((1,))
+        assert heap.size_bytes() == PAGE_SIZE
+
+
+class TestBlobStore:
+    def test_roundtrip_small(self, pool):
+        store = BlobStore(pool)
+        blob_id = store.put(b"compressed-bytes")
+        assert store.get(blob_id) == b"compressed-bytes"
+
+    def test_roundtrip_multi_page(self, pool):
+        store = BlobStore(pool)
+        data = bytes(range(256)) * 64  # 16 KiB
+        blob_id = store.put(data)
+        assert store.get(blob_id) == data
+
+    def test_exact_page_boundary(self, pool):
+        store = BlobStore(pool)
+        data = b"p" * PAGE_SIZE
+        assert store.get(store.put(data)) == data
+
+    def test_empty_blob(self, pool):
+        store = BlobStore(pool)
+        assert store.get(store.put(b"")) == b""
+
+    def test_distinct_ids(self, pool):
+        store = BlobStore(pool)
+        a = store.put(b"a")
+        b = store.put(b"b")
+        assert a != b
+        assert store.get(a) == b"a"
+
+    def test_delete(self, pool):
+        store = BlobStore(pool)
+        blob_id = store.put(b"x")
+        store.delete(blob_id)
+        assert blob_id not in store
+        with pytest.raises(StorageError):
+            store.get(blob_id)
+
+    def test_unknown_id_raises(self, pool):
+        with pytest.raises(StorageError):
+            BlobStore(pool).get(42)
+
+    def test_size_accounting(self, pool):
+        store = BlobStore(pool)
+        store.put(b"tiny")
+        assert store.size_bytes() == PAGE_SIZE
+        store.put(b"q" * (PAGE_SIZE + 1))
+        assert store.size_bytes() == 3 * PAGE_SIZE
+
+    def test_non_bytes_raises(self, pool):
+        with pytest.raises(StorageError):
+            BlobStore(pool).put("text")  # type: ignore[arg-type]

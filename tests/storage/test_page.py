@@ -1,0 +1,120 @@
+"""Tests for slotted pages."""
+
+import pytest
+
+from repro.errors import PageFullError, StorageError
+from repro.storage.page import PAGE_SIZE, SlottedPage
+
+
+def test_new_page_is_empty():
+    page = SlottedPage()
+    assert page.slot_count == 0
+    assert page.free_space() > 4000
+
+
+def test_insert_and_read():
+    page = SlottedPage()
+    slot = page.insert(b"hello")
+    assert page.read(slot) == b"hello"
+
+
+def test_multiple_inserts_get_distinct_slots():
+    page = SlottedPage()
+    slots = [page.insert(f"rec{i}".encode()) for i in range(10)]
+    assert slots == list(range(10))
+    for i, slot in enumerate(slots):
+        assert page.read(slot) == f"rec{i}".encode()
+
+
+def test_free_space_shrinks():
+    page = SlottedPage()
+    before = page.free_space()
+    page.insert(b"x" * 100)
+    assert page.free_space() < before - 100
+
+
+def test_page_full():
+    page = SlottedPage()
+    with pytest.raises(PageFullError):
+        page.insert(b"x" * PAGE_SIZE)
+
+
+def test_fill_until_full_then_roundtrip():
+    page = SlottedPage()
+    count = 0
+    payload = b"y" * 64
+    while page.free_space() >= len(payload):
+        page.insert(payload)
+        count += 1
+    assert count > 40
+    assert all(page.read(i) == payload for i in range(count))
+
+
+def test_delete_tombstones():
+    page = SlottedPage()
+    slot = page.insert(b"doomed")
+    page.delete(slot)
+    assert page.read(slot) is None
+
+
+def test_delete_keeps_other_slots_stable():
+    page = SlottedPage()
+    a = page.insert(b"a")
+    b = page.insert(b"b")
+    page.delete(a)
+    assert page.read(b) == b"b"
+
+
+def test_update_in_place_smaller():
+    page = SlottedPage()
+    slot = page.insert(b"longvalue")
+    assert page.update_in_place(slot, b"short")
+    assert page.read(slot) == b"short"
+
+
+def test_update_in_place_too_big_returns_false():
+    page = SlottedPage()
+    slot = page.insert(b"ab")
+    assert not page.update_in_place(slot, b"much longer payload")
+    assert page.read(slot) == b"ab"
+
+
+def test_update_deleted_slot_raises():
+    page = SlottedPage()
+    slot = page.insert(b"x")
+    page.delete(slot)
+    with pytest.raises(StorageError):
+        page.update_in_place(slot, b"y")
+
+
+def test_records_skips_tombstones():
+    page = SlottedPage()
+    page.insert(b"keep1")
+    dead = page.insert(b"dead")
+    page.insert(b"keep2")
+    page.delete(dead)
+    assert [p for _, p in page.records()] == [b"keep1", b"keep2"]
+
+
+def test_serialization_roundtrip():
+    page = SlottedPage()
+    page.insert(b"persisted")
+    clone = SlottedPage(page.to_bytes())
+    assert clone.read(0) == b"persisted"
+
+
+def test_bad_buffer_size_raises():
+    with pytest.raises(StorageError):
+        SlottedPage(b"tiny")
+
+
+def test_out_of_range_slot_raises():
+    page = SlottedPage()
+    with pytest.raises(StorageError):
+        page.read(0)
+
+
+def test_empty_payload_raises():
+    page = SlottedPage()
+    with pytest.raises(StorageError):
+        page.insert(b"")

@@ -1,0 +1,77 @@
+"""Tests for the binary record codec."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.record import decode_record, encode_record
+
+
+def roundtrip(values):
+    return decode_record(encode_record(values))
+
+
+def test_ints():
+    assert roundtrip((1, -5, 0)) == (1, -5, 0)
+
+
+def test_large_ints():
+    assert roundtrip((2**62, -(2**62))) == (2**62, -(2**62))
+
+
+def test_floats():
+    assert roundtrip((1.5, -2.25)) == (1.5, -2.25)
+
+
+def test_strings():
+    assert roundtrip(("Bob", "Sr Engineer", "")) == ("Bob", "Sr Engineer", "")
+
+
+def test_unicode():
+    assert roundtrip(("部門",)) == ("部門",)
+
+
+def test_bytes():
+    assert roundtrip((b"\x00\x01\xff",)) == (b"\x00\x01\xff",)
+
+
+def test_nulls():
+    assert roundtrip((None, 1, None, "x")) == (None, 1, None, "x")
+
+
+def test_all_null():
+    assert roundtrip((None, None)) == (None, None)
+
+
+def test_empty_tuple():
+    assert roundtrip(()) == ()
+
+
+def test_bools_become_ints():
+    assert roundtrip((True, False)) == (1, 0)
+
+
+def test_mixed_row_like_htable():
+    row = (100022, 40000, 6625, 6990)  # id, salary, tstart, tend
+    assert roundtrip(row) == row
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(StorageError):
+        encode_record(({"a": 1},))
+
+
+def test_oversized_string_raises():
+    with pytest.raises(StorageError):
+        encode_record(("x" * 70000,))
+
+
+def test_decode_empty_raises():
+    with pytest.raises(StorageError):
+        decode_record(b"")
+
+
+def test_decode_corrupt_tag_raises():
+    good = encode_record((1,))
+    bad = good[:2] + b"z" + good[3:]
+    with pytest.raises(StorageError):
+        decode_record(bad)

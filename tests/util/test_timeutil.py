@@ -1,0 +1,58 @@
+"""Tests for day-granularity date handling and the 'now' marker."""
+
+import datetime
+
+import pytest
+
+from repro.util import timeutil
+
+
+def test_epoch_is_zero():
+    assert timeutil.parse_date("1970-01-01") == 0
+
+
+def test_roundtrip_parse_format():
+    assert timeutil.format_date(timeutil.parse_date("1995-06-01")) == "1995-06-01"
+
+
+def test_parse_now_label():
+    assert timeutil.parse_date("now") == timeutil.FOREVER
+
+
+def test_forever_formats_as_end_of_time():
+    assert timeutil.format_date(timeutil.FOREVER) == "9999-12-31"
+
+
+def test_forever_matches_date():
+    assert timeutil.days_to_date(timeutil.FOREVER) == datetime.date(9999, 12, 31)
+
+
+def test_is_now():
+    assert timeutil.is_now(timeutil.FOREVER)
+    assert not timeutil.is_now(0)
+
+
+def test_external_date_maps_now_to_current():
+    today = timeutil.parse_date("2005-03-02")
+    assert timeutil.external_date(timeutil.FOREVER, today) == "2005-03-02"
+
+
+def test_external_date_passes_plain_dates():
+    today = timeutil.parse_date("2005-03-02")
+    plain = timeutil.parse_date("1999-01-15")
+    assert timeutil.external_date(plain, today) == "1999-01-15"
+
+
+def test_date_ordering_is_preserved():
+    early = timeutil.parse_date("1994-05-06")
+    late = timeutil.parse_date("1995-05-06")
+    assert early < late < timeutil.FOREVER
+
+
+def test_parse_date_strips_whitespace():
+    assert timeutil.parse_date(" 1970-01-02 ") == 1
+
+
+def test_parse_bad_date_raises():
+    with pytest.raises(ValueError):
+        timeutil.parse_date("not-a-date")

@@ -1,0 +1,101 @@
+"""Tests for the DOM."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xmlkit.dom import Element, Text
+
+
+def sample():
+    emp = Element("employee", {"tstart": "1995-01-01", "tend": "9999-12-31"})
+    name = Element("name")
+    name.append("Bob")
+    emp.append(name)
+    salary = Element("salary")
+    salary.append(Text("60000"))
+    emp.append(salary)
+    return emp
+
+
+def test_append_sets_parent():
+    emp = sample()
+    assert emp.first("name").parent is emp
+
+
+def test_elements_filter():
+    emp = sample()
+    assert [e.name for e in emp.elements()] == ["name", "salary"]
+    assert [e.name for e in emp.elements("salary")] == ["salary"]
+    assert [e.name for e in emp.elements("*")] == ["name", "salary"]
+
+
+def test_first_missing_is_none():
+    assert sample().first("title") is None
+
+
+def test_text_concatenates_subtree():
+    assert sample().text() == "Bob60000"
+
+
+def test_descendants_document_order():
+    root = Element("a")
+    b = root.append(Element("b"))
+    b.append(Element("c"))
+    root.append(Element("d"))
+    assert [e.name for e in root.descendants()] == ["b", "c", "d"]
+
+
+def test_root():
+    emp = sample()
+    assert emp.first("name").root() is emp
+
+
+def test_attrs():
+    emp = sample()
+    assert emp.get("tstart") == "1995-01-01"
+    emp.set("tend", "1996-01-01")
+    assert emp.get("tend") == "1996-01-01"
+    assert emp.get("missing") is None
+    assert emp.get("missing", "dflt") == "dflt"
+
+
+def test_deep_equal_identical():
+    assert sample().deep_equal(sample())
+
+
+def test_deep_equal_ignores_whitespace_text():
+    a = Element("x")
+    a.append("  ")
+    b = Element("x")
+    assert a.deep_equal(b)
+
+
+def test_deep_equal_detects_attr_change():
+    other = sample()
+    other.set("tstart", "1999-01-01")
+    assert not sample().deep_equal(other)
+
+
+def test_deep_equal_detects_text_change():
+    other = sample()
+    other.first("name").children[0].value = "Ann"
+    assert not sample().deep_equal(other)
+
+
+def test_copy_is_detached_and_equal():
+    emp = sample()
+    clone = emp.copy()
+    assert clone.deep_equal(emp)
+    assert clone.parent is None
+    clone.first("name").children[0].value = "Ann"
+    assert emp.first("name").text() == "Bob"
+
+
+def test_empty_name_rejected():
+    with pytest.raises(XmlError):
+        Element("")
+
+
+def test_append_bad_type_rejected():
+    with pytest.raises(XmlError):
+        Element("a").append(42)  # type: ignore[arg-type]

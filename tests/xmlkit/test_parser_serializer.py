@@ -1,0 +1,105 @@
+"""Tests for the XML parser and serializer."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xmlkit import parse_fragment, parse_xml, serialize
+
+
+def test_simple_document():
+    root = parse_xml("<a><b>hi</b></a>")
+    assert root.name == "a"
+    assert root.first("b").text() == "hi"
+
+
+def test_attributes():
+    root = parse_xml('<e tstart="1995-01-01" tend="9999-12-31"/>')
+    assert root.get("tstart") == "1995-01-01"
+    assert root.get("tend") == "9999-12-31"
+
+
+def test_single_quoted_attribute():
+    assert parse_xml("<e a='x'/>").get("a") == "x"
+
+
+def test_self_closing():
+    root = parse_xml("<a><b/><c/></a>")
+    assert [e.name for e in root.elements()] == ["b", "c"]
+
+
+def test_entities_unescaped():
+    root = parse_xml("<a>&lt;x&gt; &amp; &quot;y&quot; &#65; &#x42;</a>")
+    assert root.text() == '<x> & "y" A B'
+
+
+def test_xml_declaration_and_comment_skipped():
+    root = parse_xml('<?xml version="1.0"?><!-- hi --><a/>')
+    assert root.name == "a"
+
+
+def test_inner_comment_skipped():
+    root = parse_xml("<a>x<!-- skip -->y</a>")
+    assert root.text() == "xy"
+
+
+def test_cdata():
+    root = parse_xml("<a><![CDATA[<raw>&]]></a>")
+    assert root.text() == "<raw>&"
+
+
+def test_mixed_content_order():
+    root = parse_xml("<a>x<b>y</b>z</a>")
+    assert root.text() == "xyz"
+
+
+def test_nested_depth():
+    root = parse_xml("<a><b><c><d>deep</d></c></b></a>")
+    assert root.first("b").first("c").first("d").text() == "deep"
+
+
+def test_mismatched_tags_raise():
+    with pytest.raises(XmlError):
+        parse_xml("<a><b></a></b>")
+
+
+def test_unterminated_raises():
+    with pytest.raises(XmlError):
+        parse_xml("<a><b>")
+
+
+def test_duplicate_attribute_raises():
+    with pytest.raises(XmlError):
+        parse_xml('<a x="1" x="2"/>')
+
+
+def test_junk_after_root_raises():
+    with pytest.raises(XmlError):
+        parse_xml("<a/><b/>")
+
+
+def test_fragment():
+    nodes = parse_fragment("<a/><b>t</b>")
+    assert [n.name for n in nodes] == ["a", "b"]
+    assert nodes[0].parent is None
+
+
+def test_roundtrip_compact():
+    text = '<employees><employee tstart="1995-01-01" tend="9999-12-31"><name>Bob &amp; Co</name></employee></employees>'
+    assert serialize(parse_xml(text)) == text
+
+
+def test_roundtrip_preserves_structure():
+    original = parse_xml("<a><b x='1'>t</b><c/></a>")
+    again = parse_xml(serialize(original))
+    assert original.deep_equal(again)
+
+
+def test_pretty_print():
+    root = parse_xml("<a><b>t</b></a>")
+    pretty = serialize(root, indent=2)
+    assert pretty == "<a>\n  <b>t</b>\n</a>"
+
+
+def test_serialize_escapes_attrs():
+    root = parse_xml('<a x="&quot;q&quot;"/>')
+    assert '"&quot;q&quot;"' in serialize(root)

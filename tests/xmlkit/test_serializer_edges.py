@@ -1,0 +1,61 @@
+"""Edge cases for XML serialization and pretty-printing."""
+
+from repro.xmlkit import parse_xml, serialize
+from repro.xmlkit.dom import Element, Text
+
+
+def test_escapes_in_text():
+    e = Element("a")
+    e.append(Text("x < y & z > w"))
+    assert serialize(e) == "<a>x &lt; y &amp; z &gt; w</a>"
+
+
+def test_escapes_in_attributes():
+    e = Element("a", {"q": 'he said "hi" & left'})
+    out = serialize(e)
+    assert "&quot;hi&quot;" in out
+    assert "&amp;" in out
+
+
+def test_empty_element_self_closes():
+    assert serialize(Element("empty")) == "<empty/>"
+
+
+def test_pretty_nested_structure():
+    root = parse_xml("<a><b><c>t</c></b><d/></a>")
+    pretty = serialize(root, indent=2)
+    assert pretty == "<a>\n  <b>\n    <c>t</c>\n  </b>\n  <d/>\n</a>"
+
+
+def test_pretty_skips_whitespace_text():
+    root = Element("a")
+    root.append(Text("   "))
+    root.append(Element("b"))
+    pretty = serialize(root, indent=2)
+    assert pretty == "<a>\n  <b/>\n</a>"
+
+
+def test_pretty_keeps_mixed_meaningful_text():
+    root = parse_xml("<a>hello<b/></a>")
+    pretty = serialize(root, indent=2)
+    assert "hello" in pretty
+
+
+def test_roundtrip_with_entities():
+    text = "<a x=\"1 &amp; 2\">3 &lt; 4</a>"
+    assert serialize(parse_xml(text)) == text
+
+
+def test_serialize_text_node_directly():
+    assert serialize(Text("a & b")) == "a &amp; b"
+
+
+def test_unicode_preserved():
+    root = parse_xml("<a>héllo wörld 部門</a>")
+    again = parse_xml(serialize(root))
+    assert again.text() == "héllo wörld 部門"
+
+
+def test_deeply_nested_roundtrip():
+    text = "<r>" + "<x>" * 40 + "deep" + "</x>" * 40 + "</r>"
+    assert parse_xml(serialize(parse_xml(text))).text() == "deep"

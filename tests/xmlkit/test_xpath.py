@@ -1,0 +1,117 @@
+"""Tests for the XPath subset."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xmlkit import parse_xml, xpath
+
+DOC = """
+<employees tstart="1985-01-01" tend="9999-12-31">
+  <employee tstart="1995-01-01" tend="9999-12-31">
+    <name tstart="1995-01-01" tend="9999-12-31">Bob</name>
+    <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+    <salary tstart="1995-06-01" tend="9999-12-31">70000</salary>
+    <title tstart="1995-01-01" tend="1995-09-30">Engineer</title>
+  </employee>
+  <employee tstart="1993-04-01" tend="9999-12-31">
+    <name tstart="1993-04-01" tend="9999-12-31">Ann</name>
+    <salary tstart="1993-04-01" tend="9999-12-31">80000</salary>
+  </employee>
+</employees>
+"""
+
+
+@pytest.fixture
+def doc():
+    return parse_xml(DOC)
+
+
+def test_absolute_path(doc):
+    assert len(xpath(doc, "/employees/employee")) == 2
+
+
+def test_absolute_path_from_inner_node(doc):
+    inner = xpath(doc, "/employees/employee")[0]
+    assert len(xpath(inner, "/employees/employee")) == 2
+
+
+def test_relative_path(doc):
+    emp = xpath(doc, "employee")[0]
+    assert [e.text() for e in xpath(emp, "salary")] == ["60000", "70000"]
+
+
+def test_wildcard(doc):
+    emp = xpath(doc, "employee")[0]
+    assert len(xpath(emp, "*")) == 4
+
+
+def test_descendant_axis(doc):
+    assert [e.text() for e in xpath(doc, "//name")] == ["Bob", "Ann"]
+
+
+def test_attribute_step(doc):
+    values = xpath(doc, "employee/@tstart")
+    assert values == ["1995-01-01", "1993-04-01"]
+
+
+def test_text_step(doc):
+    assert xpath(doc, "employee/name/text()") == ["Bob", "Ann"]
+
+
+def test_equality_predicate(doc):
+    hits = xpath(doc, '/employees/employee[name="Bob"]')
+    assert len(hits) == 1
+    assert hits[0].first("name").text() == "Bob"
+
+
+def test_attribute_predicate(doc):
+    hits = xpath(doc, 'employee/salary[@tend="9999-12-31"]')
+    assert [h.text() for h in hits] == ["70000", "80000"]
+
+
+def test_numeric_comparison_predicate(doc):
+    hits = xpath(doc, "employee/salary[text()>=70000]")
+    assert [h.text() for h in hits] == ["70000", "80000"]
+
+
+def test_date_string_comparison(doc):
+    hits = xpath(doc, 'employee/salary[@tstart<="1994-01-01"]')
+    assert [h.text() for h in hits] == ["80000"]
+
+
+def test_positional_predicate(doc):
+    assert xpath(doc, "employee[2]/name/text()") == ["Ann"]
+
+
+def test_existence_predicate(doc):
+    hits = xpath(doc, "employee[title]")
+    assert len(hits) == 1
+
+
+def test_and_predicate(doc):
+    hits = xpath(doc, 'employee/salary[@tstart="1995-06-01" and @tend="9999-12-31"]')
+    assert [h.text() for h in hits] == ["70000"]
+
+
+def test_or_predicate(doc):
+    hits = xpath(doc, 'employee[name="Bob" or name="Ann"]')
+    assert len(hits) == 2
+
+
+def test_no_match_is_empty(doc):
+    assert xpath(doc, 'employee[name="Zed"]') == []
+
+
+def test_chained_predicates(doc):
+    hits = xpath(doc, "employee[title][1]")
+    assert len(hits) == 1
+
+
+def test_empty_path_raises(doc):
+    with pytest.raises(XPathError):
+        xpath(doc, "")
+
+
+def test_bad_syntax_raises(doc):
+    with pytest.raises(XPathError):
+        xpath(doc, "employee[@]")

@@ -1,0 +1,79 @@
+"""Shared fixtures: the paper's example H-documents (Figures 3 and 4).
+
+``employees.xml`` is the temporally grouped history of Table 1 and
+``depts.xml`` of Table 2.
+"""
+
+import pytest
+
+from repro.util.timeutil import parse_date
+from repro.xmlkit import parse_xml
+from repro.xquery import make_context
+
+EMPLOYEES_XML = """
+<employees tstart="1992-01-01" tend="9999-12-31">
+  <employee tstart="1995-01-01" tend="1996-12-31">
+    <id tstart="1995-01-01" tend="1996-12-31">1001</id>
+    <name tstart="1995-01-01" tend="1996-12-31">Bob</name>
+    <salary tstart="1995-01-01" tend="1995-05-31">60000</salary>
+    <salary tstart="1995-06-01" tend="1996-12-31">70000</salary>
+    <title tstart="1995-01-01" tend="1995-09-30">Engineer</title>
+    <title tstart="1995-10-01" tend="1996-01-31">Sr Engineer</title>
+    <title tstart="1996-02-01" tend="1996-12-31">TechLeader</title>
+    <deptno tstart="1995-01-01" tend="1995-09-30">d01</deptno>
+    <deptno tstart="1995-10-01" tend="1996-12-31">d02</deptno>
+  </employee>
+  <employee tstart="1993-03-01" tend="9999-12-31">
+    <id tstart="1993-03-01" tend="9999-12-31">1002</id>
+    <name tstart="1993-03-01" tend="9999-12-31">Ann</name>
+    <salary tstart="1993-03-01" tend="1995-12-31">65000</salary>
+    <salary tstart="1996-01-01" tend="9999-12-31">72000</salary>
+    <title tstart="1993-03-01" tend="9999-12-31">Sr Engineer</title>
+    <deptno tstart="1993-03-01" tend="9999-12-31">d001</deptno>
+  </employee>
+  <employee tstart="1994-02-01" tend="9999-12-31">
+    <id tstart="1994-02-01" tend="9999-12-31">1003</id>
+    <name tstart="1994-02-01" tend="9999-12-31">Carl</name>
+    <salary tstart="1994-02-01" tend="9999-12-31">55000</salary>
+    <title tstart="1994-02-01" tend="9999-12-31">Engineer</title>
+    <deptno tstart="1994-02-01" tend="9999-12-31">d03</deptno>
+  </employee>
+</employees>
+"""
+
+DEPTS_XML = """
+<depts tstart="1992-01-01" tend="9999-12-31">
+  <dept tstart="1994-01-01" tend="1998-12-31">
+    <deptno tstart="1994-01-01" tend="1998-12-31">d01</deptno>
+    <deptname tstart="1994-01-01" tend="1998-12-31">QA</deptname>
+    <mgrno tstart="1994-01-01" tend="1998-12-31">2501</mgrno>
+  </dept>
+  <dept tstart="1992-01-01" tend="1998-12-31">
+    <deptno tstart="1992-01-01" tend="1998-12-31">d02</deptno>
+    <deptname tstart="1992-01-01" tend="1998-12-31">RD</deptname>
+    <mgrno tstart="1992-01-01" tend="1996-12-31">3402</mgrno>
+    <mgrno tstart="1997-01-01" tend="1998-12-31">1009</mgrno>
+  </dept>
+  <dept tstart="1993-01-01" tend="1997-12-31">
+    <deptno tstart="1993-01-01" tend="1997-12-31">d03</deptno>
+    <deptname tstart="1993-01-01" tend="1997-12-31">Sales</deptname>
+    <mgrno tstart="1993-01-01" tend="1997-12-31">4748</mgrno>
+  </dept>
+</depts>
+"""
+
+TODAY = parse_date("1997-06-15")
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return {
+        "employees.xml": parse_xml(EMPLOYEES_XML),
+        "depts.xml": parse_xml(DEPTS_XML),
+        "emp.xml": parse_xml(EMPLOYEES_XML),
+    }
+
+
+@pytest.fixture
+def ctx(documents):
+    return make_context(documents, TODAY)

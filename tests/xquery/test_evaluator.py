@@ -1,0 +1,280 @@
+"""Tests for the XQuery evaluator on general expressions."""
+
+import pytest
+
+from repro.errors import XQueryError, XQueryTypeError
+from repro.xmlkit.dom import Element
+from repro.xquery import evaluate, parse_xquery
+from repro.xquery.values import DateValue
+
+
+def run(query, ctx):
+    return evaluate(parse_xquery(query), ctx)
+
+
+class TestBasics:
+    def test_literal(self, ctx):
+        assert run("42", ctx) == [42]
+
+    def test_sequence_flattens(self, ctx):
+        assert run("(1, (2, 3))", ctx) == [1, 2, 3]
+
+    def test_arithmetic(self, ctx):
+        assert run("1 + 2 * 3", ctx) == [7]
+
+    def test_div(self, ctx):
+        assert run("7 div 2", ctx) == [3.5]
+
+    def test_mod(self, ctx):
+        assert run("7 mod 2", ctx) == [1]
+
+    def test_division_by_zero(self, ctx):
+        with pytest.raises(XQueryTypeError):
+            run("1 div 0", ctx)
+
+    def test_unary_minus(self, ctx):
+        assert run("- 5", ctx) == [-5]
+
+    def test_empty_arithmetic_propagates(self, ctx):
+        assert run("() + 1", ctx) == []
+
+    def test_unbound_variable(self, ctx):
+        with pytest.raises(XQueryError):
+            run("$nope", ctx)
+
+    def test_if(self, ctx):
+        assert run("if (1 = 1) then 'y' else 'n'", ctx) == ["y"]
+        assert run("if (1 = 2) then 'y' else 'n'", ctx) == ["n"]
+
+
+class TestComparisons:
+    def test_numeric(self, ctx):
+        assert run("2 < 10", ctx) == [True]
+
+    def test_string(self, ctx):
+        assert run("'abc' = 'abc'", ctx) == [True]
+
+    def test_string_number_coercion(self, ctx):
+        assert run("'10' = 10", ctx) == [True]
+
+    def test_general_comparison_existential(self, ctx):
+        assert run("(1, 2, 3) = 2", ctx) == [True]
+        assert run("(1, 2, 3) = 9", ctx) == [False]
+
+    def test_date_comparison(self, ctx):
+        assert run(
+            'xs:date("1994-05-06") <= xs:date("1995-05-06")', ctx
+        ) == [True]
+
+    def test_date_string_mixed(self, ctx):
+        assert run('xs:date("1994-05-06") = "1994-05-06"', ctx) == [True]
+
+    def test_date_arith(self, ctx):
+        assert run('xs:date("1970-01-11") - xs:date("1970-01-01")', ctx) == [10]
+
+    def test_and_or(self, ctx):
+        assert run("1 = 1 and 2 = 2", ctx) == [True]
+        assert run("1 = 2 or 2 = 2", ctx) == [True]
+
+
+class TestPathsOnDocuments:
+    def test_doc_path(self, ctx):
+        names = run('doc("employees.xml")/employees/employee/name', ctx)
+        assert [n.text() for n in names] == ["Bob", "Ann", "Carl"]
+
+    def test_predicate_filters(self, ctx):
+        out = run('doc("employees.xml")/employees/employee[name="Bob"]/salary', ctx)
+        assert [e.text() for e in out] == ["60000", "70000"]
+
+    def test_positional_predicate(self, ctx):
+        out = run('doc("employees.xml")/employees/employee[2]/name', ctx)
+        assert [e.text() for e in out] == ["Ann"]
+
+    def test_attribute_access(self, ctx):
+        out = run('doc("employees.xml")/employees/employee[1]/@tstart', ctx)
+        assert out == ["1995-01-01"]
+
+    def test_descendant(self, ctx):
+        out = run('doc("depts.xml")//mgrno', ctx)
+        assert len(out) == 4
+
+    def test_text_step(self, ctx):
+        out = run('doc("employees.xml")/employees/employee[1]/name/text()', ctx)
+        assert out == ["Bob"]
+
+    def test_wildcard(self, ctx):
+        out = run('doc("depts.xml")/depts/dept[1]/*', ctx)
+        assert [e.name for e in out] == ["deptno", "deptname", "mgrno"]
+
+    def test_missing_document(self, ctx):
+        with pytest.raises(XQueryError):
+            run('doc("missing.xml")/a', ctx)
+
+    def test_comparison_inside_predicate(self, ctx):
+        out = run(
+            'doc("employees.xml")/employees/employee[salary > 60000]/name', ctx
+        )
+        assert sorted(e.text() for e in out) == ["Ann", "Bob"]
+
+
+class TestFlwor:
+    def test_for_iterates(self, ctx):
+        out = run(
+            'for $e in doc("employees.xml")/employees/employee return $e/name',
+            ctx,
+        )
+        assert [e.text() for e in out] == ["Bob", "Ann", "Carl"]
+
+    def test_let_binds_sequence(self, ctx):
+        out = run(
+            'let $s := doc("employees.xml")/employees/employee return count($s)',
+            ctx,
+        )
+        assert out == [3]
+
+    def test_where_filters(self, ctx):
+        out = run(
+            'for $e in doc("employees.xml")/employees/employee '
+            'where $e/name = "Ann" return $e/id',
+            ctx,
+        )
+        assert [e.text() for e in out] == ["1002"]
+
+    def test_nested_for_is_product(self, ctx):
+        out = run("for $a in (1, 2) for $b in (10, 20) return $a + $b", ctx)
+        assert out == [11, 21, 12, 22]
+
+    def test_order_by(self, ctx):
+        out = run(
+            'for $e in doc("employees.xml")/employees/employee '
+            "order by string($e/name) return $e/name",
+            ctx,
+        )
+        assert [e.text() for e in out] == ["Ann", "Bob", "Carl"]
+
+    def test_order_by_descending(self, ctx):
+        out = run("for $x in (1, 3, 2) order by $x descending return $x", ctx)
+        assert out == [3, 2, 1]
+
+    def test_position_variable(self, ctx):
+        out = run("for $x at $i in ('a', 'b') return $i", ctx)
+        assert out == [1, 2]
+
+
+class TestQuantified:
+    def test_every_true(self, ctx):
+        assert run("every $x in (1, 2) satisfies $x < 5", ctx) == [True]
+
+    def test_every_false(self, ctx):
+        assert run("every $x in (1, 9) satisfies $x < 5", ctx) == [False]
+
+    def test_some(self, ctx):
+        assert run("some $x in (1, 9) satisfies $x > 5", ctx) == [True]
+
+    def test_every_over_empty_is_true(self, ctx):
+        assert run("every $x in () satisfies $x = 99", ctx) == [True]
+
+    def test_some_over_empty_is_false(self, ctx):
+        assert run("some $x in () satisfies $x = $x", ctx) == [False]
+
+
+class TestConstructors:
+    def test_computed_element(self, ctx):
+        out = run("element greeting { 'hi' }", ctx)
+        assert isinstance(out[0], Element)
+        assert out[0].name == "greeting"
+        assert out[0].text() == "hi"
+
+    def test_computed_element_copies_nodes(self, ctx):
+        out = run(
+            'element wrap { doc("employees.xml")/employees/employee[1]/name }',
+            ctx,
+        )
+        assert out[0].first("name").text() == "Bob"
+
+    def test_direct_element_with_holes(self, ctx):
+        out = run('<x a="{1 + 1}">{2 + 3}</x>', ctx)
+        assert out[0].get("a") == "2"
+        assert out[0].text() == "5"
+
+    def test_direct_nested(self, ctx):
+        out = run("<a><b>{'t'}</b></a>", ctx)
+        assert out[0].first("b").text() == "t"
+
+    def test_atomic_values_space_joined(self, ctx):
+        out = run("element s { (1, 2, 3) }", ctx)
+        assert out[0].text() == "1 2 3"
+
+
+class TestFunctions:
+    def test_count_empty_not(self, ctx):
+        assert run("count(())", ctx) == [0]
+        assert run("empty(())", ctx) == [True]
+        assert run("not(1 = 1)", ctx) == [False]
+
+    def test_max_min_sum_avg(self, ctx):
+        assert run("max((1, 5, 3))", ctx) == [5]
+        assert run("min((1, 5, 3))", ctx) == [1]
+        assert run("sum((1, 2, 3))", ctx) == [6]
+        assert run("avg((2, 4))", ctx) == [3]
+
+    def test_max_over_elements_numeric(self, ctx):
+        out = run('max(doc("employees.xml")/employees/employee/salary)', ctx)
+        assert out == [72000]
+
+    def test_string_functions(self, ctx):
+        assert run("concat('a', 'b', 'c')", ctx) == ["abc"]
+        assert run("contains('hello', 'ell')", ctx) == [True]
+        assert run("starts-with('hello', 'he')", ctx) == [True]
+        assert run("string-length('abc')", ctx) == [3]
+        assert run("substring('hello', 2, 3)", ctx) == ["ell"]
+
+    def test_distinct_values(self, ctx):
+        assert run("distinct-values((1, 2, 1, 3))", ctx) == [1, 2, 3]
+
+    def test_current_date(self, ctx):
+        out = run("current-date()", ctx)
+        assert isinstance(out[0], DateValue)
+
+    def test_string_of_element(self, ctx):
+        out = run('string(doc("employees.xml")/employees/employee[1]/name)', ctx)
+        assert out == ["Bob"]
+
+    def test_name_function(self, ctx):
+        out = run('name(doc("depts.xml")/depts/dept[1])', ctx)
+        assert out == ["dept"]
+
+    def test_unknown_function(self, ctx):
+        with pytest.raises(XQueryError):
+            run("frobnicate(1)", ctx)
+
+
+class TestFocusFunctions:
+    def test_position_in_predicate(self, ctx):
+        out = run(
+            'doc("employees.xml")/employees/employee[position() = 2]/name',
+            ctx,
+        )
+        assert [e.text() for e in out] == ["Ann"]
+
+    def test_last_in_predicate(self, ctx):
+        out = run(
+            'doc("employees.xml")/employees/employee[position() = last()]/name',
+            ctx,
+        )
+        assert [e.text() for e in out] == ["Carl"]
+
+    def test_position_range(self, ctx):
+        out = run(
+            'doc("employees.xml")/employees/employee[position() >= 2]/name',
+            ctx,
+        )
+        assert [e.text() for e in out] == ["Ann", "Carl"]
+
+    def test_position_outside_predicate_raises(self, ctx):
+        with pytest.raises(XQueryError):
+            run("position()", ctx)
+
+    def test_last_outside_predicate_raises(self, ctx):
+        with pytest.raises(XQueryError):
+            run("last()", ctx)

@@ -1,0 +1,319 @@
+"""Tests for the XQuery parser."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import parse_xquery
+from repro.xquery.ast import (
+    BinaryOp,
+    ComputedElement,
+    DirectElement,
+    Flwor,
+    ForClause,
+    FunctionCall,
+    IfExpr,
+    LetClause,
+    Literal,
+    OrderByClause,
+    PathExpr,
+    Quantified,
+    SequenceExpr,
+    Step,
+    VarRef,
+    WhereClause,
+)
+
+
+class TestPrimaries:
+    def test_string_literal(self):
+        assert parse_xquery('"Bob"') == Literal("Bob")
+
+    def test_string_single_quotes(self):
+        assert parse_xquery("'Bob'") == Literal("Bob")
+
+    def test_doubled_quote_escape(self):
+        assert parse_xquery('"a""b"') == Literal('a"b')
+
+    def test_integer(self):
+        assert parse_xquery("42") == Literal(42)
+
+    def test_decimal(self):
+        assert parse_xquery("4.5") == Literal(4.5)
+
+    def test_variable(self):
+        assert parse_xquery("$e") == VarRef("e")
+
+    def test_parenthesized(self):
+        assert parse_xquery("(1)") == Literal(1)
+
+    def test_empty_sequence(self):
+        assert parse_xquery("()") == SequenceExpr(())
+
+    def test_sequence(self):
+        assert parse_xquery("1, 2") == SequenceExpr((Literal(1), Literal(2)))
+
+    def test_comment_skipped(self):
+        assert parse_xquery("(: note :) 7") == Literal(7)
+
+    def test_nested_comment(self):
+        assert parse_xquery("(: a (: b :) c :) 7") == Literal(7)
+
+
+class TestOperators:
+    def test_comparison(self):
+        node = parse_xquery("1 <= 2")
+        assert node == BinaryOp("<=", Literal(1), Literal(2))
+
+    def test_and_or_precedence(self):
+        node = parse_xquery("1 and 2 or 3")
+        assert isinstance(node, BinaryOp) and node.op == "or"
+
+    def test_arithmetic_precedence(self):
+        node = parse_xquery("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_div(self):
+        assert parse_xquery("4 div 2").op == "div"
+
+    def test_names_can_contain_dash(self):
+        node = parse_xquery("current-date()")
+        assert node == FunctionCall("current-date", ())
+
+    def test_subtraction_needs_spaces(self):
+        node = parse_xquery("$a - 1")
+        assert node.op == "-"
+
+
+class TestPaths:
+    def test_doc_rooted_path(self):
+        node = parse_xquery('doc("employees.xml")/employees/employee')
+        assert isinstance(node, PathExpr)
+        assert isinstance(node.start, FunctionCall)
+        assert [s.test for s in node.steps] == ["employees", "employee"]
+
+    def test_predicate_in_step(self):
+        node = parse_xquery('doc("e.xml")/employees/employee[name="Bob"]/title')
+        employee_step = node.steps[1]
+        assert len(employee_step.predicates) == 1
+
+    def test_relative_path_from_var(self):
+        node = parse_xquery("$e/name")
+        assert node.start == VarRef("e")
+        assert node.steps[0].test == "name"
+
+    def test_descendant_axis(self):
+        node = parse_xquery("$e//salary")
+        assert node.steps[0].axis == "descendant"
+
+    def test_attribute_step(self):
+        node = parse_xquery("$e/@tstart")
+        assert node.steps[0].test == "@tstart"
+
+    def test_text_step(self):
+        node = parse_xquery("$e/text()")
+        assert node.steps[0].test == "text()"
+
+    def test_wildcard_step(self):
+        node = parse_xquery("$e/*")
+        assert node.steps[0].test == "*"
+
+    def test_context_relative_name(self):
+        node = parse_xquery("name")
+        assert isinstance(node, PathExpr)
+        assert node.steps[0].test == "name"
+
+    def test_predicate_with_function(self):
+        node = parse_xquery('$d/mgrno[tstart(.) <= xs:date("1994-05-06")]')
+        predicate = node.steps[0].predicates[0]
+        assert isinstance(predicate, BinaryOp)
+
+    def test_nested_predicates(self):
+        node = parse_xquery('$e/title[.="Sr Engineer" and tend(.)=current-date()]')
+        assert len(node.steps[0].predicates) == 1
+
+
+class TestFlwor:
+    def test_simple_for_return(self):
+        node = parse_xquery("for $t in $s return $t")
+        assert isinstance(node, Flwor)
+        assert isinstance(node.clauses[0], ForClause)
+
+    def test_multiple_for_vars(self):
+        node = parse_xquery("for $a in $x, $b in $y return $a")
+        assert len(node.clauses) == 2
+
+    def test_let(self):
+        node = parse_xquery("let $s := 5 return $s")
+        assert isinstance(node.clauses[0], LetClause)
+
+    def test_where(self):
+        node = parse_xquery("for $e in $s where $e = 1 return $e")
+        assert isinstance(node.clauses[1], WhereClause)
+
+    def test_order_by(self):
+        node = parse_xquery("for $e in $s order by $e descending return $e")
+        order = node.clauses[1]
+        assert isinstance(order, OrderByClause)
+        assert order.specs[0].descending
+
+    def test_interleaved_clauses(self):
+        node = parse_xquery(
+            "for $d in $x for $m in $d let $q := $m where $q return $q"
+        )
+        kinds = [type(c).__name__ for c in node.clauses]
+        assert kinds == ["ForClause", "ForClause", "LetClause", "WhereClause"]
+
+    def test_for_at_position(self):
+        node = parse_xquery("for $e at $i in $s return $i")
+        assert node.clauses[0].position_var == "i"
+
+
+class TestQuantified:
+    def test_every_satisfies(self):
+        node = parse_xquery("every $d in $x satisfies $d = 1")
+        assert isinstance(node, Quantified)
+        assert node.kind == "every"
+
+    def test_some_satisfies(self):
+        node = parse_xquery("some $d in $x satisfies $d = 1")
+        assert node.kind == "some"
+
+    def test_nested_quantifiers(self):
+        node = parse_xquery(
+            "every $a in $x satisfies some $b in $y satisfies $a = $b"
+        )
+        assert isinstance(node.condition, Quantified)
+
+
+class TestConstructors:
+    def test_computed_element(self):
+        node = parse_xquery("element title_history { $t }")
+        assert node == ComputedElement("title_history", VarRef("t"))
+
+    def test_computed_element_empty(self):
+        node = parse_xquery("element x {}")
+        assert node.content is None
+
+    def test_nested_computed(self):
+        node = parse_xquery("element a { element b { 1 } }")
+        assert isinstance(node.content, ComputedElement)
+
+    def test_direct_element(self):
+        node = parse_xquery("<employee>{$e/id}</employee>")
+        assert isinstance(node, DirectElement)
+        assert node.name == "employee"
+        assert len(node.content) == 1
+
+    def test_direct_element_mixed(self):
+        node = parse_xquery("<e>hi {$x} bye</e>")
+        kinds = [type(p).__name__ for p in node.content]
+        assert kinds == ["str", "PathExpr"] or kinds == ["str", "VarRef", "str"]
+
+    def test_direct_element_attrs(self):
+        node = parse_xquery('<e tstart="1995-01-01"/>')
+        assert node.attrs[0].name == "tstart"
+        assert node.attrs[0].parts == ("1995-01-01",)
+
+    def test_direct_attr_with_expr(self):
+        node = parse_xquery('<e when="{current-date()}"/>')
+        assert isinstance(node.attrs[0].parts[0], FunctionCall)
+
+    def test_nested_direct(self):
+        node = parse_xquery("<a><b>{1}</b></a>")
+        assert isinstance(node.content[0], DirectElement)
+
+    def test_if_expr(self):
+        node = parse_xquery("if (1) then 2 else 3")
+        assert isinstance(node, IfExpr)
+
+
+class TestPaperQueriesParse:
+    """All eight Section-4 queries must parse."""
+
+    def test_query1(self):
+        parse_xquery(
+            'element title_history { for $t in doc("employees.xml")/employees/'
+            'employee[name="Bob"]/title return $t }'
+        )
+
+    def test_query2(self):
+        parse_xquery(
+            'for $m in doc("depts.xml")/depts/dept/mgrno'
+            '[tstart(.)<=xs:date("1994-05-06") and tend(.) >= xs:date("1994-05-06")]'
+            " return $m"
+        )
+
+    def test_query3(self):
+        parse_xquery(
+            'for $e in doc("employees.xml")/employees/employee[ toverlaps(.,'
+            ' telement( xs:date("1994-05-06"), xs:date("1995-05-06") ) ) ]'
+            " return $e/name"
+        )
+
+    def test_query4(self):
+        parse_xquery(
+            "element manages { for $d in doc(\"depts.xml\")/depts/dept"
+            " for $m in $d/mgrno return element manage {$d/deptno, $m,"
+            " element employees { for $e in doc(\"employees.xml\")/employees/employee"
+            " where $e/deptno = $d/deptno and not(empty(overlapinterval($e, $m)))"
+            " return ($e/name, overlapinterval($e,$m)) }}}"
+        )
+
+    def test_query5(self):
+        parse_xquery(
+            'let $s := document("emp.xml")/employees/employee/salary return tavg($s)'
+        )
+
+    def test_query6(self):
+        parse_xquery(
+            'for $e in doc("emp.xml")/employees/employee[name="Bob"]'
+            " let $d := $e/dept let $t := $e/title"
+            " let $overlaps := restructure($d, $t) return max($overlaps)"
+        )
+
+    def test_query7(self):
+        parse_xquery(
+            'for $e in doc("employees.xml")/employees/employee'
+            ' let $m:= $e/title[.="Sr Engineer" and tend(.)=current-date()]'
+            ' let $d:=$e/deptno[.="d001" and tcontains($m, .)]'
+            " where not(empty($d)) and not(empty($m))"
+            " return <employee>{$e/id, $e/name}</employee>"
+        )
+
+    def test_query8(self):
+        parse_xquery(
+            'for $e1 in doc("employees.xml")/employees/employee[name = "Bob"]'
+            ' for $e2 in doc("employees.xml")/employees/employee[name != "Bob"]'
+            " where (every $d1 in $e1/deptno satisfies some $d2 in $e2/deptno satisfies"
+            " (string($d1)=string($d2) and tequals($d2,$d1))) and"
+            " (every $d2 in $e2/deptno satisfies some $d1 in $e1/deptno satisfies"
+            " (string($d2)=string($d1) and tequals($d1,$d2)))"
+            " return <employee>{$e2/name}</employee>"
+        )
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery('"abc')
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("1 1")
+
+    def test_missing_return(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("for $x in $y")
+
+    def test_bad_predicate(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("$e/name[")
+
+    def test_mismatched_constructor(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("<a></b>")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("(: oops")

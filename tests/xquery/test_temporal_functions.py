@@ -1,0 +1,238 @@
+"""Tests for the temporal function library (paper Section 4.2)."""
+
+import pytest
+
+from repro.errors import XQueryTypeError
+from repro.xmlkit.dom import Element
+from repro.xquery import evaluate, parse_xquery
+from repro.xquery.values import DateValue
+
+
+def run(query, ctx):
+    return evaluate(parse_xquery(query), ctx)
+
+
+def first_emp(ctx, name="Bob"):
+    return run(
+        f'doc("employees.xml")/employees/employee[name="{name}"]', ctx
+    )[0]
+
+
+class TestAccessors:
+    def test_tstart(self, ctx):
+        out = run(
+            'tstart(doc("employees.xml")/employees/employee[1])', ctx
+        )
+        assert out == [DateValue.__class__ and out[0]]
+        assert str(out[0]) == "1995-01-01"
+
+    def test_tend_plain(self, ctx):
+        out = run('tend(doc("employees.xml")/employees/employee[1])', ctx)
+        assert str(out[0]) == "1996-12-31"
+
+    def test_tend_now_substitutes_current_date(self, ctx):
+        out = run('tend(doc("employees.xml")/employees/employee[2])', ctx)
+        assert str(out[0]) == "1997-06-15"  # the fixture's current date
+
+    def test_tinterval(self, ctx):
+        out = run('tinterval(doc("employees.xml")/employees/employee[1])', ctx)
+        assert out[0].get("tstart") == "1995-01-01"
+        assert out[0].get("tend") == "1996-12-31"
+
+    def test_timespan(self, ctx):
+        out = run(
+            'timespan(doc("employees.xml")/employees/employee[1]/salary[1])',
+            ctx,
+        )
+        # 1995-01-01 .. 1995-05-31 inclusive
+        assert out == [151]
+
+    def test_telement(self, ctx):
+        out = run(
+            'telement(xs:date("1994-05-06"), xs:date("1995-05-06"))', ctx
+        )
+        element = out[0]
+        assert element.name == "telement"
+        assert element.get("tstart") == "1994-05-06"
+
+    def test_missing_timestamps_raise(self, ctx):
+        with pytest.raises(XQueryTypeError):
+            run("tstart(element x { 1 })", ctx)
+
+    def test_atomic_argument_raises(self, ctx):
+        with pytest.raises(XQueryTypeError):
+            run("tstart(5)", ctx)
+
+
+class TestAllenPredicates:
+    def test_toverlaps_true(self, ctx):
+        out = run(
+            'toverlaps(doc("employees.xml")/employees/employee[1], '
+            'telement(xs:date("1994-05-06"), xs:date("1995-05-06")))',
+            ctx,
+        )
+        assert out == [True]
+
+    def test_toverlaps_false(self, ctx):
+        out = run(
+            'toverlaps(doc("employees.xml")/employees/employee[1], '
+            'telement(xs:date("1999-01-01"), xs:date("1999-12-31")))',
+            ctx,
+        )
+        assert out == [False]
+
+    def test_tprecedes(self, ctx):
+        out = run(
+            'tprecedes(telement(xs:date("1990-01-01"), xs:date("1990-12-31")), '
+            'doc("employees.xml")/employees/employee[1])',
+            ctx,
+        )
+        assert out == [True]
+
+    def test_tcontains(self, ctx):
+        out = run(
+            'tcontains(doc("employees.xml")/employees/employee[1], '
+            'doc("employees.xml")/employees/employee[1]/salary[1])',
+            ctx,
+        )
+        assert out == [True]
+
+    def test_tequals(self, ctx):
+        out = run(
+            'tequals(doc("employees.xml")/employees/employee[1], '
+            'doc("employees.xml")/employees/employee[1])',
+            ctx,
+        )
+        assert out == [True]
+
+    def test_tmeets(self, ctx):
+        out = run(
+            'tmeets(doc("employees.xml")/employees/employee[1]/salary[1], '
+            'doc("employees.xml")/employees/employee[1]/salary[2])',
+            ctx,
+        )
+        assert out == [True]
+
+    def test_overlapinterval(self, ctx):
+        out = run(
+            'overlapinterval(doc("employees.xml")/employees/employee[1], '
+            'telement(xs:date("1994-05-06"), xs:date("1995-05-06")))',
+            ctx,
+        )
+        assert out[0].name == "interval"
+        assert out[0].get("tstart") == "1995-01-01"
+        assert out[0].get("tend") == "1995-05-06"
+
+    def test_overlapinterval_empty_when_disjoint(self, ctx):
+        out = run(
+            'overlapinterval(doc("employees.xml")/employees/employee[1], '
+            'telement(xs:date("1999-01-01"), xs:date("1999-12-31")))',
+            ctx,
+        )
+        assert out == []
+
+
+class TestRestructuring:
+    def test_coalesce_merges_adjacent(self, ctx):
+        out = run(
+            'coalesce(doc("employees.xml")/employees/employee[name="Bob"]/title)',
+            ctx,
+        )
+        assert len(out) == 1
+        assert out[0].get("tstart") == "1995-01-01"
+        assert out[0].get("tend") == "1996-12-31"
+
+    def test_restructure_intersects_histories(self, ctx):
+        out = run(
+            'restructure(doc("employees.xml")/employees/employee[name="Bob"]/deptno, '
+            'doc("employees.xml")/employees/employee[name="Bob"]/title)',
+            ctx,
+        )
+        assert len(out) == 1
+
+    def test_restructure_disjoint_is_empty(self, ctx):
+        out = run(
+            'restructure(doc("employees.xml")/employees/employee[name="Bob"]/deptno, '
+            'telement(xs:date("2001-01-01"), xs:date("2001-12-31")))',
+            ctx,
+        )
+        assert out == []
+
+
+class TestNowRewriting:
+    def test_rtend_replaces_forever(self, ctx):
+        out = run(
+            'rtend(doc("employees.xml")/employees/employee[name="Ann"])', ctx
+        )
+        assert out[0].get("tend") == "1997-06-15"
+        # children rewritten too
+        assert out[0].first("salary") is not None
+        for salary in out[0].elements("salary"):
+            assert salary.get("tend") != "9999-12-31"
+
+    def test_externalnow_replaces_with_label(self, ctx):
+        out = run(
+            'externalnow(doc("employees.xml")/employees/employee[name="Ann"])',
+            ctx,
+        )
+        assert out[0].get("tend") == "now"
+
+    def test_original_untouched(self, ctx, documents):
+        run('rtend(doc("employees.xml")/employees/employee[name="Ann"])', ctx)
+        ann = [
+            e
+            for e in documents["employees.xml"].elements("employee")
+            if e.first("name").text() == "Ann"
+        ][0]
+        assert ann.get("tend") == "9999-12-31"
+
+
+class TestTemporalAggregates:
+    def test_tavg_returns_periods(self, ctx):
+        out = run(
+            'let $s := document("emp.xml")/employees/employee/salary '
+            "return tavg($s)",
+            ctx,
+        )
+        assert out, "tavg returned nothing"
+        assert all(isinstance(e, Element) and e.name == "tavg" for e in out)
+        # periods must be chronological and disjoint
+        starts = [e.get("tstart") for e in out]
+        assert starts == sorted(starts)
+
+    def test_tavg_value_at_known_point(self, ctx):
+        out = run(
+            'let $s := document("emp.xml")/employees/employee/salary '
+            "return tavg($s)",
+            ctx,
+        )
+        # On 1995-07-01: Bob 70000, Ann 65000, Carl 55000 -> avg 63333.33
+        covering = [
+            e
+            for e in out
+            if e.get("tstart") <= "1995-07-01" <= e.get("tend")
+        ]
+        assert len(covering) == 1
+        assert abs(float(covering[0].text()) - 63333.3333) < 0.1
+
+    def test_tcount(self, ctx):
+        out = run(
+            'tcount(doc("employees.xml")/employees/employee/salary)', ctx
+        )
+        assert out[0].name == "tcount"
+
+    def test_tmax(self, ctx):
+        out = run(
+            'tmax(doc("employees.xml")/employees/employee/salary)', ctx
+        )
+        values = {e.text() for e in out}
+        assert "72000" in values
+
+    def test_rising(self, ctx):
+        out = run(
+            'rising(doc("employees.xml")/employees/employee[name="Bob"]/salary)',
+            ctx,
+        )
+        # Bob's salary only rises: the whole employment period.
+        assert out[0].get("tstart") == "1995-01-01"
+        assert out[0].get("tend") == "1996-12-31"

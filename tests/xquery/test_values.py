@@ -1,0 +1,144 @@
+"""Tests for the XQuery data model helpers (values module)."""
+
+import pytest
+
+from repro.errors import XQueryTypeError
+from repro.xmlkit.dom import Element, Text
+from repro.xquery.values import (
+    DateValue,
+    as_sequence,
+    atomize,
+    compare_atoms,
+    effective_boolean,
+    numeric_value,
+    string_value,
+)
+
+
+def element_with_text(value):
+    e = Element("x")
+    e.append(Text(value))
+    return e
+
+
+class TestSequences:
+    def test_none_is_empty(self):
+        assert as_sequence(None) == []
+
+    def test_list_passthrough(self):
+        assert as_sequence([1, 2]) == [1, 2]
+
+    def test_scalar_wrapped(self):
+        assert as_sequence(5) == [5]
+
+
+class TestAtomization:
+    def test_element_atomizes_to_text(self):
+        assert atomize([element_with_text("70000")]) == ["70000"]
+
+    def test_text_node(self):
+        assert atomize([Text("abc")]) == ["abc"]
+
+    def test_scalars_unchanged(self):
+        assert atomize([1, "a", True]) == [1, "a", True]
+
+
+class TestEffectiveBoolean:
+    def test_empty_false(self):
+        assert effective_boolean([]) is False
+
+    def test_node_true(self):
+        assert effective_boolean([Element("x")]) is True
+
+    def test_bool_passthrough(self):
+        assert effective_boolean([False]) is False
+        assert effective_boolean([True]) is True
+
+    def test_zero_false(self):
+        assert effective_boolean([0]) is False
+        assert effective_boolean([0.0]) is False
+
+    def test_nonzero_true(self):
+        assert effective_boolean([7]) is True
+
+    def test_empty_string_false(self):
+        assert effective_boolean([""]) is False
+        assert effective_boolean(["x"]) is True
+
+    def test_date_true(self):
+        assert effective_boolean([DateValue(0)]) is True
+
+    def test_multi_atomic_raises(self):
+        with pytest.raises(XQueryTypeError):
+            effective_boolean([1, 2])
+
+    def test_multi_node_true(self):
+        assert effective_boolean([Element("a"), Element("b")]) is True
+
+
+class TestStringNumeric:
+    def test_string_of_float_integral(self):
+        assert string_value(3.0) == "3"
+
+    def test_string_of_bool(self):
+        assert string_value(True) == "true"
+        assert string_value(False) == "false"
+
+    def test_string_of_date(self):
+        assert string_value(DateValue(0)) == "1970-01-01"
+
+    def test_numeric_from_string(self):
+        assert numeric_value("42") == 42.0
+
+    def test_numeric_from_element(self):
+        assert numeric_value(element_with_text("7")) == 7.0
+
+    def test_numeric_from_date(self):
+        assert numeric_value(DateValue(10)) == 10.0
+
+    def test_numeric_bad_string_raises(self):
+        with pytest.raises(XQueryTypeError):
+            numeric_value("Bob")
+
+    def test_numeric_bool_raises(self):
+        with pytest.raises(XQueryTypeError):
+            numeric_value(True)
+
+
+class TestCompareAtoms:
+    def test_numeric_coercion(self):
+        assert compare_atoms("=", "10", 10)
+        assert compare_atoms("<", 2, "10")
+
+    def test_string_comparison(self):
+        assert compare_atoms("<", "abc", "abd")
+
+    def test_date_with_string(self):
+        assert compare_atoms("=", DateValue(0), "1970-01-01")
+        assert compare_atoms("<", DateValue(0), "1970-01-02")
+
+    def test_date_with_bad_string_raises(self):
+        with pytest.raises(XQueryTypeError):
+            compare_atoms("=", DateValue(0), "Bob")
+
+    def test_bool_comparison(self):
+        assert compare_atoms("=", True, True)
+        assert compare_atoms("!=", True, False)
+
+    def test_all_operators(self):
+        assert compare_atoms("<=", 1, 1)
+        assert compare_atoms(">=", 1, 1)
+        assert compare_atoms(">", 2, 1)
+        assert compare_atoms("!=", 1, 2)
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(XQueryTypeError):
+            compare_atoms("~", 1, 1)
+
+    def test_dates_sort(self):
+        assert DateValue(1) < DateValue(2)
+        assert str(DateValue(1)) == "1970-01-02"
+
+    def test_non_numeric_string_vs_number_falls_back(self):
+        # '=' between a word and a number: not equal, no crash
+        assert not compare_atoms("=", "Bob", 10)
