@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Lint + tier-1 test gate. Run from the repository root:
+#
+#     ./scripts/check.sh
+#
+# ruff is optional (config lives in pyproject.toml); the tests are not.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests
+else
+    echo "== ruff == (not installed; skipping lint)"
+fi
+
+echo "== pytest (tier 1) =="
+PYTHONPATH=src python -m pytest -x -q

@@ -21,9 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ArchisError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.rdb.database import Database
 from repro.rdb.types import ColumnType
 from repro.archis.clustering import SegmentManager
+
+_TABLES_COMPRESSED = get_registry().counter("blockzip.tables_compressed")
 from repro.archis.compression import (
     DEFAULT_BLOCK_SIZE,
     compress_records,
@@ -62,6 +66,16 @@ class CompressedArchive:
         """Move all frozen-segment rows of ``table_name`` into BLOBs."""
         if table_name in self._compressed:
             raise ArchisError(f"{table_name} is already compressed")
+        with get_tracer().span(
+            "archis.compress_table", table=table_name
+        ) as span:
+            info = self._compress_table(table_name)
+            span.set("rows", info.rows_compressed)
+            span.set("blocks", info.blocks)
+        _TABLES_COMPRESSED.inc()
+        return info
+
+    def _compress_table(self, table_name: str) -> CompressedTableInfo:
         table = self.db.table(table_name)
         schema = table.schema
         seg_pos = schema.position("segno")

@@ -20,9 +20,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ArchisError
+from repro.obs.metrics import DEFAULT_RATIO_BUCKETS, get_registry
+from repro.obs.tracer import get_tracer
 from repro.rdb.database import Database
 from repro.util.timeutil import FOREVER
 from repro.archis.htables import SEGMENT_TABLE
+
+_SEGMENTS_FROZEN = get_registry().counter("clustering.segments_frozen")
+_ROWS_REWRITTEN = get_registry().counter("clustering.rows_rewritten")
+_LIVE_COPIED = get_registry().counter("clustering.live_rows_copied")
+_USEFULNESS_AT_FREEZE = get_registry().histogram(
+    "clustering.usefulness_at_freeze", DEFAULT_RATIO_BUCKETS
+)
+_LIVE_SEGNO = get_registry().gauge("clustering.live_segno")
 
 
 @dataclass
@@ -114,22 +124,41 @@ class SegmentManager:
             raise ArchisError("cannot freeze: segmentation is disabled")
         boundary = max(self.last_change, self.live_start)
         frozen_segno = self.live_segno
-        self.db.table(SEGMENT_TABLE).insert(
-            (frozen_segno, self.live_start, boundary)
-        )
-        new_live = frozen_segno + 1
-        live_count = 0
-        for table_name in self._tables:
-            live_count += self._rewrite_table(table_name, frozen_segno, new_live)
-        self.live_segno = new_live
-        self.live_start = boundary + 1
-        self.stats = SegmentStats(live=live_count, total=live_count)
-        self.freeze_count += 1
+        usefulness = self.stats.usefulness
+        with get_tracer().span(
+            "archis.freeze", segno=frozen_segno, usefulness=usefulness
+        ) as span:
+            self.db.table(SEGMENT_TABLE).insert(
+                (frozen_segno, self.live_start, boundary)
+            )
+            new_live = frozen_segno + 1
+            live_count = 0
+            rewritten = 0
+            for table_name in self._tables:
+                live, frozen = self._rewrite_table(
+                    table_name, frozen_segno, new_live
+                )
+                live_count += live
+                rewritten += frozen
+            self.live_segno = new_live
+            self.live_start = boundary + 1
+            self.stats = SegmentStats(live=live_count, total=live_count)
+            self.freeze_count += 1
+            span.set("rows_rewritten", rewritten)
+            span.set("live_rows_copied", live_count)
+        _SEGMENTS_FROZEN.inc()
+        _ROWS_REWRITTEN.inc(rewritten)
+        _LIVE_COPIED.inc(live_count)
+        _USEFULNESS_AT_FREEZE.observe(usefulness)
+        _LIVE_SEGNO.set(new_live)
 
     def _rewrite_table(
         self, table_name: str, frozen_segno: int, new_live: int
-    ) -> int:
-        """Rewrite one H-table's live segment; returns live tuples copied."""
+    ) -> tuple[int, int]:
+        """Rewrite one H-table's live segment.
+
+        Returns ``(live_copied, frozen_rewritten)`` tuple counts.
+        """
         table = self.db.table(table_name)
         live_rows = []
         frozen_rows = []
@@ -155,7 +184,7 @@ class SegmentManager:
             fresh[seg_pos] = new_live
             table.insert(tuple(fresh))
         table.compact()
-        return len(live_rows)
+        return len(live_rows), len(frozen_rows)
 
     # -- lookup used by segment-aware query rewriting (Section 6.3) -----------------
 

@@ -18,9 +18,25 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import CompressionError
+from repro.obs.metrics import (
+    DEFAULT_RATIO_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    get_registry,
+)
 from repro.storage.record import decode_record, encode_record
 
 _LEN = struct.Struct("<I")
+
+_BYTES_IN = get_registry().counter("blockzip.bytes_in")
+_BYTES_OUT = get_registry().counter("blockzip.bytes_out")
+_BLOCKS = get_registry().counter("blockzip.blocks")
+_BLOCKS_DECOMPRESSED = get_registry().counter("blockzip.blocks_decompressed")
+_BLOCK_BYTES = get_registry().histogram(
+    "blockzip.block_bytes", DEFAULT_SIZE_BUCKETS
+)
+_RATIO = get_registry().histogram(
+    "blockzip.compression_ratio", DEFAULT_RATIO_BUCKETS
+)
 
 #: The paper uses 4000-byte blocks for its experiments (Section 8.2).
 DEFAULT_BLOCK_SIZE = 4000
@@ -94,6 +110,15 @@ def compress_records(
         observed = len(data) / max(count, 1)
         per_block = max(int(block_size / max(observed, 1.0)), 1)
         position += count
+    bytes_in = sum(len(e) for e in encoded)
+    bytes_out = sum(len(b.data) for b in blocks)
+    _BYTES_IN.inc(bytes_in)
+    _BYTES_OUT.inc(bytes_out)
+    _BLOCKS.inc(len(blocks))
+    for block in blocks:
+        _BLOCK_BYTES.observe(len(block.data))
+    if bytes_in:
+        _RATIO.observe(bytes_out / bytes_in)
     return blocks
 
 
@@ -104,6 +129,7 @@ def decompress_block(block: CompressedBlock | bytes) -> list[tuple]:
         raw = zlib.decompress(data)
     except zlib.error as exc:
         raise CompressionError(f"corrupt BlockZIP block: {exc}") from exc
+    _BLOCKS_DECOMPRESSED.inc()
     rows = []
     offset = 0
     while offset < len(raw):

@@ -16,9 +16,14 @@ clustering, compression and the XQuery→SQL/XML translator:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from time import perf_counter
 
 from repro.errors import ArchisError, UnsupportedQueryError
+from repro.obs.explain import ExplainResult
+from repro.obs.metrics import get_registry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracer import get_tracer
 from repro.rdb.database import Database
 from repro.archis.blobstore import CompressedArchive
 from repro.archis.clustering import SegmentManager
@@ -30,6 +35,10 @@ from repro.archis.tracker import (
     TriggerTracker,
     apply_log,
 )
+
+_XQUERY_COUNT = get_registry().counter("archis.xquery.count")
+_XQUERY_SECONDS = get_registry().histogram("archis.xquery.seconds")
+_FALLBACKS = get_registry().labeled_counter("xquery.fallback")
 
 
 @dataclass(frozen=True)
@@ -74,6 +83,9 @@ class ArchIS:
         self.trackers: dict[str, object] = {}
         self.archive = CompressedArchive(self.db, self.segments)
         self._doc_names: dict[str, str] = {}
+        #: queries slower than ``slow_query_log.threshold`` seconds are
+        #: kept here (bounded); set the threshold to None to disable.
+        self.slow_query_log = SlowQueryLog()
         from repro.util.timeutil import FOREVER
 
         # tend with 'now' substitution (paper Section 4.3): the internal
@@ -203,31 +215,59 @@ class ArchIS:
         The translated SQL/XML path is used when the query falls in the
         translatable subset; otherwise, with ``allow_fallback``, the H-views
         are published and the query evaluated natively (complete but slow).
-        """
-        self.apply_pending()
-        from repro.archis.translator import translate
 
+        Emits an ``archis.xquery`` root span (children: ``xquery.translate``,
+        ``sql.execute``, ``xquery.post`` — or ``xquery.native`` on
+        fallback), counts ``archis.xquery.count`` / ``xquery.fallback``
+        and feeds the slow-query log.
+        """
+        tracer = get_tracer()
+        started = perf_counter()
+        sql_text: str | None = None
+        fallback_reason: str | None = None
         try:
-            translation = translate(self, query)
-        except UnsupportedQueryError:
-            if not allow_fallback:
-                raise
-            return self._native_fallback(query)
-        result = self.db.sql(translation.sql, translation.params)
-        if translation.post is not None:
-            return translation.post(result)
-        return result.xml()
+            with tracer.span("archis.xquery", query=query) as span:
+                self.apply_pending()
+                from repro.archis.translator import translate
+
+                try:
+                    with tracer.span("xquery.translate"):
+                        translation = translate(self, query)
+                except UnsupportedQueryError as exc:
+                    fallback_reason = str(exc)
+                    _FALLBACKS.inc(fallback_reason)
+                    span.set("fallback_reason", fallback_reason)
+                    if not allow_fallback:
+                        raise
+                    with tracer.span("xquery.native"):
+                        return self._native_fallback(query)
+                sql_text = translation.sql
+                span.set("sql", sql_text)
+                with tracer.span("sql.execute"):
+                    result = self.db.sql(translation.sql, translation.params)
+                with tracer.span("xquery.post"):
+                    if translation.post is not None:
+                        return translation.post(result)
+                    return result.xml()
+        finally:
+            elapsed = perf_counter() - started
+            _XQUERY_COUNT.inc()
+            _XQUERY_SECONDS.observe(elapsed)
+            self.slow_query_log.record(
+                query, elapsed, sql=sql_text, fallback_reason=fallback_reason
+            )
 
     def _native_fallback(self, query: str) -> list:
         from repro.xquery import make_context, parse_xquery
-        from repro.xquery.evaluator import evaluate
+        from repro.xquery.evaluator import evaluate_query
 
-        documents = {
-            doc: publish_relation(self.db, self.relations[rel])
-            for doc, rel in self._doc_names.items()
-        }
+        with get_tracer().span("xquery.publish"):
+            documents = {
+                doc: publish_relation(self.db, self.relations[rel])
+                for doc, rel in self._doc_names.items()
+            }
         ctx = make_context(documents, self.db.current_date)
-        return evaluate(parse_xquery(query), ctx)
+        return evaluate_query(parse_xquery(query), ctx)
 
     # -- snapshots (the segment fast path, Section 6.3) -------------------------------------
 
@@ -305,11 +345,15 @@ class ArchIS:
     def compress_archive(self) -> dict[str, object]:
         """BlockZIP every tracked H-table's frozen segments into BLOBs."""
         report = {}
-        for relation in self.relations.values():
-            for table_name in relation.all_tables():
-                if table_name in self.archive.compressed_tables:
-                    continue
-                report[table_name] = self.archive.compress_table(table_name)
+        with get_tracer().span("archis.compress_archive") as span:
+            for relation in self.relations.values():
+                for table_name in relation.all_tables():
+                    if table_name in self.archive.compressed_tables:
+                        continue
+                    report[table_name] = self.archive.compress_table(
+                        table_name
+                    )
+            span.set("tables", len(report))
         return report
 
     # -- persistence ------------------------------------------------------------------------
@@ -326,6 +370,67 @@ class ArchIS:
         from repro.archis.persistence import load_archive
 
         return load_archive(path, buffer_pages)
+
+    # -- observability ----------------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A full telemetry snapshot: metrics, cache, segments, slow log."""
+        pool = self.db.pool.stats
+        pager = self.db.pager.stats
+        return {
+            "metrics": get_registry().snapshot(),
+            "buffer": {
+                "hits": pool.hits,
+                "misses": pool.misses,
+                "hit_rate": pool.hit_rate,
+            },
+            "pager": {
+                "reads": pager.reads,
+                "writes": pager.writes,
+                "allocations": pager.allocations,
+            },
+            "segments": {
+                "count": self.segments.segment_count(),
+                "freezes": self.segments.freeze_count,
+                "live_segno": self.segments.live_segno,
+                "usefulness": self.segments.stats.usefulness,
+            },
+            "relations": sorted(self.relations),
+            "compressed_tables": sorted(self.archive.compressed_tables),
+            "slow_queries": [
+                asdict(entry) for entry in self.slow_query_log
+            ],
+        }
+
+    def explain(self, query: str, allow_fallback: bool = True) -> ExplainResult:
+        """Run ``query`` with tracing forced on and report how it ran.
+
+        Returns the span tree (parse/translate/execute stages), the
+        translated SQL (or the fallback reason), and the buffer-pool IO
+        the run performed.  Works regardless of the tracer's global
+        enabled state.
+        """
+        registry = get_registry()
+        misses = registry.counter("buffer.misses")
+        hits = registry.counter("buffer.hits")
+        misses_before = misses.value
+        hits_before = hits.value
+        with get_tracer().capture() as roots:
+            result = self.xquery(query, allow_fallback=allow_fallback)
+        root = next(
+            (s for s in reversed(roots) if s.name == "archis.xquery"),
+            roots[-1],
+        )
+        return ExplainResult(
+            query=query,
+            seconds=root.duration,
+            result_count=len(result),
+            physical_reads=misses.value - misses_before,
+            cache_hits=hits.value - hits_before,
+            root=root,
+            sql=root.attrs.get("sql"),
+            fallback_reason=root.attrs.get("fallback_reason"),
+        )
 
     # -- measurement hooks ------------------------------------------------------------------------
 

@@ -16,11 +16,18 @@ created and closed on the same day keeps a one-day interval.
 from __future__ import annotations
 
 from repro.errors import ArchisError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.rdb.database import Database
 from repro.rdb.table import Table
 from repro.util.timeutil import FOREVER
 from repro.archis.clustering import SegmentManager
 from repro.archis.htables import TrackedRelation
+
+_CHANGES_APPLIED = get_registry().counter("tracker.changes_applied")
+_INSERTS = get_registry().counter("tracker.inserts")
+_UPDATES = get_registry().counter("tracker.updates")
+_DELETES = get_registry().counter("tracker.deletes")
 
 
 class HTableWriter:
@@ -45,6 +52,8 @@ class HTableWriter:
     # -- row-level archival -------------------------------------------------------
 
     def archive_insert(self, row: tuple, when: int) -> None:
+        _CHANGES_APPLIED.inc()
+        _INSERTS.inc()
         self.segments.maybe_freeze(when)
         key = row[self._key_pos]
         self._upsert_version(self.relation.key_table, key, None, when)
@@ -55,6 +64,8 @@ class HTableWriter:
         self.segments.touch(when)
 
     def archive_delete(self, row: tuple, when: int) -> None:
+        _CHANGES_APPLIED.inc()
+        _DELETES.inc()
         self.segments.maybe_freeze(when)
         key = row[self._key_pos]
         self._close_history(self.relation.key_table, key, when)
@@ -65,6 +76,8 @@ class HTableWriter:
         self.segments.touch(when)
 
     def archive_update(self, new_row: tuple, old_row: tuple, when: int) -> None:
+        _CHANGES_APPLIED.inc()
+        _UPDATES.inc()
         self.segments.maybe_freeze(when)
         key = new_row[self._key_pos]
         old_key = old_row[self._key_pos]
@@ -237,15 +250,17 @@ def apply_log(db: Database, writers: dict[str, HTableWriter]) -> int:
     Returns the number of entries applied.
     """
     applied = 0
-    for entry in db.update_log.drain():
-        writer = writers.get(entry.table)
-        if writer is None:
-            continue
-        if entry.op == "insert":
-            writer.archive_insert(entry.row, entry.timestamp)
-        elif entry.op == "update":
-            writer.archive_update(entry.row, entry.old, entry.timestamp)
-        elif entry.op == "delete":
-            writer.archive_delete(entry.row, entry.timestamp)
-        applied += 1
+    with get_tracer().span("archis.apply_log") as span:
+        for entry in db.update_log.drain():
+            writer = writers.get(entry.table)
+            if writer is None:
+                continue
+            if entry.op == "insert":
+                writer.archive_insert(entry.row, entry.timestamp)
+            elif entry.op == "update":
+                writer.archive_update(entry.row, entry.old, entry.timestamp)
+            elif entry.op == "delete":
+                writer.archive_delete(entry.row, entry.timestamp)
+            applied += 1
+        span.set("applied", applied)
     return applied

@@ -38,11 +38,17 @@ does; see DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, TYPE_CHECKING
 
 from repro.errors import TranslationError, UnsupportedQueryError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.rdb.types import ColumnType
 from repro.xquery import ast, parse_xquery
+
+_TRANSLATE_SECONDS = get_registry().histogram("xquery.translate.seconds")
+_TRANSLATIONS = get_registry().counter("xquery.translations")
 
 if TYPE_CHECKING:
     from repro.archis.system import ArchIS
@@ -114,7 +120,22 @@ class Analyzer:
     # -- entry --------------------------------------------------------------
 
     def translate(self, query: str) -> Translation:
-        node = parse_xquery(query)
+        started = perf_counter()
+        try:
+            translation = self._translate_timed(query)
+        finally:
+            _TRANSLATE_SECONDS.observe(perf_counter() - started)
+        _TRANSLATIONS.inc()
+        return translation
+
+    def _translate_timed(self, query: str) -> Translation:
+        tracer = get_tracer()
+        with tracer.span("xquery.parse"):
+            node = parse_xquery(query)
+        with tracer.span("sql.generate"):
+            return self._translate_node(node)
+
+    def _translate_node(self, node: object) -> Translation:
         wrapper = None
         if isinstance(node, ast.ComputedElement):
             wrapper = node.name

@@ -5,16 +5,21 @@ before every measured query ("the hard drive with data is unmounted ...
 databases are restarted for each query"), each query runs several times and
 results are averaged, and buffer-pool physical reads are reported alongside
 wall-clock time.
+
+Measurements are read from the observability layer rather than ad-hoc
+timers: wall time comes from the query's root span, stage times from its
+children, and physical reads from the ``buffer.misses`` counter — the same
+numbers ``ArchIS.explain()`` and production telemetry report.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.archis import ArchIS
 from repro.dataset import EmployeeHistoryGenerator
 from repro.nativexml import NativeXmlDatabase
+from repro.obs import Span, get_registry, get_tracer
 from repro.rdb import Database
 from repro.bench.queries import BenchQuery
 
@@ -24,6 +29,9 @@ class Measurement:
     seconds: float
     physical_reads: int
     result_size: int
+    translate_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    cache_hit_rate: float = 0.0
 
 
 @dataclass
@@ -84,34 +92,58 @@ def build_setup(**kwargs) -> BenchSetup:
 # -- measurement -------------------------------------------------------------------
 
 
+def _measure_cold(run_query, root_name: str) -> Measurement:
+    """Run one cold query under a capture and read the telemetry back."""
+    registry = get_registry()
+    misses = registry.counter("buffer.misses")
+    hits = registry.counter("buffer.hits")
+    misses_before = misses.value
+    hits_before = hits.value
+    with get_tracer().capture() as roots:
+        result = run_query()
+    root: Span = next(
+        (s for s in reversed(roots) if s.name == root_name), roots[-1]
+    )
+    reads = misses.value - misses_before
+    hit_count = hits.value - hits_before
+    total = reads + hit_count
+    return Measurement(
+        seconds=root.duration,
+        physical_reads=reads,
+        result_size=len(result),
+        translate_seconds=root.stage_seconds("xquery.translate"),
+        execute_seconds=root.stage_seconds("sql.execute"),
+        cache_hit_rate=hit_count / total if total else 0.0,
+    )
+
+
 def run_archis_cold(archis: ArchIS, query: BenchQuery) -> Measurement:
     archis.reset_caches()
-    before = archis.db.pager.io_stats()
-    start = time.perf_counter()
-    result = archis.xquery(query.xquery, allow_fallback=False)
-    elapsed = time.perf_counter() - start
-    reads = archis.db.pager.io_stats().delta(before).reads
-    return Measurement(elapsed, reads, len(result))
+    return _measure_cold(
+        lambda: archis.xquery(query.xquery, allow_fallback=False),
+        "archis.xquery",
+    )
 
 
 def run_native_cold(native: NativeXmlDatabase, query: BenchQuery) -> Measurement:
     native.reset_caches()
-    before = native.store.pager.io_stats()
-    start = time.perf_counter()
-    result = native.xquery(query.xquery)
-    elapsed = time.perf_counter() - start
-    reads = native.store.pager.io_stats().delta(before).reads
-    return Measurement(elapsed, reads, len(result))
+    return _measure_cold(
+        lambda: native.xquery(query.xquery), "nativexml.xquery"
+    )
 
 
 def averaged(run, repeats: int = 3) -> Measurement:
     """Run a measurement function several times and average (paper: each
     query executed 7 times and averaged; we default to 3 for CI budgets)."""
     samples = [run() for _ in range(repeats)]
+    count = len(samples)
     return Measurement(
-        sum(s.seconds for s in samples) / len(samples),
+        sum(s.seconds for s in samples) / count,
         samples[-1].physical_reads,
         samples[-1].result_size,
+        sum(s.translate_seconds for s in samples) / count,
+        sum(s.execute_seconds for s in samples) / count,
+        samples[-1].cache_hit_rate,
     )
 
 

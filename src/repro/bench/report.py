@@ -46,7 +46,10 @@ def comparison_rows(
                 f"{native.seconds * 1000:.1f}",
                 f"{archis.seconds * 1000:.1f}",
                 f"{speedup(native, archis):.1f}x",
+                f"{archis.translate_seconds * 1000:.2f}",
+                f"{archis.execute_seconds * 1000:.2f}",
                 str(archis.physical_reads),
+                f"{archis.cache_hit_rate * 100:.0f}%",
                 str(archis.result_size),
             ]
         )
@@ -60,7 +63,7 @@ def print_comparison(
 ) -> str:
     headers = [
         "query", "native ms", "archis ms", "archis speedup",
-        "archis phys reads", "rows",
+        "translate ms", "exec ms", "archis phys reads", "hit rate", "rows",
     ]
     rows = comparison_rows(results)
     if paper_notes:

@@ -5,10 +5,11 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.nativexml.store import NativeXmlStore
+from repro.obs.tracer import get_tracer
 from repro.util.timeutil import parse_date
 from repro.xmlkit.dom import Element
 from repro.xquery import make_context, parse_xquery
-from repro.xquery.evaluator import evaluate
+from repro.xquery.evaluator import evaluate_query
 
 
 class NativeXmlDatabase:
@@ -57,10 +58,11 @@ class NativeXmlDatabase:
 
     def xquery(self, query: str) -> list:
         """Evaluate an XQuery against the stored documents."""
-        ctx = make_context(
-            self.store.load_document, self._clock, self._extra_functions
-        )
-        return evaluate(parse_xquery(query), ctx)
+        with get_tracer().span("nativexml.xquery", query=query):
+            ctx = make_context(
+                self.store.load_document, self._clock, self._extra_functions
+            )
+            return evaluate_query(parse_xquery(query), ctx)
 
     def register_function(self, name: str, fn: Callable) -> None:
         self._extra_functions[name.lower()] = fn

@@ -1,0 +1,52 @@
+"""Zero-dependency observability: tracing, metrics, slow log, EXPLAIN.
+
+Every layer of the ArchIS stack reports into one process-wide
+:class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.tracer.Tracer`:
+
+- storage: ``buffer.hits`` / ``buffer.misses`` (physical reads),
+  ``pager.reads`` / ``pager.writes`` / ``pager.allocations``;
+- sql: ``sql.statements``, ``sql.rows_scanned``, ``sql.rows_returned``,
+  ``sql.statement.seconds``, per-statement ``sql.statement`` spans;
+- xquery/translator: ``xquery.translate.seconds``,
+  ``xquery.native.seconds``, ``xquery.fallback`` (labeled by reason),
+  ``xquery.parse`` / ``xquery.translate`` / ``sql.execute`` spans;
+- archis: ``archis.xquery.count`` / ``archis.xquery.seconds``,
+  ``tracker.changes_applied`` (+ per-op counters),
+  ``clustering.segments_frozen`` / ``clustering.rows_rewritten``,
+  ``blockzip.bytes_in`` / ``blockzip.bytes_out`` / ``blockzip.blocks``.
+
+Tracing is disabled by default (no-op spans); metrics are always on and
+cost an integer increment.  See ``ArchIS.stats()``, ``ArchIS.explain()``
+and ``python -m repro.tools obs``.
+"""
+
+from repro.obs.explain import ExplainResult
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.report import format_metrics, format_traces
+from repro.obs.slowlog import SlowQuery, SlowQueryLog
+from repro.obs.tracer import Span, Tracer, get_tracer
+
+__all__ = [
+    "Counter",
+    "ExplainResult",
+    "Gauge",
+    "Histogram",
+    "LabeledCounter",
+    "MetricsRegistry",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "format_metrics",
+    "format_traces",
+    "get_registry",
+    "get_tracer",
+]

@@ -1,0 +1,79 @@
+"""EXPLAIN output: the span tree + translation + IO profile of one query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import Span
+
+
+@dataclass
+class ExplainResult:
+    """What ``ArchIS.explain(xquery)`` returns.
+
+    ``root`` is the query's ``archis.xquery`` span; ``sql`` is the
+    SQL/XML translation (``None`` when the query fell back to native
+    evaluation, in which case ``fallback_reason`` says why).
+    ``physical_reads`` counts buffer-pool misses during the run.
+    """
+
+    query: str
+    seconds: float
+    result_count: int
+    physical_reads: int
+    cache_hits: int
+    root: Span
+    sql: str | None = None
+    fallback_reason: str | None = None
+    params: dict = field(default_factory=dict)
+
+    def stages(self) -> dict[str, float]:
+        """Seconds per pipeline stage, summed over the span tree."""
+        out: dict[str, float] = {}
+        for span in self.root.walk():
+            if span is self.root:
+                continue
+            out[span.name] = out.get(span.name, 0.0) + span.duration
+        return out
+
+    def span_tree(self) -> dict:
+        """The span tree as plain data (name / seconds / attrs / children)."""
+        return self.root.to_dict()
+
+    def format(self) -> str:
+        """A human-readable EXPLAIN report."""
+        lines = [f"query: {self.query.strip()}"]
+        if self.fallback_reason is not None:
+            lines.append(f"plan:  native fallback ({self.fallback_reason})")
+        else:
+            lines.append("plan:  SQL/XML translation")
+            lines.append(f"sql:   {self.sql}")
+            if self.params:
+                lines.append(f"params: {self.params}")
+        lines.append(
+            f"time:  {self.seconds * 1000:.3f} ms, "
+            f"{self.result_count} result item(s)"
+        )
+        total = self.physical_reads + self.cache_hits
+        hit_rate = self.cache_hits / total if total else 0.0
+        lines.append(
+            f"io:    {self.physical_reads} physical reads, "
+            f"{self.cache_hits} buffer hits ({hit_rate:.0%} hit rate)"
+        )
+        lines.append("spans:")
+        lines.extend(_format_span(self.root, indent=1))
+        return "\n".join(lines)
+
+
+def _format_span(span: Span, indent: int = 0) -> list[str]:
+    attrs = {
+        k: v for k, v in span.attrs.items() if k not in ("query", "sql")
+    }
+    suffix = f"  {attrs}" if attrs else ""
+    lines = [
+        f"{'  ' * indent}{span.name:<24s} {span.duration * 1000:9.3f} ms"
+        f"{suffix}"
+    ]
+    for child in span.children:
+        lines.extend(_format_span(child, indent + 1))
+    return lines

@@ -1,0 +1,208 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket histograms.
+
+A single :class:`MetricsRegistry` (reachable via :func:`get_registry`)
+aggregates instrumentation from every layer of the stack — the buffer
+pool's hits/misses, the pager's physical IO, the SQL executor's row
+counts, the tracker/clustering/BlockZIP pipeline and the XQuery
+translator.  Hot paths hoist their instrument objects at import time
+(``_MISSES = get_registry().counter("buffer.misses")``) so recording is a
+plain attribute increment; :meth:`MetricsRegistry.reset` therefore zeroes
+instruments *in place* instead of rebinding them, preserving every
+hoisted reference.
+
+Zero dependencies, no locks: the reproduction is single-threaded and the
+GIL makes the int increments safe enough for observability purposes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+
+class Counter:
+    """A monotonically increasing count (resettable for measurement runs)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class LabeledCounter:
+    """A counter family keyed by a free-form label.
+
+    Used where *why* matters as much as *how often* — e.g.
+    ``xquery.fallback`` counts native-evaluation fallbacks per
+    :class:`~repro.errors.UnsupportedQueryError` reason.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: dict[str, int] = {}
+
+    def inc(self, label: str, n: int = 1) -> None:
+        self.values[label] = self.values.get(label, 0) + n
+
+    @property
+    def total(self) -> int:
+        return sum(self.values.values())
+
+    def reset(self) -> None:
+        self.values.clear()
+
+
+class Gauge:
+    """A point-in-time value (e.g. the live segment number)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+#: Default bucket bounds for duration histograms, in seconds.  Spans the
+#: range from sub-millisecond translations to multi-second full-history
+#: scans; the last bucket is the +Inf overflow.
+DEFAULT_TIME_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default bounds for byte-size histograms (e.g. BlockZIP block sizes).
+DEFAULT_SIZE_BUCKETS = (
+    256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144, 1048576,
+)
+
+#: Default bounds for ratios in [0, 1] (usefulness, compression ratio).
+DEFAULT_RATIO_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+class Histogram:
+    """A fixed-bucket histogram: cumulative-free per-bucket counts.
+
+    ``bounds`` are inclusive upper bounds; an implicit overflow bucket
+    catches everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, bounds=DEFAULT_TIME_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """(upper_bound, count) pairs; the overflow bound is ``inf``."""
+        bounds = [*self.bounds, float("inf")]
+        return list(zip(bounds, self.counts))
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Instrument identity is stable for the process lifetime: ``counter``
+    with the same name always returns the same object, and ``reset``
+    zeroes values without rebinding, so modules may hoist instruments at
+    import time.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._labeled: dict[str, LabeledCounter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def labeled_counter(self, name: str) -> LabeledCounter:
+        instrument = self._labeled.get(name)
+        if instrument is None:
+            instrument = self._labeled[name] = LabeledCounter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, bounds=DEFAULT_TIME_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-data view of every instrument, keyed by name.
+
+        Counters and gauges map to numbers; labeled counters to
+        ``{label: count}`` dicts; histograms to
+        ``{count, sum, mean, buckets}`` dicts.
+        """
+        out: dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, labeled in self._labeled.items():
+            out[name] = dict(labeled.values)
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[name] = {
+                "count": histogram.count,
+                "sum": histogram.sum,
+                "mean": histogram.mean,
+                "buckets": histogram.bucket_counts(),
+            }
+        return dict(sorted(out.items()))
+
+    def reset(self) -> None:
+        """Zero every instrument in place (identities are preserved)."""
+        for group in (
+            self._counters, self._labeled, self._gauges, self._histograms
+        ):
+            for instrument in group.values():
+                instrument.reset()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry all subsystems report into."""
+    return _REGISTRY

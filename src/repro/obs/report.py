@@ -1,0 +1,47 @@
+"""Text rendering of the metrics registry and recent traces (CLI surface)."""
+
+from __future__ import annotations
+
+from repro.obs.explain import _format_span
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def format_metrics(registry: MetricsRegistry) -> str:
+    """Render every instrument in the registry as an aligned table."""
+    lines = ["== metrics =="]
+    for name, value in registry.snapshot().items():
+        if isinstance(value, dict) and "buckets" in value:
+            lines.append(
+                f"{name:<36s} count={value['count']:<8d} "
+                f"mean={value['mean'] * 1000:.3f}ms sum={value['sum']:.4f}s"
+            )
+            for bound, count in value["buckets"]:
+                if not count:
+                    continue
+                label = "+Inf" if bound == float("inf") else f"{bound:g}"
+                lines.append(f"{'':<38s}le {label:<10s} {count}")
+        elif isinstance(value, dict):
+            total = sum(value.values())
+            lines.append(f"{name:<36s} {total}")
+            for label, count in sorted(value.items()):
+                lines.append(f"{'':<38s}{count:>6d}  {label}")
+        elif isinstance(value, float):
+            lines.append(f"{name:<36s} {value:g}")
+        else:
+            lines.append(f"{name:<36s} {value}")
+    return "\n".join(lines)
+
+
+def format_traces(tracer: Tracer, limit: int = 20) -> str:
+    """Render the most recent finished root spans as indented trees."""
+    roots = list(tracer.finished)[-limit:]
+    if not roots:
+        return "== traces ==\n(no finished spans; tracing may be disabled)"
+    lines = ["== traces =="]
+    for root in roots:
+        query = root.attrs.get("query")
+        if query:
+            lines.append(f"-- {str(query).strip()}")
+        lines.extend(_format_span(root))
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Bounded slow-query log with a configurable threshold."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One query that exceeded the slow threshold."""
+
+    query: str
+    seconds: float
+    sql: str | None = None
+    fallback_reason: str | None = None
+
+
+class SlowQueryLog:
+    """Keeps the most recent slow queries.
+
+    ``threshold`` is in seconds; ``None`` disables recording entirely.
+    The log is bounded (``capacity`` entries) so it is safe to leave on
+    in long-running processes.
+    """
+
+    def __init__(self, threshold: float | None = 0.5, capacity: int = 128) -> None:
+        self.threshold = threshold
+        self.entries: deque[SlowQuery] = deque(maxlen=capacity)
+
+    def record(
+        self,
+        query: str,
+        seconds: float,
+        sql: str | None = None,
+        fallback_reason: str | None = None,
+    ) -> bool:
+        """Record the query if it is slow; returns whether it was kept."""
+        if self.threshold is None or seconds < self.threshold:
+            return False
+        self.entries.append(SlowQuery(query, seconds, sql, fallback_reason))
+        return True
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)

@@ -1,0 +1,172 @@
+"""Context-manager spans with nesting, wall time and a ring buffer.
+
+The tracer is **off by default**: ``Tracer.span`` then returns a shared
+no-op handle, so instrumented hot paths pay one attribute check and no
+allocation.  When enabled (globally via :meth:`Tracer.enable`, or scoped
+via :meth:`Tracer.capture`), spans record name, attributes, wall-clock
+start/end and their children; finished *root* spans land in a bounded
+ring buffer (and in any active capture sinks), so memory stays flat under
+production traffic.
+
+``ArchIS.explain`` and the benchmark harness both read query timings from
+these spans — paper figures and production telemetry come from the same
+instrumentation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from collections import deque
+from time import perf_counter
+from typing import Iterator
+
+
+class Span:
+    """One timed operation: name, attributes, wall time, children."""
+
+    __slots__ = ("name", "attrs", "start_time", "end_time", "children")
+
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
+        self.name = name
+        self.attrs = attrs or {}
+        self.start_time = 0.0
+        self.end_time = 0.0
+        self.children: list["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while the span is still open)."""
+        return max(self.end_time - self.start_time, 0.0)
+
+    def set(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def stage_seconds(self, name: str) -> float:
+        """Total duration of all descendant spans named ``name``."""
+        return sum(s.duration for s in self.walk() if s.name == name)
+
+    def to_dict(self) -> dict:
+        """Plain-data span tree (the ``explain()`` output shape)."""
+        return {
+            "name": self.name,
+            "seconds": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name} {self.duration * 1000:.3f}ms "
+            f"children={len(self.children)}>"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager recording one span into its tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._span = Span(name, attrs)
+
+    def __enter__(self) -> Span:
+        span = self._span
+        stack = self._tracer._stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        span.start_time = perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end_time = perf_counter()
+        if exc is not None:
+            span.attrs["error"] = f"{type(exc).__name__}: {exc}"
+        stack = self._tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        if not stack:
+            self._tracer._finish_root(span)
+        return False
+
+
+class Tracer:
+    """Produces spans; keeps the last ``capacity`` finished root spans."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.enabled = False
+        self.finished: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._sinks: list[list[Span]] = []
+
+    def span(self, name: str, **attrs):
+        """Open a span; a shared no-op handle when tracing is disabled."""
+        if not self.enabled:
+            return _NOOP
+        return _ActiveSpan(self, name, attrs)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self._stack.clear()
+
+    @contextmanager
+    def capture(self):
+        """Scoped tracing: enable, collect root spans, restore state.
+
+        Yields the list that finished root spans are appended to; nesting
+        captures is fine (each sink sees the roots finished within it).
+        """
+        previous = self.enabled
+        self.enabled = True
+        collected: list[Span] = []
+        self._sinks.append(collected)
+        try:
+            yield collected
+        finally:
+            self._sinks.remove(collected)
+            self.enabled = previous
+
+    def _finish_root(self, span: Span) -> None:
+        self.finished.append(span)
+        for sink in self._sinks:
+            sink.append(span)
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer all subsystems report into."""
+    return _TRACER

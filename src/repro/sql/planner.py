@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.errors import SqlPlanError
+from repro.obs.metrics import get_registry
 from repro.rdb.database import Database
 from repro.sql import ast
 from repro.sql.expr import (
@@ -35,6 +36,11 @@ from repro.sql.result import ResultSet
 from repro.sql.sqlxml import xml_agg
 
 Env = dict
+
+#: Rows pulled from base tables / table functions before filtering.  The
+#: count accumulates in a local and is flushed once per scan (in a
+#: ``finally``), so the per-row cost is a plain integer increment.
+_ROWS_SCANNED = get_registry().counter("sql.rows_scanned")
 
 
 class _Top:
@@ -189,10 +195,15 @@ class SourcePlan:
             rows = (row for _, row in table.scan())
         names = self.columns
         alias = self.alias
-        for row in rows:
-            env = {(alias, name): value for name, value in zip(names, row)}
-            if all(f(env, params) for f in self.filters):
-                yield env
+        scanned = 0
+        try:
+            for row in rows:
+                scanned += 1
+                env = {(alias, name): value for name, value in zip(names, row)}
+                if all(f(env, params) for f in self.filters):
+                    yield env
+        finally:
+            _ROWS_SCANNED.inc(scanned)
 
     def _index_rows(self, table, params: Mapping):
         access = self.index_access
@@ -255,10 +266,15 @@ class SourcePlan:
         ]
         names = self.columns
         alias = self.alias
-        for row in fn(*args):
-            env = {(alias, name): value for name, value in zip(names, row)}
-            if all(f(env, params) for f in self.filters):
-                yield env
+        scanned = 0
+        try:
+            for row in fn(*args):
+                scanned += 1
+                env = {(alias, name): value for name, value in zip(names, row)}
+                if all(f(env, params) for f in self.filters):
+                    yield env
+        finally:
+            _ROWS_SCANNED.inc(scanned)
 
 
 # -- aggregate machinery ----------------------------------------------------------------

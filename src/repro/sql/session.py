@@ -2,15 +2,23 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Mapping
 
 from repro.errors import SqlPlanError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.rdb.database import Database
 from repro.rdb.types import ColumnType
 from repro.sql import ast
 from repro.sql.expr import Scope, compile_expr
 from repro.sql.parser import parse_sql
 from repro.sql.planner import SelectPlan
+from repro.sql.result import ResultSet
+
+_STATEMENTS = get_registry().counter("sql.statements")
+_ROWS_RETURNED = get_registry().counter("sql.rows_returned")
+_STMT_SECONDS = get_registry().histogram("sql.statement.seconds")
 
 _TYPE_MAP = {
     "int": ColumnType.INT,
@@ -29,10 +37,27 @@ def execute_sql(db: Database, text: str, params: Mapping | None = None):
     """Parse and execute one SQL statement.
 
     SELECT returns a :class:`ResultSet`; DML returns the affected row
-    count; DDL returns 0.
+    count; DDL returns 0.  Every statement is counted and timed
+    (``sql.statements`` / ``sql.statement.seconds``) and emits a
+    ``sql.statement`` span when tracing is enabled.
     """
     statement = parse_sql(text)
     params = dict(params or {})
+    kind = type(statement).__name__
+    _STATEMENTS.inc()
+    started = perf_counter()
+    with get_tracer().span("sql.statement", kind=kind, sql=text) as span:
+        result = _dispatch(db, statement, params)
+        if isinstance(result, ResultSet):
+            _ROWS_RETURNED.inc(len(result.rows))
+            span.set("rows_returned", len(result.rows))
+        else:
+            span.set("rows_affected", result)
+    _STMT_SECONDS.observe(perf_counter() - started)
+    return result
+
+
+def _dispatch(db: Database, statement, params: dict):
     if isinstance(statement, ast.Select):
         return SelectPlan(db, statement).execute(params)
     if isinstance(statement, ast.Insert):

@@ -13,8 +13,15 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import StorageError
+from repro.obs.metrics import get_registry
 from repro.storage.page import PAGE_SIZE
 from repro.storage.pager import Pager
+
+# Hoisted instruments: every pool reports into the same global counters so
+# physical reads are visible uniformly (per-pool CacheStats stay available
+# for instance-level attribution).
+_HITS = get_registry().counter("buffer.hits")
+_MISSES = get_registry().counter("buffer.misses")
 
 
 @dataclass
@@ -61,8 +68,10 @@ class BufferPool:
         if frame is not None:
             self._frames.move_to_end(page_no)
             self.stats.hits += 1
+            _HITS.inc()
             return bytes(frame)
         self.stats.misses += 1
+        _MISSES.inc()
         data = self._pager.read_page(page_no)
         self._admit(page_no, bytearray(data))
         return data
@@ -93,7 +102,14 @@ class BufferPool:
         self._frames.clear()
 
     def reset_stats(self) -> None:
-        self.stats = CacheStats()
+        """Zero the counters in place.
+
+        Callers hold references to ``self.stats`` (the bench harness
+        snapshots it); rebinding to a fresh object would leave those
+        references reading stale numbers forever.
+        """
+        self.stats.hits = 0
+        self.stats.misses = 0
 
     def _admit(self, page_no: int, frame: bytearray) -> None:
         if page_no in self._frames:

@@ -14,7 +14,13 @@ import os
 from dataclasses import dataclass
 
 from repro.errors import StorageError
+from repro.obs.metrics import get_registry
 from repro.storage.page import PAGE_SIZE
+
+# Global physical-IO counters, aggregated across every pager instance.
+_READS = get_registry().counter("pager.reads")
+_WRITES = get_registry().counter("pager.writes")
+_ALLOCATIONS = get_registry().counter("pager.allocations")
 
 
 @dataclass
@@ -82,6 +88,8 @@ class Pager:
         self._page_count += 1
         self.stats.allocations += 1
         self.stats.writes += 1
+        _ALLOCATIONS.inc()
+        _WRITES.inc()
         return page_no
 
     def read_page(self, page_no: int) -> bytes:
@@ -92,6 +100,7 @@ class Pager:
         if len(data) != PAGE_SIZE:
             raise StorageError(f"short read on page {page_no}")
         self.stats.reads += 1
+        _READS.inc()
         return data
 
     def write_page(self, page_no: int, data: bytes) -> None:
@@ -104,6 +113,7 @@ class Pager:
         self._file.seek(page_no * PAGE_SIZE)
         self._file.write(data)
         self.stats.writes += 1
+        _WRITES.inc()
 
     def size_bytes(self) -> int:
         """Total bytes occupied by the paged file."""

@@ -142,6 +142,43 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    setup = _build(args)
+    query = args.xquery
+    if query == "-":
+        query = sys.stdin.read()
+    if args.cold:
+        setup.archis.reset_caches()
+    result = setup.archis.explain(
+        query, allow_fallback=not args.no_fallback
+    )
+    print(result.format())
+    return 0
+
+
+def cmd_obs(args) -> int:
+    from repro.bench import default_queries, run_archis_cold
+    from repro.obs import format_metrics, format_traces, get_registry, get_tracer
+
+    setup = _build(args)
+    tracer = get_tracer()
+    tracer.enable()
+    try:
+        for query in default_queries(setup.generator):
+            run_archis_cold(setup.archis, query)
+    finally:
+        tracer.disable()
+    print(format_traces(tracer, limit=args.traces))
+    print()
+    print(format_metrics(get_registry()))
+    slow = setup.archis.slow_query_log
+    if len(slow):
+        print("\nslow queries:")
+        for entry in slow:
+            print(f"  {entry.seconds * 1000:8.1f} ms  {entry.query[:70]!r}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.tools",
@@ -182,6 +219,31 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="archive storage statistics")
     _add_dataset_args(stats)
     stats.set_defaults(fn=cmd_stats)
+
+    explain = commands.add_parser(
+        "explain", help="trace one XQuery: stages, SQL, physical reads"
+    )
+    _add_dataset_args(explain)
+    explain.add_argument("xquery", help="query text, or '-' for stdin")
+    explain.add_argument(
+        "--no-fallback", action="store_true",
+        help="fail instead of falling back to native evaluation",
+    )
+    explain.add_argument(
+        "--cold", action="store_true",
+        help="reset buffer-pool caches before the traced run",
+    )
+    explain.set_defaults(fn=cmd_explain)
+
+    obs = commands.add_parser(
+        "obs", help="run the bench queries traced and dump metrics/traces"
+    )
+    _add_dataset_args(obs)
+    obs.add_argument(
+        "--traces", type=int, default=10,
+        help="number of trace trees to print",
+    )
+    obs.set_defaults(fn=cmd_obs)
 
     check = commands.add_parser(
         "check", help="audit archive invariants (consistency checker)"

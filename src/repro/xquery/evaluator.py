@@ -65,6 +65,27 @@ def evaluate(node: object, ctx: XQueryContext, focus: object | None = None) -> l
     return handler(node, ctx, focus)
 
 
+def evaluate_query(node: object, ctx: XQueryContext) -> list:
+    """Top-level entry for whole queries: :func:`evaluate` plus telemetry.
+
+    Recursion makes per-node spans prohibitively expensive, so only the
+    query root is timed (``xquery.native.evaluate`` span and the
+    ``xquery.native.seconds`` histogram).
+    """
+    from time import perf_counter
+
+    from repro.obs.metrics import get_registry
+    from repro.obs.tracer import get_tracer
+
+    started = perf_counter()
+    with get_tracer().span("xquery.native.evaluate"):
+        result = evaluate(node, ctx)
+    get_registry().histogram("xquery.native.seconds").observe(
+        perf_counter() - started
+    )
+    return result
+
+
 # -- leaf expressions ------------------------------------------------------
 
 

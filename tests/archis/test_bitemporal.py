@@ -6,7 +6,7 @@ from repro.archis import ArchIS
 from repro.archis.bitemporal import BitemporalArchive
 from repro.errors import ArchisError
 from repro.rdb import ColumnType, Database
-from repro.util.timeutil import FOREVER, parse_date
+from repro.util.timeutil import parse_date
 
 
 @pytest.fixture

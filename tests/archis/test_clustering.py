@@ -4,8 +4,7 @@ import pytest
 
 from repro.errors import ArchisError
 from repro.archis.clustering import SegmentManager
-from repro.archis.htables import SEGMENT_TABLE
-from repro.util.timeutil import FOREVER, parse_date
+from repro.util.timeutil import parse_date
 
 from tests.archis.conftest import make_archis
 

@@ -9,8 +9,6 @@ paper's qualitative claims: higher update rate ⇒ shorter segments, higher
 insert rate ⇒ longer segments, higher U_min ⇒ shorter segments.
 """
 
-import pytest
-
 from repro.archis import ArchIS
 from repro.rdb import ColumnType, Database
 

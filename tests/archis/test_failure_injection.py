@@ -1,7 +1,5 @@
 """Failure injection: corruption and misuse surface as typed errors."""
 
-import zlib
-
 import pytest
 
 from repro.errors import (

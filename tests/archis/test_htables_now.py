@@ -11,9 +11,9 @@ from repro.archis.htables import (
 )
 from repro.errors import ArchisError
 from repro.rdb import ColumnType, Database
-from repro.util.timeutil import FOREVER, format_date
+from repro.util.timeutil import FOREVER
 
-from tests.archis.conftest import load_bob_history, make_archis
+from tests.archis.conftest import make_archis
 
 
 @pytest.fixture

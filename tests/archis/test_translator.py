@@ -7,7 +7,6 @@ result must match native XQuery evaluation over the published H-views.
 import pytest
 
 from repro.errors import UnsupportedQueryError
-from repro.util.timeutil import parse_date
 from repro.xmlkit import serialize
 from repro.xquery import make_context, parse_xquery
 from repro.xquery.evaluator import evaluate

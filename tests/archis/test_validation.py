@@ -1,7 +1,5 @@
 """Tests for the archive consistency checker."""
 
-import pytest
-
 from repro.archis.validation import Violation, check_archive
 
 from tests.archis.conftest import load_bob_history, make_archis

@@ -5,8 +5,6 @@ import pytest
 from repro.bench import (
     BenchQuery,
     averaged,
-    build_archis,
-    build_native,
     build_setup,
     compare_engines,
     default_queries,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.util.timeutil import parse_date
 from repro.xmlkit import parse_xml
-from repro.xmlkit.dom import Element
 from repro.xquery import evaluate, make_context, parse_xquery
 
 from tests.xquery.conftest import DEPTS_XML, EMPLOYEES_XML

@@ -1,0 +1,100 @@
+"""Tests for ArchIS.explain(), stats() and the slow-query log."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.obs import SlowQueryLog, get_tracer
+
+from tests.archis.conftest import load_bob_history, make_archis
+
+SNAPSHOT_QUERY = (
+    'for $s in doc("employees.xml")/employees/employee/salary'
+    '[tstart(.) <= xs:date("1995-07-01") and tend(.) >= xs:date("1995-07-01")] '
+    "return $s"
+)
+UNSUPPORTED_QUERY = (
+    'for $e in doc("employees.xml")/employees/employee '
+    "where every $s in $e/salary satisfies $s > 50000 "
+    "return $e/name"
+)
+
+
+@pytest.fixture
+def loaded():
+    archis = make_archis()
+    load_bob_history(archis)
+    return archis
+
+
+class TestExplain:
+    def test_translated_query_report(self, loaded):
+        loaded.reset_caches()
+        result = loaded.explain(SNAPSHOT_QUERY)
+        assert result.fallback_reason is None
+        assert "SELECT" in result.sql.upper()
+        assert result.result_count == len(loaded.xquery(SNAPSHOT_QUERY))
+        assert result.seconds > 0
+        assert result.physical_reads > 0
+        stages = result.stages()
+        assert stages["xquery.translate"] > 0
+        assert stages["sql.execute"] > 0
+
+    def test_span_tree_shape(self, loaded):
+        tree = loaded.explain(SNAPSHOT_QUERY).span_tree()
+        assert tree["name"] == "archis.xquery"
+        child_names = [c["name"] for c in tree["children"]]
+        assert "xquery.translate" in child_names
+        assert "sql.execute" in child_names
+
+    def test_fallback_query_reports_reason(self, loaded):
+        result = loaded.explain(UNSUPPORTED_QUERY)
+        assert result.sql is None
+        assert result.fallback_reason
+        assert "xquery.native" in result.stages()
+
+    def test_no_fallback_raises_through(self, loaded):
+        with pytest.raises(UnsupportedQueryError):
+            loaded.explain(UNSUPPORTED_QUERY, allow_fallback=False)
+
+    def test_explain_leaves_tracer_disabled(self, loaded):
+        assert not get_tracer().enabled
+        loaded.explain(SNAPSHOT_QUERY)
+        assert not get_tracer().enabled
+
+    def test_format_is_readable(self, loaded):
+        text = loaded.explain(SNAPSHOT_QUERY).format()
+        assert "plan:  SQL/XML translation" in text
+        assert "spans:" in text
+        assert "physical reads" in text
+
+
+class TestStats:
+    def test_stats_snapshot_shape(self, loaded):
+        loaded.xquery(SNAPSHOT_QUERY)
+        stats = loaded.stats()
+        assert stats["metrics"]["archis.xquery.count"] >= 1
+        assert set(stats["buffer"]) == {"hits", "misses", "hit_rate"}
+        assert stats["relations"] == ["employee"]
+        assert isinstance(stats["slow_queries"], list)
+
+
+class TestSlowQueryLog:
+    def test_threshold_zero_records_everything(self, loaded):
+        loaded.slow_query_log = SlowQueryLog(threshold=0.0)
+        loaded.xquery(SNAPSHOT_QUERY)
+        entries = list(loaded.slow_query_log)
+        assert len(entries) == 1
+        assert entries[0].query == SNAPSHOT_QUERY
+        assert entries[0].seconds > 0
+        assert entries[0].sql is not None
+
+    def test_none_threshold_disables(self):
+        log = SlowQueryLog(threshold=None)
+        assert log.record("q", 100.0) is False
+        assert len(log) == 0
+
+    def test_capacity_bounds_entries(self):
+        log = SlowQueryLog(threshold=0.0, capacity=3)
+        for i in range(10):
+            log.record(f"q{i}", 1.0)
+        assert [e.query for e in log] == ["q7", "q8", "q9"]

@@ -1,0 +1,113 @@
+"""End-to-end metric checks over the track -> update -> freeze -> compress
+pipeline, plus the buffer-pool accounting invariants the harness relies on."""
+
+from repro.bench import build_setup, default_queries, run_archis_cold
+from repro.obs import get_registry
+
+from tests.archis.conftest import make_archis
+from tests.archis.test_clustering import churn
+
+
+def snapshot(*names):
+    snap = get_registry().snapshot()
+    return {name: snap.get(name, 0) for name in names}
+
+
+class TestPipelineMetrics:
+    def test_full_cycle_counts(self):
+        before = snapshot(
+            "tracker.changes_applied",
+            "clustering.segments_frozen",
+            "blockzip.bytes_in",
+            "blockzip.bytes_out",
+            "blockzip.blocks",
+            "blockzip.tables_compressed",
+        )
+        archis = make_archis(profile="atlas", umin=0.4, min_segment_rows=8)
+        churn(archis, employees=10, rounds=12)
+        archis.compress_archive()
+        after = snapshot(*before)
+        delta = {k: after[k] - before[k] for k in before}
+
+        # 10 inserts + 120 updates flowed through the tracker
+        assert delta["tracker.changes_applied"] == 130
+        assert delta["clustering.segments_frozen"] == archis.segments.freeze_count
+        assert archis.segments.freeze_count > 0
+        assert delta["blockzip.blocks"] > 0
+        assert delta["blockzip.bytes_in"] > delta["blockzip.bytes_out"] > 0
+        assert delta["blockzip.tables_compressed"] == len(
+            archis.archive.compressed_tables
+        )
+
+    def test_query_counters_move(self):
+        before = snapshot(
+            "archis.xquery.count", "sql.statements", "sql.rows_scanned"
+        )
+        archis = make_archis()
+        emp = archis.db.table("employee")
+        emp.insert((1, "Ann", 50000, "Engineer", "d01"))
+        archis.apply_pending()
+        archis.xquery(
+            'for $s in doc("employees.xml")/employees/employee/salary '
+            "return $s",
+            allow_fallback=False,
+        )
+        after = snapshot(*before)
+        assert after["archis.xquery.count"] == before["archis.xquery.count"] + 1
+        assert after["sql.statements"] > before["sql.statements"]
+        assert after["sql.rows_scanned"] > before["sql.rows_scanned"]
+
+    def test_translate_histogram_observes(self):
+        histogram = get_registry().histogram("xquery.translate.seconds")
+        count_before = histogram.count
+        archis = make_archis()
+        archis.translate(
+            'for $e in doc("employees.xml")/employees/employee return $e/name'
+        )
+        assert histogram.count == count_before + 1
+
+
+class TestBufferAccounting:
+    def test_global_misses_track_pool_stats(self):
+        archis = make_archis()
+        emp = archis.db.table("employee")
+        for i in range(20):
+            emp.insert((i, f"e{i}", 1000 + i, "T", "d01"))
+        archis.apply_pending()
+        misses = get_registry().counter("buffer.misses")
+        archis.reset_caches()
+        pool = archis.db.pool.stats
+        global_before, pool_before = misses.value, pool.misses
+        archis.xquery(
+            'for $s in doc("employees.xml")/employees/employee/salary '
+            "return $s",
+            allow_fallback=False,
+        )
+        assert misses.value - global_before == pool.misses - pool_before
+        assert pool.misses - pool_before > 0
+
+    def test_reset_stats_mutates_in_place(self):
+        # the regression: reset_stats used to rebind self.stats, leaving
+        # previously captured references counting a dead object
+        archis = make_archis()
+        pool = archis.db.pool
+        held = pool.stats
+        archis.db.table("employee").insert((1, "A", 1, "T", "d"))
+        pool.reset_stats()
+        assert pool.stats is held
+        assert held.hits == 0 and held.misses == 0
+
+
+class TestHarnessUsesRegistry:
+    def test_physical_reads_match_global_counter(self):
+        setup = build_setup(employees=10, years=2)
+        query = default_queries(setup.generator)[0]
+        misses = get_registry().counter("buffer.misses")
+        before = misses.value
+        measurement = run_archis_cold(setup.archis, query)
+        assert measurement.physical_reads == misses.value - before
+        assert measurement.physical_reads > 0
+        assert measurement.seconds > 0
+        assert 0.0 <= measurement.cache_hit_rate <= 1.0
+        assert measurement.translate_seconds > 0
+        assert measurement.execute_seconds > 0

@@ -1,0 +1,99 @@
+"""Tests for the metrics registry: instruments, bucketing, reset identity."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_RATIO_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_reset(self, registry):
+        c = registry.counter("reads")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_get_or_create_identity(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x") is not registry.counter("y")
+
+
+class TestLabeledCounter:
+    def test_per_label_and_total(self, registry):
+        fallbacks = registry.labeled_counter("xquery.fallback")
+        fallbacks.inc("descendant axis")
+        fallbacks.inc("descendant axis")
+        fallbacks.inc("quantifier")
+        assert fallbacks.values == {"descendant axis": 2, "quantifier": 1}
+        assert fallbacks.total == 3
+
+
+class TestGauge:
+    def test_set(self, registry):
+        g = registry.gauge("live_segno")
+        g.set(7)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucketing_with_overflow(self):
+        h = Histogram("t", bounds=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.01, 0.05, 0.5, 99.0):
+            h.observe(value)
+        buckets = dict(h.bucket_counts())
+        assert buckets[0.01] == 2     # 0.005 and the inclusive bound 0.01
+        assert buckets[0.1] == 1      # 0.05
+        assert buckets[1.0] == 1      # 0.5
+        assert buckets[float("inf")] == 1  # 99.0 overflows
+        assert h.count == 5
+        assert h.mean == pytest.approx(sum((0.005, 0.01, 0.05, 0.5, 99.0)) / 5)
+
+    def test_bounds_are_sorted(self):
+        h = Histogram("t", bounds=(1.0, 0.1))
+        assert h.bounds == (0.1, 1.0)
+
+    def test_ratio_buckets_cover_unit_interval(self):
+        h = Histogram("r", bounds=DEFAULT_RATIO_BUCKETS)
+        h.observe(0.35)
+        assert dict(h.bucket_counts())[0.4] == 1
+
+
+class TestRegistry:
+    def test_snapshot_shape(self, registry):
+        registry.counter("a").inc(2)
+        registry.labeled_counter("b").inc("why")
+        registry.gauge("c").set(1.5)
+        registry.histogram("d", bounds=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["a"] == 2
+        assert snap["b"] == {"why": 1}
+        assert snap["c"] == 1.5
+        assert snap["d"]["count"] == 1
+        assert snap["d"]["buckets"] == [(1.0, 1), (float("inf"), 0)]
+        assert list(snap) == sorted(snap)
+
+    def test_reset_preserves_hoisted_references(self, registry):
+        # Modules hoist instruments at import time; reset must zero the
+        # same objects in place, not rebind fresh ones.
+        hoisted = registry.counter("buffer.misses")
+        hoisted.inc(10)
+        registry.reset()
+        assert hoisted.value == 0
+        assert registry.counter("buffer.misses") is hoisted
+        hoisted.inc()
+        assert registry.snapshot()["buffer.misses"] == 1
+
+
+def test_global_registry_is_singleton():
+    assert get_registry() is get_registry()

@@ -1,0 +1,123 @@
+"""Tests for the span tracer: nesting, timing, ring buffer, capture."""
+
+import pytest
+
+from repro.obs.tracer import Span, Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(capacity=4)
+
+
+class TestDisabled:
+    def test_disabled_by_default(self, tracer):
+        assert tracer.enabled is False
+
+    def test_disabled_span_is_shared_noop(self, tracer):
+        a = tracer.span("x", foo=1)
+        b = tracer.span("y")
+        assert a is b  # one shared handle, zero allocation per call
+
+    def test_disabled_span_records_nothing(self, tracer):
+        with tracer.span("query") as span:
+            span.set("rows", 3)
+        assert len(tracer.finished) == 0
+
+
+class TestNesting:
+    def test_children_linked_and_timed(self, tracer):
+        tracer.enable()
+        with tracer.span("root") as root:
+            with tracer.span("child.a"):
+                pass
+            with tracer.span("child.b") as b:
+                with tracer.span("grandchild"):
+                    pass
+                b.set("depth", 2)
+        assert [c.name for c in root.children] == ["child.a", "child.b"]
+        assert root.children[1].children[0].name == "grandchild"
+        assert root.duration > 0
+        # a parent contains its children in time
+        child_total = sum(c.duration for c in root.children)
+        assert root.duration >= child_total
+
+    def test_only_roots_reach_finished(self, tracer):
+        tracer.enable()
+        with tracer.span("root"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.finished] == ["root"]
+
+    def test_error_recorded_as_attr(self, tracer):
+        tracer.enable()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("bad page")
+        (span,) = tracer.finished
+        assert span.attrs["error"] == "ValueError: bad page"
+        assert span.duration >= 0
+
+    def test_ring_buffer_bounded(self, tracer):
+        tracer.enable()
+        for i in range(10):
+            with tracer.span(f"q{i}"):
+                pass
+        assert len(tracer.finished) == 4
+        assert [s.name for s in tracer.finished] == ["q6", "q7", "q8", "q9"]
+
+
+class TestCapture:
+    def test_capture_collects_roots_and_restores_state(self, tracer):
+        assert not tracer.enabled
+        with tracer.capture() as roots:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in roots] == ["a", "b"]
+        assert not tracer.enabled  # restored
+        assert tracer.span("after") is tracer.span("again")  # noop again
+
+    def test_capture_preserves_enabled(self, tracer):
+        tracer.enable()
+        with tracer.capture():
+            pass
+        assert tracer.enabled
+
+    def test_nested_captures_each_see_their_roots(self, tracer):
+        with tracer.capture() as outer:
+            with tracer.span("first"):
+                pass
+            with tracer.capture() as inner:
+                with tracer.span("second"):
+                    pass
+            assert [s.name for s in inner] == ["second"]
+        assert [s.name for s in outer] == ["first", "second"]
+
+
+class TestSpanHelpers:
+    def test_walk_and_stage_seconds(self):
+        root = Span("root")
+        a = Span("stage")
+        b = Span("stage")
+        c = Span("other")
+        a.start_time, a.end_time = 0.0, 1.0
+        b.start_time, b.end_time = 1.0, 1.5
+        c.start_time, c.end_time = 0.0, 0.25
+        root.children = [a, c]
+        a.children = [b]
+        assert [s.name for s in root.walk()] == [
+            "root", "stage", "stage", "other"
+        ]
+        assert root.stage_seconds("stage") == pytest.approx(1.5)
+        assert root.stage_seconds("missing") == 0.0
+
+    def test_to_dict_shape(self):
+        root = Span("root", {"sql": "SELECT 1"})
+        root.children.append(Span("child"))
+        data = root.to_dict()
+        assert data["name"] == "root"
+        assert data["attrs"] == {"sql": "SELECT 1"}
+        assert data["children"][0]["name"] == "child"
+        assert set(data) == {"name", "seconds", "attrs", "children"}

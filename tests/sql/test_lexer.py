@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SqlSyntaxError
-from repro.sql.lexer import Token, tokenize
+from repro.sql.lexer import tokenize
 
 
 def kinds(text):

@@ -3,8 +3,8 @@ INSERT..SELECT, params everywhere, planner choices."""
 
 import pytest
 
-from repro.errors import SqlPlanError, SqlSyntaxError
-from repro.rdb import ColumnType, Database
+from repro.errors import SqlSyntaxError
+from repro.rdb import Database
 
 
 @pytest.fixture

@@ -18,7 +18,6 @@ from repro.xquery.ast import (
     PathExpr,
     Quantified,
     SequenceExpr,
-    Step,
     VarRef,
     WhereClause,
 )
