@@ -16,3 +16,29 @@ fi
 
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -x -q
+
+echo "== pytest (crash-injection durability suite) =="
+# Run the crash matrix in a dedicated temp root so we can prove that no
+# recovery path leaves stray .tmp files or unreplayed WAL frames behind.
+CRASH_TMP="$(mktemp -d)"
+trap 'rm -rf "$CRASH_TMP"' EXIT
+PYTHONPATH=src python -m pytest -x -q \
+    --basetemp="$CRASH_TMP" \
+    tests/storage/test_wal_recovery.py \
+    tests/archis/test_crash_persistence.py
+
+STRAY_TMP="$(find "$CRASH_TMP" -name '*.tmp' 2>/dev/null || true)"
+if [ -n "$STRAY_TMP" ]; then
+    echo "FAIL: recovery tests left stray .tmp files behind:" >&2
+    echo "$STRAY_TMP" >&2
+    exit 1
+fi
+# (*.db.wal = pager-managed logs; bare *.wal fixtures from the frame-codec
+# unit tests are expected to keep their frames)
+STRAY_WAL="$(find "$CRASH_TMP" -name '*.db.wal' -size +0c 2>/dev/null || true)"
+if [ -n "$STRAY_WAL" ]; then
+    echo "FAIL: recovery tests left non-empty WAL files behind:" >&2
+    echo "$STRAY_WAL" >&2
+    exit 1
+fi
+echo "no stray .tmp or WAL files left behind"

@@ -7,6 +7,12 @@ segment-manager state, compressed-table metadata and H-view names — and
 :func:`load_archive` reconstructs a fully working :class:`ArchIS` from a
 saved file-backed database: trackers re-attach, table functions re-register
 and queries over frozen or compressed history resume where they left off.
+
+Durability: under WAL mode, :func:`save_archive` stages the catalog
+sidecar, the archive sidecar and every pending page write in a *single*
+WAL transaction and checkpoints once — a crash anywhere in the save
+leaves either the complete previous state or the complete new one, never
+pages from one save paired with metadata from another.
 """
 
 from __future__ import annotations
@@ -16,7 +22,9 @@ import os
 
 from repro.errors import ArchisError, StorageError
 from repro.rdb.database import Database
+from repro.rdb.persistence import save_catalog
 from repro.rdb.types import ColumnType
+from repro.storage.atomicio import SIDECAR_VERSION
 
 ARCHIS_SUFFIX = ".archis.json"
 
@@ -30,9 +38,9 @@ def save_archive(archis) -> str:
     if archis.db.pager.path is None:
         raise StorageError("only file-backed archives can be saved")
     archis.apply_pending()
-    archis.db.save()
+    save_catalog(archis.db, _defer_checkpoint=True)
     payload = {
-        "version": 1,
+        "version": SIDECAR_VERSION,
         "profile": archis.profile.name,
         "segments": {
             "umin": archis.segments.umin,
@@ -67,13 +75,13 @@ def save_archive(archis) -> str:
             for info in archis.archive.compressed_tables.values()
         ],
     }
-    path = sidecar_path(archis.db.pager.path)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+    data = json.dumps(payload).encode("utf-8")
+    path = archis.db.pager.write_sidecar(ARCHIS_SUFFIX, data)
+    archis.db.pager.checkpoint()
     return path
 
 
-def load_archive(path: str, buffer_pages: int = 1024):
+def load_archive(path: str, buffer_pages: int = 1024, durability: str = "wal"):
     """Reopen a saved archive: Database + ArchIS, ready for queries."""
     from repro.archis.blobstore import CompressedTableInfo
     from repro.archis.htables import TrackedRelation
@@ -81,15 +89,26 @@ def load_archive(path: str, buffer_pages: int = 1024):
     from repro.archis.tablefuncs import register_history_functions
     from repro.archis.tracker import HTableWriter, LogTracker, TriggerTracker
 
-    meta_path = sidecar_path(path)
-    if not os.path.exists(meta_path):
-        raise ArchisError(f"no archive sidecar at {meta_path}")
-    with open(meta_path, encoding="utf-8") as handle:
-        payload = json.load(handle)
-    if payload.get("version") != 1:
-        raise ArchisError("unsupported archive sidecar version")
-
-    db = Database.open(path, buffer_pages)
+    # Open (and thereby WAL-recover) the database *before* reading the
+    # archive sidecar: a committed-but-uncheckpointed save is replayed by
+    # recovery, which may atomically replace the sidecar we are about to
+    # read.
+    db = Database.open(path, buffer_pages, durability=durability)
+    try:
+        meta_path = sidecar_path(path)
+        if not os.path.exists(meta_path):
+            raise ArchisError(f"no archive sidecar at {meta_path}")
+        with open(meta_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("version")
+        if version != SIDECAR_VERSION:
+            raise ArchisError(
+                f"unsupported archive sidecar version {version!r} at "
+                f"{meta_path} (this build reads version {SIDECAR_VERSION})"
+            )
+    except ArchisError:
+        db.close()
+        raise
     seg = payload["segments"]
     archis = ArchIS(
         db,

@@ -365,11 +365,18 @@ class ArchIS:
         return save_archive(self)
 
     @classmethod
-    def open(cls, path: str, buffer_pages: int = 1024) -> "ArchIS":
-        """Reopen an archive saved with :meth:`save`."""
+    def open(
+        cls, path: str, buffer_pages: int = 1024, durability: str = "wal"
+    ) -> "ArchIS":
+        """Reopen an archive saved with :meth:`save` (runs WAL recovery)."""
         from repro.archis.persistence import load_archive
 
-        return load_archive(path, buffer_pages)
+        return load_archive(path, buffer_pages, durability=durability)
+
+    @property
+    def durability(self) -> str:
+        """The underlying pager's durability mode: ``"wal"`` or ``"none"``."""
+        return self.db.durability
 
     # -- observability ----------------------------------------------------------------------------
 
@@ -388,6 +395,18 @@ class ArchIS:
                 "reads": pager.reads,
                 "writes": pager.writes,
                 "allocations": pager.allocations,
+            },
+            "durability": {
+                "mode": self.db.durability,
+                "wal_frames": get_registry().counter("wal.frames").value,
+                "wal_bytes": get_registry().counter("wal.bytes").value,
+                "wal_commits": get_registry().counter("wal.commits").value,
+                "wal_checkpoints": get_registry().counter(
+                    "wal.checkpoints"
+                ).value,
+                "wal_recoveries": get_registry().counter(
+                    "wal.recoveries"
+                ).value,
             },
             "segments": {
                 "count": self.segments.segment_count(),

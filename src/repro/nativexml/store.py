@@ -46,7 +46,9 @@ class NativeXmlStore:
 
     def __init__(self, path: str | None = None, compress: bool = True,
                  buffer_pages: int = 1024) -> None:
-        self.pager = Pager(path)
+        # no sidecar/catalog persistence here (the document directory is
+        # in-memory), so raw in-place paging models the store's IO best
+        self.pager = Pager(path, durability="none")
         self.pool = BufferPool(self.pager, capacity=buffer_pages)
         self.blobs = BlobStore(self.pool)
         self.compress = compress

@@ -6,6 +6,10 @@ Every layer of the ArchIS stack reports into one process-wide
 
 - storage: ``buffer.hits`` / ``buffer.misses`` (physical reads),
   ``pager.reads`` / ``pager.writes`` / ``pager.allocations``;
+- durability: ``wal.frames`` / ``wal.bytes`` (log appends),
+  ``wal.commits`` / ``wal.checkpoints`` / ``wal.recoveries`` /
+  ``wal.frames_replayed`` (the WAL lifecycle; see
+  ``repro.storage.wal``);
 - sql: ``sql.statements``, ``sql.rows_scanned``, ``sql.rows_returned``,
   ``sql.statement.seconds``, per-statement ``sql.statement`` spans;
 - xquery/translator: ``xquery.translate.seconds``,

@@ -30,10 +30,19 @@ class Database:
         Backing file for the pager; ``None`` keeps everything in memory.
     buffer_pages:
         Buffer-pool capacity in pages.
+    durability:
+        ``"wal"`` (default) makes file-backed saves atomic and
+        crash-recoverable through a write-ahead log; ``"none"`` writes
+        pages in place.  Memory databases are always ``"none"``.
     """
 
-    def __init__(self, path: str | None = None, buffer_pages: int = 1024) -> None:
-        self.pager = Pager(path)
+    def __init__(
+        self,
+        path: str | None = None,
+        buffer_pages: int = 1024,
+        durability: str = "wal",
+    ) -> None:
+        self.pager = Pager(path, durability=durability)
         self.pool = BufferPool(self.pager, capacity=buffer_pages)
         self.blobs = BlobStore(self.pool)
         self._tables: dict[str, Table] = {}
@@ -147,13 +156,25 @@ class Database:
         return save_catalog(self)
 
     @classmethod
-    def open(cls, path: str, buffer_pages: int = 1024) -> "Database":
-        """Reopen a previously :meth:`save`-d file-backed database."""
+    def open(
+        cls, path: str, buffer_pages: int = 1024, durability: str = "wal"
+    ) -> "Database":
+        """Reopen a previously :meth:`save`-d file-backed database.
+
+        Opening runs WAL recovery first (in the pager): a save that
+        committed but crashed before its checkpoint is replayed; one that
+        never committed is discarded, leaving the previous state.
+        """
         from repro.rdb.persistence import load_catalog
 
-        db = cls(path, buffer_pages)
+        db = cls(path, buffer_pages, durability=durability)
         load_catalog(db)
         return db
+
+    @property
+    def durability(self) -> str:
+        """The pager's durability mode: ``"wal"`` or ``"none"``."""
+        return self.pager.durability
 
     # -- measurement hooks -------------------------------------------------------
 

@@ -7,6 +7,13 @@ file-backed :class:`~repro.rdb.database.Database` survives process
 restarts.  Indexes are rebuilt by scanning on load (they are derived
 state); registered functions are code and must be re-registered by the
 application.
+
+Durability: the sidecar is written through
+:meth:`~repro.storage.pager.Pager.write_sidecar`.  Under WAL durability it
+is staged in the log and lands in the same atomic checkpoint as the page
+writes it describes; under ``durability="none"`` it is written with the
+tmp-file → fsync → ``os.replace`` protocol, so a crashed save can never
+leave truncated JSON in place of a good sidecar.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ import os
 
 from repro.errors import CatalogError, StorageError
 from repro.rdb.types import Column, ColumnType
+from repro.storage.atomicio import SIDECAR_VERSION
 
 CATALOG_SUFFIX = ".catalog.json"
 
@@ -24,21 +32,13 @@ def sidecar_path(db_path: str) -> str:
     return db_path + CATALOG_SUFFIX
 
 
-def save_catalog(db) -> str:
-    """Write the catalog sidecar; returns its path."""
-    if db.pager.path is None:
-        raise StorageError("only file-backed databases can be saved")
+def catalog_payload(db) -> dict:
+    """The catalog as JSON-ready data (shared by save and staging)."""
     payload = {
-        "version": 1,
+        "version": SIDECAR_VERSION,
         "clock": db.current_date,
         "tables": [],
-        "blobs": {
-            "next_id": db.blobs._next_id,
-            "entries": [
-                {"id": blob_id, "pages": pages, "length": length}
-                for blob_id, (pages, length) in db.blobs._blobs.items()
-            ],
-        },
+        "blobs": db.blobs.snapshot(),
     }
     for name in db.tables():
         table = db.table(name)
@@ -65,10 +65,22 @@ def save_catalog(db) -> str:
                 ],
             }
         )
-    db.pager.sync()
-    path = sidecar_path(db.pager.path)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+    return payload
+
+
+def save_catalog(db, *, _defer_checkpoint: bool = False) -> str:
+    """Write the catalog sidecar; returns its path.
+
+    ``_defer_checkpoint`` lets :func:`repro.archis.persistence.save_archive`
+    stage the catalog and the archive sidecar in one WAL transaction and
+    checkpoint once, so both flip atomically with the page data.
+    """
+    if db.pager.path is None:
+        raise StorageError("only file-backed databases can be saved")
+    data = json.dumps(catalog_payload(db)).encode("utf-8")
+    path = db.pager.write_sidecar(CATALOG_SUFFIX, data)
+    if not _defer_checkpoint:
+        db.pager.checkpoint()
     return path
 
 
@@ -81,8 +93,12 @@ def load_catalog(db) -> None:
         raise CatalogError(f"no catalog sidecar at {path}")
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
-    if payload.get("version") != 1:
-        raise CatalogError("unsupported catalog version")
+    version = payload.get("version")
+    if version != SIDECAR_VERSION:
+        raise CatalogError(
+            f"unsupported catalog sidecar version {version!r} at {path} "
+            f"(this build reads version {SIDECAR_VERSION})"
+        )
     db._clock = payload["clock"]
     for spec in payload["tables"]:
         columns = [
@@ -101,9 +117,4 @@ def load_catalog(db) -> None:
             table.create_index(
                 index["name"], tuple(index["columns"]), index["unique"]
             )
-    blob_spec = payload["blobs"]
-    db.blobs._next_id = blob_spec["next_id"]
-    db.blobs._blobs = {
-        entry["id"]: (list(entry["pages"]), entry["length"])
-        for entry in blob_spec["entries"]
-    }
+    db.blobs.restore(payload["blobs"])

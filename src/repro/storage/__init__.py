@@ -1,22 +1,36 @@
-"""Paged storage: slotted pages, pager, buffer pool, heaps, blobs."""
+"""Paged storage: slotted pages, pager, WAL durability, heaps, blobs."""
 
+from repro.storage.atomicio import SIDECAR_VERSION, atomic_write_bytes
 from repro.storage.blob import BlobStore
 from repro.storage.buffer import BufferPool, CacheStats
+from repro.storage.crashpoints import (
+    CrashPointRegistry,
+    InjectedCrash,
+    get_crash_points,
+)
 from repro.storage.heap import HeapFile, Rid
 from repro.storage.page import PAGE_SIZE, SlottedPage
 from repro.storage.pager import IoStats, Pager
 from repro.storage.record import decode_record, encode_record
+from repro.storage.wal import RecoveryReport, WriteAheadLog
 
 __all__ = [
     "BlobStore",
     "BufferPool",
     "CacheStats",
+    "CrashPointRegistry",
     "HeapFile",
+    "InjectedCrash",
     "Rid",
     "PAGE_SIZE",
+    "RecoveryReport",
+    "SIDECAR_VERSION",
     "SlottedPage",
     "IoStats",
     "Pager",
+    "WriteAheadLog",
+    "atomic_write_bytes",
     "decode_record",
     "encode_record",
+    "get_crash_points",
 ]

@@ -61,6 +61,36 @@ class BlobStore:
         """Bytes occupied by all live blobs (page-rounded)."""
         return sum(len(pages) for pages, _ in self._blobs.values()) * PAGE_SIZE
 
+    # -- persistence -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The blob directory as plain JSON-ready data.
+
+        Persistence code must use this (and :meth:`restore`) instead of
+        reaching into the private directory, so the sidecar format cannot
+        drift from the store's internals.
+        """
+        return {
+            "next_id": self._next_id,
+            "entries": [
+                {"id": blob_id, "pages": list(pages), "length": length}
+                for blob_id, (pages, length) in sorted(self._blobs.items())
+            ],
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Replace the directory with a :meth:`snapshot` payload."""
+        try:
+            next_id = snapshot["next_id"]
+            blobs = {
+                entry["id"]: (list(entry["pages"]), int(entry["length"]))
+                for entry in snapshot["entries"]
+            }
+        except (KeyError, TypeError) as exc:
+            raise StorageError(f"malformed blob directory snapshot: {exc}") from exc
+        self._next_id = next_id
+        self._blobs = blobs
+
     def __contains__(self, blob_id: int) -> bool:
         return blob_id in self._blobs
 

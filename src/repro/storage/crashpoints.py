@@ -1,0 +1,109 @@
+"""Fault-injection crash points for durability testing.
+
+The durability protocol (WAL append → commit fsync → checkpoint → atomic
+sidecar replace) is only trustworthy if a "crash" at *every* write/fsync
+boundary leaves a recoverable state.  Each boundary in the pager, the WAL
+and the atomic sidecar writer calls :func:`fire` with a stable name; in
+production the call is a dict lookup and a ``None`` check.  Tests arm the
+registry to either *record* the points a protocol crosses (to enumerate
+the crash matrix) or to raise :class:`InjectedCrash` at the N-th crossing
+of one point, simulating the process dying there.
+
+A hard rule for instrumented code: file buffers must be flushed **before**
+firing a crash point, so that the bytes "on disk" at the moment of an
+injected crash are exactly the bytes a subsequent reopen will observe.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+class InjectedCrash(Exception):
+    """A simulated process death, raised by an armed crash point.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: library code
+    must never catch it, exactly as it could not catch a real ``kill -9``.
+    """
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__(f"injected crash at {point!r} (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+class CrashPointRegistry:
+    """Process-wide registry of crash points.
+
+    Disarmed (the default), :meth:`fire` costs two attribute reads.
+    """
+
+    def __init__(self) -> None:
+        self._callback: Callable[[str, int], None] | None = None
+        self._recorder: list[str] | None = None
+        self._counts: dict[str, int] = {}
+
+    @property
+    def armed(self) -> bool:
+        return self._callback is not None or self._recorder is not None
+
+    def fire(self, name: str) -> None:
+        """Cross the crash point ``name`` (no-op unless armed)."""
+        if self._callback is None and self._recorder is None:
+            return
+        count = self._counts.get(name, 0) + 1
+        self._counts[name] = count
+        if self._recorder is not None:
+            self._recorder.append(name)
+        if self._callback is not None:
+            self._callback(name, count)
+
+    def reset(self) -> None:
+        """Disarm and forget all occurrence counts."""
+        self._callback = None
+        self._recorder = None
+        self._counts = {}
+
+    @contextmanager
+    def recording(self) -> Iterator[list[str]]:
+        """Record every crash point fired, in order, without crashing.
+
+        The yielded list grows as points fire; use it to enumerate the
+        ``(name, occurrence)`` matrix a protocol actually crosses.
+        """
+        self.reset()
+        fired: list[str] = []
+        self._recorder = fired
+        try:
+            yield fired
+        finally:
+            self.reset()
+
+    @contextmanager
+    def crash_at(self, name: str, occurrence: int = 1) -> Iterator[None]:
+        """Raise :class:`InjectedCrash` at the N-th firing of ``name``."""
+        self.reset()
+
+        def callback(fired: str, count: int) -> None:
+            if fired == name and count == occurrence:
+                raise InjectedCrash(name, count)
+
+        self._callback = callback
+        try:
+            yield
+        finally:
+            self.reset()
+
+
+_CRASH_POINTS = CrashPointRegistry()
+
+
+def get_crash_points() -> CrashPointRegistry:
+    """The process-wide crash-point registry."""
+    return _CRASH_POINTS
+
+
+def fire(name: str) -> None:
+    """Module-level shorthand for ``get_crash_points().fire(name)``."""
+    _CRASH_POINTS.fire(name)

@@ -1,10 +1,19 @@
-"""File-backed pager with physical-IO accounting.
+"""File-backed pager with physical-IO accounting and WAL durability.
 
 The pager reads and writes fixed-size pages in a single file and counts
 every physical read and write.  The benchmarks use these counters to explain
 wall-clock shapes, mirroring the paper's cold-cache measurement protocol
 (Section 7: the authors unmounted the data drive between queries; we expose
 :meth:`Pager.io_stats` and let the buffer pool be reset instead).
+
+File-backed pagers default to ``durability="wal"``: page writes and staged
+sidecars are appended to a checksummed write-ahead log
+(:mod:`repro.storage.wal`) and only reach the main file at
+:meth:`Pager.checkpoint`, so a whole save commits or disappears as one
+unit.  Opening a pager runs recovery — committed WAL frames are replayed,
+torn tails discarded.  ``durability="none"`` keeps the original
+write-in-place behaviour (still fsync-correct on :meth:`sync`/:meth:`close`)
+for benchmarks that model raw page IO.
 """
 
 from __future__ import annotations
@@ -15,12 +24,17 @@ from dataclasses import dataclass
 
 from repro.errors import StorageError
 from repro.obs.metrics import get_registry
+from repro.storage.atomicio import atomic_write_bytes, remove_stale_tmp_files
+from repro.storage.crashpoints import fire
 from repro.storage.page import PAGE_SIZE
+from repro.storage.wal import RecoveryReport, WriteAheadLog, require_durability
 
 # Global physical-IO counters, aggregated across every pager instance.
 _READS = get_registry().counter("pager.reads")
 _WRITES = get_registry().counter("pager.writes")
 _ALLOCATIONS = get_registry().counter("pager.allocations")
+
+WAL_SUFFIX = ".wal"
 
 
 @dataclass
@@ -46,11 +60,14 @@ class Pager:
     """Reads/writes :data:`PAGE_SIZE` pages from a file or memory buffer.
 
     Passing ``path=None`` keeps the store in memory (used heavily by the
-    test-suite); the IO accounting behaves identically either way.
+    test-suite) and forces ``durability="none"``; the IO accounting
+    behaves identically either way.
     """
 
-    def __init__(self, path: str | None = None) -> None:
+    def __init__(self, path: str | None = None, durability: str = "wal") -> None:
+        require_durability(durability)
         self._path = path
+        self._durability = durability if path is not None else "none"
         if path is None:
             self._file: io.BufferedRandom | io.BytesIO = io.BytesIO()
         else:
@@ -59,6 +76,19 @@ class Pager:
         self._page_count = self._measure_page_count()
         self.stats = IoStats()
         self._closed = False
+        # WAL state: page/sidecar images written since the last checkpoint
+        # live here (and in the log); the main file is only touched by
+        # checkpoint().  ``_wal_dirty`` tracks frames not yet committed.
+        self._overlay: dict[int, bytes] = {}
+        self._meta_overlay: dict[str, bytes] = {}
+        self._wal: WriteAheadLog | None = None
+        self._wal_dirty = False
+        self.recovery_report: RecoveryReport | None = None
+        if path is not None:
+            stale = remove_stale_tmp_files(path)
+            if self._durability == "wal":
+                self._wal = WriteAheadLog(path + WAL_SUFFIX)
+                self._recover(stale)
 
     def _measure_page_count(self) -> int:
         self._file.seek(0, os.SEEK_END)
@@ -68,6 +98,24 @@ class Pager:
                 f"file size {size} is not a multiple of the page size"
             )
         return size // PAGE_SIZE
+
+    def _recover(self, stale_tmp_files: list[str]) -> None:
+        """Replay committed WAL frames left by a crash, drop the rest."""
+        pages, metas, report = self._wal.scan()
+        report.stale_tmp_files = stale_tmp_files
+        self.recovery_report = report
+        if report.replayed:
+            self._overlay = pages
+            self._meta_overlay = metas
+            if pages:
+                self._page_count = max(
+                    self._page_count, max(pages) + 1
+                )
+            self._apply_checkpoint()
+        elif self._wal.size_bytes():
+            # only torn/uncommitted frames: the save never committed,
+            # so the pre-save state on the main file is authoritative.
+            self._wal.truncate()
 
     # -- public API -------------------------------------------------------
 
@@ -79,12 +127,23 @@ class Pager:
     def path(self) -> str | None:
         return self._path
 
+    @property
+    def durability(self) -> str:
+        """``"wal"`` (atomic, recoverable saves) or ``"none"``."""
+        return self._durability
+
     def allocate(self) -> int:
         """Append a zeroed page, returning its page number."""
         self._check_open()
         page_no = self._page_count
-        self._file.seek(page_no * PAGE_SIZE)
-        self._file.write(b"\x00" * PAGE_SIZE)
+        zero = b"\x00" * PAGE_SIZE
+        if self._wal is not None:
+            self._wal.append_page(page_no, zero)
+            self._overlay[page_no] = zero
+            self._wal_dirty = True
+        else:
+            self._file.seek(page_no * PAGE_SIZE)
+            self._file.write(zero)
         self._page_count += 1
         self.stats.allocations += 1
         self.stats.writes += 1
@@ -95,10 +154,12 @@ class Pager:
     def read_page(self, page_no: int) -> bytes:
         self._check_open()
         self._check_range(page_no)
-        self._file.seek(page_no * PAGE_SIZE)
-        data = self._file.read(PAGE_SIZE)
-        if len(data) != PAGE_SIZE:
-            raise StorageError(f"short read on page {page_no}")
+        data = self._overlay.get(page_no)
+        if data is None:
+            self._file.seek(page_no * PAGE_SIZE)
+            data = self._file.read(PAGE_SIZE)
+            if len(data) != PAGE_SIZE:
+                raise StorageError(f"short read on page {page_no}")
         self.stats.reads += 1
         _READS.inc()
         return data
@@ -110,10 +171,37 @@ class Pager:
             raise StorageError(
                 f"page image must be {PAGE_SIZE} bytes, got {len(data)}"
             )
-        self._file.seek(page_no * PAGE_SIZE)
-        self._file.write(data)
+        data = bytes(data)
+        if self._wal is not None:
+            self._wal.append_page(page_no, data)
+            self._overlay[page_no] = data
+            self._wal_dirty = True
+        else:
+            self._file.seek(page_no * PAGE_SIZE)
+            self._file.write(data)
+            self._file.flush()
+            fire("pager.page_written")
         self.stats.writes += 1
         _WRITES.inc()
+
+    def write_sidecar(self, suffix: str, data: bytes) -> str:
+        """Write ``<path><suffix>`` as part of the durability protocol.
+
+        In WAL mode the payload is staged in the log and lands atomically
+        at the next :meth:`checkpoint`, in the same transaction as the
+        page writes; in ``none`` mode it is written atomically right away
+        (tmp file → fsync → ``os.replace``).  Returns the final path.
+        """
+        self._check_open()
+        if self._path is None:
+            raise StorageError("memory pagers have no sidecar files")
+        path = self._path + suffix
+        if self._wal is not None:
+            self._wal.append_meta(suffix, bytes(data))
+            self._meta_overlay[suffix] = bytes(data)
+            self._wal_dirty = True
+            return path
+        return atomic_write_bytes(path, bytes(data))
 
     def size_bytes(self) -> int:
         """Total bytes occupied by the paged file."""
@@ -122,17 +210,74 @@ class Pager:
     def truncate(self) -> None:
         """Drop every page (used when segments are rewritten)."""
         self._check_open()
+        self._overlay.clear()
+        if self._wal is not None:
+            self._wal.truncate()
+            self._wal_dirty = False
         self._file.seek(0)
         self._file.truncate(0)
         self._page_count = 0
+        # a truncate is a physical write to the main file: account for it
+        self.stats.writes += 1
+        _WRITES.inc()
+
+    def commit(self) -> None:
+        """Make every write so far durable (WAL commit frame + fsync).
+
+        Writes stay in the log (and the in-memory overlay) until the next
+        :meth:`checkpoint`; after a crash, recovery replays them.  In
+        ``none`` mode this is a plain flush + fsync of the main file.
+        """
+        self._check_open()
+        if self._wal is not None:
+            if self._wal_dirty:
+                self._wal.append_commit()
+                self._wal_dirty = False
+        else:
+            self._fsync_main()
+
+    def checkpoint(self) -> None:
+        """Commit, then apply the log to the main file and truncate it."""
+        self._check_open()
+        if self._wal is None:
+            self._fsync_main()
+            return
+        self.commit()
+        if not self._overlay and not self._meta_overlay:
+            return
+        self._apply_checkpoint()
+
+    def _apply_checkpoint(self) -> None:
+        fire("wal.checkpoint.begin")
+        for page_no in sorted(self._overlay):
+            self._file.seek(page_no * PAGE_SIZE)
+            self._file.write(self._overlay[page_no])
+            self._file.flush()
+            fire("wal.checkpoint.page_applied")
+        self._fsync_main()
+        fire("wal.checkpoint.pages_synced")
+        for suffix in sorted(self._meta_overlay):
+            atomic_write_bytes(self._path + suffix, self._meta_overlay[suffix])
+        self._wal.truncate()  # fires wal.checkpoint.truncated
+        self._overlay.clear()
+        self._meta_overlay.clear()
 
     def sync(self) -> None:
+        """Make writes durable: WAL commit, or flush + fsync in ``none``."""
         self._check_open()
-        self._file.flush()
+        if self._wal is not None:
+            self.commit()
+        else:
+            self._fsync_main()
+        fire("pager.synced")
 
     def close(self) -> None:
         if not self._closed:
-            self._file.flush()
+            if self._wal is not None:
+                self.checkpoint()
+                self._wal.close()
+            else:
+                self._fsync_main()
             self._file.close()
             self._closed = True
 
@@ -140,6 +285,12 @@ class Pager:
         return self.stats.snapshot()
 
     # -- helpers ------------------------------------------------------------
+
+    def _fsync_main(self) -> None:
+        """Flush, then fsync when file-backed (BytesIO has no fd)."""
+        self._file.flush()
+        if self._path is not None:
+            os.fsync(self._file.fileno())
 
     def _check_open(self) -> None:
         if self._closed:

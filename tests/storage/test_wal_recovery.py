@@ -1,0 +1,321 @@
+"""WAL + recovery tests: frame codec, pager transactions, crash matrix."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import BlobStore, BufferPool, InjectedCrash, get_crash_points
+from repro.storage.page import PAGE_SIZE
+from repro.storage.pager import Pager
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "data.db")
+
+
+@pytest.fixture(autouse=True)
+def disarm_crash_points():
+    yield
+    get_crash_points().reset()
+
+
+def page(fill: bytes) -> bytes:
+    return fill * PAGE_SIZE
+
+
+class TestWalFrames:
+    def test_committed_frames_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        wal.append_page(0, page(b"a"))
+        wal.append_page(3, page(b"b"))
+        wal.append_meta(".catalog.json", b'{"x": 1}')
+        wal.append_commit()
+        wal.close()
+        pages, metas, report = WriteAheadLog(wal.path).scan()
+        assert pages == {0: page(b"a"), 3: page(b"b")}
+        assert metas == {".catalog.json": b'{"x": 1}'}
+        assert report.replayed and report.commits == 1
+        assert report.torn_bytes == 0
+
+    def test_uncommitted_frames_discarded(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        wal.append_page(0, page(b"a"))
+        wal.close()
+        pages, metas, report = WriteAheadLog(wal.path).scan()
+        assert pages == {} and metas == {}
+        assert not report.replayed
+        assert report.uncommitted_frames == 1
+
+    def test_torn_tail_detected_after_commit(self, tmp_path):
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog(path)
+        wal.append_page(0, page(b"a"))
+        wal.append_commit()
+        wal.append_page(1, page(b"b"))
+        wal.close()
+        # tear the last frame mid-payload
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - PAGE_SIZE // 2)
+        pages, _, report = WriteAheadLog(path).scan()
+        assert pages == {0: page(b"a")}  # first transaction survives
+        assert report.torn_bytes > 0
+
+    def test_bitflip_invalidates_frame(self, tmp_path):
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog(path)
+        wal.append_page(0, page(b"a"))
+        wal.append_commit()
+        wal.close()
+        with open(path, "r+b") as handle:
+            data = bytearray(handle.read())
+            data[40] ^= 0xFF  # inside the first frame's payload
+            handle.seek(0)
+            handle.write(data)
+        pages, _, report = WriteAheadLog(path).scan()
+        assert pages == {}
+        assert not report.replayed
+        assert report.torn_bytes > 0
+
+    def test_later_uncommitted_transaction_dropped(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"))
+        wal.append_page(0, page(b"a"))
+        wal.append_commit()
+        wal.append_page(0, page(b"z"))  # never committed
+        wal.close()
+        pages, _, report = WriteAheadLog(wal.path).scan()
+        assert pages == {0: page(b"a")}
+        assert report.uncommitted_frames == 1
+
+
+class TestPagerWal:
+    def test_committed_writes_survive_a_crash(self, db_path):
+        pager = Pager(db_path)
+        no = pager.allocate()
+        pager.write_page(no, page(b"a"))
+        pager.commit()
+        # simulate a crash: abandon without close/checkpoint
+        again = Pager(db_path)
+        assert again.recovery_report.replayed
+        assert again.read_page(no) == page(b"a")
+        again.close()
+
+    def test_uncommitted_writes_roll_back(self, db_path):
+        pager = Pager(db_path)
+        no = pager.allocate()
+        pager.write_page(no, page(b"a"))
+        pager.checkpoint()
+        pager.write_page(no, page(b"b"))  # never committed
+        again = Pager(db_path)
+        assert not again.recovery_report.replayed
+        assert again.read_page(no) == page(b"a")
+        again.close()
+
+    def test_checkpoint_truncates_the_log(self, db_path):
+        pager = Pager(db_path)
+        no = pager.allocate()
+        pager.write_page(no, page(b"a"))
+        pager.checkpoint()
+        assert os.path.getsize(db_path + ".wal") == 0
+        assert os.path.getsize(db_path) == PAGE_SIZE
+        pager.close()
+
+    def test_sidecar_staged_until_checkpoint(self, db_path):
+        pager = Pager(db_path)
+        pager.write_sidecar(".meta.json", b'{"v": 1}')
+        assert not os.path.exists(db_path + ".meta.json")
+        pager.checkpoint()
+        with open(db_path + ".meta.json", "rb") as handle:
+            assert handle.read() == b'{"v": 1}'
+        pager.close()
+
+    def test_close_checkpoints(self, db_path):
+        with Pager(db_path) as pager:
+            no = pager.allocate()
+            pager.write_page(no, page(b"q"))
+        with Pager(db_path, durability="none") as raw:
+            assert raw.read_page(no) == page(b"q")
+
+    def test_recovery_is_idempotent(self, db_path):
+        pager = Pager(db_path)
+        pager.allocate()
+        pager.write_page(0, page(b"a"))
+        pager.commit()
+        first = Pager(db_path)
+        assert first.recovery_report.replayed
+        second = Pager(db_path)
+        assert not second.recovery_report.replayed  # already applied
+        assert second.read_page(0) == page(b"a")
+        second.close()
+
+    def test_stale_tmp_files_removed_on_open(self, db_path):
+        Pager(db_path).close()
+        stale = db_path + ".meta.json.tmp"
+        with open(stale, "w") as handle:
+            handle.write("{")
+        pager = Pager(db_path)
+        assert not os.path.exists(stale)
+        assert stale in pager.recovery_report.stale_tmp_files
+        pager.close()
+
+    def test_reads_see_overlay_before_checkpoint(self, db_path):
+        pager = Pager(db_path)
+        pool = BufferPool(pager, capacity=2)
+        no = pool.allocate()
+        pool.put(no, page(b"x"))
+        pool.reset()
+        assert pool.get(no) == page(b"x")  # served from the WAL overlay
+        pager.close()
+
+
+class TestPagerCrashMatrix:
+    """Crash at every point of a full two-version save; reopen; assert
+    the pre- or post-save state — pages and sidecar always in step."""
+
+    PAGES = 3
+
+    def save_version(self, pager, fill, version):
+        for no in range(self.PAGES):
+            pager.write_page(no, page(fill))
+        pager.write_sidecar(".meta.json", json.dumps({"v": version}).encode())
+        pager.checkpoint()
+
+    def build_v1(self, db_path):
+        pager = Pager(db_path)
+        for _ in range(self.PAGES):
+            pager.allocate()
+        self.save_version(pager, b"a", 1)
+        return pager
+
+    def state_of(self, db_path):
+        with open(db_path + ".meta.json", encoding="utf-8") as handle:
+            version = json.load(handle)["v"]
+        with Pager(db_path, durability="none") as raw:
+            images = {raw.read_page(no)[:1] for no in range(self.PAGES)}
+        return version, images
+
+    def test_every_crash_point_leaves_v1_or_v2(self, tmp_path):
+        crash_points = get_crash_points()
+        with crash_points.recording() as fired:
+            pager = self.build_v1(str(tmp_path / "probe.db"))
+            fired.clear()  # enumerate only the v2 save
+            self.save_version(pager, b"b", 2)
+            pager.close()
+        matrix = []
+        counts = {}
+        for name in fired:
+            counts[name] = counts.get(name, 0) + 1
+            matrix.append((name, counts[name]))
+        assert matrix, "no crash points fired during the save"
+        for index, (point, occurrence) in enumerate(matrix):
+            db_path = str(tmp_path / f"m{index}.db")
+            pager = self.build_v1(db_path)
+            with pytest.raises(InjectedCrash):
+                with crash_points.crash_at(point, occurrence):
+                    self.save_version(pager, b"b", 2)
+            recovered = Pager(db_path)  # replay/discard, then close
+            recovered.close()
+            version, images = self.state_of(db_path)
+            expected = {1: {b"a"}, 2: {b"b"}}[version]
+            assert images == expected, (
+                f"mixed page/sidecar state after crash at {point}#{occurrence}: "
+                f"sidecar v{version}, pages {images}"
+            )
+            assert os.path.getsize(db_path + ".wal") == 0
+            assert not any(
+                name.endswith(".tmp") for name in os.listdir(tmp_path)
+            )
+
+
+class TestDurabilitySatellites:
+    def test_sync_fsyncs_file_backed_pager(self, db_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd))
+        pager = Pager(db_path, durability="none")
+        pager.allocate()
+        synced.clear()
+        pager.sync()
+        assert synced, "sync() must fsync a file-backed pager"
+        synced.clear()
+        pager.close()
+        assert synced, "close() must fsync a file-backed pager"
+
+    def test_wal_sync_commits_durably(self, db_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd))
+        pager = Pager(db_path)
+        pager.allocate()
+        synced.clear()
+        pager.sync()
+        assert synced, "sync() in WAL mode must fsync the log"
+        pager.close()
+
+    def test_memory_pager_sync_and_close_are_safe(self):
+        pager = Pager()
+        pager.allocate()
+        pager.sync()  # BytesIO has no fileno: must not raise
+        pager.close()
+
+    def test_truncate_counts_a_physical_write(self):
+        from repro.obs.metrics import get_registry
+
+        pager = Pager()
+        pager.allocate()
+        global_writes = get_registry().counter("pager.writes")
+        before_stats = pager.io_stats()
+        before_global = global_writes.value
+        pager.truncate()
+        assert pager.io_stats().delta(before_stats).writes == 1
+        assert global_writes.value == before_global + 1
+
+    def test_unknown_durability_mode_rejected(self, db_path):
+        with pytest.raises(StorageError):
+            Pager(db_path, durability="paranoid")
+
+    def test_memory_pager_forces_durability_none(self):
+        assert Pager(None).durability == "none"
+
+    def test_database_exposes_durability(self, db_path):
+        from repro.rdb import Database
+
+        assert Database().durability == "none"
+        with Database(db_path) as db:
+            assert db.durability == "wal"
+        with Database(db_path, durability="none") as db:
+            assert db.durability == "none"
+
+
+class TestBlobSnapshot:
+    def test_snapshot_restore_roundtrip(self):
+        pool = BufferPool(Pager(), capacity=8)
+        blobs = BlobStore(pool)
+        first = blobs.put(b"alpha" * 100)
+        second = blobs.put(b"beta")
+        blobs.delete(first)
+        snap = blobs.snapshot()
+
+        clone = BlobStore(pool)
+        clone.restore(snap)
+        assert clone.get(second) == b"beta"
+        assert first not in clone
+        assert clone.put(b"gamma") > second  # next_id restored
+
+    def test_snapshot_is_json_ready(self):
+        pool = BufferPool(Pager(), capacity=8)
+        blobs = BlobStore(pool)
+        blobs.put(b"payload")
+        restored = json.loads(json.dumps(blobs.snapshot()))
+        clone = BlobStore(pool)
+        clone.restore(restored)
+        assert clone.get(1) == b"payload"
+
+    def test_malformed_snapshot_rejected(self):
+        blobs = BlobStore(BufferPool(Pager(), capacity=8))
+        with pytest.raises(StorageError):
+            blobs.restore({"entries": [{"id": 1}]})
