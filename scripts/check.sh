@@ -17,6 +17,11 @@ fi
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -x -q
 
+echo "== pytest (golden plan snapshots) =="
+# The rendered plans are pinned output: a diff here means the optimizer
+# or the plan renderer changed observable behavior.
+PYTHONPATH=src python -m pytest -x -q tests/plan/test_golden_plans.py
+
 echo "== pytest (crash-injection durability suite) =="
 # Run the crash matrix in a dedicated temp root so we can prove that no
 # recovery path leaves stray .tmp files or unreplayed WAL frames behind.

@@ -83,6 +83,14 @@ class SegmentManager:
         if name not in self._tables:
             self._tables.append(name)
 
+    def is_registered(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def generation(self) -> tuple[int, int]:
+        """Changes whenever segment boundaries move (cache invalidation)."""
+        return (self.freeze_count, self.live_segno)
+
     # -- bookkeeping hooks called by the tracker ---------------------------------
 
     def note_insert(self) -> None:
@@ -186,7 +194,8 @@ class SegmentManager:
         table.compact()
         return len(live_rows), len(frozen_rows)
 
-    # -- lookup used by segment-aware query rewriting (Section 6.3) -----------------
+    # -- lookups used by the segment-restriction optimizer rule
+    # (repro.plan.rules.restrict_segments, paper Sections 6.3/6.4) -------------
 
     def segment_for(self, date: int) -> int:
         """The segment whose period covers ``date`` (live when beyond all)."""

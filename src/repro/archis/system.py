@@ -16,6 +16,7 @@ clustering, compression and the XQuery→SQL/XML translator:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from time import perf_counter
 
@@ -39,6 +40,11 @@ from repro.archis.tracker import (
 _XQUERY_COUNT = get_registry().counter("archis.xquery.count")
 _XQUERY_SECONDS = get_registry().histogram("archis.xquery.seconds")
 _FALLBACKS = get_registry().labeled_counter("xquery.fallback")
+_CACHE_HITS = get_registry().counter("translator.cache_hits")
+_CACHE_MISSES = get_registry().counter("translator.cache_misses")
+
+#: bound on the per-system XQuery → Translation LRU cache
+_TRANSLATION_CACHE_SIZE = 128
 
 
 @dataclass(frozen=True)
@@ -83,9 +89,16 @@ class ArchIS:
         self.trackers: dict[str, object] = {}
         self.archive = CompressedArchive(self.db, self.segments)
         self._doc_names: dict[str, str] = {}
+        #: XQuery text -> [generation, Translation, rendered optimized SQL];
+        #: entries are dropped LRU past _TRANSLATION_CACHE_SIZE and
+        #: invalidated when the generation (schema / clustering /
+        #: compression state) moves on
+        self._translation_cache: OrderedDict[str, list] = OrderedDict()
         #: queries slower than ``slow_query_log.threshold`` seconds are
         #: kept here (bounded); set the threshold to None to disable.
         self.slow_query_log = SlowQueryLog()
+        # let the segment-restriction optimizer rule see clustering state
+        self.db.segment_provider = self._segment_hints
         from repro.util.timeutil import FOREVER
 
         # tend with 'now' substitution (paper Section 4.3): the internal
@@ -203,11 +216,80 @@ class ArchIS:
 
     # -- queries --------------------------------------------------------------------------
 
-    def translate(self, query: str) -> str:
-        """Translate XQuery on the H-views to SQL/XML on the H-tables."""
-        from repro.archis.translator import translate_xquery
+    def _segment_hints(self, table_name: str):
+        """``Database.segment_provider`` hook for the optimizer rules."""
+        if not self.segments.is_registered(table_name):
+            return None
+        from repro.plan.optimizer import SegmentHints
 
-        return translate_xquery(self, query)
+        return SegmentHints(
+            compressed=table_name in self.archive.compressed_tables,
+            segments_overlapping=self.segments.segments_overlapping,
+        )
+
+    def _translation_generation(self) -> tuple:
+        """Cache key component that moves whenever a cached Translation
+        (or its optimized rendering) could become stale: tracked views,
+        segment boundaries, compression state."""
+        return (
+            tuple(sorted(self._doc_names)),
+            self.segments.generation,
+            tuple(sorted(self.archive.compressed_tables)),
+        )
+
+    def translation(self, query: str):
+        """The (LRU-cached) :class:`Translation` for an XQuery."""
+        return self._cached_translation(query)[1]
+
+    def _cached_translation(self, query: str) -> list:
+        generation = self._translation_generation()
+        entry = self._translation_cache.get(query)
+        if entry is not None and entry[0] == generation:
+            self._translation_cache.move_to_end(query)
+            _CACHE_HITS.inc()
+            return entry
+        _CACHE_MISSES.inc()
+        from repro.archis.translator import translate
+
+        translation = translate(self, query)
+        entry = [generation, translation, None]
+        self._translation_cache[query] = entry
+        self._translation_cache.move_to_end(query)
+        while len(self._translation_cache) > _TRANSLATION_CACHE_SIZE:
+            self._translation_cache.popitem(last=False)
+        return entry
+
+    def translate(self, query: str) -> str:
+        """Translate XQuery on the H-views to SQL/XML on the H-tables.
+
+        The returned text is the *optimized* query: the translator's SQL
+        parsed, planned and rendered back after the rule pipeline ran, so
+        segment-restricted access paths (``segno = k``, ``seg_``/``slice_``
+        functions) appear in the SQL itself.  The rendering is cached
+        alongside the translation.
+        """
+        entry = self._cached_translation(query)
+        if entry[2] is None:
+            entry[2] = self._optimized_sql(entry[1])
+        return entry[2]
+
+    def _optimized_sql(self, translation) -> str:
+        from repro.plan import PlanContext, build_logical, run_rules, to_sql
+        from repro.sql import ast as sql_ast
+        from repro.sql.parser import parse_sql
+        from repro.sql.planner import function_registry, source_scope
+
+        statement = parse_sql(translation.sql)
+        if not isinstance(statement, sql_ast.Select):
+            return translation.sql
+        scope = source_scope(self.db, statement.sources)
+        plan = build_logical(statement, scope)
+        if getattr(self.db, "optimizer_enabled", True):
+            ctx = PlanContext(
+                self.db, scope, function_registry(self.db)
+            )
+            plan, _ = run_rules(plan, ctx)
+        return to_sql(plan)
 
     def xquery(self, query: str, allow_fallback: bool = True) -> list:
         """Answer a temporal XQuery against the (virtual) H-documents.
@@ -228,11 +310,9 @@ class ArchIS:
         try:
             with tracer.span("archis.xquery", query=query) as span:
                 self.apply_pending()
-                from repro.archis.translator import translate
-
                 try:
                     with tracer.span("xquery.translate"):
-                        translation = translate(self, query)
+                        translation = self.translation(query)
                 except UnsupportedQueryError as exc:
                     fallback_reason = str(exc)
                     _FALLBACKS.inc(fallback_reason)
@@ -414,6 +494,11 @@ class ArchIS:
                 "live_segno": self.segments.live_segno,
                 "usefulness": self.segments.stats.usefulness,
             },
+            "translator": {
+                "cache_size": len(self._translation_cache),
+                "cache_hits": _CACHE_HITS.value,
+                "cache_misses": _CACHE_MISSES.value,
+            },
             "relations": sorted(self.relations),
             "compressed_tables": sorted(self.archive.compressed_tables),
             "slow_queries": [
@@ -440,6 +525,10 @@ class ArchIS:
             (s for s in reversed(roots) if s.name == "archis.xquery"),
             roots[-1],
         )
+        sql_text = root.attrs.get("sql")
+        plan = None
+        if sql_text is not None and self.db.last_plan is not None:
+            plan = self.db.last_plan.report()
         return ExplainResult(
             query=query,
             seconds=root.duration,
@@ -447,14 +536,16 @@ class ArchIS:
             physical_reads=misses.value - misses_before,
             cache_hits=hits.value - hits_before,
             root=root,
-            sql=root.attrs.get("sql"),
+            sql=sql_text,
             fallback_reason=root.attrs.get("fallback_reason"),
+            plan=plan,
         )
 
     # -- measurement hooks ------------------------------------------------------------------------
 
     def reset_caches(self) -> None:
         self.db.reset_caches()
+        self._translation_cache.clear()
 
     def storage_bytes(self) -> int:
         """Footprint of all H-tables + compressed blobs (+ index models).

@@ -146,14 +146,60 @@ class HTableWriter:
                 skipped_same_day = True
                 continue
             new_row = list(row)
-            new_row[table.schema.position("tend")] = max(tstart, end)
+            final_end = max(tstart, end)
+            new_row[table.schema.position("tend")] = final_end
             table.update_rid(rid, tuple(new_row))
             closed += 1
             self.segments.note_close()
+            if live_segno > 1 and tstart < self.segments.live_start:
+                self._repair_forwarded(table, key, tstart, final_end)
         if closed == 0 and not skipped_same_day:
             raise ArchisError(
                 f"{table_name}: no live history row for key {key}"
             )
+
+    def _repair_forwarded(
+        self, table: Table, key: int, tstart: int, end: int
+    ) -> None:
+        """Propagate a version's real ``tend`` into freeze-forwarded copies.
+
+        A version still live at freeze time is copied into the new live
+        segment and the frozen copy keeps ``tend = FOREVER`` — its real end
+        is unknown when the segment freezes.  When the version finally
+        closes, those frozen copies must close too, or segment-restricted
+        reads (paper Sections 6.3/6.4) would report a stale open interval.
+        Copies already moved into compressed blobs are immutable and simply
+        not found here (the heap lookup misses), matching the paper's
+        treatment of compressed segments as cold storage.
+        """
+        id_pos = table.schema.position("id")
+        tstart_pos = table.schema.position("tstart")
+        tend_pos = table.schema.position("tend")
+        seg_pos = table.schema.position("segno")
+        index = table.find_index(("segno", "id"))
+        for segno in range(self.segments.live_segno - 1, 0, -1):
+            if index is not None:
+                candidates = table.index_scan(
+                    index.name, (segno, key), (segno, key)
+                )
+            else:
+                candidates = table.scan()
+            found = False
+            for rid, row in candidates:
+                if (
+                    row[id_pos] == key
+                    and row[tstart_pos] == tstart
+                    and row[seg_pos] == segno
+                ):
+                    found = True
+                    if row[tend_pos] == FOREVER:
+                        fresh = list(row)
+                        fresh[tend_pos] = end
+                        table.update_rid(rid, tuple(fresh))
+            if not found:
+                # copies exist in consecutive segments back to the one the
+                # version opened in; the first miss ends the walk
+                break
 
     def _versions_of(self, table: Table, key: int):
         """All versions of ``key`` in the live segment (live or closed)."""

@@ -19,11 +19,15 @@ The five steps of the paper's algorithm map onto this module as follows:
 5. *Output generation* — the return clause becomes ``XMLElement`` /
    ``XMLAttributes`` / ``XMLAgg`` expressions.
 
-Additionally (Section 6.3) snapshot and slicing predicates are detected
-per alias and rewritten into ``segno`` restrictions; full-history access on
-a segmented archive reads through the deduplicating ``history_<table>``
-table function; compressed tables read through ``seg_<table>``
-block-decompressing functions (Section 8.2).
+Storage access is deliberately naive here: a segmented or compressed
+archive is always read through the deduplicating ``history_<table>``
+table function, which is correct for every query.  The segment
+restriction of Sections 6.3/6.4 — replacing that full read with
+``segno``-restricted scans or ``seg_``/``slice_`` block functions when
+snapshot/slicing predicates bound the alias to a window — is no longer
+the translator's job: it happens in the logical-plan optimizer
+(:mod:`repro.plan.rules`), which sees the predicates after pushdown and
+the clustering state through ``Database.segment_provider``.
 
 Anything outside this subset raises :class:`UnsupportedQueryError`; the
 ArchIS facade can then fall back to native evaluation on published views.
@@ -112,8 +116,6 @@ class Analyzer:
         self.conditions: list[str] = []
         self.joins: list[str] = []
         self._alias_count = 0
-        # per-alias snapshot/slicing windows for segment restriction
-        self.windows: dict[str, tuple[int, int]] = {}
         # mapped `order by` keys: (sql, descending)
         self.order_specs: list[tuple[str, bool]] = []
 
@@ -532,7 +534,6 @@ class Analyzer:
             right_sql = self._coerce_literal(node.right.value, left_var)
         if right_var is not None and isinstance(node.left, ast.Literal):
             left_sql = self._coerce_literal(node.left.value, right_var)
-        self._detect_snapshot(node, context)
         return f"{left_sql} {op} {right_sql}"
 
     def _coerce_literal(self, value: object, var: VarInfo) -> str:
@@ -651,7 +652,6 @@ class Analyzer:
         if name in ("toverlaps", "tcontains", "tequals", "tmeets", "tprecedes"):
             left = self._interval_args(call.args[0], context)
             right = self._interval_args(call.args[1], context)
-            self._detect_slicing(call, context)
             return f"{name}({left}, {right})"
         if name == "empty":
             raise _unsupported("bare empty() condition (use not(empty(..)))")
@@ -706,51 +706,6 @@ class Analyzer:
                 raise _unsupported("telement() needs two arguments")
             return f"{dates[0]}, {dates[1]}"
         raise _unsupported(f"interval argument {type(node).__name__}")
-
-    # -- segment restriction (Section 6.3) ---------------------------------------------------------
-
-    def _detect_snapshot(self, node: ast.BinaryOp, context: VarInfo | None) -> None:
-        """Record tstart(.) <= D / tend(.) >= D pairs as snapshot windows."""
-        fn_side = node.left if isinstance(node.left, ast.FunctionCall) else None
-        lit_side = node.right
-        op = node.op
-        if fn_side is None:
-            return
-        name = fn_side.name.lower()
-        if name not in ("tstart", "tend"):
-            return
-        date = _literal_date(lit_side)
-        if date is None:
-            return
-        try:
-            var = self._timestamp_target(fn_side.args[0], context)
-        except UnsupportedQueryError:
-            return
-        key = var.alias
-        window = self.windows.get(key, (None, None))
-        if name == "tstart" and op in ("<=", "<"):
-            self.windows[key] = (window[0], date)
-        elif name == "tend" and op in (">=", ">"):
-            self.windows[key] = (date, window[1])
-
-    def _detect_slicing(self, call: ast.FunctionCall, context: VarInfo | None) -> None:
-        """toverlaps(X, telement(D1, D2)) restricts X to segments of [D1,D2]."""
-        if call.name.lower() != "toverlaps" or len(call.args) != 2:
-            return
-        target, telement = call.args
-        if not (
-            isinstance(telement, ast.FunctionCall)
-            and telement.name.lower() == "telement"
-        ):
-            return
-        dates = [_literal_date(a) for a in telement.args]
-        if None in dates:
-            return
-        try:
-            var = self._timestamp_target(target, context)
-        except UnsupportedQueryError:
-            return
-        self.windows[var.alias] = (dates[0], dates[1])
 
     # -- return clause (Algorithm 1 step 5) ------------------------------------------------------------
 
@@ -866,30 +821,14 @@ class Analyzer:
                 return
         seen.add(var.alias)
         table = var.table
-        window = self.windows.get(var.alias)
         segments = self.archis.segments
         compressed = table in self.archis.archive.compressed_tables
         segmented = segments.segmented and segments.segment_count() > 1
-        columns = self._table_columns(var)
-        if window is not None and (segmented or compressed):
-            lo_date = window[0] if window[0] is not None else 0
-            hi_date = window[1] if window[1] is not None else 2**31
-            segnos = segments.segments_overlapping(lo_date, hi_date)
-            lo, hi = (min(segnos), max(segnos)) if segnos else (0, -1)
-            if lo == hi and not compressed:
-                # snapshot fast path: one segment, index-backed access
-                sources.append(f"{table} AS {var.alias}")
-                conditions.append(f"{var.alias}.segno = {lo}")
-            elif lo == hi and compressed:
-                sources.append(
-                    f"TABLE(seg_{table}({lo}, {hi})) AS {var.alias}({columns})"
-                )
-            else:
-                # multi-segment slicing: deduplicate freeze-forwarded copies
-                sources.append(
-                    f"TABLE(slice_{table}({lo}, {hi})) AS {var.alias}({columns})"
-                )
-        elif compressed or segmented:
+        if compressed or segmented:
+            # correct-for-every-query full read; the optimizer's
+            # segment-restriction rule narrows it when the pushed-down
+            # predicates bound this alias to a snapshot/slicing window
+            columns = self._table_columns(var)
             sources.append(
                 f"TABLE(history_{table}()) AS {var.alias}({columns})"
             )
@@ -922,19 +861,3 @@ def _sql_literal_date(node: object) -> str:
     raise _unsupported("expected a date literal")
 
 
-def _literal_date(node: object) -> int | None:
-    from repro.util.timeutil import parse_date
-
-    if isinstance(node, ast.FunctionCall) and node.name.lower() == "xs:date":
-        inner = node.args[0]
-        if isinstance(inner, ast.Literal):
-            try:
-                return parse_date(str(inner.value))
-            except ValueError:
-                return None
-    if isinstance(node, ast.Literal) and isinstance(node.value, str):
-        try:
-            return parse_date(node.value)
-        except ValueError:
-            return None
-    return None

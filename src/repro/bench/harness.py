@@ -32,6 +32,7 @@ class Measurement:
     translate_seconds: float = 0.0
     execute_seconds: float = 0.0
     cache_hit_rate: float = 0.0
+    rows_scanned: int = 0
 
 
 @dataclass
@@ -97,8 +98,10 @@ def _measure_cold(run_query, root_name: str) -> Measurement:
     registry = get_registry()
     misses = registry.counter("buffer.misses")
     hits = registry.counter("buffer.hits")
+    scanned = registry.counter("sql.rows_scanned")
     misses_before = misses.value
     hits_before = hits.value
+    scanned_before = scanned.value
     with get_tracer().capture() as roots:
         result = run_query()
     root: Span = next(
@@ -114,6 +117,7 @@ def _measure_cold(run_query, root_name: str) -> Measurement:
         translate_seconds=root.stage_seconds("xquery.translate"),
         execute_seconds=root.stage_seconds("sql.execute"),
         cache_hit_rate=hit_count / total if total else 0.0,
+        rows_scanned=scanned.value - scanned_before,
     )
 
 
@@ -144,6 +148,7 @@ def averaged(run, repeats: int = 3) -> Measurement:
         sum(s.translate_seconds for s in samples) / count,
         sum(s.execute_seconds for s in samples) / count,
         samples[-1].cache_hit_rate,
+        samples[-1].rows_scanned,
     )
 
 

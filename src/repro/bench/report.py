@@ -49,6 +49,7 @@ def comparison_rows(
                 f"{archis.translate_seconds * 1000:.2f}",
                 f"{archis.execute_seconds * 1000:.2f}",
                 str(archis.physical_reads),
+                str(archis.rows_scanned),
                 f"{archis.cache_hit_rate * 100:.0f}%",
                 str(archis.result_size),
             ]
@@ -63,7 +64,8 @@ def print_comparison(
 ) -> str:
     headers = [
         "query", "native ms", "archis ms", "archis speedup",
-        "translate ms", "exec ms", "archis phys reads", "hit rate", "rows",
+        "translate ms", "exec ms", "archis phys reads", "rows scanned",
+        "hit rate", "rows",
     ]
     rows = comparison_rows(results)
     if paper_notes:

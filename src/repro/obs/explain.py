@@ -8,6 +8,35 @@ from repro.obs.tracer import Span
 
 
 @dataclass
+class PlanReport:
+    """The three plan stages of one SELECT, rendered as text.
+
+    Produced by ``SelectPlan.report()``: the naive logical plan, the plan
+    after the rule pipeline, the compiled physical operator tree, and one
+    ``rule: detail`` line per optimizer rule firing.
+    """
+
+    logical: str
+    optimized: str
+    physical: str
+    rules: list[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = ["rules:"]
+        if self.rules:
+            lines.extend(f"  {rule}" for rule in self.rules)
+        else:
+            lines.append("  (none fired)")
+        lines.append("logical plan:")
+        lines.extend(f"  {line}" for line in self.logical.splitlines())
+        lines.append("optimized plan:")
+        lines.extend(f"  {line}" for line in self.optimized.splitlines())
+        lines.append("physical plan:")
+        lines.extend(f"  {line}" for line in self.physical.splitlines())
+        return "\n".join(lines)
+
+
+@dataclass
 class ExplainResult:
     """What ``ArchIS.explain(xquery)`` returns.
 
@@ -15,6 +44,8 @@ class ExplainResult:
     SQL/XML translation (``None`` when the query fell back to native
     evaluation, in which case ``fallback_reason`` says why).
     ``physical_reads`` counts buffer-pool misses during the run.
+    ``plan`` carries the SELECT's :class:`PlanReport` when the translated
+    path executed.
     """
 
     query: str
@@ -26,6 +57,7 @@ class ExplainResult:
     sql: str | None = None
     fallback_reason: str | None = None
     params: dict = field(default_factory=dict)
+    plan: PlanReport | None = None
 
     def stages(self) -> dict[str, float]:
         """Seconds per pipeline stage, summed over the span tree."""
@@ -50,6 +82,8 @@ class ExplainResult:
             lines.append(f"sql:   {self.sql}")
             if self.params:
                 lines.append(f"params: {self.params}")
+            if self.plan is not None:
+                lines.extend(self.plan.format().splitlines())
         lines.append(
             f"time:  {self.seconds * 1000:.3f} ms, "
             f"{self.result_count} result item(s)"

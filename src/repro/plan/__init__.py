@@ -1,0 +1,40 @@
+"""The logical-plan layer: IR nodes, rule-based optimizer, physical ops.
+
+The query path is split into three explicit stages (the seam the paper's
+rewrites — Algorithm 1 translation and the Section 6.4 segment
+restriction — hang off):
+
+1. :mod:`repro.plan.nodes` + :mod:`repro.plan.build` — a logical-plan IR
+   (``Scan`` / ``IndexScan`` / ``FunctionScan`` / ``Join`` / ``Filter`` /
+   ``Project`` / ``Aggregate`` / ``Sort`` / ``Distinct`` / ``Limit``)
+   built naively from a parsed ``SELECT``;
+2. :mod:`repro.plan.rules` + :mod:`repro.plan.optimizer` — rewrite rules
+   (constant folding, predicate pushdown, segment restriction, index
+   selection, hash-join selection) applied in a fixed order;
+3. :mod:`repro.plan.physical` — volcano-style operators compiled from the
+   optimized plan and pulled by ``SelectPlan.execute``.
+
+:mod:`repro.plan.render` renders plans as trees (for EXPLAIN and golden
+tests) and back to SQL text (so ``ArchIS.translate`` can show the
+optimized query).
+"""
+
+from repro.plan.build import build_logical, referenced_aliases, split_conjuncts
+from repro.plan.optimizer import PlanContext, RuleFiring, SegmentHints, run_rules
+from repro.plan.physical import compile_plan
+from repro.plan.render import expr_to_sql, render_physical, render_plan, to_sql
+
+__all__ = [
+    "PlanContext",
+    "RuleFiring",
+    "SegmentHints",
+    "build_logical",
+    "compile_plan",
+    "expr_to_sql",
+    "referenced_aliases",
+    "render_physical",
+    "render_plan",
+    "run_rules",
+    "split_conjuncts",
+    "to_sql",
+]

@@ -1,0 +1,109 @@
+"""Build the naive logical plan from a parsed SELECT.
+
+The builder does no optimization: every FROM source becomes a leaf scan
+joined left-deep as a nested-loop cross product, and the entire WHERE
+clause sits in one ``Filter`` above the join tree.  The optimizer rules
+(:mod:`repro.plan.rules`) then push predicates down, restrict segments,
+pick indexes and upgrade equi-joins — so a plan executed with the
+optimizer disabled must return exactly the same rows, just slower.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlPlanError
+from repro.plan import nodes
+from repro.sql import ast
+from repro.sql.expr import Scope, contains_aggregate
+
+
+def split_conjuncts(node: object) -> list:
+    """Flatten a WHERE tree into its AND-ed conjuncts."""
+    if isinstance(node, ast.BinaryOp) and node.op == "and":
+        return split_conjuncts(node.left) + split_conjuncts(node.right)
+    return [node] if node is not None else []
+
+
+def referenced_aliases(node: object, scope: Scope) -> set[str]:
+    """Source aliases an expression references (resolved through scope)."""
+    out: set[str] = set()
+    for sub in ast.walk_exprs(node):
+        if isinstance(sub, ast.ColumnRef):
+            out.add(scope.resolve(sub)[0])
+    return out
+
+
+def build_logical(select: ast.Select, scope: Scope):
+    plan = None
+    for ref in select.sources:
+        leaf = _leaf(ref)
+        plan = leaf if plan is None else nodes.Join(plan, leaf)
+    if plan is None:
+        raise SqlPlanError("SELECT needs at least one FROM source")
+    conjuncts = tuple(split_conjuncts(select.where))
+    if conjuncts:
+        plan = nodes.Filter(plan, conjuncts)
+    is_aggregate = bool(select.group_by) or any(
+        contains_aggregate(item.expr) for item in select.items
+    )
+    items = _output_items(select, scope, is_aggregate)
+    if is_aggregate:
+        plan = nodes.Aggregate(
+            plan,
+            tuple(select.group_by),
+            items,
+            tuple((spec.expr, spec.descending) for spec in select.order_by),
+        )
+    else:
+        if select.order_by:
+            plan = nodes.Sort(
+                plan,
+                tuple((spec.expr, spec.descending) for spec in select.order_by),
+            )
+        plan = nodes.Project(plan, items)
+    if select.distinct:
+        plan = nodes.Distinct(plan)
+    if select.limit is not None:
+        plan = nodes.Limit(plan, select.limit)
+    return plan
+
+
+def _leaf(ref):
+    if isinstance(ref, ast.TableRef):
+        return nodes.Scan(ref.name, ref.alias)
+    if isinstance(ref, ast.TableFunctionRef):
+        return nodes.FunctionScan(
+            ref.function, tuple(ref.args), ref.alias, tuple(ref.columns)
+        )
+    raise SqlPlanError(f"cannot plan FROM source {type(ref).__name__}")
+
+
+def _output_items(
+    select: ast.Select, scope: Scope, is_aggregate: bool
+) -> tuple:
+    items: list[nodes.Output] = []
+    for index, item in enumerate(select.items):
+        if isinstance(item.expr, ast.Star):
+            if is_aggregate:
+                raise SqlPlanError("SELECT * cannot be mixed with aggregation")
+            aliases = (
+                [item.expr.table]
+                if item.expr.table
+                else [ref.alias for ref in select.sources]
+            )
+            for alias in aliases:
+                columns = scope.columns_by_alias.get(alias)
+                if columns is None:
+                    raise SqlPlanError(f"unknown table alias {alias!r}")
+                items.extend(
+                    nodes.Output(ast.ColumnRef(alias, column), column)
+                    for column in columns
+                )
+            continue
+        if item.alias:
+            name = item.alias
+        elif isinstance(item.expr, ast.ColumnRef):
+            name = item.expr.column
+        else:
+            name = f"col{index + 1}"
+        items.append(nodes.Output(item.expr, name, aliased=bool(item.alias)))
+    return tuple(items)

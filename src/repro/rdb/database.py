@@ -50,6 +50,17 @@ class Database:
         self._clock = parse_date("1985-01-01")
         self._functions: dict[str, Callable] = {}
         self._table_functions: dict[str, Callable] = {}
+        #: when False, SELECT/DML run the naive logical plan unchanged —
+        #: same rows, no index/segment access paths (used by equivalence
+        #: tests and the bench harness to measure optimizer impact)
+        self.optimizer_enabled: bool = True
+        #: optional hook ``(table_name) -> SegmentHints | None`` installed
+        #: by ArchIS so the segment-restriction rule can see clustering
+        #: state without the SQL layer importing the archive
+        self.segment_provider: Callable | None = None
+        #: the most recent SelectPlan executed through the session
+        #: (EXPLAIN reads its stage report)
+        self.last_plan = None
 
     # -- clock ---------------------------------------------------------------
 

@@ -1,7 +1,25 @@
-"""SQL front-end: parser, planner, executor, SQL/XML constructs."""
+"""SQL front-end: parser, planner, executor, SQL/XML constructs.
 
-from repro.sql.parser import parse_sql
-from repro.sql.result import ResultSet
-from repro.sql.session import execute_sql
+Re-exports are resolved lazily (PEP 562): the planner imports the
+logical-plan layer (:mod:`repro.plan`), whose modules import
+:mod:`repro.sql.ast` — an eager ``session`` import here would close that
+loop into a circular import.
+"""
 
 __all__ = ["parse_sql", "ResultSet", "execute_sql"]
+
+
+def __getattr__(name: str):
+    if name == "parse_sql":
+        from repro.sql.parser import parse_sql
+
+        return parse_sql
+    if name == "ResultSet":
+        from repro.sql.result import ResultSet
+
+        return ResultSet
+    if name == "execute_sql":
+        from repro.sql.session import execute_sql
+
+        return execute_sql
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

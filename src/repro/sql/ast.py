@@ -228,3 +228,56 @@ class CreateIndex:
 @dataclass(frozen=True)
 class DropTable:
     name: str
+
+
+# -- traversal ----------------------------------------------------------------
+
+
+def child_exprs(node: object):
+    """Yield the direct sub-expressions of an expression node.
+
+    Subquery bodies are *not* descended into: they are planned separately
+    and (being uncorrelated) cannot reference the enclosing scope.
+    """
+    if isinstance(node, BinaryOp):
+        yield node.left
+        yield node.right
+    elif isinstance(node, UnaryOp):
+        yield node.operand
+    elif isinstance(node, InList):
+        yield node.operand
+        yield from node.items
+    elif isinstance(node, Between):
+        yield node.operand
+        yield node.low
+        yield node.high
+    elif isinstance(node, (IsNull,)):
+        yield node.operand
+    elif isinstance(node, LikeOp):
+        yield node.operand
+        yield node.pattern
+    elif isinstance(node, FunctionCall):
+        yield from node.args
+    elif isinstance(node, XmlElementExpr):
+        for attr in node.attributes:
+            yield attr.value
+        yield from node.content
+    elif isinstance(node, XmlAggExpr):
+        yield node.operand
+        for item in node.order_by:
+            yield item.expr
+    elif isinstance(node, CaseExpr):
+        for condition, result in node.whens:
+            yield condition
+            yield result
+        if node.else_result is not None:
+            yield node.else_result
+    elif isinstance(node, InSubquery):
+        yield node.operand
+
+
+def walk_exprs(node: object):
+    """Yield ``node`` and every expression nested below it (pre-order)."""
+    yield node
+    for child in child_exprs(node):
+        yield from walk_exprs(child)

@@ -1,774 +1,137 @@
-"""SQL planner and executor.
+"""SQL planning: the pipeline from parsed SELECT to physical operators.
 
-Plans are built once per statement and execute as generator pipelines:
+A ``SelectPlan`` runs three explicit stages (see :mod:`repro.plan`):
 
-- access paths: B+ tree index range scans when single-table predicates
-  match an index prefix (equality columns then at most one range column),
-  heap scans otherwise;
-- joins: hash joins on equi-join conjuncts, nested loops with filters for
-  everything else, in FROM order (left-deep);
-- aggregation: hash grouping with accumulator objects, including ``XMLAgg``;
-- then DISTINCT / ORDER BY / LIMIT / projection.
+1. build — :func:`repro.plan.build.build_logical` turns the AST into a
+   naive logical plan (left-deep cross product under one Filter);
+2. optimize — :func:`repro.plan.optimizer.run_rules` applies constant
+   folding, predicate pushdown, the paper's Section 6.4 segment
+   restriction, index selection and hash-join selection, recording every
+   firing for EXPLAIN;
+3. compile — :func:`repro.plan.physical.compile_plan` builds the
+   volcano-style operator tree that ``execute`` pulls.
 
 The H-table queries ArchIS emits are id-equi-joins over co-sorted tables
-plus indexable interval predicates, so this planner executes them the way
-the paper describes (Section 5.3: "These joins execute very fast ... since
-every table is already sorted on its id attribute").
+plus indexable interval predicates, so the optimized plans execute them
+the way the paper describes (Section 5.3: "These joins execute very fast
+... since every table is already sorted on its id attribute").
+
+Setting ``db.optimizer_enabled = False`` skips stage 2: the naive plan
+still returns identical rows, just without the restricted access paths —
+which is exactly what the equivalence tests exercise.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Mapping
 
 from repro.errors import SqlPlanError
-from repro.obs.metrics import get_registry
+from repro.plan import build_logical, run_rules
+from repro.plan.optimizer import PlanContext, RuleFiring
+from repro.plan.physical import ExecContext, compile_plan
+from repro.plan.render import render_physical, render_plan
 from repro.rdb.database import Database
 from repro.sql import ast
-from repro.sql.expr import (
-    AGGREGATE_NAMES,
-    CompiledExpr,
-    Scope,
-    compile_expr,
-    contains_aggregate,
-)
+from repro.sql.expr import Scope
 from repro.sql.result import ResultSet
-from repro.sql.sqlxml import xml_agg
-
-Env = dict
-
-#: Rows pulled from base tables / table functions before filtering.  The
-#: count accumulates in a local and is flushed once per scan (in a
-#: ``finally``), so the per-row cost is a plain integer increment.
-_ROWS_SCANNED = get_registry().counter("sql.rows_scanned")
 
 
-class _Top:
-    """Sorts after every real value: pads composite-index range bounds.
+def function_registry(db: Database) -> dict:
+    """Scalar functions visible to queries: builtins + UDFs + current_date."""
+    from repro.sql.functions import BUILTIN_FUNCTIONS
 
-    A bound ``(2,)`` compares *less* than key ``(2, x)`` under tuple
-    ordering, so an inclusive high bound on an index prefix must be padded
-    to ``(2, _TOP)`` to admit all keys sharing the prefix.
-    """
-
-    __slots__ = ()
-
-    def __lt__(self, other) -> bool:
-        return False
-
-    def __gt__(self, other) -> bool:
-        return other is not self
-
-    def __le__(self, other) -> bool:
-        return other is self
-
-    def __ge__(self, other) -> bool:
-        return True
-
-    def __eq__(self, other) -> bool:
-        return other is self
-
-    def __hash__(self) -> int:
-        return 0x70FF
+    registry = dict(BUILTIN_FUNCTIONS)
+    registry["current_date"] = lambda: db.current_date
+    registry.update(db._functions)
+    return registry
 
 
-_TOP = _Top()
-
-
-# -- helpers over expressions -----------------------------------------------
-
-
-def split_conjuncts(node: object) -> list:
-    if isinstance(node, ast.BinaryOp) and node.op == "and":
-        return split_conjuncts(node.left) + split_conjuncts(node.right)
-    return [node] if node is not None else []
-
-
-def referenced_aliases(node: object, scope: Scope) -> set[str]:
-    out: set[str] = set()
-
-    def walk(n: object) -> None:
-        if isinstance(n, ast.ColumnRef):
-            out.add(scope.resolve(n)[0])
-        elif isinstance(n, ast.BinaryOp):
-            walk(n.left)
-            walk(n.right)
-        elif isinstance(n, ast.UnaryOp):
-            walk(n.operand)
-        elif isinstance(n, (ast.InList,)):
-            walk(n.operand)
-            for item in n.items:
-                walk(item)
-        elif isinstance(n, ast.Between):
-            walk(n.operand)
-            walk(n.low)
-            walk(n.high)
-        elif isinstance(n, (ast.IsNull, ast.LikeOp)):
-            walk(n.operand)
-            if isinstance(n, ast.LikeOp):
-                walk(n.pattern)
-        elif isinstance(n, ast.FunctionCall):
-            for arg in n.args:
-                walk(arg)
-        elif isinstance(n, ast.XmlElementExpr):
-            for attr in n.attributes:
-                walk(attr.value)
-            for content in n.content:
-                walk(content)
-        elif isinstance(n, ast.XmlAggExpr):
-            walk(n.operand)
-        elif isinstance(n, ast.CaseExpr):
-            for condition, result in n.whens:
-                walk(condition)
-                walk(result)
-            if n.else_result is not None:
-                walk(n.else_result)
-        elif isinstance(n, ast.InSubquery):
-            # the subquery itself is uncorrelated; only the operand can
-            # reference outer aliases
-            walk(n.operand)
-
-    walk(node)
-    return out
-
-
-def _is_constant(node: object) -> bool:
-    return isinstance(node, (ast.Literal, ast.DateLiteral, ast.Param))
-
-
-def _equi_join_sides(node: object, scope: Scope):
-    """For ``a.x = b.y`` return ((alias_a, col), (alias_b, col)), else None."""
-    if (
-        isinstance(node, ast.BinaryOp)
-        and node.op == "="
-        and isinstance(node.left, ast.ColumnRef)
-        and isinstance(node.right, ast.ColumnRef)
-    ):
-        left = scope.resolve(node.left)
-        right = scope.resolve(node.right)
-        if left[0] != right[0]:
-            return left, right
-    return None
-
-
-# -- access paths -----------------------------------------------------------------
-
-
-@dataclass
-class IndexAccess:
-    """An index range scan choice for one table source."""
-
-    index_name: str
-    eq_columns: list[str]
-    eq_values: list[CompiledExpr]
-    range_column: str | None = None
-    low: CompiledExpr | None = None
-    low_inclusive: bool = True
-    high: CompiledExpr | None = None
-    high_inclusive: bool = True
-
-
-class SourcePlan:
-    """Scan of one FROM source with its single-table filters applied."""
-
-    def __init__(
-        self,
-        ref,
-        filters: list[CompiledExpr],
-        index_access: IndexAccess | None,
-        scope: Scope,
-    ) -> None:
-        self.ref = ref
-        self.filters = filters
-        self.index_access = index_access
-        self.alias = ref.alias
-        self.columns = scope.columns_by_alias[ref.alias]
-
-    def rows(self, db: Database, params: Mapping) -> Iterator[Env]:
-        if isinstance(self.ref, ast.TableFunctionRef):
-            yield from self._table_function_rows(db, params)
-            return
-        table = db.table(self.ref.name)
-        if self.index_access is not None:
-            rows = self._index_rows(table, params)
+def source_scope(db: Database, sources) -> Scope:
+    columns_by_alias: dict[str, list[str]] = {}
+    for ref in sources:
+        if ref.alias in columns_by_alias:
+            raise SqlPlanError(f"duplicate alias {ref.alias!r}")
+        if isinstance(ref, ast.TableRef):
+            table = db.table(ref.name)
+            columns_by_alias[ref.alias] = list(table.schema.column_names)
         else:
-            rows = (row for _, row in table.scan())
-        names = self.columns
-        alias = self.alias
-        scanned = 0
-        try:
-            for row in rows:
-                scanned += 1
-                env = {(alias, name): value for name, value in zip(names, row)}
-                if all(f(env, params) for f in self.filters):
-                    yield env
-        finally:
-            _ROWS_SCANNED.inc(scanned)
-
-    def _index_rows(self, table, params: Mapping):
-        access = self.index_access
-        prefix = tuple(v(None, params) for v in access.eq_values)
-        if access.range_column is not None:
-            low_val = (
-                access.low(None, params) if access.low is not None else None
-            )
-            high_val = (
-                access.high(None, params) if access.high is not None else None
-            )
-            if high_val is None and prefix:
-                # prefix-bounded from above only: emulate with prefix scan
-                for _, row in self._prefix_scan(table, prefix, params, access):
-                    yield row
-                return
-            # pad bounds so keys extending the bound tuple compare correctly
-            if low_val is None:
-                low_key = prefix or None
-            elif access.low_inclusive:
-                low_key = prefix + (low_val,)
-            else:
-                low_key = prefix + (low_val, _TOP)
-            if high_val is None:
-                high_key = None
-            elif access.high_inclusive:
-                high_key = prefix + (high_val, _TOP)
-            else:
-                high_key = prefix + (high_val,)
-            for _, row in table.index_scan(
-                access.index_name,
-                low_key,
-                high_key,
-                low_inclusive=True,
-                high_inclusive=False,
-            ):
-                yield row
-            return
-        if prefix:
-            for _, row in self._prefix_scan(table, prefix, params, access):
-                yield row
-            return
-        for _, row in table.index_scan(access.index_name):
-            yield row
-
-    @staticmethod
-    def _prefix_scan(table, prefix: tuple, params, access: IndexAccess):
-        info = table.indexes[access.index_name]
-        for key, rid in info.tree.prefix(prefix):
-            yield rid, table.read(rid)
-
-    def _table_function_rows(self, db: Database, params: Mapping):
-        fn = db.table_function(self.ref.function)
-        if fn is None:
-            raise SqlPlanError(
-                f"unknown table function {self.ref.function}()"
-            )
-        args = [
-            compile_expr(a, Scope({}), {})(None, params) for a in self.ref.args
-        ]
-        names = self.columns
-        alias = self.alias
-        scanned = 0
-        try:
-            for row in fn(*args):
-                scanned += 1
-                env = {(alias, name): value for name, value in zip(names, row)}
-                if all(f(env, params) for f in self.filters):
-                    yield env
-        finally:
-            _ROWS_SCANNED.inc(scanned)
-
-
-# -- aggregate machinery ----------------------------------------------------------------
-
-
-class _AggSpec:
-    """One aggregate occurrence, rewritten to a synthetic parameter."""
-
-    def __init__(self, placeholder: str, node, scope: Scope, functions) -> None:
-        self.placeholder = placeholder
-        self.node = node
-        if isinstance(node, ast.XmlAggExpr):
-            self.kind = "xmlagg"
-            self.operand = compile_expr(node.operand, scope, functions)
-            self.order_keys = [
-                (compile_expr(spec.expr, scope, functions), spec.descending)
-                for spec in node.order_by
-            ]
-        else:
-            self.kind = node.name
-            self.distinct = node.distinct
-            if len(node.args) == 1 and isinstance(node.args[0], ast.Star):
-                self.operand = None
-            elif len(node.args) == 1:
-                self.operand = compile_expr(node.args[0], scope, functions)
-            else:
+            if not ref.columns:
                 raise SqlPlanError(
-                    f"aggregate {node.name}() takes one argument"
+                    "table functions need an AS alias(col, ...) clause"
                 )
-
-    def finish(self, rows: list[Env], params: Mapping):
-        if self.kind == "xmlagg":
-            if self.order_keys:
-                def sort_key(env):
-                    return tuple(
-                        (-k(env, params) if desc else k(env, params))
-                        for k, desc in self.order_keys
-                    )
-                rows = sorted(rows, key=sort_key)
-            return xml_agg([self.operand(env, params) for env in rows])
-        if self.kind == "count":
-            if self.operand is None:
-                return len(rows)
-            values = [
-                v
-                for v in (self.operand(env, params) for env in rows)
-                if v is not None
-            ]
-            if self.distinct:
-                return len(set(values))
-            return len(values)
-        values = [
-            v
-            for v in (self.operand(env, params) for env in rows)
-            if v is not None
-        ]
-        if self.distinct:
-            values = list(dict.fromkeys(values))
-        if not values:
-            return None
-        if self.kind == "sum":
-            return sum(values)
-        if self.kind == "avg":
-            return sum(values) / len(values)
-        if self.kind == "min":
-            return min(values)
-        if self.kind == "max":
-            return max(values)
-        raise SqlPlanError(f"unknown aggregate {self.kind}")
-
-
-def _rewrite_aggregates(node, specs: list, scope: Scope, functions):
-    """Replace aggregate sub-expressions with synthetic Param nodes."""
-    if isinstance(node, ast.XmlAggExpr) or (
-        isinstance(node, ast.FunctionCall) and node.name in AGGREGATE_NAMES
-    ):
-        placeholder = f"__agg{len(specs)}"
-        specs.append(_AggSpec(placeholder, node, scope, functions))
-        return ast.Param(placeholder)
-    if isinstance(node, ast.BinaryOp):
-        return ast.BinaryOp(
-            node.op,
-            _rewrite_aggregates(node.left, specs, scope, functions),
-            _rewrite_aggregates(node.right, specs, scope, functions),
-        )
-    if isinstance(node, ast.UnaryOp):
-        return ast.UnaryOp(
-            node.op, _rewrite_aggregates(node.operand, specs, scope, functions)
-        )
-    if isinstance(node, ast.FunctionCall):
-        return ast.FunctionCall(
-            node.name,
-            tuple(
-                _rewrite_aggregates(a, specs, scope, functions)
-                for a in node.args
-            ),
-            node.distinct,
-        )
-    if isinstance(node, ast.XmlElementExpr):
-        return ast.XmlElementExpr(
-            node.tag,
-            tuple(
-                ast.XmlAttribute(
-                    _rewrite_aggregates(a.value, specs, scope, functions),
-                    a.name,
-                )
-                for a in node.attributes
-            ),
-            tuple(
-                _rewrite_aggregates(c, specs, scope, functions)
-                for c in node.content
-            ),
-        )
-    if isinstance(node, ast.CaseExpr):
-        return ast.CaseExpr(
-            tuple(
-                (
-                    _rewrite_aggregates(c, specs, scope, functions),
-                    _rewrite_aggregates(r, specs, scope, functions),
-                )
-                for c, r in node.whens
-            ),
-            _rewrite_aggregates(node.else_result, specs, scope, functions)
-            if node.else_result is not None
-            else None,
-        )
-    return node
-
-
-# -- the SELECT plan ---------------------------------------------------------------------------
+            columns_by_alias[ref.alias] = list(ref.columns)
+    return Scope(columns_by_alias, db)
 
 
 class SelectPlan:
+    """One planned SELECT: logical plan, optimized plan, physical tree."""
+
     def __init__(self, db: Database, select: ast.Select) -> None:
         self.db = db
         self.select = select
-        self.functions = self._function_registry()
-        self.scope = self._build_scope()
-        self._plan()
-
-    def _function_registry(self) -> dict:
-        from repro.sql.functions import BUILTIN_FUNCTIONS
-
-        registry = dict(BUILTIN_FUNCTIONS)
-        registry["current_date"] = lambda: self.db.current_date
-        registry.update(self.db._functions)
-        return registry
-
-    def _build_scope(self) -> Scope:
-        columns_by_alias: dict[str, list[str]] = {}
-        for ref in self.select.sources:
-            if ref.alias in columns_by_alias:
-                raise SqlPlanError(f"duplicate alias {ref.alias!r}")
-            if isinstance(ref, ast.TableRef):
-                table = self.db.table(ref.name)
-                columns_by_alias[ref.alias] = list(table.schema.column_names)
-            else:
-                if not ref.columns:
-                    raise SqlPlanError(
-                        "table functions need an AS alias(col, ...) clause"
-                    )
-                columns_by_alias[ref.alias] = list(ref.columns)
-        return Scope(columns_by_alias, self.db)
-
-    # -- planning ---------------------------------------------------------------
-
-    def _plan(self) -> None:
-        select = self.select
-        scope = self.scope
-        conjuncts = split_conjuncts(select.where)
-        per_alias: dict[str, list] = {ref.alias: [] for ref in select.sources}
-        self.equi_joins: list[tuple] = []
-        self.residual: list[CompiledExpr] = []
-        residual_nodes = []
-        for conjunct in conjuncts:
-            aliases = referenced_aliases(conjunct, scope)
-            if len(aliases) == 1:
-                per_alias[next(iter(aliases))].append(conjunct)
-            else:
-                sides = _equi_join_sides(conjunct, scope)
-                if sides is not None:
-                    self.equi_joins.append(sides)
-                else:
-                    residual_nodes.append(conjunct)
-        self.residual = [
-            compile_expr(n, scope, self.functions) for n in residual_nodes
-        ]
-        self.source_plans = []
-        for ref in select.sources:
-            self.source_plans.append(
-                self._plan_source(ref, per_alias[ref.alias])
-            )
-        # select items
-        self.is_aggregate = bool(select.group_by) or any(
-            contains_aggregate(item.expr) for item in select.items
+        self.functions = function_registry(db)
+        self.scope = source_scope(db, select.sources)
+        self.logical = build_logical(select, self.scope)
+        self.rule_firings: tuple[RuleFiring, ...] = ()
+        if getattr(db, "optimizer_enabled", True):
+            ctx = PlanContext(db, self.scope, self.functions)
+            self.optimized, self.rule_firings = run_rules(self.logical, ctx)
+        else:
+            self.optimized = self.logical
+        self.physical = compile_plan(
+            self.optimized, ExecContext(db, self.scope, self.functions)
         )
-        self.agg_specs: list[_AggSpec] = []
-        self.item_exprs: list[CompiledExpr] = []
-        self.item_names: list[str] = []
-        star_items = [
-            item for item in select.items if isinstance(item.expr, ast.Star)
+        from repro.plan.nodes import output_node
+
+        self.item_names = [
+            item.name for item in output_node(self.optimized).items
         ]
-        if star_items and not self.is_aggregate:
-            for item in select.items:
-                if isinstance(item.expr, ast.Star):
-                    aliases = (
-                        [item.expr.table]
-                        if item.expr.table
-                        else [ref.alias for ref in select.sources]
-                    )
-                    for alias in aliases:
-                        for column in scope.columns_by_alias[alias]:
-                            key = (alias, column)
-                            self.item_exprs.append(
-                                lambda env, params, key=key: env.get(key)
-                            )
-                            self.item_names.append(column)
-                else:
-                    self._add_item(item)
-        else:
-            for index, item in enumerate(select.items):
-                self._add_item(item, index)
-        # group keys
-        self.group_keys = [
-            compile_expr(g, scope, self.functions) for g in select.group_by
-        ]
-        # order by
-        self.order_keys = []
-        for spec in select.order_by:
-            rewritten = (
-                _rewrite_aggregates(
-                    spec.expr, self.agg_specs, scope, self.functions
-                )
-                if self.is_aggregate
-                else spec.expr
-            )
-            self.order_keys.append(
-                (compile_expr(rewritten, scope, self.functions), spec.descending)
-            )
-
-    def _add_item(self, item: ast.SelectItem, index: int = 0) -> None:
-        expr = item.expr
-        if isinstance(expr, ast.Star):
-            raise SqlPlanError("SELECT * cannot be mixed with aggregation")
-        if self.is_aggregate:
-            expr = _rewrite_aggregates(
-                expr, self.agg_specs, self.scope, self.functions
-            )
-        self.item_exprs.append(compile_expr(expr, self.scope, self.functions))
-        if item.alias:
-            self.item_names.append(item.alias)
-        elif isinstance(item.expr, ast.ColumnRef):
-            self.item_names.append(item.expr.column)
-        else:
-            self.item_names.append(f"col{index + 1}")
-
-    def _plan_source(self, ref, conjuncts: list) -> SourcePlan:
-        scope = self.scope
-        index_access = None
-        remaining = list(conjuncts)
-        if isinstance(ref, ast.TableRef):
-            index_access, remaining = self._choose_index(ref, conjuncts)
-        filters = [
-            compile_expr(n, scope, self.functions) for n in remaining
-        ]
-        return SourcePlan(ref, filters, index_access, scope)
-
-    def _choose_index(self, ref: ast.TableRef, conjuncts: list):
-        table = self.db.table(ref.name)
-        if not table.indexes:
-            return None, conjuncts
-        eq: dict[str, object] = {}
-        ranges: dict[str, dict] = {}
-        used: dict[str, object] = {}
-        for conjunct in conjuncts:
-            bound = self._indexable(ref.alias, conjunct)
-            if bound is None:
-                continue
-            column, op, value_node = bound
-            if op == "=":
-                eq.setdefault(column, (conjunct, value_node))
-            else:
-                slot = ranges.setdefault(column, {})
-                slot.setdefault(op, (conjunct, value_node))
-        best = None
-        for info in table.indexes.values():
-            eq_cols: list[str] = []
-            position = 0
-            while position < len(info.columns) and info.columns[position] in eq:
-                eq_cols.append(info.columns[position])
-                position += 1
-            range_col = None
-            if position < len(info.columns) and info.columns[position] in ranges:
-                range_col = info.columns[position]
-            score = len(eq_cols) * 2 + (1 if range_col else 0)
-            if score == 0:
-                continue
-            if best is None or score > best[0]:
-                best = (score, info, eq_cols, range_col)
-        if best is None:
-            return None, conjuncts
-        _, info, eq_cols, range_col = best
-        consumed = set()
-        eq_values = []
-        for column in eq_cols:
-            conjunct, value_node = eq[column]
-            consumed.add(id(conjunct))
-            eq_values.append(
-                compile_expr(value_node, Scope({}), self.functions)
-            )
-        access = IndexAccess(info.name, eq_cols, eq_values)
-        if range_col is not None:
-            access.range_column = range_col
-            slot = ranges[range_col]
-            low_done = high_done = False
-            for op, (conjunct, value_node) in slot.items():
-                # use at most one bound per direction for the scan, but
-                # keep every range conjunct as a residual filter: NULL
-                # keys sort below all values in the index, so a scan
-                # unbounded from below would otherwise admit NULL rows
-                if op in (">", ">=") and not low_done:
-                    access.low = compile_expr(
-                        value_node, Scope({}), self.functions
-                    )
-                    access.low_inclusive = op == ">="
-                    low_done = True
-                elif op in ("<", "<=") and not high_done:
-                    access.high = compile_expr(
-                        value_node, Scope({}), self.functions
-                    )
-                    access.high_inclusive = op == "<="
-                    high_done = True
-        remaining = [c for c in conjuncts if id(c) not in consumed]
-        return access, remaining
-
-    def _indexable(self, alias: str, conjunct):
-        """Match ``alias.col OP constant`` (either side)."""
-        if isinstance(conjunct, ast.Between):
-            if isinstance(conjunct.operand, ast.ColumnRef) and not conjunct.negated:
-                owner, column = self.scope.resolve(conjunct.operand)
-                if (
-                    owner == alias
-                    and _is_constant(conjunct.low)
-                    and _is_constant(conjunct.high)
-                ):
-                    # model BETWEEN as two range conjuncts by splitting;
-                    # handled by caller as >= and <= would be.  Return None
-                    # here and let the filter handle it (kept simple).
-                    return None
-            return None
-        if not isinstance(conjunct, ast.BinaryOp):
-            return None
-        op = conjunct.op
-        if op not in ("=", "<", "<=", ">", ">="):
-            return None
-        left, right = conjunct.left, conjunct.right
-        if isinstance(left, ast.ColumnRef) and _is_constant(right):
-            owner, column = self.scope.resolve(left)
-            if owner == alias:
-                return column, op, right
-        if isinstance(right, ast.ColumnRef) and _is_constant(left):
-            owner, column = self.scope.resolve(right)
-            if owner == alias:
-                flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
-                return column, flipped, left
-        return None
-
-    # -- execution -------------------------------------------------------------------
 
     def execute(self, params: Mapping | None = None) -> ResultSet:
         params = dict(params or {})
-        rows = self._joined_rows(params)
-        for residual in self.residual:
-            rows = (env for env in rows if residual(env, params))
-        if self.is_aggregate:
-            out_rows = self._aggregate(rows, params)
-        else:
-            out_rows = [
-                tuple(item(env, params) for item in self.item_exprs)
-                for env in self._ordered(rows, params)
-            ]
-        if self.select.distinct:
-            seen = set()
-            unique = []
-            for row in out_rows:
-                key = tuple(
-                    str(v) if not isinstance(v, (int, float, str, type(None))) else v
-                    for v in row
-                )
-                if key not in seen:
-                    seen.add(key)
-                    unique.append(row)
-            out_rows = unique
-        if self.select.limit is not None:
-            out_rows = out_rows[: self.select.limit]
-        return ResultSet(list(self.item_names), out_rows)
+        return ResultSet(list(self.item_names), list(self.physical.rows(params)))
 
-    def _ordered(self, rows, params):
-        if not self.order_keys:
-            return rows
-        materialized = list(rows)
-        for key, descending in reversed(self.order_keys):
-            materialized.sort(
-                key=lambda env: _null_safe_key(key(env, params)),
-                reverse=descending,
-            )
-        return materialized
+    def report(self):
+        """Plan stages rendered for EXPLAIN / the ``plan`` CLI command."""
+        from repro.obs.explain import PlanReport
 
-    def _joined_rows(self, params: Mapping) -> Iterator[Env]:
-        plans = self.source_plans
-        bound_aliases = {plans[0].alias}
-        stream = plans[0].rows(self.db, params)
-        for plan in plans[1:]:
-            join_pairs = []
-            for left, right in self.equi_joins:
-                if left[0] in bound_aliases and right[0] == plan.alias:
-                    join_pairs.append((left, right))
-                elif right[0] in bound_aliases and left[0] == plan.alias:
-                    join_pairs.append((right, left))
-            if join_pairs:
-                stream = self._hash_join(stream, plan, join_pairs, params)
-            else:
-                stream = self._nested_loop(stream, plan, params)
-            bound_aliases.add(plan.alias)
-        # any equi-joins between already-bound aliases that were not used as
-        # hash keys (e.g. three-way cycles) apply as filters
-        unused = []
-        for left, right in self.equi_joins:
-            unused.append((left, right))
-        def final_filter(env):
-            for left, right in unused:
-                if left in env and right in env:
-                    if env[left] != env[right]:
-                        return False
-            return True
-        return (env for env in stream if final_filter(env))
-
-    def _hash_join(self, stream, plan: SourcePlan, join_pairs, params):
-        build: dict[tuple, list[Env]] = {}
-        right_keys = [pair[1] for pair in join_pairs]
-        left_keys = [pair[0] for pair in join_pairs]
-        for env in plan.rows(self.db, params):
-            key = tuple(env.get(k) for k in right_keys)
-            if None in key:
-                continue
-            build.setdefault(key, []).append(env)
-        for env in stream:
-            key = tuple(env.get(k) for k in left_keys)
-            for match in build.get(key, ()):  # inner join
-                merged = dict(env)
-                merged.update(match)
-                yield merged
-
-    def _nested_loop(self, stream, plan: SourcePlan, params):
-        inner = list(plan.rows(self.db, params))
-        for env in stream:
-            for match in inner:
-                merged = dict(env)
-                merged.update(match)
-                yield merged
-
-    def _aggregate(self, rows, params: Mapping) -> list[tuple]:
-        groups: dict[tuple, list[Env]] = {}
-        representative: dict[tuple, Env] = {}
-        for env in rows:
-            key = tuple(k(env, params) for k in self.group_keys)
-            groups.setdefault(key, []).append(env)
-            representative.setdefault(key, env)
-        if not groups and not self.group_keys:
-            groups[()] = []
-            representative[()] = {}
-        ordered_groups = list(groups.items())
-        out = []
-        for key, members in ordered_groups:
-            env = representative[key]
-            agg_params = dict(params)
-            for spec in self.agg_specs:
-                agg_params[spec.placeholder] = spec.finish(members, params)
-            row = tuple(item(env, agg_params) for item in self.item_exprs)
-            order_key = tuple(
-                _null_safe_key(k(env, agg_params)) for k, _ in self.order_keys
-            )
-            out.append((order_key, row))
-        if self.order_keys:
-            descending = [d for _, d in self.order_keys]
-            # sort per key direction (stable, last key first)
-            for index in reversed(range(len(descending))):
-                out.sort(key=lambda pair: pair[0][index], reverse=descending[index])
-        return [row for _, row in out]
+        return PlanReport(
+            logical=render_plan(self.logical),
+            optimized=render_plan(self.optimized),
+            physical=render_physical(self.physical),
+            rules=[f"{f.rule}: {f.detail}" for f in self.rule_firings],
+        )
 
 
-def _null_safe_key(value):
-    if value is None:
-        return (0, 0)
-    if isinstance(value, (int, float)) and not isinstance(value, bool):
-        return (1, value)
-    return (2, str(value))
+class DmlMatchPlan:
+    """Plans the row-matching half of UPDATE/DELETE over one table.
+
+    Reuses the same build/optimize/compile pipeline as SELECT (so a keyed
+    UPDATE hits an index instead of scanning the heap) but pulls
+    ``(rid, env)`` pairs, which only leaf scans and Filters can produce —
+    guaranteed here because the statement has exactly one source and no
+    output stage is compiled.
+    """
+
+    def __init__(self, db: Database, table_name: str, where) -> None:
+        self.db = db
+        self.table_name = table_name
+        self.functions = function_registry(db)
+        ref = ast.TableRef(table_name, table_name)
+        self.scope = source_scope(db, (ref,))
+        from repro.plan import nodes, split_conjuncts
+
+        plan = nodes.Scan(table_name, table_name)
+        conjuncts = tuple(split_conjuncts(where))
+        if conjuncts:
+            plan = nodes.Filter(plan, conjuncts)
+        if getattr(db, "optimizer_enabled", True):
+            ctx = PlanContext(db, self.scope, self.functions)
+            plan, _ = run_rules(plan, ctx)
+        self._physical = compile_plan(
+            plan, ExecContext(db, self.scope, self.functions)
+        )
+
+    def matches(self, params: Mapping):
+        """Yield ``(rid, env)`` for every row the WHERE clause selects."""
+        yield from self._physical.rid_rows(params)

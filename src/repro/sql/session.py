@@ -13,7 +13,7 @@ from repro.rdb.types import ColumnType
 from repro.sql import ast
 from repro.sql.expr import Scope, compile_expr
 from repro.sql.parser import parse_sql
-from repro.sql.planner import SelectPlan
+from repro.sql.planner import DmlMatchPlan, SelectPlan, function_registry
 from repro.sql.result import ResultSet
 
 _STATEMENTS = get_registry().counter("sql.statements")
@@ -59,7 +59,9 @@ def execute_sql(db: Database, text: str, params: Mapping | None = None):
 
 def _dispatch(db: Database, statement, params: dict):
     if isinstance(statement, ast.Select):
-        return SelectPlan(db, statement).execute(params)
+        plan = SelectPlan(db, statement)
+        db.last_plan = plan
+        return plan.execute(params)
     if isinstance(statement, ast.Insert):
         return _execute_insert(db, statement, params)
     if isinstance(statement, ast.InsertSelect):
@@ -92,12 +94,7 @@ def _execute_create_table(db: Database, statement: ast.CreateTable) -> int:
 
 
 def _scalar_functions(db: Database) -> dict:
-    from repro.sql.functions import BUILTIN_FUNCTIONS
-
-    registry = dict(BUILTIN_FUNCTIONS)
-    registry["current_date"] = lambda: db.current_date
-    registry.update(db._functions)
-    return registry
+    return function_registry(db)
 
 
 def _execute_insert(db: Database, statement: ast.Insert, params) -> int:
@@ -140,55 +137,28 @@ def _execute_insert_select(db: Database, statement: ast.InsertSelect, params) ->
     return count
 
 
-def _single_table_scope(db: Database, table_name: str) -> Scope:
-    table = db.table(table_name)
-    return Scope({table_name: list(table.schema.column_names)}, db)
-
-
 def _execute_update(db: Database, statement: ast.Update, params) -> int:
     table = db.table(statement.table)
-    scope = _single_table_scope(db, statement.table)
-    functions = _scalar_functions(db)
-    where = (
-        compile_expr(statement.where, scope, functions)
-        if statement.where is not None
-        else None
-    )
+    plan = DmlMatchPlan(db, statement.table, statement.where)
     assignments = [
-        (column, compile_expr(expr, scope, functions))
+        (column, compile_expr(expr, plan.scope, plan.functions))
         for column, expr in statement.assignments
     ]
-    names = table.schema.column_names
+    schema = table.schema
     alias = statement.table
-    victims = []
-    for rid, row in table.scan():
-        env = {(alias, n): v for n, v in zip(names, row)}
-        if where is None or where(env, params):
-            victims.append((rid, row, env))
-    for rid, row, env in victims:
-        new_row = list(row)
+    victims = list(plan.matches(params))
+    for rid, env in victims:
+        new_row = [env[(alias, name)] for name in schema.column_names]
         for column, value_fn in assignments:
-            new_row[table.schema.position(column)] = value_fn(env, params)
+            new_row[schema.position(column)] = value_fn(env, params)
         table.update_rid(rid, tuple(new_row))
     return len(victims)
 
 
 def _execute_delete(db: Database, statement: ast.Delete, params) -> int:
     table = db.table(statement.table)
-    scope = _single_table_scope(db, statement.table)
-    functions = _scalar_functions(db)
-    where = (
-        compile_expr(statement.where, scope, functions)
-        if statement.where is not None
-        else None
-    )
-    names = table.schema.column_names
-    alias = statement.table
-    victims = []
-    for rid, row in table.scan():
-        env = {(alias, n): v for n, v in zip(names, row)}
-        if where is None or where(env, params):
-            victims.append(rid)
+    plan = DmlMatchPlan(db, statement.table, statement.where)
+    victims = [rid for rid, _ in plan.matches(params)]
     for rid in victims:
         table.delete_rid(rid)
     return len(victims)

@@ -5,6 +5,7 @@ Self-contained commands over a generated employee history:
     python -m repro.tools generate --employees 50 --years 17 -o hdoc.xml
     python -m repro.tools query "for \\$e in doc(\\"employees.xml\\")..."
     python -m repro.tools sql "for ..."          # show the SQL/XML only
+    python -m repro.tools plan "select ..."      # show the optimizer's plans
     python -m repro.tools bench                  # quick Table 3 comparison
 
 All commands build a deterministic dataset in memory (same seed ⇒ same
@@ -90,6 +91,34 @@ def cmd_sql(args) -> int:
     if query == "-":
         query = sys.stdin.read()
     print(setup.archis.translate(query))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """Show the three plan stages (logical / optimized / physical) of a
+    query.  Accepts SQL directly, or an XQuery which is translated first."""
+    from repro.plan.render import to_sql
+    from repro.sql import parse_sql
+    from repro.sql import ast as sql_ast
+    from repro.sql.planner import SelectPlan
+
+    setup = _build(args)
+    query = args.query
+    if query == "-":
+        query = sys.stdin.read()
+    if query.lstrip().lower().startswith("select"):
+        sql_text = query
+    else:
+        translation = setup.archis.translation(query)
+        sql_text = translation.sql
+        print(f"sql: {sql_text}\n")
+    statement = parse_sql(sql_text)
+    if not isinstance(statement, sql_ast.Select):
+        print("plan: only SELECT statements have plans", file=sys.stderr)
+        return 1
+    plan = SelectPlan(setup.archis.db, statement)
+    print(plan.report().format())
+    print(f"\noptimized sql: {to_sql(plan.optimized)}")
     return 0
 
 
@@ -264,6 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_args(sql)
     sql.add_argument("xquery")
     sql.set_defaults(fn=cmd_sql)
+
+    plan = commands.add_parser(
+        "plan",
+        help="show the logical/optimized/physical plan of a SQL or XQuery",
+    )
+    _add_dataset_args(plan)
+    plan.add_argument("query", help="SQL or XQuery text, or '-' for stdin")
+    plan.set_defaults(fn=cmd_plan)
 
     bench = commands.add_parser(
         "bench", help="run the Table 3 comparison at a small scale"

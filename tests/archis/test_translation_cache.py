@@ -1,0 +1,88 @@
+"""The XQuery → Translation LRU cache on :class:`ArchIS`.
+
+Repeat translations must hit the cache, clustering/compression changes
+must invalidate it (the optimized SQL embeds segment numbers), and the
+cache must stay bounded.
+"""
+
+import pytest
+
+from repro.archis.system import _TRANSLATION_CACHE_SIZE
+from repro.obs import get_registry
+
+from tests.archis.conftest import load_bob_history, make_archis
+
+QUERY = (
+    'for $s in doc("employees.xml")/employees/employee/salary '
+    "return $s"
+)
+
+
+def counters():
+    registry = get_registry()
+    return (
+        registry.counter("translator.cache_hits"),
+        registry.counter("translator.cache_misses"),
+    )
+
+
+class TestTranslationCache:
+    def test_repeat_translation_hits_the_cache(self, archis):
+        load_bob_history(archis)
+        hits, misses = counters()
+        first = archis.translate(QUERY)
+        misses_after_first = misses.value
+        hits_before = hits.value
+        second = archis.translate(QUERY)
+        assert second == first
+        assert hits.value == hits_before + 1
+        assert misses.value == misses_after_first
+
+    def test_xquery_execution_uses_the_same_cache(self, archis):
+        load_bob_history(archis)
+        hits, _ = counters()
+        archis.xquery(QUERY, allow_fallback=False)
+        hits_before = hits.value
+        archis.xquery(QUERY, allow_fallback=False)
+        assert hits.value > hits_before
+
+    def test_stats_expose_cache_metrics(self, archis):
+        load_bob_history(archis)
+        archis.translate(QUERY)
+        stats = archis.stats()["translator"]
+        assert stats["cache_size"] >= 1
+        assert stats["cache_misses"] >= 1
+
+    def test_freeze_invalidates_cached_translations(self):
+        archis = make_archis(umin=0.4, min_segment_rows=2)
+        load_bob_history(archis)
+        _, misses = counters()
+        archis.translate(QUERY)
+        before = misses.value
+        archis.segments.freeze()  # generation moves on
+        archis.translate(QUERY)
+        assert misses.value == before + 1
+
+    def test_compression_invalidates_cached_translations(self, archis):
+        load_bob_history(archis)
+        _, misses = counters()
+        archis.translate(QUERY)
+        before = misses.value
+        archis.compress_archive()
+        archis.translate(QUERY)
+        assert misses.value == before + 1
+
+    def test_cache_is_bounded(self, archis):
+        load_bob_history(archis)
+        for i in range(_TRANSLATION_CACHE_SIZE + 10):
+            archis.translation(
+                'for $s in doc("employees.xml")/employees/employee'
+                f'[id="{i}"]/salary return $s'
+            )
+        assert len(archis._translation_cache) <= _TRANSLATION_CACHE_SIZE
+
+    def test_reset_caches_clears_the_cache(self, archis):
+        load_bob_history(archis)
+        archis.translate(QUERY)
+        archis.reset_caches()
+        assert len(archis._translation_cache) == 0

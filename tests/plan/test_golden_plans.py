@@ -1,0 +1,133 @@
+"""Golden-plan snapshots: the rendered output of representative plans.
+
+These pin the EXPLAIN format (``SelectPlan.report().format()``) and the
+optimized-SQL rendering so plan regressions show up as a readable diff.
+Run by ``scripts/check.sh``.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.plan.render import to_sql
+from repro.rdb import Database
+from repro.sql import parse_sql
+from repro.sql.planner import SelectPlan
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.sql(
+        "CREATE TABLE employee (id INT, name VARCHAR, salary INT, deptno INT)"
+    )
+    database.sql("CREATE TABLE dept (deptno INT, dname VARCHAR)")
+    database.sql("CREATE INDEX emp_dept ON employee (deptno, salary)")
+    return database
+
+
+def report_of(db, sql):
+    plan = SelectPlan(db, parse_sql(sql))
+    return plan, plan.report().format()
+
+
+def golden(text):
+    return textwrap.dedent(text).strip("\n")
+
+
+class TestGoldenPlans:
+    def test_fold_and_pushdown(self, db):
+        plan, report = report_of(
+            db,
+            "SELECT e.name FROM employee AS e WHERE e.salary > 2 * 30000 "
+            "ORDER BY e.name",
+        )
+        assert report == golden(
+            """
+            rules:
+              constant-folding: folded 1 constant expression(s)
+              predicate-pushdown: 1 predicate(s) into e
+            logical plan:
+              Project [e.name]
+                Sort [e.name]
+                  Filter [e.salary > 2 * 30000]
+                    Scan employee AS e
+            optimized plan:
+              Project [e.name]
+                Sort [e.name]
+                  Scan employee AS e [e.salary > 60000]
+            physical plan:
+              Project
+                Sort
+                  SeqScan employee AS e
+            """
+        )
+        assert to_sql(plan.optimized) == (
+            "SELECT e.name FROM employee AS e WHERE e.salary > 60000 "
+            "ORDER BY e.name"
+        )
+
+    def test_index_and_hash_join(self, db):
+        plan, report = report_of(
+            db,
+            "SELECT e.name, d.dname FROM employee AS e, dept AS d "
+            "WHERE e.deptno = d.deptno AND e.deptno = 7 "
+            "AND e.salary >= 50000",
+        )
+        assert report == golden(
+            """
+            rules:
+              predicate-pushdown: 2 predicate(s) into e
+              index-selection: e: employee via index emp_dept
+              join-selection: hash join on e.deptno = d.deptno
+            logical plan:
+              Project [e.name, d.dname]
+                Filter [e.deptno = d.deptno AND e.deptno = 7 AND e.salary >= 50000]
+                  Join [nested]
+                    Scan employee AS e
+                    Scan dept AS d
+            optimized plan:
+              Project [e.name, d.dname]
+                Join [hash] on e.deptno = d.deptno
+                  IndexScan employee AS e using emp_dept eq [deptno = 7] range salary in [50000, +inf] [e.salary >= 50000]
+                  Scan dept AS d
+            physical plan:
+              Project
+                HashJoin on e.deptno = d.deptno
+                  IndexScan employee AS e using emp_dept
+                  SeqScan dept AS d
+            """
+        )
+
+    def test_aggregate_plan_unchanged(self, db):
+        plan, report = report_of(
+            db, "SELECT count(*), e.deptno FROM employee AS e GROUP BY e.deptno"
+        )
+        assert report == golden(
+            """
+            rules:
+              (none fired)
+            logical plan:
+              Aggregate [count(*), e.deptno] group by [e.deptno]
+                Scan employee AS e
+            optimized plan:
+              Aggregate [count(*), e.deptno] group by [e.deptno]
+                Scan employee AS e
+            physical plan:
+              Aggregate
+                SeqScan employee AS e
+            """
+        )
+        assert to_sql(plan.optimized) == (
+            "SELECT count(*), e.deptno FROM employee AS e GROUP BY e.deptno"
+        )
+
+    def test_optimized_sql_reparses_to_the_same_plan(self, db):
+        """to_sql output is valid SQL that plans back to the same shape."""
+        sql = (
+            "SELECT e.name FROM employee AS e, dept AS d "
+            "WHERE e.deptno = d.deptno AND e.salary > 10 + 20"
+        )
+        first = SelectPlan(db, parse_sql(sql))
+        second = SelectPlan(db, parse_sql(to_sql(first.optimized)))
+        assert to_sql(second.optimized) == to_sql(first.optimized)

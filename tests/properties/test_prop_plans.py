@@ -1,0 +1,107 @@
+"""Property test: the optimizer never changes a query's answer.
+
+For random tables, indexes and WHERE clauses, the optimized plan (index
+scans, hash joins, folded constants) must return exactly the rows the
+naive logical plan returns.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdb import Database
+
+COLUMNS = ["a", "b", "c"]
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 20),
+        st.integers(0, 20),
+        st.one_of(st.none(), st.integers(0, 20)),
+    ),
+    max_size=40,
+)
+
+predicate_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(COLUMNS),
+        st.sampled_from(["=", "<", "<=", ">", ">=", "<>"]),
+        st.integers(0, 20),
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+index_strategy = st.sampled_from(
+    [None, ("a",), ("b",), ("a", "b"), ("b", "c")]
+)
+
+
+def build_db(rows, index_columns):
+    db = Database()
+    db.sql("CREATE TABLE t (a INT, b INT, c INT)")
+    table = db.table("t")
+    for row in rows:
+        table.insert(row)
+    if index_columns is not None:
+        table.create_index("t_ix", index_columns)
+    return db
+
+
+def where_clause(predicates):
+    if not predicates:
+        return ""
+    conjuncts = [f"{col} {op} {value}" for col, op, value in predicates]
+    return " WHERE " + " AND ".join(conjuncts)
+
+
+def run_both(db, sql):
+    optimized = sorted(db.sql(sql).rows, key=repr)
+    db.optimizer_enabled = False
+    try:
+        naive = sorted(db.sql(sql).rows, key=repr)
+    finally:
+        db.optimizer_enabled = True
+    return optimized, naive
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=rows_strategy, predicates=predicate_strategy, index=index_strategy)
+def test_single_table_select_equivalence(rows, predicates, index):
+    db = build_db(rows, index)
+    sql = f"SELECT a, b, c FROM t{where_clause(predicates)}"
+    optimized, naive = run_both(db, sql)
+    assert optimized == naive
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    left=rows_strategy,
+    right=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=20
+    ),
+    predicates=predicate_strategy,
+    index=index_strategy,
+)
+def test_join_equivalence(left, right, predicates, index):
+    db = build_db(left, index)
+    db.sql("CREATE TABLE s (x INT, y INT)")
+    table = db.table("s")
+    for row in right:
+        table.insert(row)
+    conjuncts = [f"t.{col} {op} {value}" for col, op, value in predicates]
+    where = " AND ".join(["t.a = s.x", *conjuncts])
+    sql = f"SELECT t.a, t.b, s.y FROM t, s WHERE {where}"
+    optimized, naive = run_both(db, sql)
+    assert optimized == naive
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=rows_strategy,
+    value=st.integers(-5, 25),
+    factor=st.integers(0, 4),
+)
+def test_constant_folding_equivalence(rows, value, factor):
+    db = build_db(rows, None)
+    sql = f"SELECT a FROM t WHERE a >= {value} - {factor} * 2"
+    optimized, naive = run_both(db, sql)
+    assert optimized == naive
