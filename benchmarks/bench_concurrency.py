@@ -1,0 +1,163 @@
+"""Concurrent-access benchmark: throughput and latency vs client count.
+
+Measures the multi-session server end to end — real sockets, the JSON
+protocol, MVCC transactions, and the group-commit WAL — at 1, 4 and 16
+clients, with group commit on and off.  Each client commits on its own
+table so lock sets are disjoint and commits can overlap (the group
+commit scenario; same-table writers serialize on the table lock and
+cannot batch by design).
+
+Emits ``BENCH_concurrency.json`` next to this file: one record per
+(clients, group_commit) cell with commit throughput, p50/p99 latency
+and the WAL fsync counters.
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.obs import get_registry
+from repro.rdb import ColumnType, Database
+from repro.server import Client, Server
+from repro.txn import TxnManager
+
+CLIENT_COUNTS = (1, 4, 16)
+TXNS_PER_CLIENT = 25
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_concurrency.json")
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def run_cell(tmp, clients, group_commit):
+    """One benchmark cell; returns its result record."""
+    registry = get_registry()
+    path = os.path.join(tmp, f"bench_{clients}_{int(group_commit)}.db")
+    db = Database(path, group_commit=group_commit, group_window=0.002)
+    for index in range(clients):
+        db.create_table(
+            f"t{index}",
+            [("id", ColumnType.INT), ("v", ColumnType.INT)],
+            primary_key=("id",),
+        )
+    db.save()
+    manager = TxnManager(db)
+    fsyncs0 = registry.counter("wal.fsyncs").value
+    batched0 = registry.counter("wal.group_commit.batched").value
+
+    latencies = []
+    lat_lock = threading.Lock()
+    failures = []
+
+    with Server(manager, workers=max(4, clients)) as server:
+        host, port = server.address
+
+        def client_loop(index):
+            try:
+                with Client(host, port) as client:
+                    mine = []
+                    for step in range(TXNS_PER_CLIENT):
+                        started = time.perf_counter()
+                        client.begin()
+                        client.sql(
+                            f"INSERT INTO t{index} VALUES ({step}, {step})"
+                        )
+                        client.commit()
+                        mine.append(time.perf_counter() - started)
+                    with lat_lock:
+                        latencies.extend(mine)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,))
+            for i in range(clients)
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300.0)
+        wall = time.perf_counter() - wall_start
+
+    assert not failures, failures
+    total = clients * TXNS_PER_CLIENT
+    for index in range(clients):
+        count = db.sql(f"SELECT COUNT(*) FROM t{index}").scalar()
+        assert count == TXNS_PER_CLIENT, (index, count)
+    db.close()
+    return {
+        "clients": clients,
+        "group_commit": group_commit,
+        "transactions": total,
+        "throughput_tps": round(total / wall, 1),
+        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+        "wal_fsyncs": registry.counter("wal.fsyncs").value - fsyncs0,
+        "group_commit_batched": registry.counter(
+            "wal.group_commit.batched"
+        ).value
+        - batched0,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    records = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for group_commit in (True, False):
+            for clients in CLIENT_COUNTS:
+                records.append(run_cell(tmp, clients, group_commit))
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(records, handle, indent=2)
+    return records
+
+
+def test_concurrency_throughput_and_latency(results):
+    header = (
+        f"\n== server throughput / latency vs clients "
+        f"({TXNS_PER_CLIENT} txns per client) ==\n"
+        f"  {'clients':>7} {'group':>6} {'tps':>8} {'p50 ms':>8} "
+        f"{'p99 ms':>8} {'fsyncs':>7} {'batched':>8}"
+    )
+    lines = [header]
+    for record in results:
+        lines.append(
+            f"  {record['clients']:>7} "
+            f"{'on' if record['group_commit'] else 'off':>6} "
+            f"{record['throughput_tps']:>8} {record['p50_ms']:>8} "
+            f"{record['p99_ms']:>8} {record['wal_fsyncs']:>7} "
+            f"{record['group_commit_batched']:>8}"
+        )
+    lines.append(f"  -> {RESULTS_PATH}")
+    print("\n".join(lines))
+    assert len(results) == 2 * len(CLIENT_COUNTS)
+    for record in results:
+        assert record["throughput_tps"] > 0
+        assert record["p50_ms"] <= record["p99_ms"]
+
+
+def test_group_commit_batches_under_load(results):
+    """Shape: with 16 concurrent clients, group commit must batch —
+    fewer fsyncs than transactions — while the non-grouped runs never
+    batch at all."""
+    by_cell = {(r["clients"], r["group_commit"]): r for r in results}
+    grouped = by_cell[(max(CLIENT_COUNTS), True)]
+    assert grouped["group_commit_batched"] > 0
+    assert grouped["wal_fsyncs"] < grouped["transactions"]
+    for record in results:
+        if not record["group_commit"]:
+            assert record["group_commit_batched"] == 0
+
+
+def test_results_file_is_valid_json(results):
+    with open(RESULTS_PATH, encoding="utf-8") as handle:
+        on_disk = json.load(handle)
+    assert on_disk == results

@@ -47,3 +47,8 @@ if [ -n "$STRAY_WAL" ]; then
     exit 1
 fi
 echo "no stray .tmp or WAL files left behind"
+
+echo "== concurrency stress (bounded) =="
+# Snapshot-vs-replay consistency under concurrent clients, deadlock
+# breaking, group-commit batching — fails on leaked threads or sockets.
+PYTHONPATH=src timeout 120 python scripts/stress_concurrency.py --seconds 3

@@ -12,12 +12,17 @@ Public API (see README.md for a tour):
 - :class:`repro.dataset.EmployeeHistoryGenerator` — evaluation workload
 - :func:`repro.xquery.run_xquery` — standalone XQuery evaluation
 - :class:`repro.util.Interval` — the shared interval algebra
+- :class:`repro.txn.TxnManager` — MVCC snapshots + locked write txns
+- :class:`repro.server.Server` / :class:`repro.server.Client` — the
+  multi-session socket front end (``python -m repro.tools serve``)
 """
 
 from repro.archis import ArchIS
 from repro.dataset import EmployeeHistoryGenerator
 from repro.nativexml import NativeXmlDatabase
 from repro.rdb import ColumnType, Database
+from repro.server import Client, Server
+from repro.txn import Snapshot, Transaction, TxnManager
 from repro.util import FOREVER, Interval, format_date, parse_date
 from repro.xquery import run_xquery
 
@@ -27,10 +32,15 @@ __all__ = [
     "ArchIS",
     "EmployeeHistoryGenerator",
     "NativeXmlDatabase",
+    "Client",
     "ColumnType",
     "Database",
     "FOREVER",
     "Interval",
+    "Server",
+    "Snapshot",
+    "Transaction",
+    "TxnManager",
     "format_date",
     "parse_date",
     "run_xquery",

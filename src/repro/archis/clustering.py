@@ -73,6 +73,13 @@ class SegmentManager:
         self.stats = SegmentStats()
         self._tables: list[str] = []
         self.freeze_count = 0
+        #: optional callable returning the lowest day at which a future
+        #: archived change may still start (set by the transaction
+        #: manager: min over active transaction days and pending
+        #: update-log entries).  ``maybe_freeze`` defers while the
+        #: boundary it would draw is at or above that floor, so no row
+        #: can later land in a segment that does not cover its tstart.
+        self.freeze_floor = None
 
     @property
     def segmented(self) -> bool:
@@ -122,6 +129,16 @@ class SegmentManager:
             return False
         if when is not None and when <= self.last_change:
             return False
+        if self.freeze_floor is not None:
+            floor = self.freeze_floor()
+            if floor is not None and max(
+                self.last_change, self.live_start
+            ) >= floor:
+                # an in-flight transaction (or a committed-but-unapplied
+                # log entry) has a day at or below the boundary we would
+                # draw; freezing now would strand its rows in a segment
+                # whose period cannot cover them
+                return False
         self.freeze()
         return True
 

@@ -33,13 +33,9 @@ def sidecar_path(db_path: str) -> str:
     return db_path + ARCHIS_SUFFIX
 
 
-def save_archive(archis) -> str:
-    """Persist the database catalog plus the ArchIS metadata sidecar."""
-    if archis.db.pager.path is None:
-        raise StorageError("only file-backed archives can be saved")
-    archis.apply_pending()
-    save_catalog(archis.db, _defer_checkpoint=True)
-    payload = {
+def archive_payload(archis) -> dict:
+    """The archive metadata as JSON-ready data (shared by save/staging)."""
+    return {
         "version": SIDECAR_VERSION,
         "profile": archis.profile.name,
         "segments": {
@@ -75,8 +71,28 @@ def save_archive(archis) -> str:
             for info in archis.archive.compressed_tables.values()
         ],
     }
-    data = json.dumps(payload).encode("utf-8")
-    path = archis.db.pager.write_sidecar(ARCHIS_SUFFIX, data)
+
+
+def stage_archive(archis) -> str:
+    """Stage the archive sidecar in the WAL without checkpointing.
+
+    Used by the transaction layer's commit: the catalog, the archive
+    sidecar and the transaction's page writes are promoted together by
+    one COMMIT frame, so a crash replays all of them or none.
+    """
+    if archis.db.pager.path is None:
+        raise StorageError("only file-backed archives can be saved")
+    data = json.dumps(archive_payload(archis)).encode("utf-8")
+    return archis.db.pager.write_sidecar(ARCHIS_SUFFIX, data)
+
+
+def save_archive(archis) -> str:
+    """Persist the database catalog plus the ArchIS metadata sidecar."""
+    if archis.db.pager.path is None:
+        raise StorageError("only file-backed archives can be saved")
+    archis.apply_pending()
+    save_catalog(archis.db, _defer_checkpoint=True)
+    path = stage_archive(archis)
     archis.db.pager.checkpoint()
     return path
 

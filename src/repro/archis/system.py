@@ -16,6 +16,7 @@ clustering, compression and the XQuery→SQL/XML translator:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from time import perf_counter
@@ -43,8 +44,9 @@ _FALLBACKS = get_registry().labeled_counter("xquery.fallback")
 _CACHE_HITS = get_registry().counter("translator.cache_hits")
 _CACHE_MISSES = get_registry().counter("translator.cache_misses")
 
-#: bound on the per-system XQuery → Translation LRU cache
-_TRANSLATION_CACHE_SIZE = 128
+#: default bound on the per-system XQuery → Translation LRU cache
+#: (override per system via ``ArchIS(translation_cache_size=...)``)
+DEFAULT_TRANSLATION_CACHE_SIZE = 128
 
 
 @dataclass(frozen=True)
@@ -78,9 +80,12 @@ class ArchIS:
         profile: str = "atlas",
         umin: float | None = 0.4,
         min_segment_rows: int = 64,
+        translation_cache_size: int = DEFAULT_TRANSLATION_CACHE_SIZE,
     ) -> None:
         if profile not in PROFILES:
             raise ArchisError(f"unknown profile {profile!r}; use db2 or atlas")
+        if translation_cache_size < 1:
+            raise ArchisError("translation_cache_size must be >= 1")
         self.db = db if db is not None else Database()
         self.profile = PROFILES[profile]
         self.segments = SegmentManager(self.db, umin, min_segment_rows)
@@ -89,11 +94,18 @@ class ArchIS:
         self.trackers: dict[str, object] = {}
         self.archive = CompressedArchive(self.db, self.segments)
         self._doc_names: dict[str, str] = {}
+        #: set by :class:`repro.txn.TxnManager` when a transaction layer
+        #: is attached; apply_pending then only archives committed entries
+        self.txn_manager = None
         #: XQuery text -> [generation, Translation, rendered optimized SQL];
-        #: entries are dropped LRU past _TRANSLATION_CACHE_SIZE and
+        #: entries are dropped LRU past ``translation_cache_size`` and
         #: invalidated when the generation (schema / clustering /
-        #: compression state) moves on
+        #: compression state) moves on.  Lookups, insertions and the
+        #: hit/miss counters share one lock so concurrent sessions keep
+        #: the LRU order intact and the counters exact.
+        self.translation_cache_size = translation_cache_size
         self._translation_cache: OrderedDict[str, list] = OrderedDict()
+        self._cache_lock = threading.RLock()
         #: queries slower than ``slow_query_log.threshold`` seconds are
         #: kept here (bounded); set the threshold to None to disable.
         self.slow_query_log = SlowQueryLog()
@@ -171,11 +183,27 @@ class ArchIS:
         """Drain the update log into H-tables (ATLaS profile).
 
         A no-op (returns 0) under trigger tracking, where archival is
-        synchronous.
+        synchronous.  With a transaction manager attached, only entries
+        of *committed* transactions are applied — readers running beside
+        in-flight writers must never archive uncommitted changes.
         """
         if self.profile.tracking != "log":
             return 0
+        if self.txn_manager is not None:
+            self.txn_manager.apply_committed()
+            return 0
         return apply_log(self.db, self.writers)
+
+    def apply_log_entries(self, predicate) -> int:
+        """Apply matching update-log entries (transaction-layer hook).
+
+        Unlike :meth:`apply_pending` this does not consult the
+        transaction manager — the manager calls it with its own
+        committed-entries predicate, under its apply lock.
+        """
+        if self.profile.tracking != "log":
+            return 0
+        return apply_log(self.db, self.writers, predicate)
 
     # -- publication ------------------------------------------------------------------
 
@@ -242,22 +270,26 @@ class ArchIS:
         return self._cached_translation(query)[1]
 
     def _cached_translation(self, query: str) -> list:
-        generation = self._translation_generation()
-        entry = self._translation_cache.get(query)
-        if entry is not None and entry[0] == generation:
-            self._translation_cache.move_to_end(query)
-            _CACHE_HITS.inc()
-            return entry
-        _CACHE_MISSES.inc()
-        from repro.archis.translator import translate
+        with self._cache_lock:
+            generation = self._translation_generation()
+            entry = self._translation_cache.get(query)
+            if entry is not None and entry[0] == generation:
+                self._translation_cache.move_to_end(query)
+                _CACHE_HITS.inc()
+                return entry
+            _CACHE_MISSES.inc()
+            from repro.archis.translator import translate
 
-        translation = translate(self, query)
-        entry = [generation, translation, None]
-        self._translation_cache[query] = entry
-        self._translation_cache.move_to_end(query)
-        while len(self._translation_cache) > _TRANSLATION_CACHE_SIZE:
-            self._translation_cache.popitem(last=False)
-        return entry
+            # Translation happens under the lock: concurrent sessions
+            # asking for the same new query would otherwise translate it
+            # twice and double-count the miss.
+            translation = translate(self, query)
+            entry = [generation, translation, None]
+            self._translation_cache[query] = entry
+            self._translation_cache.move_to_end(query)
+            while len(self._translation_cache) > self.translation_cache_size:
+                self._translation_cache.popitem(last=False)
+            return entry
 
     def translate(self, query: str) -> str:
         """Translate XQuery on the H-views to SQL/XML on the H-tables.
@@ -268,10 +300,11 @@ class ArchIS:
         functions) appear in the SQL itself.  The rendering is cached
         alongside the translation.
         """
-        entry = self._cached_translation(query)
-        if entry[2] is None:
-            entry[2] = self._optimized_sql(entry[1])
-        return entry[2]
+        with self._cache_lock:
+            entry = self._cached_translation(query)
+            if entry[2] is None:
+                entry[2] = self._optimized_sql(entry[1])
+            return entry[2]
 
     def _optimized_sql(self, translation) -> str:
         from repro.plan import PlanContext, build_logical, run_rules, to_sql
@@ -487,7 +520,16 @@ class ArchIS:
                 "wal_recoveries": get_registry().counter(
                     "wal.recoveries"
                 ).value,
+                "wal_fsyncs": get_registry().counter("wal.fsyncs").value,
+                "group_commit_batched": get_registry().counter(
+                    "wal.group_commit.batched"
+                ).value,
             },
+            "txn": (
+                self.txn_manager.stats()
+                if self.txn_manager is not None
+                else None
+            ),
             "segments": {
                 "count": self.segments.segment_count(),
                 "freezes": self.segments.freeze_count,
@@ -496,6 +538,7 @@ class ArchIS:
             },
             "translator": {
                 "cache_size": len(self._translation_cache),
+                "cache_capacity": self.translation_cache_size,
                 "cache_hits": _CACHE_HITS.value,
                 "cache_misses": _CACHE_MISSES.value,
             },
@@ -545,7 +588,8 @@ class ArchIS:
 
     def reset_caches(self) -> None:
         self.db.reset_caches()
-        self._translation_cache.clear()
+        with self._cache_lock:
+            self._translation_cache.clear()
 
     def storage_bytes(self) -> int:
         """Footprint of all H-tables + compressed blobs (+ index models).

@@ -289,15 +289,27 @@ class LogTracker:
         self._table.remove_trigger(self._on_change)
 
 
-def apply_log(db: Database, writers: dict[str, HTableWriter]) -> int:
+def apply_log(
+    db: Database, writers: dict[str, HTableWriter], predicate=None
+) -> int:
     """Drain the update log into H-tables, dispatching by relation name.
 
     Entries for untracked tables are dropped (they have no H-tables).
-    Returns the number of entries applied.
+    With a ``predicate`` only matching entries are consumed — the
+    transaction layer passes "the entry's transaction has committed" so
+    in-flight writers' changes stay pending.  Returns the number of
+    entries applied.
     """
     applied = 0
     with get_tracer().span("archis.apply_log") as span:
-        for entry in db.update_log.drain():
+        # Apply in day order, not log order: concurrent transactions
+        # interleave in the log by execution order, and the segment
+        # manager's freeze boundary relies on archive timestamps never
+        # going backwards.  The sort is stable, so entries that share a
+        # day (one transaction's statements) keep their relative order.
+        for entry in sorted(
+            db.update_log.drain(predicate), key=lambda e: e.timestamp
+        ):
             writer = writers.get(entry.table)
             if writer is None:
                 continue

@@ -76,6 +76,35 @@ class UnsupportedQueryError(TranslationError):
     """
 
 
+class TxnError(ReproError):
+    """Transaction-layer failure (invalid state transitions, lock errors)."""
+
+
+class DeadlockError(TxnError):
+    """Granting a lock wait would close a cycle in the wait-for graph.
+
+    The requesting transaction is the victim: it should abort (releasing
+    its locks) and may retry.
+    """
+
+
+class LockTimeoutError(TxnError):
+    """A lock could not be acquired within the configured timeout."""
+
+
+class ServerError(ReproError):
+    """Server front-end failure (protocol, session management)."""
+
+
+class ServerBusyError(ServerError):
+    """Admission control rejected the request (queue full / too many
+    in-flight requests); the client should back off and retry."""
+
+
+class ProtocolError(ServerError):
+    """A malformed frame or request reached the server or client."""
+
+
 class ArchisError(ReproError):
     """ArchIS system-level failure (tracking, clustering, compression)."""
 

@@ -20,9 +20,15 @@ class PlanReport:
     optimized: str
     physical: str
     rules: list[str] = field(default_factory=list)
+    #: the snapshot day pinned on the executing thread, when the plan ran
+    #: inside a snapshot transaction (reads rendered AS OF that day)
+    as_of: int | None = None
 
     def format(self) -> str:
-        lines = ["rules:"]
+        lines = []
+        if self.as_of is not None:
+            lines.append(f"as of: day {self.as_of} (snapshot read)")
+        lines.append("rules:")
         if self.rules:
             lines.extend(f"  {rule}" for rule in self.rules)
         else:

@@ -10,29 +10,37 @@ plain attribute increment; :meth:`MetricsRegistry.reset` therefore zeroes
 instruments *in place* instead of rebinding them, preserving every
 hoisted reference.
 
-Zero dependencies, no locks: the reproduction is single-threaded and the
-GIL makes the int increments safe enough for observability purposes.
+Zero dependencies.  Since the concurrency subsystem landed, the engine
+serves many sessions at once, so every instrument guards its updates with
+a small per-instrument lock: ``value += n`` is not atomic across threads
+(the load/add/store can interleave), and the hit/miss counters must stay
+exact under contention — they feed correctness assertions in the
+concurrency tests, not just dashboards.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 
 
 class Counter:
     """A monotonically increasing count (resettable for measurement runs)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class LabeledCounter:
@@ -43,25 +51,31 @@ class LabeledCounter:
     :class:`~repro.errors.UnsupportedQueryError` reason.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.values: dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def inc(self, label: str, n: int = 1) -> None:
-        self.values[label] = self.values.get(label, 0) + n
+        with self._lock:
+            self.values[label] = self.values.get(label, 0) + n
 
     @property
     def total(self) -> int:
         return sum(self.values.values())
 
     def reset(self) -> None:
-        self.values.clear()
+        with self._lock:
+            self.values.clear()
 
 
 class Gauge:
-    """A point-in-time value (e.g. the live segment number)."""
+    """A point-in-time value (e.g. the live segment number).
+
+    Plain assignment is atomic under the GIL, so gauges stay lock-free.
+    """
 
     __slots__ = ("name", "value")
 
@@ -100,7 +114,7 @@ class Histogram:
     catches everything beyond the last bound.
     """
 
-    __slots__ = ("name", "bounds", "counts", "sum", "count")
+    __slots__ = ("name", "bounds", "counts", "sum", "count", "_lock")
 
     def __init__(self, name: str, bounds=DEFAULT_TIME_BUCKETS) -> None:
         self.name = name
@@ -108,11 +122,13 @@ class Histogram:
         self.counts = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.sum += value
+            self.count += 1
 
     @property
     def mean(self) -> float:
@@ -124,9 +140,10 @@ class Histogram:
         return list(zip(bounds, self.counts))
 
     def reset(self) -> None:
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.sum = 0.0
-        self.count = 0
+        with self._lock:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.sum = 0.0
+            self.count = 0
 
 
 class MetricsRegistry:
@@ -135,7 +152,8 @@ class MetricsRegistry:
     Instrument identity is stable for the process lifetime: ``counter``
     with the same name always returns the same object, and ``reset``
     zeroes values without rebinding, so modules may hoist instruments at
-    import time.
+    import time.  Lookup is locked so two threads asking for the same new
+    name can never create two instruments.
     """
 
     def __init__(self) -> None:
@@ -143,30 +161,35 @@ class MetricsRegistry:
         self._labeled: dict[str, LabeledCounter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
-        instrument = self._counters.get(name)
-        if instrument is None:
-            instrument = self._counters[name] = Counter(name)
-        return instrument
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
 
     def labeled_counter(self, name: str) -> LabeledCounter:
-        instrument = self._labeled.get(name)
-        if instrument is None:
-            instrument = self._labeled[name] = LabeledCounter(name)
-        return instrument
+        with self._lock:
+            instrument = self._labeled.get(name)
+            if instrument is None:
+                instrument = self._labeled[name] = LabeledCounter(name)
+            return instrument
 
     def gauge(self, name: str) -> Gauge:
-        instrument = self._gauges.get(name)
-        if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
-        return instrument
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
 
     def histogram(self, name: str, bounds=DEFAULT_TIME_BUCKETS) -> Histogram:
-        instrument = self._histograms.get(name)
-        if instrument is None:
-            instrument = self._histograms[name] = Histogram(name, bounds)
-        return instrument
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, bounds)
+            return instrument
 
     def snapshot(self) -> dict[str, object]:
         """A plain-data view of every instrument, keyed by name.
@@ -175,14 +198,19 @@ class MetricsRegistry:
         ``{label: count}`` dicts; histograms to
         ``{count, sum, mean, buckets}`` dicts.
         """
+        with self._lock:
+            counters = list(self._counters.items())
+            labeled = list(self._labeled.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
         out: dict[str, object] = {}
-        for name, counter in self._counters.items():
+        for name, counter in counters:
             out[name] = counter.value
-        for name, labeled in self._labeled.items():
-            out[name] = dict(labeled.values)
-        for name, gauge in self._gauges.items():
+        for name, family in labeled:
+            out[name] = dict(family.values)
+        for name, gauge in gauges:
             out[name] = gauge.value
-        for name, histogram in self._histograms.items():
+        for name, histogram in histograms:
             out[name] = {
                 "count": histogram.count,
                 "sum": histogram.sum,
@@ -193,10 +221,15 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every instrument in place (identities are preserved)."""
-        for group in (
-            self._counters, self._labeled, self._gauges, self._histograms
-        ):
-            for instrument in group.values():
+        with self._lock:
+            groups = [
+                list(self._counters.values()),
+                list(self._labeled.values()),
+                list(self._gauges.values()),
+                list(self._histograms.values()),
+            ]
+        for group in groups:
+            for instrument in group:
                 instrument.reset()
 
 

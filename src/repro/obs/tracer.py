@@ -15,6 +15,7 @@ instrumentation.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from collections import deque
 from time import perf_counter
@@ -96,7 +97,7 @@ class _ActiveSpan:
 
     def __enter__(self) -> Span:
         span = self._span
-        stack = self._tracer._stack
+        stack = self._tracer._thread_stack()
         if stack:
             stack[-1].children.append(span)
         stack.append(span)
@@ -108,7 +109,7 @@ class _ActiveSpan:
         span.end_time = perf_counter()
         if exc is not None:
             span.attrs["error"] = f"{type(exc).__name__}: {exc}"
-        stack = self._tracer._stack
+        stack = self._tracer._thread_stack()
         if stack and stack[-1] is span:
             stack.pop()
         if not stack:
@@ -117,13 +118,27 @@ class _ActiveSpan:
 
 
 class Tracer:
-    """Produces spans; keeps the last ``capacity`` finished root spans."""
+    """Produces spans; keeps the last ``capacity`` finished root spans.
+
+    Span nesting is tracked **per thread**: every server session/worker
+    gets its own stack, so concurrent queries build independent span
+    trees instead of interleaving children into each other's roots.
+    Finished roots from all threads land in the shared ring buffer (and
+    in any active capture sinks), guarded by a lock.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         self.enabled = False
         self.finished: deque[Span] = deque(maxlen=capacity)
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self._sinks: list[list[Span]] = []
+        self._lock = threading.Lock()
+
+    def _thread_stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attrs):
         """Open a span; a shared no-op handle when tracing is disabled."""
@@ -139,7 +154,7 @@ class Tracer:
 
     def clear(self) -> None:
         self.finished.clear()
-        self._stack.clear()
+        self._thread_stack().clear()
 
     @contextmanager
     def capture(self):
@@ -151,17 +166,20 @@ class Tracer:
         previous = self.enabled
         self.enabled = True
         collected: list[Span] = []
-        self._sinks.append(collected)
+        with self._lock:
+            self._sinks.append(collected)
         try:
             yield collected
         finally:
-            self._sinks.remove(collected)
+            with self._lock:
+                self._sinks.remove(collected)
             self.enabled = previous
 
     def _finish_root(self, span: Span) -> None:
-        self.finished.append(span)
-        for sink in self._sinks:
-            sink.append(span)
+        with self._lock:
+            self.finished.append(span)
+            for sink in self._sinks:
+                sink.append(span)
 
 
 _TRACER = Tracer()

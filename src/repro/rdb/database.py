@@ -9,9 +9,11 @@ tables in a same database", Section 5).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.errors import CatalogError
+from repro.rdb import txcontext
 from repro.rdb.table import Table
 from repro.rdb.types import Column, ColumnType, TableSchema
 from repro.rdb.updatelog import UpdateLog
@@ -34,6 +36,11 @@ class Database:
         ``"wal"`` (default) makes file-backed saves atomic and
         crash-recoverable through a write-ahead log; ``"none"`` writes
         pages in place.  Memory databases are always ``"none"``.
+    group_commit:
+        When True (default) concurrent COMMIT frames share WAL fsyncs
+        (leader/follower batching); ``group_window`` optionally holds
+        the leader's fsync open for that many seconds so more followers
+        can ride it.  Both only matter under ``"wal"`` durability.
     """
 
     def __init__(
@@ -41,11 +48,22 @@ class Database:
         path: str | None = None,
         buffer_pages: int = 1024,
         durability: str = "wal",
+        group_commit: bool = True,
+        group_window: float = 0.0,
     ) -> None:
-        self.pager = Pager(path, durability=durability)
+        self.pager = Pager(
+            path,
+            durability=durability,
+            group_commit=group_commit,
+            group_window=group_window,
+        )
         self.pool = BufferPool(self.pager, capacity=buffer_pages)
         self.blobs = BlobStore(self.pool)
         self._tables: dict[str, Table] = {}
+        # Guards the catalog dict and the clock against concurrent
+        # sessions (DDL takes the transaction layer's logical "#catalog"
+        # lock too; this latch covers lock-free readers).
+        self._catalog_lock = threading.RLock()
         self.update_log = UpdateLog()
         self._clock = parse_date("1985-01-01")
         self._functions: dict[str, Callable] = {}
@@ -69,19 +87,41 @@ class Database:
         """The transaction-time clock, in days since the epoch.
 
         Transaction timestamps are drawn from this logical clock so that
-        runs are deterministic; the workload driver advances it.
+        runs are deterministic; the workload driver advances it.  A write
+        transaction overrides the clock for its own thread (every
+        mutation it makes is stamped with the transaction's commit day).
         """
+        override = txcontext.clock_day()
+        if override is not None:
+            return override
         return self._clock
+
+    @property
+    def as_of(self) -> int | None:
+        """The snapshot day pinned for reads on this thread, if any."""
+        return txcontext.as_of_day()
 
     def set_date(self, value: int | str) -> None:
         if isinstance(value, str):
             value = parse_date(value)
-        if value < self._clock:
-            raise CatalogError("transaction-time clock cannot move backwards")
-        self._clock = value
+        with self._catalog_lock:
+            if value < self._clock:
+                raise CatalogError(
+                    "transaction-time clock cannot move backwards"
+                )
+            self._clock = value
 
     def advance_days(self, days: int = 1) -> None:
-        self._clock += days
+        with self._catalog_lock:
+            self._clock += days
+
+    def advance_to(self, value: int) -> None:
+        """Move the clock forward to ``value`` if it is ahead (no-op
+        otherwise).  Commits may complete out of day order, so the
+        transaction layer advances with a max, never backwards."""
+        with self._catalog_lock:
+            if value > self._clock:
+                self._clock = value
 
     # -- catalog ---------------------------------------------------------------
 
@@ -91,23 +131,30 @@ class Database:
         columns: list[tuple[str, ColumnType]] | list[Column],
         primary_key: tuple[str, ...] = (),
     ) -> Table:
-        if name in self._tables:
-            raise CatalogError(f"table {name} already exists")
         cols = [
             c if isinstance(c, Column) else Column(c[0], c[1])
             for c in columns
         ]
-        schema = TableSchema(name, cols, primary_key)
-        table = Table(schema, self.pool)
-        self._tables[name] = table
-        return table
+        with self._catalog_lock:
+            if name in self._tables:
+                raise CatalogError(f"table {name} already exists")
+            schema = TableSchema(name, cols, primary_key)
+            table = Table(schema, self.pool)
+            self._tables[name] = table
+            return table
 
     def drop_table(self, name: str) -> None:
-        table = self.table(name)
-        table.truncate()
-        del self._tables[name]
+        with self._catalog_lock:
+            table = self.table(name)
+            table.truncate()
+            del self._tables[name]
 
     def table(self, name: str) -> Table:
+        provider = txcontext.table_provider()
+        if provider is not None:
+            substitute = provider(name)
+            if substitute is not None:
+                return substitute
         try:
             return self._tables[name]
         except KeyError:
@@ -117,7 +164,8 @@ class Database:
         return name in self._tables
 
     def tables(self) -> list[str]:
-        return sorted(self._tables)
+        with self._catalog_lock:
+            return sorted(self._tables)
 
     # -- scalar / table functions (UDF registry for SQL) -------------------------
 
@@ -168,7 +216,12 @@ class Database:
 
     @classmethod
     def open(
-        cls, path: str, buffer_pages: int = 1024, durability: str = "wal"
+        cls,
+        path: str,
+        buffer_pages: int = 1024,
+        durability: str = "wal",
+        group_commit: bool = True,
+        group_window: float = 0.0,
     ) -> "Database":
         """Reopen a previously :meth:`save`-d file-backed database.
 
@@ -178,7 +231,13 @@ class Database:
         """
         from repro.rdb.persistence import load_catalog
 
-        db = cls(path, buffer_pages, durability=durability)
+        db = cls(
+            path,
+            buffer_pages,
+            durability=durability,
+            group_commit=group_commit,
+            group_window=group_window,
+        )
         load_catalog(db)
         return db
 

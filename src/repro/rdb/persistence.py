@@ -108,7 +108,15 @@ def load_catalog(db) -> None:
         table = db.create_table(
             spec["name"], columns, tuple(spec["primary_key"])
         )
-        table._heap.adopt_pages(spec["pages"])
+        # A catalog staged by one transaction's commit may list pages
+        # allocated by a *different* transaction that never committed
+        # before a crash: those pages were dropped by WAL recovery and
+        # can lie beyond the recovered file.  Pages inside the file that
+        # lost their frames read back zero-filled, which the slotted
+        # page layer parses as empty — so filtering to the recovered
+        # page range is sufficient for a prefix-consistent reopen.
+        page_limit = db.pager.page_count
+        table._heap.adopt_pages([p for p in spec["pages"] if p < page_limit])
         # rebuild the primary-key index from the adopted rows
         if table._pk_index is not None:
             for rid, row in table._heap.scan():

@@ -1,7 +1,19 @@
-"""Tables: a heap file plus secondary indexes plus trigger hooks."""
+"""Tables: a heap file plus secondary indexes plus trigger hooks.
+
+Concurrency: every table carries a re-entrant **latch** (a short-lived
+physical lock, distinct from the transaction layer's logical locks)
+guarding heap + index mutation.  Reads materialize their result under
+the latch instead of yielding lazily, so a concurrent writer can never
+mutate the heap out from under an in-flight iterator.  Reads also apply
+the thread's AS-OF snapshot day (see :mod:`repro.rdb.txcontext`) to
+tables with ``tstart``/``tend`` columns, which is what makes snapshot
+transactions lock-free: history rows are immutable, so rendering the
+table as of a pinned day needs no coordination with writers at all.
+"""
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -9,7 +21,9 @@ from repro.errors import CatalogError, IntegrityError
 from repro.index.bptree import BPlusTree
 from repro.storage.buffer import BufferPool
 from repro.storage.heap import HeapFile, Rid
+from repro.rdb import txcontext
 from repro.rdb.types import TableSchema
+from repro.util.timeutil import FOREVER
 
 
 @dataclass
@@ -77,6 +91,39 @@ class Table:
         if schema.primary_key:
             self._pk_index = BPlusTree()
         self._triggers: list[RowCallback] = []
+        # Physical latch (not a transaction lock): serializes heap/index
+        # mutation and the snapshots reads take of them.
+        self._latch = threading.RLock()
+        # Temporal column positions, when present: tables carrying both
+        # tstart and tend participate in AS-OF snapshot rendering.
+        names = schema.column_names
+        self._tstart_pos = names.index("tstart") if "tstart" in names else None
+        self._tend_pos = names.index("tend") if "tend" in names else None
+
+    # -- snapshot visibility -------------------------------------------------
+
+    def _as_of_row(self, row: tuple, day: int) -> tuple | None:
+        """Render ``row`` as it existed at snapshot day ``day``.
+
+        History rows are immutable except for two in-place transitions a
+        *later* transaction may perform: creating the row (``tstart`` in
+        the future of the snapshot → invisible) and closing its interval
+        (``tend`` set to the closer's day minus one; a closure after the
+        snapshot renders back to FOREVER).  Write transactions commit on
+        days spaced two apart, so ``tend == day`` can only mean a
+        closure *visible* at the snapshot — never an ambiguous same-day
+        closure by day+1.
+        """
+        if self._tstart_pos is None or self._tend_pos is None:
+            return row
+        if row[self._tstart_pos] > day:
+            return None
+        tend = row[self._tend_pos]
+        if tend > day and tend != FOREVER:
+            patched = list(row)
+            patched[self._tend_pos] = FOREVER
+            return tuple(patched)
+        return row
 
     # -- metadata -----------------------------------------------------------
 
@@ -113,6 +160,8 @@ class Table:
         self._triggers.remove(callback)
 
     def _fire(self, op: str, row: tuple, old: tuple | None) -> None:
+        if txcontext.triggers_suppressed():
+            return
         for callback in self._triggers:
             callback(op, row, old)
 
@@ -121,20 +170,22 @@ class Table:
     def create_index(
         self, name: str, columns: tuple[str, ...], unique: bool = False
     ) -> None:
-        if name in self._indexes:
-            raise CatalogError(f"index {name} already exists")
         for column in columns:
             self.schema.position(column)  # validates existence
-        tree = BPlusTree()
-        info = IndexInfo(name, columns, tree, unique)
-        for rid, row in self._heap.scan():
-            self._index_insert(info, row, rid)
-        self._indexes[name] = info
+        with self._latch:
+            if name in self._indexes:
+                raise CatalogError(f"index {name} already exists")
+            tree = BPlusTree()
+            info = IndexInfo(name, columns, tree, unique)
+            for rid, row in self._heap.scan():
+                self._index_insert(info, row, rid)
+            self._indexes[name] = info
 
     def drop_index(self, name: str) -> None:
-        if name not in self._indexes:
-            raise CatalogError(f"no index named {name}")
-        del self._indexes[name]
+        with self._latch:
+            if name not in self._indexes:
+                raise CatalogError(f"no index named {name}")
+            del self._indexes[name]
 
     def _index_key(self, info: IndexInfo, row: tuple) -> tuple:
         return tuple(
@@ -165,52 +216,66 @@ class Table:
 
     def insert(self, values: tuple) -> Rid:
         row = self.schema.validate_row(values)
-        if self._pk_index is not None:
-            key = self.schema.key_of(row)
-            if self._pk_index.search(key):
-                raise IntegrityError(
-                    f"table {self.name}: duplicate primary key {key}"
-                )
-        rid = self._heap.insert(row)
-        if self._pk_index is not None:
-            self._pk_index.insert(self.schema.key_of(row), rid)
-        for info in self._indexes.values():
-            self._index_insert(info, row, rid)
+        with self._latch:
+            if self._pk_index is not None:
+                key = self.schema.key_of(row)
+                if self._pk_index.search(key):
+                    raise IntegrityError(
+                        f"table {self.name}: duplicate primary key {key}"
+                    )
+            rid = self._heap.insert(row)
+            if self._pk_index is not None:
+                self._pk_index.insert(self.schema.key_of(row), rid)
+            for info in self._indexes.values():
+                self._index_insert(info, row, rid)
+            sink = txcontext.undo_sink()
+            if sink is not None:
+                sink.append(("insert", self, rid))
         self._fire("insert", row, None)
         return rid
 
     def read(self, rid: Rid) -> tuple:
-        return self._heap.read(rid)
+        with self._latch:
+            return self._heap.read(rid)
 
     def update_rid(self, rid: Rid, values: tuple) -> Rid:
         """Rewrite the row at ``rid``; returns the (possibly moved) RID."""
         row = self.schema.validate_row(values)
-        old = self._heap.read(rid)
-        new_rid = self._heap.update(rid, row)
-        if self._pk_index is not None:
-            self._pk_index.delete(self.schema.key_of(old), rid)
-            self._pk_index.insert(self.schema.key_of(row), new_rid)
-        for info in self._indexes.values():
-            self._index_delete(info, old, rid)
-            self._index_insert(info, row, new_rid)
+        with self._latch:
+            old = self._heap.read(rid)
+            new_rid = self._heap.update(rid, row)
+            if self._pk_index is not None:
+                self._pk_index.delete(self.schema.key_of(old), rid)
+                self._pk_index.insert(self.schema.key_of(row), new_rid)
+            for info in self._indexes.values():
+                self._index_delete(info, old, rid)
+                self._index_insert(info, row, new_rid)
+            sink = txcontext.undo_sink()
+            if sink is not None:
+                sink.append(("update", self, rid, new_rid, old))
         self._fire("update", row, old)
         return new_rid
 
     def delete_rid(self, rid: Rid) -> None:
-        old = self._heap.read(rid)
-        self._heap.delete(rid)
-        if self._pk_index is not None:
-            self._pk_index.delete(self.schema.key_of(old), rid)
-        for info in self._indexes.values():
-            self._index_delete(info, old, rid)
+        with self._latch:
+            old = self._heap.read(rid)
+            self._heap.delete(rid)
+            if self._pk_index is not None:
+                self._pk_index.delete(self.schema.key_of(old), rid)
+            for info in self._indexes.values():
+                self._index_delete(info, old, rid)
+            sink = txcontext.undo_sink()
+            if sink is not None:
+                sink.append(("delete", self, old, rid))
         self._fire("delete", old, None)
 
     def lookup_pk(self, key: tuple) -> Rid | None:
         """RID of the row with the given primary key, when one exists."""
         if self._pk_index is None:
             raise CatalogError(f"table {self.name} has no primary key")
-        hits = self._pk_index.search(key)
-        return hits[0] if hits else None
+        with self._latch:
+            hits = self._pk_index.search(key)
+            return hits[0] if hits else None
 
     def update_where(
         self, predicate: Callable[[dict], bool], changes: dict[str, object]
@@ -222,32 +287,35 @@ class Table:
         """
         for column in changes:
             self.schema.position(column)
-        victims = [
-            (rid, row) for rid, row in self._heap.scan()
-            if predicate(self.row_dict(row))
-        ]
-        for rid, row in victims:
-            new_row = list(row)
-            for column, value in changes.items():
-                new_row[self.schema.position(column)] = value
-            self.update_rid(rid, tuple(new_row))
+        with self._latch:
+            victims = [
+                (rid, row) for rid, row in self._heap.scan()
+                if predicate(self.row_dict(row))
+            ]
+            for rid, row in victims:
+                new_row = list(row)
+                for column, value in changes.items():
+                    new_row[self.schema.position(column)] = value
+                self.update_rid(rid, tuple(new_row))
         return len(victims)
 
     def delete_where(self, predicate: Callable[[dict], bool]) -> int:
-        victims = [
-            rid for rid, row in self._heap.scan()
-            if predicate(self.row_dict(row))
-        ]
-        for rid in victims:
-            self.delete_rid(rid)
+        with self._latch:
+            victims = [
+                rid for rid, row in self._heap.scan()
+                if predicate(self.row_dict(row))
+            ]
+            for rid in victims:
+                self.delete_rid(rid)
         return len(victims)
 
     def truncate(self) -> None:
-        self._heap.truncate()
-        for info in self._indexes.values():
-            info.tree = BPlusTree()
-        if self._pk_index is not None:
-            self._pk_index = BPlusTree()
+        with self._latch:
+            self._heap.truncate()
+            for info in self._indexes.values():
+                info.tree = BPlusTree()
+            if self._pk_index is not None:
+                self._pk_index = BPlusTree()
 
     def compact(self) -> None:
         """Rewrite the heap densely and rebuild all indexes.
@@ -256,25 +324,42 @@ class Table:
         not a logical change.  Used after segment freezes and archive
         compression reclaim space (paper Section 6.1 rewrites segments).
         """
-        self._heap.compact()
-        for info in self._indexes.values():
-            info.tree = BPlusTree()
-        if self._pk_index is not None:
-            self._pk_index = BPlusTree()
-        for rid, row in self._heap.scan():
-            if self._pk_index is not None:
-                self._pk_index.insert(self.schema.key_of(row), rid)
+        with self._latch:
+            self._heap.compact()
             for info in self._indexes.values():
-                self._index_insert(info, row, rid)
+                info.tree = BPlusTree()
+            if self._pk_index is not None:
+                self._pk_index = BPlusTree()
+            for rid, row in self._heap.scan():
+                if self._pk_index is not None:
+                    self._pk_index.insert(self.schema.key_of(row), rid)
+                for info in self._indexes.values():
+                    self._index_insert(info, row, rid)
 
     # -- reads ----------------------------------------------------------------
 
     def scan(self) -> Iterator[tuple[Rid, tuple]]:
-        return self._heap.scan()
+        """All (rid, row) pairs, materialized under the latch.
+
+        Materializing makes the scan a consistent point-in-time picture
+        even with concurrent writers (and fixes the pre-existing hazard
+        of mutating the heap under a live iterator).  When the calling
+        thread has an AS-OF day pinned, rows are rendered at that day.
+        """
+        with self._latch:
+            items = list(self._heap.scan())
+        day = txcontext.as_of_day()
+        if day is None:
+            return iter(items)
+        out = []
+        for rid, row in items:
+            rendered = self._as_of_row(row, day)
+            if rendered is not None:
+                out.append((rid, rendered))
+        return iter(out)
 
     def rows(self) -> Iterator[tuple]:
-        for _, row in self._heap.scan():
-            yield row
+        return iter([row for _, row in self.scan()])
 
     def row_dict(self, row: tuple) -> dict[str, object]:
         return dict(zip(self.schema.column_names, row))
@@ -287,9 +372,27 @@ class Table:
         low_inclusive: bool = True,
         high_inclusive: bool = True,
     ) -> Iterator[tuple[Rid, tuple]]:
-        """Range-scan an index, yielding (rid, row) in key order."""
+        """Range-scan an index, yielding (rid, row) in key order.
+
+        Materialized under the latch and rendered at the thread's AS-OF
+        day, like :meth:`scan`.
+        """
         info = self._indexes.get(index_name)
         if info is None:
             raise CatalogError(f"no index named {index_name}")
-        for _, rid in info.tree.range(low, high, low_inclusive, high_inclusive):
-            yield rid, self._heap.read(rid)
+        with self._latch:
+            items = [
+                (rid, self._heap.read(rid))
+                for _, rid in info.tree.range(
+                    low, high, low_inclusive, high_inclusive
+                )
+            ]
+        day = txcontext.as_of_day()
+        if day is None:
+            return iter(items)
+        out = []
+        for rid, row in items:
+            rendered = self._as_of_row(row, day)
+            if rendered is not None:
+                out.append((rid, rendered))
+        return iter(out)

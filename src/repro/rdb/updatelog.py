@@ -3,12 +3,19 @@
 The ATLaS-profile ArchIS tracks changes through an update log rather than
 triggers (paper Section 5.2).  The log records every mutation against the
 current database; the archiver drains it in commit order.
+
+With concurrent transactions the log needs two refinements: appends and
+drains are serialized by a lock, and the drain can be *filtered* so the
+archiver only consumes entries of committed transactions — entries from
+a transaction still in flight stay pending (and an abort discards them
+via :meth:`UpdateLog.discard_pending`).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 
 @dataclass(frozen=True)
@@ -33,8 +40,9 @@ class UpdateLog:
 
     def __init__(self) -> None:
         self._entries: list[LogEntry] = []
+        self._pending: list[LogEntry] = []
         self._next_seq = 1
-        self._drained = 0
+        self._lock = threading.Lock()
 
     def append(
         self,
@@ -44,27 +52,57 @@ class UpdateLog:
         row: tuple,
         old: tuple | None = None,
     ) -> LogEntry:
-        entry = LogEntry(self._next_seq, timestamp, table, op, row, old)
-        self._next_seq += 1
-        self._entries.append(entry)
-        return entry
+        with self._lock:
+            entry = LogEntry(self._next_seq, timestamp, table, op, row, old)
+            self._next_seq += 1
+            self._entries.append(entry)
+            self._pending.append(entry)
+            return entry
 
     def pending(self) -> list[LogEntry]:
         """Entries appended since the last drain."""
-        return self._entries[self._drained :]
+        with self._lock:
+            return list(self._pending)
 
-    def drain(self) -> list[LogEntry]:
-        """Return pending entries and mark them consumed."""
-        out = self.pending()
-        self._drained = len(self._entries)
-        return out
+    def drain(
+        self, predicate: Callable[[LogEntry], bool] | None = None
+    ) -> list[LogEntry]:
+        """Return pending entries and mark them consumed.
+
+        With a ``predicate`` only matching entries are consumed; the rest
+        stay pending in order.  The transaction layer drains with
+        "entry's transaction has committed" so an archiver running beside
+        in-flight writers never archives uncommitted changes.
+        """
+        with self._lock:
+            if predicate is None:
+                out = self._pending
+                self._pending = []
+                return out
+            out = [e for e in self._pending if predicate(e)]
+            self._pending = [e for e in self._pending if not predicate(e)]
+            return out
+
+    def discard_pending(
+        self, predicate: Callable[[LogEntry], bool]
+    ) -> list[LogEntry]:
+        """Drop matching pending entries without consuming them (abort)."""
+        with self._lock:
+            dropped = [e for e in self._pending if predicate(e)]
+            self._pending = [e for e in self._pending if not predicate(e)]
+            sequences = {e.sequence for e in dropped}
+            self._entries = [
+                e for e in self._entries if e.sequence not in sequences
+            ]
+            return dropped
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[LogEntry]:
-        return iter(self._entries)
+        return iter(list(self._entries))
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._drained = 0
+        with self._lock:
+            self._entries.clear()
+            self._pending.clear()

@@ -1,0 +1,93 @@
+"""A small blocking client for the JSON protocol.
+
+Used by the test-suite, the concurrency stress script and the bench
+harness; also a reference implementation of the protocol for external
+clients (any language that can write a 4-byte length and JSON).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ProtocolError, ServerBusyError, ServerError
+from repro.server.protocol import recv_message, send_message
+
+
+class Client:
+    """One connection to a :class:`~repro.server.server.Server`."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def request(self, message: dict) -> dict:
+        """Send one request and return the raw response dict."""
+        send_message(self._sock, message)
+        response = recv_message(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        return response
+
+    def _checked(self, message: dict) -> dict:
+        response = self.request(message)
+        if not response.get("ok"):
+            error = response.get("error", "ServerError")
+            detail = response.get("message", "")
+            if error == "ServerBusyError":
+                raise ServerBusyError(detail)
+            exc = ServerError(f"{error}: {detail}")
+            exc.remote_error = error
+            raise exc
+        return response
+
+    # -- convenience wrappers ----------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._checked({"op": "ping"}).get("pong"))
+
+    def sql(self, text: str, params: dict | None = None) -> dict:
+        """Returns ``{"columns", "rows"}`` for queries, ``{"rowcount"}``
+        for DML."""
+        message = {"op": "sql", "text": text}
+        if params:
+            message["params"] = params
+        return self._checked(message)
+
+    def xquery(self, text: str, allow_fallback: bool = True) -> list:
+        return self._checked(
+            {"op": "xquery", "text": text, "allow_fallback": allow_fallback}
+        )["results"]
+
+    def begin(self) -> int:
+        return self._checked({"op": "begin"})["txn"]
+
+    def commit(self) -> int:
+        """Commit the open transaction; returns its commit day."""
+        return self._checked({"op": "commit"})["day"]
+
+    def abort(self) -> None:
+        self._checked({"op": "abort"})
+
+    def snapshot(self, day: int | None = None) -> int:
+        """Re-pin the session's read snapshot; returns the pinned day."""
+        message: dict = {"op": "snapshot"}
+        if day is not None:
+            message["day"] = day
+        return self._checked(message)["day"]
+
+    def stats(self) -> dict:
+        return self._checked({"op": "stats"})["stats"]
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,79 @@
+"""The wire protocol: length-prefixed JSON messages.
+
+Every message — request or response — is a UTF-8 JSON object preceded by
+a 4-byte big-endian length.  Requests carry an ``op`` plus op-specific
+fields; responses carry ``ok`` (bool) plus either the result fields or
+``error``/``message``:
+
+    {"op": "sql", "text": "SELECT ...", "params": {...}}
+    {"ok": true, "columns": [...], "rows": [[...], ...]}
+    {"ok": false, "error": "DeadlockError", "message": "..."}
+
+Operations: ``ping``, ``sql``, ``xquery``, ``begin``, ``commit``,
+``abort``, ``snapshot`` (pin / re-pin the session's read snapshot),
+``stats``.  The server answers ``BUSY`` (``error = "ServerBusyError"``)
+when admission control rejects a request.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.errors import ProtocolError
+
+_LENGTH = struct.Struct(">I")
+
+#: refuse anything larger than this (a corrupt prefix otherwise reads as
+#: a multi-gigabyte allocation)
+MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Serialize ``message`` and write it length-prefixed to ``sock``."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(body)} bytes exceeds {MAX_MESSAGE_BYTES}"
+        )
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Read one message; ``None`` on a clean EOF at a message boundary."""
+    prefix = _recv_exact(sock, _LENGTH.size, eof_ok=True)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"declared message of {length} bytes exceeds {MAX_MESSAGE_BYTES}"
+        )
+    body = _recv_exact(sock, length, eof_ok=False)
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("messages must be JSON objects")
+    return message
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, eof_ok: bool
+) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-message ({count - remaining} of "
+                f"{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,181 @@
+"""Per-connection session state: one client's transactions and reads.
+
+A session owns at most one write :class:`~repro.txn.manager.Transaction`
+at a time.  Reads outside a transaction are **snapshot auto-commit**:
+each SELECT runs against the session's pinned snapshot (re-pinned to the
+latest stable day with the ``snapshot`` op), so a client never blocks on
+writers.  DML outside a transaction auto-commits through a one-statement
+transaction.
+
+Requests and responses are plain dicts (see
+:mod:`repro.server.protocol`); :meth:`Session.handle` never raises —
+engine errors come back as ``{"ok": false, "error": ..., "message":
+...}`` so one bad statement cannot kill the connection.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError, TxnError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.xmlkit.dom import Element
+from repro.xmlkit.serializer import serialize
+
+_REQUESTS = get_registry().labeled_counter("server.requests")
+_ERRORS = get_registry().counter("server.errors")
+
+_OPS = (
+    "ping",
+    "sql",
+    "xquery",
+    "begin",
+    "commit",
+    "abort",
+    "snapshot",
+    "stats",
+)
+
+
+def _jsonable(value):
+    """Render a result cell for JSON transport (XML → serialized text)."""
+    if isinstance(value, Element):
+        return serialize(value)
+    if isinstance(value, list):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+class Session:
+    """One client's view of the shared transaction manager."""
+
+    def __init__(self, manager, archis=None, session_id: int = 0) -> None:
+        self.manager = manager
+        self.archis = archis
+        self.id = session_id
+        self.txn = None
+        self._snapshot = manager.snapshot()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Execute one request dict, returning the response dict."""
+        op = request.get("op")
+        if op not in _OPS:
+            _ERRORS.inc()
+            return {
+                "ok": False,
+                "error": "ProtocolError",
+                "message": f"unknown op {op!r}",
+            }
+        _REQUESTS.inc(op)
+        with get_tracer().span("server.request", op=op, session=self.id):
+            try:
+                return getattr(self, f"_op_{op}")(request)
+            except ReproError as exc:
+                _ERRORS.inc()
+                return {
+                    "ok": False,
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                }
+            except Exception as exc:  # noqa: BLE001 - protect the worker
+                _ERRORS.inc()
+                return {
+                    "ok": False,
+                    "error": "InternalError",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+
+    def close(self) -> None:
+        """Abort any in-flight transaction (connection teardown)."""
+        if self.txn is not None and self.txn.state == "active":
+            self.txn.abort()
+        self.txn = None
+
+    # -- operations --------------------------------------------------------
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "pong": True}
+
+    def _op_begin(self, request: dict) -> dict:
+        if self.txn is not None and self.txn.state == "active":
+            raise TxnError(
+                f"session {self.id} already has transaction "
+                f"{self.txn.id} open"
+            )
+        self.txn = self.manager.begin()
+        return {"ok": True, "txn": self.txn.id, "day": self.txn.day}
+
+    def _op_commit(self, request: dict) -> dict:
+        txn = self._require_txn()
+        txn.commit()
+        self.txn = None
+        return {"ok": True, "txn": txn.id, "day": txn.day}
+
+    def _op_abort(self, request: dict) -> dict:
+        txn = self._require_txn()
+        txn.abort()
+        self.txn = None
+        return {"ok": True, "txn": txn.id}
+
+    def _op_snapshot(self, request: dict) -> dict:
+        self._snapshot = self.manager.snapshot(request.get("day"))
+        return {"ok": True, "day": self._snapshot.day}
+
+    def _op_sql(self, request: dict) -> dict:
+        text = request.get("text")
+        if not isinstance(text, str):
+            raise TxnError("sql op needs a 'text' string")
+        params = request.get("params") or None
+        if self.txn is not None and self.txn.state == "active":
+            result = self.txn.sql(text, params)
+        else:
+            result = self._autocommit(text, params)
+        if hasattr(result, "columns"):
+            return {
+                "ok": True,
+                "columns": list(result.columns),
+                "rows": [_jsonable(row) for row in result.rows],
+            }
+        return {"ok": True, "rowcount": result}
+
+    def _autocommit(self, text: str, params):
+        """A statement outside any transaction: snapshot read or
+        one-statement write transaction."""
+        try:
+            return self._snapshot.sql(text, params)
+        except TxnError:
+            with self.manager.begin() as txn:
+                return txn.sql(text, params)
+
+    def _op_xquery(self, request: dict) -> dict:
+        if self.archis is None:
+            raise TxnError("no archive attached; xquery unavailable")
+        text = request.get("text")
+        if not isinstance(text, str):
+            raise TxnError("xquery op needs a 'text' string")
+        results = self._snapshot.run(
+            self.archis.xquery,
+            text,
+            allow_fallback=bool(request.get("allow_fallback", True)),
+        )
+        return {
+            "ok": True,
+            "day": self._snapshot.day,
+            "results": [
+                serialize(item) if isinstance(item, Element) else item
+                for item in results
+            ],
+        }
+
+    def _op_stats(self, request: dict) -> dict:
+        if self.archis is not None:
+            return {"ok": True, "stats": self.archis.stats()}
+        return {"ok": True, "stats": {"txn": self.manager.stats()}}
+
+    def _require_txn(self):
+        if self.txn is None or self.txn.state != "active":
+            raise TxnError(f"session {self.id} has no open transaction")
+        return self.txn

@@ -94,12 +94,14 @@ class SelectPlan:
     def report(self):
         """Plan stages rendered for EXPLAIN / the ``plan`` CLI command."""
         from repro.obs.explain import PlanReport
+        from repro.rdb import txcontext
 
         return PlanReport(
             logical=render_plan(self.logical),
             optimized=render_plan(self.optimized),
             physical=render_physical(self.physical),
             rules=[f"{f.rule}: {f.detail}" for f in self.rule_firings],
+            as_of=txcontext.as_of_day(),
         )
 
 

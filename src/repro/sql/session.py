@@ -41,7 +41,19 @@ def execute_sql(db: Database, text: str, params: Mapping | None = None):
     (``sql.statements`` / ``sql.statement.seconds``) and emits a
     ``sql.statement`` span when tracing is enabled.
     """
-    statement = parse_sql(text)
+    return execute_statement(db, parse_sql(text), params, text=text)
+
+
+def execute_statement(
+    db: Database, statement, params: Mapping | None = None, *, text: str = ""
+):
+    """Execute an already-parsed statement (same contract as
+    :func:`execute_sql`).
+
+    The transaction layer parses first — it needs the statement shape to
+    compute the lock set — then executes through here, so a statement is
+    never parsed twice.
+    """
     params = dict(params or {})
     kind = type(statement).__name__
     _STATEMENTS.inc()

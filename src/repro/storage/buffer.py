@@ -9,6 +9,7 @@ the paper's cold-cache protocol.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -53,6 +54,12 @@ class BufferPool:
         self._capacity = capacity
         self._frames: OrderedDict[int, bytearray] = OrderedDict()
         self.stats = CacheStats()
+        # Frame-table mutation (including the LRU reordering a *read*
+        # performs) and the hit/miss counters are guarded by one
+        # re-entrant lock, so concurrent sessions never corrupt the
+        # OrderedDict or lose stat increments.  Lock order is
+        # buffer → pager → WAL, never the reverse.
+        self._lock = threading.RLock()
 
     @property
     def pager(self) -> Pager:
@@ -64,42 +71,47 @@ class BufferPool:
 
     def get(self, page_no: int) -> bytes:
         """Fetch a page image, from cache when possible."""
-        frame = self._frames.get(page_no)
-        if frame is not None:
-            self._frames.move_to_end(page_no)
-            self.stats.hits += 1
-            _HITS.inc()
-            return bytes(frame)
-        self.stats.misses += 1
-        _MISSES.inc()
-        data = self._pager.read_page(page_no)
-        self._admit(page_no, bytearray(data))
-        return data
+        with self._lock:
+            frame = self._frames.get(page_no)
+            if frame is not None:
+                self._frames.move_to_end(page_no)
+                self.stats.hits += 1
+                _HITS.inc()
+                return bytes(frame)
+            self.stats.misses += 1
+            _MISSES.inc()
+            data = self._pager.read_page(page_no)
+            self._admit(page_no, bytearray(data))
+            return data
 
     def put(self, page_no: int, data: bytes) -> None:
         """Write a page image through to disk and refresh the cache."""
         if len(data) != PAGE_SIZE:
             raise StorageError("page image has wrong size")
-        self._pager.write_page(page_no, data)
-        self._admit(page_no, bytearray(data))
+        with self._lock:
+            self._pager.write_page(page_no, data)
+            self._admit(page_no, bytearray(data))
 
     def allocate(self) -> int:
         """Allocate a fresh page and cache its (zeroed) image."""
-        page_no = self._pager.allocate()
-        self._admit(page_no, bytearray(PAGE_SIZE))
-        return page_no
+        with self._lock:
+            page_no = self._pager.allocate()
+            self._admit(page_no, bytearray(PAGE_SIZE))
+            return page_no
 
     def set_capacity(self, capacity: int) -> None:
         """Resize the pool (evicting LRU frames if shrinking)."""
         if capacity < 1:
             raise StorageError("buffer pool capacity must be >= 1")
-        self._capacity = capacity
-        while len(self._frames) > self._capacity:
-            self._frames.popitem(last=False)
+        with self._lock:
+            self._capacity = capacity
+            while len(self._frames) > self._capacity:
+                self._frames.popitem(last=False)
 
     def reset(self) -> None:
         """Drop all cached pages (cold-cache measurement protocol)."""
-        self._frames.clear()
+        with self._lock:
+            self._frames.clear()
 
     def reset_stats(self) -> None:
         """Zero the counters in place.
@@ -108,8 +120,9 @@ class BufferPool:
         snapshots it); rebinding to a fresh object would leave those
         references reading stale numbers forever.
         """
-        self.stats.hits = 0
-        self.stats.misses = 0
+        with self._lock:
+            self.stats.hits = 0
+            self.stats.misses = 0
 
     def _admit(self, page_no: int, frame: bytearray) -> None:
         if page_no in self._frames:

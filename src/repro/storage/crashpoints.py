@@ -16,6 +16,7 @@ injected crash are exactly the bytes a subsequent reopen will observe.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
@@ -43,6 +44,9 @@ class CrashPointRegistry:
         self._callback: Callable[[str, int], None] | None = None
         self._recorder: list[str] | None = None
         self._counts: dict[str, int] = {}
+        # Occurrence counting must stay exact when several writer threads
+        # cross the same point; the lock is only taken while armed.
+        self._lock = threading.Lock()
 
     @property
     def armed(self) -> bool:
@@ -52,10 +56,11 @@ class CrashPointRegistry:
         """Cross the crash point ``name`` (no-op unless armed)."""
         if self._callback is None and self._recorder is None:
             return
-        count = self._counts.get(name, 0) + 1
-        self._counts[name] = count
-        if self._recorder is not None:
-            self._recorder.append(name)
+        with self._lock:
+            count = self._counts.get(name, 0) + 1
+            self._counts[name] = count
+            if self._recorder is not None:
+                self._recorder.append(name)
         if self._callback is not None:
             self._callback(name, count)
 
@@ -87,6 +92,28 @@ class CrashPointRegistry:
 
         def callback(fired: str, count: int) -> None:
             if fired == name and count == occurrence:
+                raise InjectedCrash(name, count)
+
+        self._callback = callback
+        try:
+            yield
+        finally:
+            self.reset()
+
+    @contextmanager
+    def crash_from(self, name: str, occurrence: int = 1) -> Iterator[None]:
+        """Raise :class:`InjectedCrash` at *every* crossing from the N-th on.
+
+        ``crash_at`` kills exactly one crossing, which under concurrency
+        means only one thread "dies" while the rest keep writing — not
+        how a process crash behaves.  This variant models the process
+        dying at the N-th crossing: that thread and every later one to
+        reach the point raise, so no post-crash writes leak to disk.
+        """
+        self.reset()
+
+        def callback(fired: str, count: int) -> None:
+            if fired == name and count >= occurrence:
                 raise InjectedCrash(name, count)
 
         self._callback = callback

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import io
 import os
+import threading
 from dataclasses import dataclass
 
 from repro.errors import StorageError
@@ -64,9 +65,17 @@ class Pager:
     behaves identically either way.
     """
 
-    def __init__(self, path: str | None = None, durability: str = "wal") -> None:
+    def __init__(
+        self,
+        path: str | None = None,
+        durability: str = "wal",
+        group_commit: bool = True,
+        group_window: float = 0.0,
+    ) -> None:
         require_durability(durability)
         self._path = path
+        self._group_commit = group_commit
+        self._group_window = group_window
         self._durability = durability if path is not None else "none"
         if path is None:
             self._file: io.BufferedRandom | io.BytesIO = io.BytesIO()
@@ -76,19 +85,57 @@ class Pager:
         self._page_count = self._measure_page_count()
         self.stats = IoStats()
         self._closed = False
+        # One internal lock serializes page-table mutation, the shared
+        # file handle's seek/read cycles and the stats counters; the lock
+        # is re-entrant because checkpoint() composes locked operations.
+        # Lock order is pager → WAL, never the reverse.
+        self._lock = threading.RLock()
+        # The transaction id tagged onto WAL frames is per *thread*: each
+        # writer thread runs one transaction at a time, and frames it
+        # appends belong to that transaction (0 = the anonymous
+        # single-writer transaction, the pre-concurrency behaviour).
+        self._txn_local = threading.local()
         # WAL state: page/sidecar images written since the last checkpoint
         # live here (and in the log); the main file is only touched by
-        # checkpoint().  ``_wal_dirty`` tracks frames not yet committed.
+        # checkpoint().  ``_dirty_txns`` tracks which transactions have
+        # appended frames that are not yet covered by a COMMIT.
         self._overlay: dict[int, bytes] = {}
         self._meta_overlay: dict[str, bytes] = {}
         self._wal: WriteAheadLog | None = None
-        self._wal_dirty = False
+        self._dirty_txns: set[int] = set()
         self.recovery_report: RecoveryReport | None = None
         if path is not None:
             stale = remove_stale_tmp_files(path)
             if self._durability == "wal":
-                self._wal = WriteAheadLog(path + WAL_SUFFIX)
+                self._wal = WriteAheadLog(
+                    path + WAL_SUFFIX,
+                    group_commit=group_commit,
+                    group_window=group_window,
+                )
                 self._recover(stale)
+
+    # -- WAL transaction tagging ------------------------------------------
+
+    @property
+    def wal_txn(self) -> int:
+        """The WAL transaction id for the calling thread (0 = anonymous)."""
+        return getattr(self._txn_local, "txn_id", 0)
+
+    def set_wal_txn(self, txn_id: int) -> None:
+        """Tag this thread's subsequent WAL frames with ``txn_id``."""
+        self._txn_local.txn_id = txn_id
+
+    def clear_wal_txn(self) -> None:
+        self._txn_local.txn_id = 0
+
+    def discard_wal_txn(self, txn_id: int) -> None:
+        """Forget a transaction's dirty flag (abort path).
+
+        Its frames stay in the log but no COMMIT will ever promote them;
+        the next checkpoint truncation reclaims the space.
+        """
+        with self._lock:
+            self._dirty_txns.discard(txn_id)
 
     def _measure_page_count(self) -> int:
         self._file.seek(0, os.SEEK_END)
@@ -134,54 +181,57 @@ class Pager:
 
     def allocate(self) -> int:
         """Append a zeroed page, returning its page number."""
-        self._check_open()
-        page_no = self._page_count
-        zero = b"\x00" * PAGE_SIZE
-        if self._wal is not None:
-            self._wal.append_page(page_no, zero)
-            self._overlay[page_no] = zero
-            self._wal_dirty = True
-        else:
-            self._file.seek(page_no * PAGE_SIZE)
-            self._file.write(zero)
-        self._page_count += 1
-        self.stats.allocations += 1
-        self.stats.writes += 1
+        with self._lock:
+            self._check_open()
+            page_no = self._page_count
+            zero = b"\x00" * PAGE_SIZE
+            if self._wal is not None:
+                self._wal.append_page(page_no, zero, self.wal_txn)
+                self._overlay[page_no] = zero
+                self._dirty_txns.add(self.wal_txn)
+            else:
+                self._file.seek(page_no * PAGE_SIZE)
+                self._file.write(zero)
+            self._page_count += 1
+            self.stats.allocations += 1
+            self.stats.writes += 1
         _ALLOCATIONS.inc()
         _WRITES.inc()
         return page_no
 
     def read_page(self, page_no: int) -> bytes:
-        self._check_open()
-        self._check_range(page_no)
-        data = self._overlay.get(page_no)
-        if data is None:
-            self._file.seek(page_no * PAGE_SIZE)
-            data = self._file.read(PAGE_SIZE)
-            if len(data) != PAGE_SIZE:
-                raise StorageError(f"short read on page {page_no}")
-        self.stats.reads += 1
+        with self._lock:
+            self._check_open()
+            self._check_range(page_no)
+            data = self._overlay.get(page_no)
+            if data is None:
+                self._file.seek(page_no * PAGE_SIZE)
+                data = self._file.read(PAGE_SIZE)
+                if len(data) != PAGE_SIZE:
+                    raise StorageError(f"short read on page {page_no}")
+            self.stats.reads += 1
         _READS.inc()
         return data
 
     def write_page(self, page_no: int, data: bytes) -> None:
-        self._check_open()
-        self._check_range(page_no)
         if len(data) != PAGE_SIZE:
             raise StorageError(
                 f"page image must be {PAGE_SIZE} bytes, got {len(data)}"
             )
         data = bytes(data)
-        if self._wal is not None:
-            self._wal.append_page(page_no, data)
-            self._overlay[page_no] = data
-            self._wal_dirty = True
-        else:
-            self._file.seek(page_no * PAGE_SIZE)
-            self._file.write(data)
-            self._file.flush()
-            fire("pager.page_written")
-        self.stats.writes += 1
+        with self._lock:
+            self._check_open()
+            self._check_range(page_no)
+            if self._wal is not None:
+                self._wal.append_page(page_no, data, self.wal_txn)
+                self._overlay[page_no] = data
+                self._dirty_txns.add(self.wal_txn)
+            else:
+                self._file.seek(page_no * PAGE_SIZE)
+                self._file.write(data)
+                self._file.flush()
+                fire("pager.page_written")
+            self.stats.writes += 1
         _WRITES.inc()
 
     def write_sidecar(self, suffix: str, data: bytes) -> str:
@@ -192,15 +242,16 @@ class Pager:
         page writes; in ``none`` mode it is written atomically right away
         (tmp file → fsync → ``os.replace``).  Returns the final path.
         """
-        self._check_open()
         if self._path is None:
             raise StorageError("memory pagers have no sidecar files")
         path = self._path + suffix
-        if self._wal is not None:
-            self._wal.append_meta(suffix, bytes(data))
-            self._meta_overlay[suffix] = bytes(data)
-            self._wal_dirty = True
-            return path
+        with self._lock:
+            self._check_open()
+            if self._wal is not None:
+                self._wal.append_meta(suffix, bytes(data), self.wal_txn)
+                self._meta_overlay[suffix] = bytes(data)
+                self._dirty_txns.add(self.wal_txn)
+                return path
         return atomic_write_bytes(path, bytes(data))
 
     def size_bytes(self) -> int:
@@ -209,43 +260,56 @@ class Pager:
 
     def truncate(self) -> None:
         """Drop every page (used when segments are rewritten)."""
-        self._check_open()
-        self._overlay.clear()
-        if self._wal is not None:
-            self._wal.truncate()
-            self._wal_dirty = False
-        self._file.seek(0)
-        self._file.truncate(0)
-        self._page_count = 0
-        # a truncate is a physical write to the main file: account for it
-        self.stats.writes += 1
+        with self._lock:
+            self._check_open()
+            self._overlay.clear()
+            if self._wal is not None:
+                self._wal.truncate()
+                self._dirty_txns.clear()
+            self._file.seek(0)
+            self._file.truncate(0)
+            self._page_count = 0
+            # truncating is a physical write to the main file: account for it
+            self.stats.writes += 1
         _WRITES.inc()
 
     def commit(self) -> None:
-        """Make every write so far durable (WAL commit frame + fsync).
+        """Make this thread's transaction durable (COMMIT frame + fsync).
 
         Writes stay in the log (and the in-memory overlay) until the next
         :meth:`checkpoint`; after a crash, recovery replays them.  In
         ``none`` mode this is a plain flush + fsync of the main file.
+        The group-commit wait happens *outside* the pager lock so other
+        threads keep reading and writing pages while a leader fsyncs.
         """
-        self._check_open()
-        if self._wal is not None:
-            if self._wal_dirty:
-                self._wal.append_commit()
-                self._wal_dirty = False
-        else:
-            self._fsync_main()
+        txn = self.wal_txn
+        with self._lock:
+            self._check_open()
+            if self._wal is None:
+                self._fsync_main()
+                return
+            dirty = txn in self._dirty_txns
+            self._dirty_txns.discard(txn)
+        if dirty:
+            self._wal.append_commit(txn)
 
     def checkpoint(self) -> None:
-        """Commit, then apply the log to the main file and truncate it."""
+        """Commit, then apply the log to the main file and truncate it.
+
+        Callers must quiesce writers first (the transaction layer runs
+        checkpoints with no transaction in flight): applying the overlay
+        publishes every staged page to the main file and drops the log.
+        """
         self._check_open()
         if self._wal is None:
-            self._fsync_main()
+            with self._lock:
+                self._fsync_main()
             return
         self.commit()
-        if not self._overlay and not self._meta_overlay:
-            return
-        self._apply_checkpoint()
+        with self._lock:
+            if not self._overlay and not self._meta_overlay:
+                return
+            self._apply_checkpoint()
 
     def _apply_checkpoint(self) -> None:
         fire("wal.checkpoint.begin")
@@ -268,21 +332,24 @@ class Pager:
         if self._wal is not None:
             self.commit()
         else:
-            self._fsync_main()
+            with self._lock:
+                self._fsync_main()
         fire("pager.synced")
 
     def close(self) -> None:
-        if not self._closed:
-            if self._wal is not None:
-                self.checkpoint()
-                self._wal.close()
-            else:
-                self._fsync_main()
-            self._file.close()
-            self._closed = True
+        with self._lock:
+            if not self._closed:
+                if self._wal is not None:
+                    self.checkpoint()
+                    self._wal.close()
+                else:
+                    self._fsync_main()
+                self._file.close()
+                self._closed = True
 
     def io_stats(self) -> IoStats:
-        return self.stats.snapshot()
+        with self._lock:
+            return self.stats.snapshot()
 
     # -- helpers ------------------------------------------------------------
 

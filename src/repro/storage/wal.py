@@ -20,12 +20,30 @@ write scrambled — is detected and discarded during recovery.  Recovery
 and drops everything after it; the pager then applies the survivors to
 the main file and truncates the log (checkpoint), which is idempotent if
 the process dies mid-checkpoint.
+
+Concurrency.  Since the transaction subsystem landed, several writers
+may append to one log at once, so frames are *transaction-tagged*: the
+key of a PAGE frame packs ``(txn_id << 40) | page_no`` and the key of a
+META or COMMIT frame is the txn id itself.  Recovery groups pending
+frames per transaction and a COMMIT promotes only its own transaction's
+frames, so one writer's commit can never publish another's half-written
+pages.  Single-writer logs keep txn id 0 everywhere — byte-identical to
+the pre-concurrency format, so old logs replay unchanged.
+
+Commit durability uses **group commit**: the committing thread appends
+its COMMIT frame under the log lock, then either discovers a concurrent
+leader has already fsynced past it (``wal.group_commit.batched``) or
+becomes the leader itself, fsyncing every frame appended so far in one
+``fsync`` (``wal.fsyncs``).  An optional ``group_window`` lets the
+leader linger briefly so more followers can pile on.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 
@@ -41,6 +59,12 @@ FRAME_COMMIT = 3
 _HEADER = struct.Struct("<4sBQII")  # magic, type, key, payload_len, crc32
 _CRC_PREFIX = struct.Struct("<BQ")  # the checksummed part of the header
 
+#: Low bits of a PAGE frame's key hold the page number; the bits above
+#: hold the transaction id.  40 bits of page number at 4 KiB pages is
+#: 4 PiB of addressable file — effectively unbounded for this engine.
+PAGE_KEY_BITS = 40
+_PAGE_KEY_MASK = (1 << PAGE_KEY_BITS) - 1
+
 # Global WAL instrumentation (see repro.obs).
 _FRAMES = get_registry().counter("wal.frames")
 _BYTES = get_registry().counter("wal.bytes")
@@ -48,6 +72,8 @@ _COMMITS = get_registry().counter("wal.commits")
 _CHECKPOINTS = get_registry().counter("wal.checkpoints")
 _RECOVERIES = get_registry().counter("wal.recoveries")
 _FRAMES_REPLAYED = get_registry().counter("wal.frames_replayed")
+_FSYNCS = get_registry().counter("wal.fsyncs")
+_GROUP_BATCHED = get_registry().counter("wal.group_commit.batched")
 
 
 @dataclass
@@ -96,101 +122,181 @@ def decode_meta_payload(payload: bytes) -> tuple[str, bytes]:
 
 
 class WriteAheadLog:
-    """Append-only frame log next to a pager's main file."""
+    """Append-only frame log next to a pager's main file.
 
-    def __init__(self, path: str) -> None:
+    Safe for concurrent appenders: every file mutation happens under one
+    internal lock, and commit durability goes through the group-commit
+    protocol described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        group_commit: bool = True,
+        group_window: float = 0.0,
+    ) -> None:
         self.path = path
+        self.group_commit = group_commit
+        self.group_window = group_window
         mode = "r+b" if os.path.exists(path) else "w+b"
         self._file = open(path, mode)
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._append_seq = 0  # frames appended so far
+        self._durable_seq = 0  # highest append_seq known fsynced
+        self._leader_active = False
 
     # -- appending ---------------------------------------------------------
 
-    def append_page(self, page_no: int, data: bytes) -> None:
-        self._append(FRAME_PAGE, page_no, data)
+    def append_page(self, page_no: int, data: bytes, txn_id: int = 0) -> None:
+        if page_no > _PAGE_KEY_MASK:
+            raise StorageError(f"page number {page_no} exceeds WAL key space")
+        self._append(FRAME_PAGE, (txn_id << PAGE_KEY_BITS) | page_no, data)
 
-    def append_meta(self, suffix: str, data: bytes) -> None:
-        self._append(FRAME_META, 0, encode_meta_payload(suffix, data))
+    def append_meta(self, suffix: str, data: bytes, txn_id: int = 0) -> None:
+        self._append(FRAME_META, txn_id, encode_meta_payload(suffix, data))
 
-    def append_commit(self) -> None:
+    def append_commit(self, txn_id: int = 0) -> None:
         """Write the commit frame and make the transaction durable."""
         fire("wal.commit.begin")
-        self._append(FRAME_COMMIT, 0, b"")
-        self.sync()
+        seq = self._append(FRAME_COMMIT, txn_id, b"")
+        if self.group_commit:
+            self._group_sync(seq)
+        else:
+            self.sync()
         _COMMITS.inc()
         fire("wal.commit.synced")
 
-    def _append(self, frame_type: int, key: int, payload: bytes) -> None:
+    def _append(self, frame_type: int, key: int, payload: bytes) -> int:
         crc = _checksum(frame_type, key, payload)
         frame = _HEADER.pack(MAGIC, frame_type, key, len(payload), crc) + payload
-        self._file.seek(0, os.SEEK_END)
-        # Two writes with a crash point between them: an injected crash at
-        # ``wal.frame.torn`` leaves a genuinely torn frame on disk, which
-        # is exactly what recovery's checksum pass must survive.
-        split = max(1, len(frame) // 2)
-        self._file.write(frame[:split])
-        self._file.flush()
-        fire("wal.frame.torn")
-        self._file.write(frame[split:])
-        self._file.flush()
+        with self._lock:
+            self._file.seek(0, os.SEEK_END)
+            # Two writes with a crash point between them: an injected crash
+            # at ``wal.frame.torn`` leaves a genuinely torn frame on disk,
+            # which is exactly what recovery's checksum pass must survive.
+            split = max(1, len(frame) // 2)
+            self._file.write(frame[:split])
+            self._file.flush()
+            fire("wal.frame.torn")
+            self._file.write(frame[split:])
+            self._file.flush()
+            self._append_seq += 1
+            seq = self._append_seq
         _FRAMES.inc()
         _BYTES.inc(len(frame))
         fire("wal.frame.appended")
+        return seq
 
     def sync(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        with self._lock:
+            target = self._append_seq
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            _FSYNCS.inc()
+            if target > self._durable_seq:
+                self._durable_seq = target
+
+    def _group_sync(self, seq: int) -> None:
+        """Make frame ``seq`` durable, batching with concurrent commits.
+
+        Follower path: a concurrent leader's fsync already covered (or
+        will cover) our frame — wait for ``durable_seq`` to pass it and
+        count the saved fsync.  Leader path: snapshot the append
+        sequence, fsync once, publish the new durable horizon.
+        """
+        with self._cond:
+            while True:
+                if self._durable_seq >= seq:
+                    _GROUP_BATCHED.inc()
+                    return
+                if not self._leader_active:
+                    self._leader_active = True
+                    break
+                self._cond.wait()
+        try:
+            if self.group_window > 0:
+                # Let more followers append their COMMIT frames so one
+                # fsync below covers them all.
+                time.sleep(self.group_window)
+            with self._lock:
+                target = self._append_seq
+                self._file.flush()
+                fileno = self._file.fileno()
+            # fsync outside the lock: followers may keep appending (their
+            # frames simply ride the *next* fsync).
+            os.fsync(fileno)
+            _FSYNCS.inc()
+            with self._cond:
+                if target > self._durable_seq:
+                    self._durable_seq = target
+        finally:
+            with self._cond:
+                self._leader_active = False
+                self._cond.notify_all()
 
     # -- recovery ----------------------------------------------------------
 
     def scan(self) -> tuple[dict[int, bytes], dict[str, bytes], RecoveryReport]:
         """Read the log, returning committed pages/metas and a report.
 
-        Frames after the last COMMIT are counted as uncommitted and
-        dropped; the first torn or corrupt frame ends the scan (bytes
-        past it are unreachable by construction — the log is truncated
-        at every checkpoint, so nothing valid can follow a tear).
+        Pending frames are grouped by the transaction id packed into
+        their keys, and a COMMIT promotes only its own transaction's
+        frames — with concurrent writers the log interleaves frames from
+        several transactions, and one txn's commit must never publish
+        another's half-written pages.  Frames whose transaction never
+        committed are counted as uncommitted and dropped; the first torn
+        or corrupt frame ends the scan (bytes past it are unreachable by
+        construction — the log is truncated at every checkpoint, so
+        nothing valid can follow a tear).
         """
         report = RecoveryReport(wal_path=self.path)
-        self._file.seek(0, os.SEEK_END)
-        size = self._file.tell()
-        self._file.seek(0)
-        committed_pages: dict[int, bytes] = {}
-        committed_metas: dict[str, bytes] = {}
-        pending: list[tuple[int, int, bytes]] = []
-        offset = 0
-        while offset < size:
-            header = self._file.read(_HEADER.size)
-            if len(header) < _HEADER.size:
-                report.torn_bytes = size - offset
-                break
-            magic, frame_type, key, payload_len, crc = _HEADER.unpack(header)
-            if magic != MAGIC or frame_type not in (
-                FRAME_PAGE, FRAME_META, FRAME_COMMIT,
-            ):
-                report.torn_bytes = size - offset
-                break
-            payload = self._file.read(payload_len)
-            if len(payload) < payload_len or _checksum(
-                frame_type, key, payload
-            ) != crc:
-                report.torn_bytes = size - offset
-                break
-            offset += _HEADER.size + payload_len
-            report.frames_scanned += 1
-            if frame_type == FRAME_COMMIT:
-                report.commits += 1
-                for kind, frame_key, frame_payload in pending:
-                    if kind == FRAME_PAGE:
-                        committed_pages[frame_key] = frame_payload
-                        report.pages_replayed += 1
-                    else:
-                        suffix, data = decode_meta_payload(frame_payload)
-                        committed_metas[suffix] = data
-                        report.metas_replayed += 1
-                pending.clear()
-            else:
-                pending.append((frame_type, key, payload))
-        report.uncommitted_frames = len(pending)
+        with self._lock:
+            self._file.seek(0, os.SEEK_END)
+            size = self._file.tell()
+            self._file.seek(0)
+            committed_pages: dict[int, bytes] = {}
+            committed_metas: dict[str, bytes] = {}
+            pending: dict[int, list[tuple[int, int, bytes]]] = {}
+            offset = 0
+            while offset < size:
+                header = self._file.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    report.torn_bytes = size - offset
+                    break
+                magic, frame_type, key, payload_len, crc = _HEADER.unpack(header)
+                if magic != MAGIC or frame_type not in (
+                    FRAME_PAGE, FRAME_META, FRAME_COMMIT,
+                ):
+                    report.torn_bytes = size - offset
+                    break
+                payload = self._file.read(payload_len)
+                if len(payload) < payload_len or _checksum(
+                    frame_type, key, payload
+                ) != crc:
+                    report.torn_bytes = size - offset
+                    break
+                offset += _HEADER.size + payload_len
+                report.frames_scanned += 1
+                txn_id = key >> PAGE_KEY_BITS if frame_type == FRAME_PAGE else key
+                if frame_type == FRAME_COMMIT:
+                    report.commits += 1
+                    for kind, frame_key, frame_payload in pending.pop(txn_id, []):
+                        if kind == FRAME_PAGE:
+                            committed_pages[frame_key & _PAGE_KEY_MASK] = (
+                                frame_payload
+                            )
+                            report.pages_replayed += 1
+                        else:
+                            suffix, data = decode_meta_payload(frame_payload)
+                            committed_metas[suffix] = data
+                            report.metas_replayed += 1
+                else:
+                    pending.setdefault(txn_id, []).append(
+                        (frame_type, key, payload)
+                    )
+        report.uncommitted_frames = sum(len(v) for v in pending.values())
         if report.replayed:
             _RECOVERIES.inc()
             _FRAMES_REPLAYED.inc(
@@ -202,19 +308,22 @@ class WriteAheadLog:
 
     def truncate(self) -> None:
         """Drop every frame (end of checkpoint); durable before return."""
-        self._file.seek(0)
-        self._file.truncate(0)
-        self.sync()
+        with self._lock:
+            self._file.seek(0)
+            self._file.truncate(0)
+            self.sync()
         _CHECKPOINTS.inc()
         fire("wal.checkpoint.truncated")
 
     def size_bytes(self) -> int:
-        self._file.seek(0, os.SEEK_END)
-        return self._file.tell()
+        with self._lock:
+            self._file.seek(0, os.SEEK_END)
+            return self._file.tell()
 
     def close(self) -> None:
-        if not self._file.closed:
-            self._file.close()
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

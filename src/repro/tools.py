@@ -208,6 +208,39 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a generated history over the JSON socket protocol."""
+    from repro.server import Server
+    from repro.txn import TxnManager
+
+    setup = _build(args)
+    manager = TxnManager(
+        setup.archis.db, setup.archis, lock_timeout=args.lock_timeout
+    )
+    server = Server(
+        manager,
+        setup.archis,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_in_flight=args.max_in_flight,
+        queue_size=args.queue_size,
+    )
+    server.start()
+    host, port = server.address
+    print(f"serving on {host}:{port} ({args.workers} workers); Ctrl-C stops")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("stopping", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
 def cmd_recover(args) -> int:
     import os
 
@@ -343,6 +376,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_args(check)
     check.set_defaults(fn=cmd_check)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a generated history to concurrent sessions over TCP",
+    )
+    _add_dataset_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7171)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--max-in-flight", type=int, default=None,
+        help="cap on concurrently executing statements (default: workers)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=16,
+        help="accepted connections waiting for a worker before BUSY",
+    )
+    serve.add_argument("--lock-timeout", type=float, default=5.0)
+    serve.set_defaults(fn=cmd_serve)
 
     recover = commands.add_parser(
         "recover",

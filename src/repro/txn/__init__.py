@@ -1,0 +1,29 @@
+"""Concurrent-access subsystem: MVCC transactions over transaction time.
+
+See :mod:`repro.txn.manager` for the model.  Public surface:
+
+* :class:`TxnManager` — hands out snapshots and write transactions.
+* :class:`Snapshot` — lock-free reads AS OF a pinned commit day.
+* :class:`Transaction` — strict-2PL writes on a private commit day.
+* :class:`LockTable` — per-table exclusive locks with deadlock detection.
+"""
+
+from repro.txn.locks import LockTable
+from repro.txn.manager import (
+    ARCHIVE_RESOURCE,
+    CATALOG_RESOURCE,
+    DAY_GAP,
+    Snapshot,
+    Transaction,
+    TxnManager,
+)
+
+__all__ = [
+    "ARCHIVE_RESOURCE",
+    "CATALOG_RESOURCE",
+    "DAY_GAP",
+    "LockTable",
+    "Snapshot",
+    "Transaction",
+    "TxnManager",
+]

@@ -1,0 +1,227 @@
+"""Per-resource exclusive locks with deadlock detection.
+
+Write transactions lock whole tables (plus the pseudo-resources
+``#catalog`` for DDL and ``#archive`` for mutations the tracker mirrors
+into shared H-tables).  Locks are held to end of transaction (strict
+two-phase locking); read-only snapshot transactions never appear here at
+all — MVCC gives them a consistent view for free.
+
+Deadlocks are detected eagerly on every blocked acquire: each waiter
+waits for exactly one resource and each resource has one owner, so the
+wait-for graph is a functional graph and cycle detection is a chain
+walk.  The *requester* that would close a cycle is the victim — it gets
+a :class:`~repro.errors.DeadlockError` immediately instead of timing
+out, and should abort and retry.  A separate wall-clock timeout guards
+against non-cycle starvation (e.g. a stuck owner).
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic
+
+from repro.errors import DeadlockError, LockTimeoutError, TxnError
+from repro.obs.metrics import get_registry
+
+_ACQUIRED = get_registry().counter("txn.locks.acquired")
+_WAITS = get_registry().counter("txn.locks.waits")
+_DEADLOCKS = get_registry().counter("txn.deadlocks")
+_TIMEOUTS = get_registry().counter("txn.lock_timeouts")
+
+
+class HistoryLock:
+    """A reader-writer lock guarding the shared H-tables.
+
+    Snapshot reads hold the **read** side while they scan history;
+    update-log application (and any other H-table mutation) holds the
+    **write** side.  MVCC day filtering alone is not enough: applying an
+    entry *rewrites* rows (closing a version changes its ``tend``, which
+    can move the row within its page), so an unguarded concurrent scan
+    can miss a row entirely even when the entry's day is beyond the
+    snapshot.
+
+    The read side is re-entrant per thread — the XQuery path calls
+    ``apply_pending`` mid-read, which must become a no-op rather than a
+    self-deadlock (see :meth:`held_read`).  Writers are preferred: once
+    one waits, new first-acquisition readers queue behind it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        self._local = threading.local()
+
+    def held_read(self) -> bool:
+        """Is the calling thread inside the read side?"""
+        return getattr(self._local, "depth", 0) > 0
+
+    def acquire_read(self) -> None:
+        depth = getattr(self._local, "depth", 0)
+        if depth:
+            self._local.depth = depth + 1
+            return
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        self._local.depth = 1
+
+    def release_read(self) -> None:
+        self._local.depth -= 1
+        if self._local.depth:
+            return
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    class _Side:
+        def __init__(self, acquire, release):
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self):
+            self._acquire()
+
+        def __exit__(self, *exc):
+            self._release()
+
+    def read(self) -> "_Side":
+        return self._Side(self.acquire_read, self.release_read)
+
+    def write(self) -> "_Side":
+        return self._Side(self.acquire_write, self.release_write)
+
+
+class LockTable:
+    """Exclusive, re-entrant, per-resource locks keyed by transaction."""
+
+    def __init__(self, timeout: float = 5.0) -> None:
+        self.default_timeout = timeout
+        self._cond = threading.Condition()
+        self._owners: dict[str, int] = {}  # resource -> owning txn id
+        self._depth: dict[tuple[int, str], int] = {}  # re-entrancy count
+        self._waits: dict[int, str] = {}  # blocked txn -> awaited resource
+
+    def acquire(
+        self, txn_id: int, resource: str, timeout: float | None = None
+    ) -> None:
+        """Take ``resource`` exclusively for ``txn_id`` (re-entrant).
+
+        Raises :class:`DeadlockError` if waiting would close a wait-for
+        cycle, :class:`LockTimeoutError` after ``timeout`` seconds.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = monotonic() + timeout
+        waited = False
+        with self._cond:
+            while True:
+                owner = self._owners.get(resource)
+                if owner is None or owner == txn_id:
+                    self._owners[resource] = txn_id
+                    key = (txn_id, resource)
+                    self._depth[key] = self._depth.get(key, 0) + 1
+                    self._waits.pop(txn_id, None)
+                    _ACQUIRED.inc()
+                    return
+                self._waits[txn_id] = resource
+                if self._closes_cycle(txn_id):
+                    del self._waits[txn_id]
+                    _DEADLOCKS.inc()
+                    raise DeadlockError(
+                        f"txn {txn_id} waiting for {resource!r} (held by "
+                        f"txn {owner}) would deadlock; aborting the wait"
+                    )
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    del self._waits[txn_id]
+                    _TIMEOUTS.inc()
+                    raise LockTimeoutError(
+                        f"txn {txn_id} timed out after {timeout:.1f}s "
+                        f"waiting for {resource!r} (held by txn {owner})"
+                    )
+                if not waited:
+                    waited = True
+                    _WAITS.inc()
+                # Bounded wait so a cycle formed *while we sleep* (another
+                # txn starts waiting on a lock we hold) is re-checked.
+                self._cond.wait(min(remaining, 0.05))
+
+    def _closes_cycle(self, start: int) -> bool:
+        """Does the wait-for chain starting at ``start`` loop back?
+
+        Each transaction waits for at most one resource and each resource
+        has exactly one owner, so the graph is functional: follow
+        waiter → resource → owner until the chain ends or revisits.
+        """
+        current = start
+        seen: set[int] = set()
+        while True:
+            resource = self._waits.get(current)
+            if resource is None:
+                return False
+            owner = self._owners.get(resource)
+            if owner is None or owner == current:
+                return False
+            if owner == start:
+                return True
+            if owner in seen:
+                return False  # a cycle not involving the requester
+            seen.add(owner)
+            current = owner
+
+    def release(self, txn_id: int, resource: str) -> None:
+        with self._cond:
+            key = (txn_id, resource)
+            depth = self._depth.get(key)
+            if depth is None or self._owners.get(resource) != txn_id:
+                raise TxnError(
+                    f"txn {txn_id} does not hold lock on {resource!r}"
+                )
+            if depth > 1:
+                self._depth[key] = depth - 1
+                return
+            del self._depth[key]
+            del self._owners[resource]
+            self._cond.notify_all()
+
+    def release_all(self, txn_id: int) -> list[str]:
+        """Release every lock ``txn_id`` holds (end of transaction)."""
+        with self._cond:
+            held = [r for r, o in self._owners.items() if o == txn_id]
+            for resource in held:
+                del self._owners[resource]
+                self._depth.pop((txn_id, resource), None)
+            self._waits.pop(txn_id, None)
+            if held:
+                self._cond.notify_all()
+            return held
+
+    def held_by(self, txn_id: int) -> list[str]:
+        with self._cond:
+            return sorted(r for r, o in self._owners.items() if o == txn_id)
+
+    def stats(self) -> dict[str, int]:
+        with self._cond:
+            return {
+                "held": len(self._owners),
+                "waiting": len(self._waits),
+            }

@@ -6,7 +6,7 @@ from repro.archis import ArchIS
 from repro.rdb import ColumnType, Database
 
 
-def make_archis(profile="db2", umin=0.4, min_segment_rows=8):
+def make_archis(profile="db2", umin=0.4, min_segment_rows=8, **kwargs):
     db = Database()
     db.set_date("1995-01-01")
     db.create_table(
@@ -21,7 +21,7 @@ def make_archis(profile="db2", umin=0.4, min_segment_rows=8):
         primary_key=("id",),
     )
     archis = ArchIS(db, profile=profile, umin=umin,
-                    min_segment_rows=min_segment_rows)
+                    min_segment_rows=min_segment_rows, **kwargs)
     archis.track_table("employee", document_name="employees.xml")
     return archis
 

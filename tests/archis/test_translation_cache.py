@@ -7,7 +7,7 @@ cache must stay bounded.
 
 import pytest
 
-from repro.archis.system import _TRANSLATION_CACHE_SIZE
+from repro.archis.system import DEFAULT_TRANSLATION_CACHE_SIZE
 from repro.obs import get_registry
 
 from tests.archis.conftest import load_bob_history, make_archis
@@ -74,12 +74,56 @@ class TestTranslationCache:
 
     def test_cache_is_bounded(self, archis):
         load_bob_history(archis)
-        for i in range(_TRANSLATION_CACHE_SIZE + 10):
+        for i in range(DEFAULT_TRANSLATION_CACHE_SIZE + 10):
             archis.translation(
                 'for $s in doc("employees.xml")/employees/employee'
                 f'[id="{i}"]/salary return $s'
             )
-        assert len(archis._translation_cache) <= _TRANSLATION_CACHE_SIZE
+        assert (
+            len(archis._translation_cache) <= DEFAULT_TRANSLATION_CACHE_SIZE
+        )
+
+    def test_cache_size_is_configurable(self):
+        archis = make_archis(translation_cache_size=3)
+        load_bob_history(archis)
+        assert archis.stats()["translator"]["cache_capacity"] == 3
+        for i in range(10):
+            archis.translation(
+                'for $s in doc("employees.xml")/employees/employee'
+                f'[id="{i}"]/salary return $s'
+            )
+        assert len(archis._translation_cache) <= 3
+
+    def test_cache_size_must_be_positive(self):
+        with pytest.raises(Exception):
+            make_archis(translation_cache_size=0)
+
+    def test_cache_is_thread_safe_under_concurrent_translation(self):
+        import threading
+
+        archis = make_archis(translation_cache_size=8)
+        load_bob_history(archis)
+        failures = []
+
+        def translate(worker_id):
+            try:
+                for i in range(20):
+                    archis.translation(
+                        'for $s in doc("employees.xml")/employees/employee'
+                        f'[id="{(worker_id + i) % 12}"]/salary return $s'
+                    )
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=translate, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not failures, failures
+        assert len(archis._translation_cache) <= 8
 
     def test_reset_caches_clears_the_cache(self, archis):
         load_bob_history(archis)

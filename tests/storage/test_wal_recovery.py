@@ -231,6 +231,114 @@ class TestPagerCrashMatrix:
             )
 
 
+class TestConcurrentCrashMatrix:
+    """N writer threads committing tagged transactions while a crash
+    point is armed with process-death semantics (``crash_from`` kills
+    every thread that crosses the point from the N-th firing on).  On
+    reopen the durable state must be prefix-consistent: each writer's
+    committed transactions form a prefix of its sequence, every
+    acknowledged commit is durable, and no transaction is half-applied.
+    """
+
+    WRITERS = 4
+    TXNS_PER_WRITER = 3
+    PAGES_PER_TXN = 2
+
+    MATRIX = [
+        ("wal.commit.begin", 2),
+        ("wal.commit.begin", 5),
+        ("wal.frame.torn", 3),
+        ("wal.frame.torn", 9),
+        ("wal.frame.appended", 4),
+        ("wal.commit.synced", 2),
+    ]
+
+    def txn_id(self, writer, step):
+        return writer * self.TXNS_PER_WRITER + step + 1
+
+    def txn_pages(self, writer, step):
+        base = (self.txn_id(writer, step) - 1) * self.PAGES_PER_TXN
+        return range(base, base + self.PAGES_PER_TXN)
+
+    def fill(self, writer, step):
+        return bytes([0x10 + self.txn_id(writer, step)])
+
+    @pytest.mark.parametrize("point,occurrence", MATRIX)
+    def test_reopen_state_is_prefix_consistent(
+        self, tmp_path, point, occurrence
+    ):
+        import threading
+
+        db_path = str(tmp_path / "conc.db")
+        pager = Pager(db_path, group_commit=True, group_window=0.002)
+        total = self.WRITERS * self.TXNS_PER_WRITER * self.PAGES_PER_TXN
+        for _ in range(total):
+            pager.allocate()
+        pager.commit()
+        pager.checkpoint()  # baseline: all pages zeroed, empty log
+
+        acknowledged = []
+        ack_lock = threading.Lock()
+        failures = []
+
+        def writer(writer_id):
+            try:
+                for step in range(self.TXNS_PER_WRITER):
+                    txn = self.txn_id(writer_id, step)
+                    pager.set_wal_txn(txn)
+                    for no in self.txn_pages(writer_id, step):
+                        pager.write_page(no, page(self.fill(writer_id, step)))
+                    pager.commit()
+                    pager.clear_wal_txn()
+                    with ack_lock:
+                        acknowledged.append((writer_id, step))
+            except InjectedCrash:
+                return  # this thread's "process" died here
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,))
+            for w in range(self.WRITERS)
+        ]
+        with get_crash_points().crash_from(point, occurrence):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+        assert not failures, failures
+        assert not any(thread.is_alive() for thread in threads)
+
+        # crash: abandon the pager without close/checkpoint and reopen
+        recovered = Pager(db_path)
+        durable = set()
+        for writer_id in range(self.WRITERS):
+            for step in range(self.TXNS_PER_WRITER):
+                images = {
+                    recovered.read_page(no)[:1]
+                    for no in self.txn_pages(writer_id, step)
+                }
+                expected = self.fill(writer_id, step)
+                assert images in ({b"\x00"}, {expected}), (
+                    f"half-applied txn writer={writer_id} step={step}: "
+                    f"{images}"
+                )
+                if images == {expected}:
+                    durable.add((writer_id, step))
+        recovered.close()
+
+        # every acknowledged commit survived the crash
+        missing = set(acknowledged) - durable
+        assert not missing, f"acknowledged but lost: {sorted(missing)}"
+        # each writer commits sequentially, so its durable transactions
+        # must form a prefix of its sequence
+        for writer_id in range(self.WRITERS):
+            steps = sorted(s for w, s in durable if w == writer_id)
+            assert steps == list(range(len(steps))), (
+                f"non-prefix durable state for writer {writer_id}: {steps}"
+            )
+
+
 class TestDurabilitySatellites:
     def test_sync_fsyncs_file_backed_pager(self, db_path, monkeypatch):
         synced = []

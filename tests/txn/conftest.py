@@ -1,0 +1,30 @@
+"""Shared fixtures: a tracked employee relation under a TxnManager."""
+
+import pytest
+
+from repro.archis import ArchIS
+from repro.rdb import ColumnType, Database
+from repro.txn import TxnManager
+
+
+def make_managed(profile="atlas", **kwargs):
+    db = Database()
+    db.set_date("1995-01-01")
+    db.create_table(
+        "employee",
+        [
+            ("id", ColumnType.INT),
+            ("name", ColumnType.VARCHAR),
+            ("salary", ColumnType.INT),
+        ],
+        primary_key=("id",),
+    )
+    archis = ArchIS(db, profile=profile)
+    archis.track_table("employee", document_name="employees.xml")
+    manager = TxnManager(db, archis, **kwargs)
+    return archis, manager
+
+
+@pytest.fixture(params=["atlas", "db2"])
+def managed(request):
+    return make_managed(profile=request.param)
