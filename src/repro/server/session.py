@@ -2,10 +2,13 @@
 
 A session owns at most one write :class:`~repro.txn.manager.Transaction`
 at a time.  Reads outside a transaction are **snapshot auto-commit**:
-each SELECT runs against the session's pinned snapshot (re-pinned to the
-latest stable day with the ``snapshot`` op), so a client never blocks on
-writers.  DML outside a transaction auto-commits through a one-statement
-transaction.
+each SELECT runs against the session's pinned snapshot, so a client
+never blocks on writers.  DML outside a transaction auto-commits through
+a one-statement transaction.  Until the client pins a snapshot
+explicitly with the ``snapshot`` op, the session re-pins to the latest
+stable day after each of its own commits, so an autocommit INSERT is
+visible to the SELECT that follows it (read-your-writes); an explicit
+pin is kept until the client moves it.
 
 Requests and responses are plain dicts (see
 :mod:`repro.server.protocol`); :meth:`Session.handle` never raises —
@@ -18,6 +21,9 @@ from __future__ import annotations
 from repro.errors import ReproError, TxnError
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+from repro.sql.session import execute_statement
 from repro.xmlkit.dom import Element
 from repro.xmlkit.serializer import serialize
 
@@ -56,6 +62,9 @@ class Session:
         self.id = session_id
         self.txn = None
         self._snapshot = manager.snapshot()
+        # False until the client issues a ``snapshot`` op; while False,
+        # the session re-pins after its own commits (read-your-writes).
+        self._pinned = False
 
     # -- dispatch ----------------------------------------------------------
 
@@ -112,6 +121,7 @@ class Session:
         txn = self._require_txn()
         txn.commit()
         self.txn = None
+        self._repin()
         return {"ok": True, "txn": txn.id, "day": txn.day}
 
     def _op_abort(self, request: dict) -> dict:
@@ -122,6 +132,7 @@ class Session:
 
     def _op_snapshot(self, request: dict) -> dict:
         self._snapshot = self.manager.snapshot(request.get("day"))
+        self._pinned = True
         return {"ok": True, "day": self._snapshot.day}
 
     def _op_sql(self, request: dict) -> dict:
@@ -142,13 +153,30 @@ class Session:
         return {"ok": True, "rowcount": result}
 
     def _autocommit(self, text: str, params):
-        """A statement outside any transaction: snapshot read or
-        one-statement write transaction."""
-        try:
-            return self._snapshot.sql(text, params)
-        except TxnError:
-            with self.manager.begin() as txn:
-                return txn.sql(text, params)
+        """A statement outside any transaction: SELECTs run on the
+        session snapshot, anything else through a one-statement write
+        transaction.  The split is decided by statement type — catching
+        the snapshot's read-only rejection instead would also re-execute
+        a SELECT whose TxnError had some unrelated cause."""
+        statement = parse_sql(text)
+        if isinstance(statement, ast.Select):
+            return self._snapshot.run(
+                execute_statement,
+                self.manager.db,
+                statement,
+                params,
+                text=text,
+            )
+        with self.manager.begin() as txn:
+            result = txn.sql(text, params)
+        self._repin()
+        return result
+
+    def _repin(self) -> None:
+        """After a commit: follow the session's own writes unless the
+        client holds an explicit pin."""
+        if not self._pinned:
+            self._snapshot = self.manager.snapshot()
 
     def _op_xquery(self, request: dict) -> dict:
         if self.archis is None:

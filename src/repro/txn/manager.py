@@ -211,6 +211,12 @@ class TxnManager:
         self._lock = threading.Lock()
         self._next_txn = 1
         self._active: dict[int, Transaction] = {}
+        # Set when a commit fails *after* its update-log entries were
+        # drained into the H-tables: abort() can no longer take them
+        # back out, so the in-process archive is untrustworthy and the
+        # manager refuses new work (reopening the database recovers —
+        # crash consistency is guaranteed by the txn-tagged WAL frames).
+        self._poisoned: str | None = None
         # The last day whose effects are fully committed.  Starts at the
         # database clock: everything written before the manager existed
         # is by definition committed.
@@ -230,6 +236,7 @@ class TxnManager:
 
     def begin(self) -> Transaction:
         """Start a write transaction on its own commit day."""
+        self._check_poisoned()
         with self._lock:
             txn_id = self._next_txn
             self._next_txn += 1
@@ -243,6 +250,7 @@ class TxnManager:
 
     def snapshot(self, day: int | None = None) -> Snapshot:
         """Pin a read snapshot (defaults to the latest stable day)."""
+        self._check_poisoned()
         if day is None:
             day = self.stable_day()
         _SNAPSHOTS.inc()
@@ -285,6 +293,7 @@ class TxnManager:
     def execute(self, txn: Transaction, text: str, params=None):
         """Run one statement inside ``txn`` on the calling thread."""
         self._check_active(txn)
+        self._check_poisoned()
         statement = parse_sql(text)
         resources = self._lock_resources(statement)
         for resource in resources:
@@ -344,6 +353,7 @@ class TxnManager:
 
     def commit(self, txn: Transaction) -> None:
         self._check_active(txn)
+        self._check_poisoned()
         with get_tracer().span("txn.commit", txn=txn.id, day=txn.day):
             txcontext.set_clock(txn.day)
             txcontext.set_undo_sink(None)
@@ -362,6 +372,24 @@ class TxnManager:
 
                         stage_archive(self.archis)
                 self.db.pager.commit()
+            except BaseException:
+                # With a log-tracking archive the transaction's entries
+                # may already be drained into the shared H-tables, and
+                # abort() cannot take them back out (discard_pending
+                # finds nothing; undo replay runs trigger-suppressed).
+                # Poison the manager so the divergent in-process state
+                # cannot serve further reads or writes.
+                if (
+                    self.archis is not None
+                    and getattr(self.archis.profile, "tracking", None)
+                    == "log"
+                ):
+                    self._poisoned = (
+                        f"commit of transaction {txn.id} failed after its "
+                        "changes were archived; reopen the database to "
+                        "recover a consistent state"
+                    )
+                raise
             finally:
                 txcontext.set_clock(None)
                 self.db.pager.clear_wal_txn()
@@ -431,6 +459,11 @@ class TxnManager:
         if txn.state != "active":
             raise TxnError(f"transaction {txn.id} is {txn.state}")
 
+    def _check_poisoned(self) -> None:
+        # abort() stays allowed so sessions can still tear down.
+        if self._poisoned is not None:
+            raise TxnError(self._poisoned)
+
     # -- archive integration ----------------------------------------------
 
     def apply_committed(self, include_day: int | None = None) -> None:
@@ -451,15 +484,22 @@ class TxnManager:
             # began — anything still pending is from a later day — and
             # applying now would rewrite H-rows under the active scan.
             return
-        uncommitted = self.active_days()
-        uncommitted.discard(include_day)
-        # the pending() check must happen *inside* the lock: a thread
-        # that is mid-apply has already drained the log, and a reader
-        # skipping past it here would see the H-tables with a version
-        # closed but its successor not yet inserted (a visibility hole)
+        # Both the pending() check and the active-day snapshot must be
+        # taken *inside* the lock.  The check: a thread mid-apply has
+        # already drained the log, and a reader skipping past it here
+        # would see the H-tables with a version closed but its successor
+        # not yet inserted (a visibility hole).  The active set: tracked
+        # DML holds the history write lock while appending its pending
+        # entries, so reading active_days() under the lock freezes the
+        # pending set — read before the lock, a transaction that begins
+        # and writes in the gap is missing from the stale set and its
+        # *uncommitted* entries get applied (and survive its abort,
+        # since discard_pending then finds nothing to discard).
         with self.history.write():
             if not self.db.update_log.pending():
                 return
+            uncommitted = self.active_days()
+            uncommitted.discard(include_day)
             self.archis.apply_log_entries(
                 lambda entry: entry.timestamp not in uncommitted
             )

@@ -72,6 +72,18 @@ class TestSqlOverTheWire:
             assert result["columns"] == ["id", "name", "salary"]
             assert result["rows"] == [[1, "Bob", 60000]]
 
+    def test_autocommit_read_your_writes(self, served):
+        """Without an explicit snapshot pin, a session's reads follow
+        its own commits — INSERT then SELECT on one connection sees the
+        new row, for autocommit and for explicit transactions alike."""
+        with connect(served) as client:
+            client.sql("INSERT INTO employee VALUES (1, 'Bob', 60000)")
+            assert client.sql(QUERY)["rows"] == [[1, "Bob", 60000]]
+            client.begin()
+            client.sql("UPDATE employee SET salary = 70000 WHERE id = 1")
+            client.commit()
+            assert client.sql(QUERY)["rows"] == [[1, "Bob", 70000]]
+
     def test_transaction_lifecycle(self, served):
         with connect(served) as writer, connect(served) as reader:
             writer.begin()

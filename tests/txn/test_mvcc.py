@@ -5,6 +5,7 @@ concurrent writers commit must be byte-identical to a single-threaded
 replay of the committed transactions up to the snapshot day.
 """
 
+import sys
 import threading
 
 import pytest
@@ -122,6 +123,78 @@ class TestAbortUndo:
             txn.sql("INSERT INTO employee VALUES (2, 'Eve', 1)")
         with pytest.raises(TxnError):
             txn.commit()
+
+
+class TestApplyCommittedOrdering:
+    def test_active_days_read_under_history_write_lock(self):
+        """Regression: the uncommitted-day set must be snapshotted
+        *inside* the history write lock.  Read before it, a transaction
+        that begins and runs tracked DML in the gap is missing from the
+        stale set, so its uncommitted entries get applied to the shared
+        H-tables — and survive its abort, because discard_pending then
+        finds nothing left to discard."""
+        archis, manager = make_managed(profile="atlas")
+        orig = manager.active_days
+        observed = []
+
+        def spy():
+            if sys._getframe(1).f_code.co_name == "apply_committed":
+                observed.append(manager.history._writer_active)
+            return orig()
+
+        manager.active_days = spy
+        with manager.begin() as txn:
+            txn.sql("INSERT INTO employee VALUES (1, 'Bob', 60000)")
+        assert observed, "apply_committed never read the active-day set"
+        assert all(observed)
+
+
+class TestCommitFailurePoisoning:
+    def test_failed_commit_after_archival_poisons_manager(self):
+        """Once a committing transaction's update-log entries are
+        drained into the H-tables, a failure in the durability tail
+        leaves in-process state abort() cannot repair — the manager
+        must refuse new work rather than serve divergent data."""
+        archis, manager = make_managed(profile="atlas")
+        txn = manager.begin()
+        txn.sql("INSERT INTO employee VALUES (1, 'Bob', 60000)")
+
+        def boom():
+            raise OSError("disk full")
+
+        manager.db.pager.commit = boom
+        with pytest.raises(OSError):
+            txn.commit()
+        del manager.db.pager.commit
+        with pytest.raises(TxnError, match="reopen"):
+            manager.begin()
+        with pytest.raises(TxnError, match="reopen"):
+            manager.snapshot()
+        with pytest.raises(TxnError, match="reopen"):
+            txn.sql("INSERT INTO employee VALUES (2, 'Eve', 1)")
+        # teardown stays possible: sessions abort on disconnect
+        txn.abort()
+
+    def test_failed_commit_under_trigger_tracking_can_abort(self):
+        """db2-profile archival is undo-tracked, so a failed commit is
+        still recoverable in process: abort restores both the base
+        table and the H-tables, and the manager keeps serving."""
+        archis, manager = make_managed(profile="db2")
+        txn = manager.begin()
+        txn.sql("INSERT INTO employee VALUES (1, 'Bob', 60000)")
+
+        def boom():
+            raise OSError("disk full")
+
+        manager.db.pager.commit = boom
+        with pytest.raises(OSError):
+            txn.commit()
+        del manager.db.pager.commit
+        txn.abort()
+        assert manager.snapshot().sql(QUERY).rows == []
+        assert (
+            manager.snapshot().run(archis.xquery, HISTORY_XQUERY) == []
+        )
 
 
 class TestReplayEquivalence:
