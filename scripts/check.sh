@@ -48,6 +48,13 @@ if [ -n "$STRAY_WAL" ]; then
 fi
 echo "no stray .tmp or WAL files left behind"
 
+echo "== batched-ingest smoke benchmark =="
+# Fails if batch apply is slower than row-at-a-time or produces
+# different archive state.  Writes to a scratch path so the committed
+# full-run BENCH_ingest.json is never clobbered by smoke numbers.
+PYTHONPATH=src timeout 300 python benchmarks/bench_ingest.py --smoke \
+    --out "$(mktemp --suffix=.json)"
+
 echo "== concurrency stress (bounded) =="
 # Snapshot-vs-replay consistency under concurrent clients, deadlock
 # breaking, group-commit batching — fails on leaked threads or sockets.

@@ -15,9 +15,12 @@ Public API (see README.md for a tour):
 - :class:`repro.txn.TxnManager` — MVCC snapshots + locked write txns
 - :class:`repro.server.Server` / :class:`repro.server.Client` — the
   multi-session socket front end (``python -m repro.tools serve``)
+- :class:`repro.api.Result` — the unified query-result surface
+- :class:`repro.archis.ArchISConfig` — one keyword-only config object
 """
 
-from repro.archis import ArchIS
+from repro.api import Result
+from repro.archis import ArchIS, ArchISConfig, BatchArchiver
 from repro.dataset import EmployeeHistoryGenerator
 from repro.nativexml import NativeXmlDatabase
 from repro.rdb import ColumnType, Database
@@ -30,7 +33,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ArchIS",
+    "ArchISConfig",
+    "BatchArchiver",
     "EmployeeHistoryGenerator",
+    "Result",
     "NativeXmlDatabase",
     "Client",
     "ColumnType",

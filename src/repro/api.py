@@ -1,0 +1,129 @@
+"""The unified query-result surface.
+
+Every read entry point of the engine — ``ArchIS.xquery``,
+``ArchIS.snapshot_rows``, the SQL session's SELECTs and
+``server.Client.execute`` — returns a :class:`Result`: the rows, the
+column names (when the source has any), the row count, and a ``stats``
+/ ``trace`` handle describing how the query ran.
+
+Compatibility: before this module existed those entry points returned
+bare lists (an XML forest, ``(id, value)`` tuples).  ``Result`` still
+*behaves* like that list — iteration, ``len``, indexing, equality
+against a plain list all work — but using it as one emits a
+``DeprecationWarning`` (once per process per operation).  New code
+should read ``result.rows`` explicitly.
+
+:class:`repro.sql.result.ResultSet` subclasses :class:`Result`; its
+sequence behaviour has always been documented API, so the subclass
+overrides the shims to stay silent.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_WARNED: set[str] = set()
+
+
+def _warn_legacy(operation: str) -> None:
+    """Emit the legacy-shape DeprecationWarning once per operation."""
+    if operation in _WARNED:
+        return
+    _WARNED.add(operation)
+    warnings.warn(
+        f"treating a Result like a bare list ({operation}) is deprecated; "
+        "use Result.rows",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class Result:
+    """Rows plus metadata, returned by every query entry point.
+
+    ``rows``
+        The result rows — tuples for relational results, XML
+        :class:`~repro.xmlkit.dom.Element` nodes (or scalars) for
+        XQuery forests.
+    ``columns``
+        Column names, or ``None`` when the source has no column
+        structure (an XML forest).
+    ``row_count``
+        ``len(rows)``; DML results carry the affected-row count here
+        with an empty ``rows`` list.
+    ``stats``
+        A dict of execution facts (elapsed seconds, translated SQL,
+        fallback reason, server day...) — whatever the producing entry
+        point knows.  Never ``None``; may be empty.
+    ``trace``
+        The root span of the query's trace when tracing captured one,
+        else ``None``.
+    """
+
+    __slots__ = ("rows", "columns", "_row_count", "stats", "trace")
+
+    def __init__(
+        self,
+        rows: list,
+        columns: list[str] | None = None,
+        row_count: int | None = None,
+        stats: dict | None = None,
+        trace: object | None = None,
+    ) -> None:
+        self.rows = rows
+        self.columns = columns
+        self._row_count = row_count
+        self.stats = stats if stats is not None else {}
+        self.trace = trace
+
+    @property
+    def row_count(self) -> int:
+        if self._row_count is not None:
+            return self._row_count
+        return len(self.rows)
+
+    #: alias matching DB-API naming (Client.execute callers expect it)
+    @property
+    def rowcount(self) -> int:
+        return self.row_count
+
+    def first(self):
+        return self.rows[0] if self.rows else None
+
+    # -- legacy list shim (deprecated) -------------------------------------
+
+    def __iter__(self):
+        _warn_legacy("iteration")
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        _warn_legacy("len()")
+        return len(self.rows)
+
+    def __getitem__(self, index):
+        _warn_legacy("indexing")
+        return self.rows[index]
+
+    def __contains__(self, item) -> bool:
+        _warn_legacy("membership test")
+        return item in self.rows
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Result):
+            return self.rows == other.rows
+        if isinstance(other, list):
+            _warn_legacy("comparison to a list")
+            return self.rows == other
+        return NotImplemented
+
+    # equality compares rows, but a Result is still usable as a dict key
+    # (identity hash, like the lists it replaces were not — strictly
+    # more permissive than before)
+    __hash__ = object.__hash__
+
+    def __repr__(self) -> str:
+        cols = f" columns={self.columns}" if self.columns else ""
+        return f"<{type(self).__name__}{cols} ({self.row_count} rows)>"
+
+
+__all__ = ["Result"]

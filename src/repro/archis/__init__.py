@@ -1,8 +1,10 @@
 """ArchIS: the paper's archival information system (core contribution)."""
 
+from repro.archis.batch import BatchArchiver
 from repro.archis.bitemporal import BitemporalArchive, BitemporalFact
 from repro.archis.blobstore import CompressedArchive
 from repro.archis.clustering import SegmentManager
+from repro.archis.config import ArchISConfig
 from repro.archis.compression import (
     CompressedBlock,
     compress_records,
@@ -16,6 +18,8 @@ from repro.archis.xmlversions import XmlVersionArchive
 
 __all__ = [
     "ArchIS",
+    "ArchISConfig",
+    "BatchArchiver",
     "BitemporalArchive",
     "BitemporalFact",
     "PROFILES",

@@ -17,6 +17,7 @@ The invariants of Section 6.1 hold for every tuple in a frozen segment:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 from repro.errors import ArchisError
@@ -80,6 +81,9 @@ class SegmentManager:
         #: boundary it would draw is at or above that floor, so no row
         #: can later land in a segment that does not cover its tstart.
         self.freeze_floor = None
+        # >0 while a batch holding freeze clearance runs (see
+        # ``suspend_freeze_checks``); ``maybe_freeze`` is a no-op then.
+        self._suspended = 0
 
     @property
     def segmented(self) -> bool:
@@ -123,6 +127,8 @@ class SegmentManager:
         """
         if self.umin is None:
             return False
+        if self._suspended:
+            return False
         if self.stats.total < self.min_rows:
             return False
         if self.stats.usefulness >= self.umin:
@@ -141,6 +147,45 @@ class SegmentManager:
                 return False
         self.freeze()
         return True
+
+    # -- batched-ingest clearance (one check per batch) --------------------------
+
+    def freeze_clearance(self, inserts: int, closes: int) -> bool:
+        """Can a batch with at most ``inserts`` inserts and ``closes``
+        closes be applied without any per-entry freeze check?
+
+        Usefulness after a batch prefix with ``i`` inserts and ``c``
+        closes is ``(live + i - c) / (total + i)``; for a fixed ``c``
+        that is monotonically increasing in ``i`` (every insert is
+        live), so the worst prefix is all-closes-first:
+        ``(live - closes) / total``.  When even that floor stays at or
+        above U_min — or no prefix can reach ``min_rows`` — no freeze
+        can trigger anywhere inside the batch and the per-entry
+        ``maybe_freeze`` calls may be suspended without changing a
+        single archived byte.  Returns ``False`` (no clearance) in any
+        case it cannot prove.
+        """
+        if self.umin is None:
+            return True
+        if self.stats.total + inserts < self.min_rows:
+            return True
+        if self.stats.total == 0:
+            return False
+        return (self.stats.live - closes) / self.stats.total >= self.umin
+
+    @contextlib.contextmanager
+    def suspend_freeze_checks(self):
+        """Make ``maybe_freeze`` a no-op for the scope.
+
+        Only valid under a proven :meth:`freeze_clearance`; the batch
+        archiver holds this for one batch so the usefulness check runs
+        once per batch instead of once per entry.
+        """
+        self._suspended += 1
+        try:
+            yield
+        finally:
+            self._suspended -= 1
 
     # -- the freeze operation (paper Section 6.1 steps 1-4) -------------------------
 

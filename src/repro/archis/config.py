@@ -1,0 +1,112 @@
+"""One configuration object for the whole engine facade.
+
+:class:`ArchISConfig` gathers every knob that used to be a scattered
+positional flag — profile selection, clustering thresholds, cache and
+buffer sizes, durability mode and the batched-ingest batch size — into
+a single keyword-only frozen dataclass consumed by
+``ArchIS.__init__``/``ArchIS.open``.  The old per-call flags still work
+as deprecated aliases (they build a config under the hood).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ArchisError
+
+#: default bound on the per-system XQuery → Translation LRU cache
+DEFAULT_TRANSLATION_CACHE_SIZE = 128
+
+#: sentinel for "caller did not pass this legacy flag"
+_UNSET = object()
+
+_WARNED_ALIASES: set[str] = set()
+
+
+@dataclass(frozen=True, kw_only=True)
+class ArchISConfig:
+    """Engine-wide settings (all keyword-only, all with defaults).
+
+    ``profile``
+        ``"atlas"`` (update-log tracking) or ``"db2"`` (triggers).
+    ``umin``
+        The clustering threshold U_min in (0, 1); ``None`` disables
+        segmentation (paper Fig. 9's unclustered comparison point).
+    ``min_segment_rows``
+        Minimum live-segment size before a freeze may trigger.
+    ``translation_cache_size``
+        Bound on the XQuery → Translation LRU cache.
+    ``batch_size``
+        Update-log entries archived per :class:`BatchArchiver` batch.
+        ``None`` keeps the row-at-a-time apply path.
+    ``durability``
+        Pager mode for file-backed archives: ``"wal"`` or ``"none"``.
+    ``buffer_pages``
+        Buffer-pool capacity for file-backed archives.
+    """
+
+    profile: str = "atlas"
+    umin: float | None = 0.4
+    min_segment_rows: int = 64
+    translation_cache_size: int = DEFAULT_TRANSLATION_CACHE_SIZE
+    batch_size: int | None = None
+    durability: str = "wal"
+    buffer_pages: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.translation_cache_size < 1:
+            raise ArchisError("translation_cache_size must be >= 1")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ArchisError("batch_size must be >= 1 (or None)")
+        if self.buffer_pages < 1:
+            raise ArchisError("buffer_pages must be >= 1")
+        if self.durability not in ("wal", "none"):
+            raise ArchisError(
+                f"unknown durability {self.durability!r}; use wal or none"
+            )
+
+    def replace(self, **changes) -> "ArchISConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def resolve_config(
+    config: ArchISConfig | None, **legacy
+) -> ArchISConfig:
+    """Fold deprecated per-call flags into a config.
+
+    ``legacy`` maps field names to values, with :data:`_UNSET` marking
+    flags the caller did not pass.  Passing both a ``config`` and an
+    explicit legacy flag is a conflict (which one wins would be a silent
+    guess); passing only legacy flags builds a config from them and
+    warns once per flag per process.
+    """
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if config is not None:
+        if passed:
+            raise ArchisError(
+                "pass either config= or the legacy flags "
+                f"({', '.join(sorted(passed))}), not both"
+            )
+        return config
+    for name in passed:
+        if name not in _WARNED_ALIASES:
+            _WARNED_ALIASES.add(name)
+            warnings.warn(
+                f"the {name}= flag is a deprecated alias; pass "
+                f"config=ArchISConfig({name}=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+    return ArchISConfig(**passed)
+
+
+__all__ = [
+    "ArchISConfig",
+    "DEFAULT_TRANSLATION_CACHE_SIZE",
+    "resolve_config",
+]

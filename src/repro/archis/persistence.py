@@ -97,19 +97,41 @@ def save_archive(archis) -> str:
     return path
 
 
-def load_archive(path: str, buffer_pages: int = 1024, durability: str = "wal"):
-    """Reopen a saved archive: Database + ArchIS, ready for queries."""
+def load_archive(
+    path: str,
+    buffer_pages: int | None = None,
+    durability: str | None = None,
+    config=None,
+):
+    """Reopen a saved archive: Database + ArchIS, ready for queries.
+
+    ``config`` (an :class:`~repro.archis.config.ArchISConfig`) supplies
+    the runtime knobs; the archive's own state — profile, U_min,
+    segment-manager counters — comes from the sidecar.  The bare
+    ``buffer_pages``/``durability`` arguments are kept for old callers
+    and override the config when given.
+    """
     from repro.archis.blobstore import CompressedTableInfo
+    from repro.archis.config import ArchISConfig
     from repro.archis.htables import TrackedRelation
     from repro.archis.system import ArchIS
     from repro.archis.tablefuncs import register_history_functions
     from repro.archis.tracker import HTableWriter, LogTracker, TriggerTracker
 
+    if config is None:
+        config = ArchISConfig()
+    if buffer_pages is not None:
+        config = config.replace(buffer_pages=buffer_pages)
+    if durability is not None:
+        config = config.replace(durability=durability)
+
     # Open (and thereby WAL-recover) the database *before* reading the
     # archive sidecar: a committed-but-uncheckpointed save is replayed by
     # recovery, which may atomically replace the sidecar we are about to
     # read.
-    db = Database.open(path, buffer_pages, durability=durability)
+    db = Database.open(
+        path, config.buffer_pages, durability=config.durability
+    )
     try:
         meta_path = sidecar_path(path)
         if not os.path.exists(meta_path):
@@ -128,9 +150,11 @@ def load_archive(path: str, buffer_pages: int = 1024, durability: str = "wal"):
     seg = payload["segments"]
     archis = ArchIS(
         db,
-        profile=payload["profile"],
-        umin=seg["umin"],
-        min_segment_rows=seg["min_rows"],
+        config=config.replace(
+            profile=payload["profile"],
+            umin=seg["umin"],
+            min_segment_rows=seg["min_rows"],
+        ),
     )
     archis.segments.live_segno = seg["live_segno"]
     archis.segments.live_start = seg["live_start"]

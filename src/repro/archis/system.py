@@ -21,6 +21,7 @@ from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from time import perf_counter
 
+from repro.api import Result
 from repro.errors import ArchisError, UnsupportedQueryError
 from repro.obs.explain import ExplainResult
 from repro.obs.metrics import get_registry
@@ -29,6 +30,12 @@ from repro.obs.tracer import get_tracer
 from repro.rdb.database import Database
 from repro.archis.blobstore import CompressedArchive
 from repro.archis.clustering import SegmentManager
+from repro.archis.config import (
+    DEFAULT_TRANSLATION_CACHE_SIZE,
+    _UNSET,
+    ArchISConfig,
+    resolve_config,
+)
 from repro.archis.htables import TrackedRelation, create_htables
 from repro.archis.publisher import history_rows, publish_relation
 from repro.archis.tracker import (
@@ -43,10 +50,6 @@ _XQUERY_SECONDS = get_registry().histogram("archis.xquery.seconds")
 _FALLBACKS = get_registry().labeled_counter("xquery.fallback")
 _CACHE_HITS = get_registry().counter("translator.cache_hits")
 _CACHE_MISSES = get_registry().counter("translator.cache_misses")
-
-#: default bound on the per-system XQuery → Translation LRU cache
-#: (override per system via ``ArchIS(translation_cache_size=...)``)
-DEFAULT_TRANSLATION_CACHE_SIZE = 128
 
 
 @dataclass(frozen=True)
@@ -77,18 +80,30 @@ class ArchIS:
     def __init__(
         self,
         db: Database | None = None,
-        profile: str = "atlas",
-        umin: float | None = 0.4,
-        min_segment_rows: int = 64,
-        translation_cache_size: int = DEFAULT_TRANSLATION_CACHE_SIZE,
+        profile: str = _UNSET,
+        umin: float | None = _UNSET,
+        min_segment_rows: int = _UNSET,
+        translation_cache_size: int = _UNSET,
+        *,
+        config: ArchISConfig | None = None,
     ) -> None:
-        if profile not in PROFILES:
-            raise ArchisError(f"unknown profile {profile!r}; use db2 or atlas")
-        if translation_cache_size < 1:
-            raise ArchisError("translation_cache_size must be >= 1")
+        config = resolve_config(
+            config,
+            profile=profile,
+            umin=umin,
+            min_segment_rows=min_segment_rows,
+            translation_cache_size=translation_cache_size,
+        )
+        if config.profile not in PROFILES:
+            raise ArchisError(
+                f"unknown profile {config.profile!r}; use db2 or atlas"
+            )
+        self.config = config
         self.db = db if db is not None else Database()
-        self.profile = PROFILES[profile]
-        self.segments = SegmentManager(self.db, umin, min_segment_rows)
+        self.profile = PROFILES[config.profile]
+        self.segments = SegmentManager(
+            self.db, config.umin, config.min_segment_rows
+        )
         self.relations: dict[str, TrackedRelation] = {}
         self.writers: dict[str, HTableWriter] = {}
         self.trackers: dict[str, object] = {}
@@ -103,7 +118,7 @@ class ArchIS:
         #: compression state) moves on.  Lookups, insertions and the
         #: hit/miss counters share one lock so concurrent sessions keep
         #: the LRU order intact and the counters exact.
-        self.translation_cache_size = translation_cache_size
+        self.translation_cache_size = config.translation_cache_size
         self._translation_cache: OrderedDict[str, list] = OrderedDict()
         self._cache_lock = threading.RLock()
         #: queries slower than ``slow_query_log.threshold`` seconds are
@@ -179,31 +194,58 @@ class ArchIS:
 
     # -- change flow ---------------------------------------------------------------
 
-    def apply_pending(self) -> int:
+    def apply_pending(
+        self, batch_size: int | None = _UNSET, durable: bool = False
+    ) -> int:
         """Drain the update log into H-tables (ATLaS profile).
 
         A no-op (returns 0) under trigger tracking, where archival is
         synchronous.  With a transaction manager attached, only entries
         of *committed* transactions are applied — readers running beside
         in-flight writers must never archive uncommitted changes.
+
+        ``batch_size`` selects the ingest path: ``None`` archives
+        row-at-a-time (the legacy path), an integer hands the drain to
+        the :class:`~repro.archis.batch.BatchArchiver` in batches of
+        that size (defaults to ``config.batch_size``).  Both produce
+        byte-identical H-tables.  ``durable=True`` additionally commits
+        one WAL frame per batch on a file-backed archive, making each
+        completed batch a crash-consistent recovery point.
         """
         if self.profile.tracking != "log":
             return 0
         if self.txn_manager is not None:
             self.txn_manager.apply_committed()
             return 0
-        return apply_log(self.db, self.writers)
+        if batch_size is _UNSET:
+            batch_size = self.config.batch_size
+        if batch_size is None:
+            return apply_log(self.db, self.writers)
+        from repro.archis.batch import BatchArchiver
 
-    def apply_log_entries(self, predicate) -> int:
+        return BatchArchiver(self, batch_size, durable=durable).apply()
+
+    def apply_log_entries(
+        self, predicate, batch_size: int | None = _UNSET
+    ) -> int:
         """Apply matching update-log entries (transaction-layer hook).
 
         Unlike :meth:`apply_pending` this does not consult the
         transaction manager — the manager calls it with its own
-        committed-entries predicate, under its apply lock.
+        committed-entries predicate, under its apply lock.  Batching
+        follows ``config.batch_size`` unless overridden; durability is
+        the caller's concern (the transaction layer commits the whole
+        transaction as one WAL frame).
         """
         if self.profile.tracking != "log":
             return 0
-        return apply_log(self.db, self.writers, predicate)
+        if batch_size is _UNSET:
+            batch_size = self.config.batch_size
+        if batch_size is None:
+            return apply_log(self.db, self.writers, predicate)
+        from repro.archis.batch import BatchArchiver
+
+        return BatchArchiver(self, batch_size, durable=False).apply(predicate)
 
     # -- publication ------------------------------------------------------------------
 
@@ -324,12 +366,19 @@ class ArchIS:
             plan, _ = run_rules(plan, ctx)
         return to_sql(plan)
 
-    def xquery(self, query: str, allow_fallback: bool = True) -> list:
+    def xquery(self, query: str, allow_fallback: bool = True) -> Result:
         """Answer a temporal XQuery against the (virtual) H-documents.
 
         The translated SQL/XML path is used when the query falls in the
         translatable subset; otherwise, with ``allow_fallback``, the H-views
         are published and the query evaluated natively (complete but slow).
+
+        Returns a :class:`~repro.api.Result` whose ``rows`` are the
+        answer forest (XML elements and/or scalars) and whose ``stats``
+        carry the translated SQL, the fallback reason (if any) and the
+        elapsed seconds.  The Result still compares/iterates like the
+        bare list this method used to return (with a
+        ``DeprecationWarning``).
 
         Emits an ``archis.xquery`` root span (children: ``xquery.translate``,
         ``sql.execute``, ``xquery.post`` — or ``xquery.native`` on
@@ -340,6 +389,7 @@ class ArchIS:
         started = perf_counter()
         sql_text: str | None = None
         fallback_reason: str | None = None
+        out: Result | None = None
         try:
             with tracer.span("archis.xquery", query=query) as span:
                 self.apply_pending()
@@ -353,19 +403,28 @@ class ArchIS:
                     if not allow_fallback:
                         raise
                     with tracer.span("xquery.native"):
-                        return self._native_fallback(query)
+                        out = Result(
+                            self._native_fallback(query),
+                            stats={"fallback_reason": fallback_reason},
+                        )
+                        return out
                 sql_text = translation.sql
                 span.set("sql", sql_text)
                 with tracer.span("sql.execute"):
                     result = self.db.sql(translation.sql, translation.params)
                 with tracer.span("xquery.post"):
                     if translation.post is not None:
-                        return translation.post(result)
-                    return result.xml()
+                        rows = translation.post(result)
+                    else:
+                        rows = result.xml()
+                out = Result(rows, stats={"sql": sql_text})
+                return out
         finally:
             elapsed = perf_counter() - started
             _XQUERY_COUNT.inc()
             _XQUERY_SECONDS.observe(elapsed)
+            if out is not None:
+                out.stats["seconds"] = elapsed
             self.slow_query_log.record(
                 query, elapsed, sql=sql_text, fallback_reason=fallback_reason
             )
@@ -386,11 +445,19 @@ class ArchIS:
 
     def snapshot_rows(
         self, relation_name: str, attribute: str, date: int
-    ) -> list[tuple]:
-        """(id, value) pairs of an attribute's snapshot at ``date``."""
+    ) -> Result:
+        """(id, value) pairs of an attribute's snapshot at ``date``.
+
+        Returns a :class:`~repro.api.Result` (columns ``id`` and the
+        attribute name) that still iterates/compares like the bare
+        list of pairs this method used to return.
+        """
         relation = self._relation(relation_name)
         table_name = relation.attribute_table(attribute)
+        columns = ["id", attribute]
+        stats = {"table": table_name, "date": date}
         segno = self.segments.segment_for(date)
+        stats["segno"] = segno
         if table_name in self.archive.compressed_tables and (
             segno != self.segments.live_segno
         ):
@@ -399,18 +466,24 @@ class ArchIS:
             seg_pos = table.schema.position("segno")
             tstart_pos = table.schema.position("tstart")
             tend_pos = table.schema.position("tend")
-            return [
-                (row[0], row[1])
-                for row in rows
-                if row[seg_pos] == segno
-                and row[tstart_pos] <= date <= row[tend_pos]
-            ]
+            stats["compressed"] = True
+            return Result(
+                [
+                    (row[0], row[1])
+                    for row in rows
+                    if row[seg_pos] == segno
+                    and row[tstart_pos] <= date <= row[tend_pos]
+                ],
+                columns,
+                stats=stats,
+            )
         result = self.db.sql(
             f"SELECT t.id, t.{attribute} FROM {table_name} t "
             f"WHERE t.segno = :segno AND t.tstart <= :d AND t.tend >= :d",
             {"segno": segno, "d": date},
         )
-        return list(result.rows)
+        stats["compressed"] = False
+        return Result(list(result.rows), columns, stats=stats)
 
     def max_increase_one_scan(
         self,
@@ -479,12 +552,26 @@ class ArchIS:
 
     @classmethod
     def open(
-        cls, path: str, buffer_pages: int = 1024, durability: str = "wal"
+        cls,
+        path: str,
+        buffer_pages: int = _UNSET,
+        durability: str = _UNSET,
+        *,
+        config: ArchISConfig | None = None,
     ) -> "ArchIS":
-        """Reopen an archive saved with :meth:`save` (runs WAL recovery)."""
+        """Reopen an archive saved with :meth:`save` (runs WAL recovery).
+
+        ``config`` supplies the runtime knobs (buffer pool, durability,
+        batch size, cache sizes); the archive's *state* — profile, U_min,
+        segment boundaries — always comes from the saved sidecar.  The
+        ``buffer_pages``/``durability`` flags are deprecated aliases.
+        """
         from repro.archis.persistence import load_archive
 
-        return load_archive(path, buffer_pages, durability=durability)
+        config = resolve_config(
+            config, buffer_pages=buffer_pages, durability=durability
+        )
+        return load_archive(path, config=config)
 
     @property
     def durability(self) -> str:
@@ -524,7 +611,22 @@ class ArchIS:
                 "group_commit_batched": get_registry().counter(
                     "wal.group_commit.batched"
                 ).value,
+                "commit_causes": dict(
+                    get_registry().labeled_counter("wal.commits.cause").values
+                ),
             },
+            "ingest": {
+                "batch_size": self.config.batch_size,
+                "batches": get_registry().counter("ingest.batches").value,
+                "entries": get_registry().counter("ingest.entries").value,
+                "clearance_granted": get_registry().counter(
+                    "ingest.clearance_granted"
+                ).value,
+                "clearance_denied": get_registry().counter(
+                    "ingest.clearance_denied"
+                ).value,
+            },
+            "config": self.config.as_dict(),
             "txn": (
                 self.txn_manager.stats()
                 if self.txn_manager is not None
@@ -575,7 +677,7 @@ class ArchIS:
         return ExplainResult(
             query=query,
             seconds=root.duration,
-            result_count=len(result),
+            result_count=result.row_count,
             physical_reads=misses.value - misses_before,
             cache_hits=hits.value - hits_before,
             root=root,

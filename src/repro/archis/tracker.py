@@ -48,6 +48,60 @@ class HTableWriter:
             attr: current.schema.position(attr)
             for attr in relation.attributes
         }
+        # Batched-ingest version cache: (table_name, key) → mutable
+        # [[rid, row], ...] of that key's live-segment versions.  Active
+        # only between begin_batch()/end_batch(); every mutation this
+        # writer performs keeps the cached pairs exactly what a fresh
+        # index scan would return, so one lookup per (key, table) serves
+        # a whole apply run instead of one scan per log entry.
+        self._cache: dict[tuple[str, int], list[list]] | None = None
+        self._cache_generation: tuple | None = None
+
+    # -- batched ingest (amortized lookups) ---------------------------------------
+
+    def key_of(self, row: tuple):
+        """The tracked key value of a current-table row."""
+        return row[self._key_pos]
+
+    def begin_batch(self) -> None:
+        """Start caching per-key version lookups (one apply run)."""
+        self._cache = {}
+        self._cache_generation = self.segments.generation
+
+    def end_batch(self) -> None:
+        self._cache = None
+        self._cache_generation = None
+
+    def warm(self, key: int) -> None:
+        """Prime the cache for ``key`` across the key table and every
+        attribute table — the batch archiver calls this in
+        ``(table, key)`` order so lookups happen as one clustered run."""
+        if self._cache is None:
+            return
+        self._cached_versions(self.db.table(self.relation.key_table), key)
+        for attr in self._attr_pos:
+            self._cached_versions(
+                self.db.table(self.relation.attribute_table(attr)), key
+            )
+
+    def _cached_versions(self, table: Table, key: int) -> list[list] | None:
+        """The cached live-segment versions of ``key``, or ``None`` when
+        no batch is active.  A freeze moves ``segments.generation`` and
+        rewrites every H-table, so any generation change drops the whole
+        cache before it can serve a stale row."""
+        if self._cache is None:
+            return None
+        generation = self.segments.generation
+        if generation != self._cache_generation:
+            self._cache.clear()
+            self._cache_generation = generation
+        slot = self._cache.get((table.name, key))
+        if slot is None:
+            slot = [
+                [rid, row] for rid, row in self._scan_versions(table, key)
+            ]
+            self._cache[(table.name, key)] = slot
+        return slot
 
     # -- row-level archival -------------------------------------------------------
 
@@ -108,7 +162,12 @@ class HTableWriter:
         table = self.db.table(table_name)
         tstart_pos = table.schema.position("tstart")
         tend_pos = table.schema.position("tend")
-        for rid, row in self._versions_of(table, key):
+        cached = self._cached_versions(table, key)
+        versions = (
+            cached if cached is not None else self._scan_versions(table, key)
+        )
+        for item in versions:
+            rid, row = item
             if row[tstart_pos] == when:
                 fresh = list(row)
                 if value is not None:
@@ -117,16 +176,23 @@ class HTableWriter:
                     )] = value
                 was_live = row[tend_pos] == FOREVER
                 fresh[tend_pos] = FOREVER
-                table.update_rid(rid, tuple(fresh))
+                new_rid = table.update_rid(rid, tuple(fresh))
+                if cached is not None:
+                    # keep the cached pair exactly what a rescan would
+                    # yield: the (possibly relocated) rid and the stored
+                    # (type-coerced) row
+                    item[0] = new_rid
+                    item[1] = table.schema.validate_row(tuple(fresh))
                 if not was_live:
                     self.segments.stats.live += 1
                 return
         if value is None:
-            table.insert((key, when, FOREVER, self.segments.live_segno))
+            new_row = (key, when, FOREVER, self.segments.live_segno)
         else:
-            table.insert(
-                (key, value, when, FOREVER, self.segments.live_segno)
-            )
+            new_row = (key, value, when, FOREVER, self.segments.live_segno)
+        rid = table.insert(new_row)
+        if cached is not None:
+            cached.append([rid, table.schema.validate_row(new_row)])
         self.segments.note_insert()
 
     def _close_history(
@@ -135,11 +201,24 @@ class HTableWriter:
         """Set tend of the live version of ``key`` in the live segment."""
         table = self.db.table(table_name)
         live_segno = self.segments.live_segno
+        tstart_pos = table.schema.position("tstart")
+        tend_pos = table.schema.position("tend")
         closed = 0
         skipped_same_day = False
         end = max(when - 1, 0)
-        for rid, row in self._live_rows(table, key, live_segno):
-            tstart = row[table.schema.position("tstart")]
+        cached = self._cached_versions(table, key)
+        if cached is not None:
+            candidates = [
+                item for item in cached if item[1][tend_pos] == FOREVER
+            ]
+        else:
+            candidates = [
+                [rid, row]
+                for rid, row in self._live_rows(table, key, live_segno)
+            ]
+        for item in candidates:
+            rid, row = item
+            tstart = row[tstart_pos]
             if same_day_ok and tstart == when:
                 # the version opened today will be rewritten in place by
                 # the upsert that follows (day-granular transaction time)
@@ -147,8 +226,11 @@ class HTableWriter:
                 continue
             new_row = list(row)
             final_end = max(tstart, end)
-            new_row[table.schema.position("tend")] = final_end
-            table.update_rid(rid, tuple(new_row))
+            new_row[tend_pos] = final_end
+            new_rid = table.update_rid(rid, tuple(new_row))
+            if cached is not None:
+                item[0] = new_rid
+                item[1] = table.schema.validate_row(tuple(new_row))
             closed += 1
             self.segments.note_close()
             if live_segno > 1 and tstart < self.segments.live_start:
@@ -201,7 +283,7 @@ class HTableWriter:
                 # version opened in; the first miss ends the walk
                 break
 
-    def _versions_of(self, table: Table, key: int):
+    def _scan_versions(self, table: Table, key: int):
         """All versions of ``key`` in the live segment (live or closed)."""
         id_pos = table.schema.position("id")
         seg_pos = table.schema.position("segno")
@@ -302,23 +384,27 @@ def apply_log(
     """
     applied = 0
     with get_tracer().span("archis.apply_log") as span:
-        # Apply in day order, not log order: concurrent transactions
-        # interleave in the log by execution order, and the segment
-        # manager's freeze boundary relies on archive timestamps never
-        # going backwards.  The sort is stable, so entries that share a
-        # day (one transaction's statements) keep their relative order.
-        for entry in sorted(
-            db.update_log.drain(predicate), key=lambda e: e.timestamp
-        ):
+        # Day order, not log order — see UpdateLog.drain_ordered.
+        for entry in db.update_log.drain_ordered(predicate):
             writer = writers.get(entry.table)
             if writer is None:
                 continue
-            if entry.op == "insert":
-                writer.archive_insert(entry.row, entry.timestamp)
-            elif entry.op == "update":
-                writer.archive_update(entry.row, entry.old, entry.timestamp)
-            elif entry.op == "delete":
-                writer.archive_delete(entry.row, entry.timestamp)
+            dispatch_entry(writer, entry)
             applied += 1
         span.set("applied", applied)
     return applied
+
+
+def dispatch_entry(writer: HTableWriter, entry) -> None:
+    """Archive one update-log entry through ``writer``.
+
+    Shared by the row-at-a-time :func:`apply_log` and the
+    :class:`~repro.archis.batch.BatchArchiver` so both paths perform the
+    identical mutation per entry.
+    """
+    if entry.op == "insert":
+        writer.archive_insert(entry.row, entry.timestamp)
+    elif entry.op == "update":
+        writer.archive_update(entry.row, entry.old, entry.timestamp)
+    elif entry.op == "delete":
+        writer.archive_delete(entry.row, entry.timestamp)

@@ -63,8 +63,13 @@ def build_archis(
     db = Database()
     db.set_date("1985-01-01")
     EmployeeHistoryGenerator.create_current_table(db)
+    from repro.archis import ArchISConfig
+
     archis = ArchIS(
-        db, profile=profile, umin=umin, min_segment_rows=min_segment_rows
+        db,
+        config=ArchISConfig(
+            profile=profile, umin=umin, min_segment_rows=min_segment_rows
+        ),
     )
     archis.track_table("employee", document_name="employees.xml")
     events = generator.apply_to(db)
@@ -113,7 +118,7 @@ def _measure_cold(run_query, root_name: str) -> Measurement:
     return Measurement(
         seconds=root.duration,
         physical_reads=reads,
-        result_size=len(result),
+        result_size=len(getattr(result, "rows", result)),
         translate_seconds=root.stage_seconds("xquery.translate"),
         execute_seconds=root.stage_seconds("sql.execute"),
         cache_hit_rate=hit_count / total if total else 0.0,
@@ -188,7 +193,7 @@ def verify_equivalence(setup: BenchSetup, queries: list[BenchQuery]) -> None:
         return value
 
     for query in queries:
-        a = canon(setup.archis.xquery(query.xquery, allow_fallback=False))
+        a = canon(setup.archis.xquery(query.xquery, allow_fallback=False).rows)
         b = canon(setup.native.xquery(query.xquery))
         if a != b:
             raise AssertionError(

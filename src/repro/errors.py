@@ -105,6 +105,15 @@ class ProtocolError(ServerError):
     """A malformed frame or request reached the server or client."""
 
 
+class UnsupportedVersionError(ProtocolError):
+    """The peer speaks a wire-protocol version this build does not.
+
+    The server answers requests carrying an unknown ``v`` field with a
+    structured ``UNSUPPORTED_VERSION`` error (code, the offered version
+    and the supported ones) instead of a confusing decode failure.
+    """
+
+
 class ArchisError(ReproError):
     """ArchIS system-level failure (tracking, clustering, compression)."""
 

@@ -83,6 +83,22 @@ class UpdateLog:
             self._pending = [e for e in self._pending if not predicate(e)]
             return out
 
+    def drain_ordered(
+        self, predicate: Callable[[LogEntry], bool] | None = None
+    ) -> list[LogEntry]:
+        """:meth:`drain`, with the result sorted into archive order.
+
+        Archival applies entries in day order, not append order:
+        concurrent transactions interleave in the log by execution
+        order, and the segment manager's freeze boundary relies on
+        archive timestamps never going backwards.  The sort is stable,
+        so entries sharing a day (one transaction's statements) keep
+        their relative order.  Both the row-at-a-time archiver and the
+        :class:`~repro.archis.batch.BatchArchiver` consume this, so the
+        two paths see the identical entry sequence.
+        """
+        return sorted(self.drain(predicate), key=lambda e: e.timestamp)
+
     def discard_pending(
         self, predicate: Callable[[LogEntry], bool]
     ) -> list[LogEntry]:

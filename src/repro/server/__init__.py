@@ -10,12 +10,19 @@ with :class:`~repro.server.client.Client`.
 """
 
 from repro.server.client import Client
-from repro.server.protocol import recv_message, send_message
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    recv_message,
+    send_message,
+)
 from repro.server.server import Server
 from repro.server.session import Session
 
 __all__ = [
     "Client",
+    "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "Server",
     "Session",
     "recv_message",

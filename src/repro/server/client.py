@@ -9,12 +9,28 @@ from __future__ import annotations
 
 import socket
 
-from repro.errors import ProtocolError, ServerBusyError, ServerError
-from repro.server.protocol import recv_message, send_message
+from repro.api import Result
+from repro.errors import (
+    ProtocolError,
+    ServerBusyError,
+    ServerError,
+    UnsupportedVersionError,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    recv_message,
+    send_message,
+)
 
 
 class Client:
-    """One connection to a :class:`~repro.server.server.Server`."""
+    """One connection to a :class:`~repro.server.server.Server`.
+
+    Every request this client builds carries the protocol version
+    (``"v"``); a server that does not speak it answers with a
+    structured ``UNSUPPORTED_VERSION`` error, surfaced here as
+    :class:`~repro.errors.UnsupportedVersionError`.
+    """
 
     def __init__(
         self, host: str, port: int, timeout: float | None = 30.0
@@ -22,7 +38,13 @@ class Client:
         self._sock = socket.create_connection((host, port), timeout=timeout)
 
     def request(self, message: dict) -> dict:
-        """Send one request and return the raw response dict."""
+        """Send one request and return the raw response dict.
+
+        The message is sent as given — ``request`` is the raw escape
+        hatch (and what the protocol tests use to impersonate clients
+        of other versions); the convenience wrappers below stamp the
+        protocol version themselves.
+        """
         send_message(self._sock, message)
         response = recv_message(self._sock)
         if response is None:
@@ -30,18 +52,43 @@ class Client:
         return response
 
     def _checked(self, message: dict) -> dict:
+        message.setdefault("v", PROTOCOL_VERSION)
         response = self.request(message)
         if not response.get("ok"):
             error = response.get("error", "ServerError")
             detail = response.get("message", "")
             if error == "ServerBusyError":
                 raise ServerBusyError(detail)
+            if error == "UnsupportedVersionError":
+                exc = UnsupportedVersionError(detail)
+                exc.remote_error = error
+                exc.code = response.get("code")
+                exc.supported = response.get("supported")
+                raise exc
             exc = ServerError(f"{error}: {detail}")
             exc.remote_error = error
             raise exc
         return response
 
     # -- convenience wrappers ----------------------------------------------
+
+    def execute(self, text: str, params: dict | None = None) -> Result:
+        """Run one SQL statement, returning a unified
+        :class:`~repro.api.Result`.
+
+        SELECTs carry rows (as lists — JSON has no tuples) and column
+        names; DML carries an empty ``rows`` with ``row_count`` set to
+        the affected-row count.
+        """
+        response = self.sql(text, params)
+        stats = dict(response.get("stats") or {})
+        if "columns" in response:
+            return Result(
+                response["rows"], list(response["columns"]), stats=stats
+            )
+        return Result(
+            [], None, row_count=int(response.get("rowcount", 0)), stats=stats
+        )
 
     def ping(self) -> bool:
         return bool(self._checked({"op": "ping"}).get("pong"))

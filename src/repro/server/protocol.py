@@ -1,11 +1,11 @@
 """The wire protocol: length-prefixed JSON messages.
 
 Every message — request or response — is a UTF-8 JSON object preceded by
-a 4-byte big-endian length.  Requests carry an ``op`` plus op-specific
-fields; responses carry ``ok`` (bool) plus either the result fields or
-``error``/``message``:
+a 4-byte big-endian length.  Requests carry an ``op``, an optional
+protocol version ``v``, plus op-specific fields; responses carry ``ok``
+(bool) plus either the result fields or ``error``/``message``:
 
-    {"op": "sql", "text": "SELECT ...", "params": {...}}
+    {"op": "sql", "v": 1, "text": "SELECT ...", "params": {...}}
     {"ok": true, "columns": [...], "rows": [[...], ...]}
     {"ok": false, "error": "DeadlockError", "message": "..."}
 
@@ -13,6 +13,13 @@ Operations: ``ping``, ``sql``, ``xquery``, ``begin``, ``commit``,
 ``abort``, ``snapshot`` (pin / re-pin the session's read snapshot),
 ``stats``.  The server answers ``BUSY`` (``error = "ServerBusyError"``)
 when admission control rejects a request.
+
+Versioning: this build speaks :data:`PROTOCOL_VERSION`.  A request whose
+``v`` is a version the server does not support gets a structured
+``UNSUPPORTED_VERSION`` error (``error = "UnsupportedVersionError"``,
+``code = "UNSUPPORTED_VERSION"``, plus ``offered``/``supported``
+fields) instead of a confusing decode failure.  Requests without ``v``
+are treated as version-1 legacy clients and accepted.
 """
 
 from __future__ import annotations
@@ -23,11 +30,36 @@ import struct
 
 from repro.errors import ProtocolError
 
+#: the wire-protocol version this build speaks
+PROTOCOL_VERSION = 1
+
+#: versions the server accepts (requests without ``v`` count as 1)
+SUPPORTED_VERSIONS = (1,)
+
 _LENGTH = struct.Struct(">I")
 
 #: refuse anything larger than this (a corrupt prefix otherwise reads as
 #: a multi-gigabyte allocation)
 MAX_MESSAGE_BYTES = 16 * 1024 * 1024
+
+
+def check_version(request: dict) -> dict | None:
+    """The ``UNSUPPORTED_VERSION`` response for ``request``, or ``None``
+    when its version is acceptable (missing ``v`` = legacy version 1)."""
+    offered = request.get("v", PROTOCOL_VERSION)
+    if offered in SUPPORTED_VERSIONS:
+        return None
+    return {
+        "ok": False,
+        "error": "UnsupportedVersionError",
+        "code": "UNSUPPORTED_VERSION",
+        "message": (
+            f"protocol version {offered!r} is not supported; this server "
+            f"speaks {', '.join(str(v) for v in SUPPORTED_VERSIONS)}"
+        ),
+        "offered": offered,
+        "supported": list(SUPPORTED_VERSIONS),
+    }
 
 
 def send_message(sock: socket.socket, message: dict) -> None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.errors import ReproError, TxnError
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
+from repro.server.protocol import check_version
 from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.sql.session import execute_statement
@@ -70,6 +71,10 @@ class Session:
 
     def handle(self, request: dict) -> dict:
         """Execute one request dict, returning the response dict."""
+        rejection = check_version(request)
+        if rejection is not None:
+            _ERRORS.inc()
+            return rejection
         op = request.get("op")
         if op not in _OPS:
             _ERRORS.inc()
@@ -184,7 +189,7 @@ class Session:
         text = request.get("text")
         if not isinstance(text, str):
             raise TxnError("xquery op needs a 'text' string")
-        results = self._snapshot.run(
+        result = self._snapshot.run(
             self.archis.xquery,
             text,
             allow_fallback=bool(request.get("allow_fallback", True)),
@@ -194,8 +199,13 @@ class Session:
             "day": self._snapshot.day,
             "results": [
                 serialize(item) if isinstance(item, Element) else item
-                for item in results
+                for item in result.rows
             ],
+            "stats": {
+                k: v
+                for k, v in result.stats.items()
+                if isinstance(v, (str, int, float, bool))
+            },
         }
 
     def _op_stats(self, request: dict) -> dict:

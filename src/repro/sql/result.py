@@ -2,21 +2,24 @@
 
 from __future__ import annotations
 
+from repro.api import Result
 from repro.xmlkit.dom import Element
 from repro.xmlkit.serializer import serialize
 
 
-class ResultSet:
+class ResultSet(Result):
     """Rows returned by a SELECT.
 
-    Supports iteration, indexing, and XML extraction for SQL/XML queries
-    (the translator's output column is a forest of elements).
+    A :class:`~repro.api.Result` whose sequence behaviour (iteration,
+    indexing, ``len``) is documented API rather than a deprecation shim,
+    plus XML extraction for SQL/XML queries (the translator's output
+    column is a forest of elements).
     """
 
     def __init__(self, columns: list[str], rows: list[tuple]) -> None:
-        self.columns = columns
-        self.rows = rows
+        super().__init__(rows, columns)
 
+    # sequence access is first-class here — no deprecation warnings
     def __iter__(self):
         return iter(self.rows)
 
@@ -26,8 +29,8 @@ class ResultSet:
     def __getitem__(self, index: int) -> tuple:
         return self.rows[index]
 
-    def first(self) -> tuple | None:
-        return self.rows[0] if self.rows else None
+    def __contains__(self, item) -> bool:
+        return item in self.rows
 
     def scalar(self):
         """The single value of a single-row, single-column result."""

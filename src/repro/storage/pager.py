@@ -273,7 +273,7 @@ class Pager:
             self.stats.writes += 1
         _WRITES.inc()
 
-    def commit(self) -> None:
+    def commit(self, cause: str = "txn") -> None:
         """Make this thread's transaction durable (COMMIT frame + fsync).
 
         Writes stay in the log (and the in-memory overlay) until the next
@@ -281,6 +281,8 @@ class Pager:
         ``none`` mode this is a plain flush + fsync of the main file.
         The group-commit wait happens *outside* the pager lock so other
         threads keep reading and writing pages while a leader fsyncs.
+        ``cause`` labels the ``wal.commits.cause`` counter ("txn",
+        "ingest", ...).
         """
         txn = self.wal_txn
         with self._lock:
@@ -291,7 +293,7 @@ class Pager:
             dirty = txn in self._dirty_txns
             self._dirty_txns.discard(txn)
         if dirty:
-            self._wal.append_commit(txn)
+            self._wal.append_commit(txn, cause=cause)
 
     def checkpoint(self) -> None:
         """Commit, then apply the log to the main file and truncate it.

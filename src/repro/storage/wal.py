@@ -74,6 +74,9 @@ _RECOVERIES = get_registry().counter("wal.recoveries")
 _FRAMES_REPLAYED = get_registry().counter("wal.frames_replayed")
 _FSYNCS = get_registry().counter("wal.fsyncs")
 _GROUP_BATCHED = get_registry().counter("wal.group_commit.batched")
+#: commit frames by what triggered them: "txn" (transaction commit /
+#: checkpoint), "ingest" (one frame per BatchArchiver batch), ...
+_COMMIT_CAUSES = get_registry().labeled_counter("wal.commits.cause")
 
 
 @dataclass
@@ -157,7 +160,7 @@ class WriteAheadLog:
     def append_meta(self, suffix: str, data: bytes, txn_id: int = 0) -> None:
         self._append(FRAME_META, txn_id, encode_meta_payload(suffix, data))
 
-    def append_commit(self, txn_id: int = 0) -> None:
+    def append_commit(self, txn_id: int = 0, cause: str = "txn") -> None:
         """Write the commit frame and make the transaction durable."""
         fire("wal.commit.begin")
         seq = self._append(FRAME_COMMIT, txn_id, b"")
@@ -166,6 +169,7 @@ class WriteAheadLog:
         else:
             self.sync()
         _COMMITS.inc()
+        _COMMIT_CAUSES.inc(cause)
         fire("wal.commit.synced")
 
     def _append(self, frame_type: int, key: int, payload: bytes) -> int:

@@ -77,7 +77,7 @@ def cmd_query(args) -> int:
     if query == "-":
         query = sys.stdin.read()
     results = setup.archis.xquery(query, allow_fallback=not args.no_fallback)
-    for item in results:
+    for item in results.rows:
         if hasattr(item, "name"):
             print(serialize(item))
         else:
@@ -273,11 +273,15 @@ def cmd_recover(args) -> int:
     else:
         print("catalog:        no sidecar")
     if os.path.exists(archive_sidecar(args.path)):
+        from repro.archis.config import ArchISConfig
         from repro.archis.system import ArchIS
         from repro.archis.validation import check_archive
 
         try:
-            archis = ArchIS.open(args.path, args.buffer_pages)
+            archis = ArchIS.open(
+                args.path,
+                config=ArchISConfig(buffer_pages=args.buffer_pages),
+            )
             violations = check_archive(archis)
             if violations:
                 print(f"archive:        {len(violations)} invariant violations")

@@ -371,6 +371,9 @@ class TxnManager:
                         from repro.archis.persistence import stage_archive
 
                         stage_archive(self.archis)
+                # default cause ("txn") labels the wal.commits.cause
+                # counter; passed implicitly so test doubles with narrower
+                # signatures keep working
                 self.db.pager.commit()
             except BaseException:
                 # With a log-tracking archive the transaction's entries
@@ -473,6 +476,15 @@ class TxnManager:
         flight stay pending (they are not committed yet); ``include_day``
         lets a committing transaction apply its own entries.  No-op
         unless an ATLaS-profile archive is attached.
+
+        The drain itself goes through ``archis.apply_log_entries``,
+        which honours the archive's configured ``batch_size``: with
+        batching on, committed entries are archived through the
+        :class:`~repro.archis.batch.BatchArchiver` (amortized H-table
+        lookups, one clustering check per batch) while this manager's
+        history write lock and day-order guarantees are unchanged —
+        durability stays one WAL commit frame per *transaction*, not
+        per batch.
         """
         if self.archis is None:
             return

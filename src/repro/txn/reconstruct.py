@@ -79,7 +79,7 @@ def snapshot_table(archis, relation_name: str, day: int) -> Table:
         keys = sorted(_alive_keys(archis, relation, day))
         values = {
             attribute: dict(
-                archis.snapshot_rows(relation_name, attribute, day)
+                archis.snapshot_rows(relation_name, attribute, day).rows
             )
             for attribute in relation.attributes
         }

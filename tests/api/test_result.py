@@ -1,0 +1,105 @@
+"""The Result facade: explicit surface, legacy list shims, warnings."""
+
+import warnings
+
+import pytest
+
+import repro.api
+from repro import Result
+from repro.sql.result import ResultSet
+
+
+@pytest.fixture(autouse=True)
+def reset_warned():
+    """Each test observes the once-per-process warning fresh."""
+    saved = set(repro.api._WARNED)
+    repro.api._WARNED.clear()
+    yield
+    repro.api._WARNED.clear()
+    repro.api._WARNED.update(saved)
+
+
+class TestExplicitSurface:
+    def test_rows_columns_and_counts(self):
+        result = Result([(1, "a"), (2, "b")], ["id", "name"])
+        assert result.rows == [(1, "a"), (2, "b")]
+        assert result.columns == ["id", "name"]
+        assert result.row_count == 2
+        assert result.rowcount == 2  # DB-API-flavoured alias
+        assert result.first() == (1, "a")
+
+    def test_dml_shape_carries_explicit_row_count(self):
+        result = Result([], None, row_count=7)
+        assert result.rows == []
+        assert result.row_count == 7
+        assert result.first() is None
+
+    def test_stats_defaults_to_mutable_empty_dict(self):
+        result = Result([])
+        assert result.stats == {}
+        result.stats["seconds"] = 0.5
+        assert Result([]).stats == {}  # not shared
+
+    def test_repr_mentions_shape(self):
+        text = repr(Result([(1,)], ["id"]))
+        assert "1" in text
+
+    def test_results_with_same_rows_compare_equal_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert Result([(1,)]) == Result([(1,)])
+            assert Result([(1,)]) != Result([(2,)])
+
+    def test_result_is_hashable(self):
+        assert len({Result([]), Result([])}) == 2
+
+
+class TestLegacyListShims:
+    def test_iteration_works_but_warns_once(self):
+        result = Result([(1,), (2,)])
+        with pytest.warns(DeprecationWarning, match="Result.rows"):
+            assert list(result) == [(1,), (2,)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert list(result) == [(1,), (2,)]  # second use: silent
+
+    def test_len_getitem_contains(self):
+        result = Result([(1,), (2,), (3,)])
+        with pytest.warns(DeprecationWarning):
+            assert len(result) == 3
+        with pytest.warns(DeprecationWarning):
+            assert result[0] == (1,)
+        with pytest.warns(DeprecationWarning):
+            assert (2,) in result
+
+    def test_equality_against_bare_list_warns(self):
+        result = Result([(1,)])
+        with pytest.warns(DeprecationWarning):
+            assert result == [(1,)]
+
+    def test_each_operation_warns_independently(self):
+        result = Result([(1,)])
+        with pytest.warns(DeprecationWarning):
+            list(result)  # warns for iteration (list() also probes len())
+        with pytest.warns(DeprecationWarning):
+            result[0]  # indexing still gets its own first warning
+
+
+class TestResultSetStaysSilent:
+    """ResultSet's sequence behaviour is documented API — no warnings."""
+
+    def test_sequence_protocol_is_silent(self):
+        rs = ResultSet(["id"], [(1,), (2,)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert list(rs) == [(1,), (2,)]
+            assert len(rs) == 2
+            assert rs[0] == (1,)
+            assert (1,) in rs
+
+    def test_resultset_is_a_result(self):
+        rs = ResultSet(["id"], [(1,)])
+        assert isinstance(rs, Result)
+        assert rs.rows == [(1,)]
+        assert rs.columns == ["id"]
+        assert rs.row_count == 1

@@ -1,0 +1,114 @@
+"""ArchISConfig: validation, legacy-flag resolution, plumbing into ArchIS."""
+
+import warnings
+
+import pytest
+
+import repro.archis.config as config_module
+from repro import ArchIS, ArchISConfig
+from repro.archis.config import resolve_config
+from repro.errors import ArchisError
+from repro.rdb import ColumnType, Database
+
+
+def make_db():
+    db = Database()
+    db.set_date("1995-01-01")
+    db.create_table(
+        "employee",
+        [("id", ColumnType.INT), ("salary", ColumnType.INT)],
+        primary_key=("id",),
+    )
+    return db
+
+
+@pytest.fixture(autouse=True)
+def reset_alias_warnings():
+    saved = set(config_module._WARNED_ALIASES)
+    config_module._WARNED_ALIASES.clear()
+    yield
+    config_module._WARNED_ALIASES.clear()
+    config_module._WARNED_ALIASES.update(saved)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = ArchISConfig()
+        assert config.profile == "atlas"
+        assert config.umin == 0.4
+        assert config.batch_size is None
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            ArchISConfig("atlas")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ArchISConfig().umin = 0.9
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"translation_cache_size": 0},
+            {"batch_size": 0},
+            {"buffer_pages": 0},
+            {"durability": "fsync-every-byte"},
+        ],
+    )
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ArchisError):
+            ArchISConfig(**bad)
+
+    def test_replace_revalidates(self):
+        config = ArchISConfig()
+        assert config.replace(batch_size=64).batch_size == 64
+        with pytest.raises(ArchisError):
+            config.replace(batch_size=-1)
+
+    def test_as_dict_round_trips(self):
+        config = ArchISConfig(umin=None, batch_size=32)
+        assert ArchISConfig(**config.as_dict()) == config
+
+
+class TestResolution:
+    def test_config_wins_when_alone(self):
+        config = ArchISConfig(umin=0.7)
+        assert resolve_config(config) is config
+
+    def test_config_plus_legacy_flag_is_a_conflict(self):
+        with pytest.raises(ArchisError, match="not both"):
+            resolve_config(ArchISConfig(), umin=0.7)
+
+    def test_unset_legacy_flags_do_not_conflict(self):
+        config = ArchISConfig()
+        assert resolve_config(config, umin=config_module._UNSET) is config
+
+    def test_legacy_flags_build_a_config_and_warn_once(self):
+        with pytest.warns(DeprecationWarning, match="umin"):
+            config = resolve_config(None, umin=0.9)
+        assert config.umin == 0.9
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolve_config(None, umin=0.8)  # second use: silent
+
+
+class TestArchISPlumbing:
+    def test_archis_accepts_config(self):
+        archis = ArchIS(make_db(), config=ArchISConfig(umin=None))
+        assert archis.config.umin is None
+        assert archis.segments.umin is None
+
+    def test_legacy_positional_flags_still_work_with_warning(self):
+        with pytest.warns(DeprecationWarning):
+            archis = ArchIS(make_db(), umin=0.6)
+        assert archis.config.umin == 0.6
+        assert archis.segments.umin == 0.6
+
+    def test_config_and_legacy_flags_conflict(self):
+        with pytest.raises(ArchisError, match="not both"):
+            ArchIS(make_db(), umin=0.6, config=ArchISConfig())
+
+    def test_stats_reports_the_config(self):
+        archis = ArchIS(make_db(), config=ArchISConfig(batch_size=17))
+        archis.track_table("employee")
+        assert archis.stats()["config"]["batch_size"] == 17

@@ -1,0 +1,95 @@
+"""Wire-protocol versioning and the Client.execute Result facade."""
+
+import pytest
+
+from repro.errors import UnsupportedVersionError
+from repro.server import PROTOCOL_VERSION, SUPPORTED_VERSIONS, Client, Server
+from repro.server.protocol import check_version
+
+from repro.api import Result
+from tests.txn.conftest import make_managed
+
+
+@pytest.fixture
+def served():
+    archis, manager = make_managed()
+    server = Server(manager, archis, workers=2).start()
+    host, port = server.address
+    try:
+        yield host, port
+    finally:
+        server.stop()
+
+
+class TestCheckVersion:
+    def test_current_version_is_supported(self):
+        assert PROTOCOL_VERSION in SUPPORTED_VERSIONS
+        assert check_version({"op": "ping", "v": PROTOCOL_VERSION}) is None
+
+    def test_missing_version_is_legacy_accept(self):
+        assert check_version({"op": "ping"}) is None
+
+    def test_mismatch_yields_structured_rejection(self):
+        rejection = check_version({"op": "ping", "v": 99})
+        assert rejection["ok"] is False
+        assert rejection["error"] == "UnsupportedVersionError"
+        assert rejection["code"] == "UNSUPPORTED_VERSION"
+        assert rejection["offered"] == 99
+        assert rejection["supported"] == list(SUPPORTED_VERSIONS)
+
+
+class TestOverTheWire:
+    def test_client_stamps_its_version(self, served):
+        host, port = served
+        with Client(host, port) as client:
+            assert client.ping() is True  # v=1 accepted end to end
+
+    def test_version_99_rejected_with_structured_error(self, served):
+        host, port = served
+        with Client(host, port) as client:
+            # the raw escape hatch lets a test impersonate a newer client
+            response = client.request({"op": "ping", "v": 99})
+            assert response["ok"] is False
+            assert response["code"] == "UNSUPPORTED_VERSION"
+            assert response["supported"] == list(SUPPORTED_VERSIONS)
+            assert client.ping() is True  # connection survived
+
+    def test_checked_path_raises_typed_error(self, served):
+        host, port = served
+        with Client(host, port) as client:
+            with pytest.raises(UnsupportedVersionError) as excinfo:
+                client._checked({"op": "ping", "v": 99})
+            assert excinfo.value.code == "UNSUPPORTED_VERSION"
+            assert excinfo.value.supported == list(SUPPORTED_VERSIONS)
+
+    def test_legacy_client_without_version_still_served(self, served):
+        host, port = served
+        with Client(host, port) as client:
+            response = client.request({"op": "ping"})
+            assert response["ok"] is True
+
+
+class TestClientExecute:
+    def test_select_returns_result_with_columns(self, served):
+        host, port = served
+        with Client(host, port) as client:
+            client.sql("INSERT INTO employee VALUES (1, 'Bob', 60000)")
+            client.snapshot()
+            result = client.execute(
+                "SELECT id, name, salary FROM employee ORDER BY id"
+            )
+        assert isinstance(result, Result)
+        assert result.columns == ["id", "name", "salary"]
+        assert result.rows == [[1, "Bob", 60000]]
+        assert result.row_count == 1
+
+    def test_dml_returns_result_with_row_count(self, served):
+        host, port = served
+        with Client(host, port) as client:
+            result = client.execute(
+                "INSERT INTO employee VALUES (2, 'Eve', 70000)"
+            )
+        assert isinstance(result, Result)
+        assert result.rows == []
+        assert result.row_count == 1
+        assert result.columns is None
