@@ -8,8 +8,9 @@ commit scenario; same-table writers serialize on the table lock and
 cannot batch by design).
 
 Emits ``BENCH_concurrency.json`` next to this file: one record per
-(clients, group_commit) cell with commit throughput, p50/p99 latency
-and the WAL fsync counters.
+(clients, group_commit) cell with commit throughput, client-observed
+p50/p95/p99 round-trip latency and server-side commit-latency quantiles
+(both via :meth:`Histogram.quantile`), and the WAL fsync counters.
 """
 
 import json
@@ -20,7 +21,7 @@ import time
 
 import pytest
 
-from repro.obs import get_registry
+from repro.obs import Histogram, get_registry
 from repro.rdb import ColumnType, Database
 from repro.server import Client, Server
 from repro.txn import TxnManager
@@ -28,12 +29,6 @@ from repro.txn import TxnManager
 CLIENT_COUNTS = (1, 4, 16)
 TXNS_PER_CLIENT = 25
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_concurrency.json")
-
-
-def percentile(samples, fraction):
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
-    return ordered[index]
 
 
 def run_cell(tmp, clients, group_commit):
@@ -51,6 +46,8 @@ def run_cell(tmp, clients, group_commit):
     manager = TxnManager(db)
     fsyncs0 = registry.counter("wal.fsyncs").value
     batched0 = registry.counter("wal.group_commit.batched").value
+    commit_hist = registry.histogram("txn.commit.seconds")
+    commit_hist.reset()  # per-cell server-side commit quantiles
 
     latencies = []
     lat_lock = threading.Lock()
@@ -93,13 +90,20 @@ def run_cell(tmp, clients, group_commit):
         count = db.sql(f"SELECT COUNT(*) FROM t{index}").scalar()
         assert count == TXNS_PER_CLIENT, (index, count)
     db.close()
+    # client-observed round-trip latencies through the quantile API
+    roundtrip = Histogram("bench.roundtrip.seconds")
+    for seconds in latencies:
+        roundtrip.observe(seconds)
     return {
         "clients": clients,
         "group_commit": group_commit,
         "transactions": total,
         "throughput_tps": round(total / wall, 1),
-        "p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
-        "p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+        "p50_ms": round(roundtrip.quantile(0.50) * 1000, 3),
+        "p95_ms": round(roundtrip.quantile(0.95) * 1000, 3),
+        "p99_ms": round(roundtrip.quantile(0.99) * 1000, 3),
+        "commit_p95_ms": round(commit_hist.quantile(0.95) * 1000, 3),
+        "commit_p99_ms": round(commit_hist.quantile(0.99) * 1000, 3),
         "wal_fsyncs": registry.counter("wal.fsyncs").value - fsyncs0,
         "group_commit_batched": registry.counter(
             "wal.group_commit.batched"
@@ -125,7 +129,8 @@ def test_concurrency_throughput_and_latency(results):
         f"\n== server throughput / latency vs clients "
         f"({TXNS_PER_CLIENT} txns per client) ==\n"
         f"  {'clients':>7} {'group':>6} {'tps':>8} {'p50 ms':>8} "
-        f"{'p99 ms':>8} {'fsyncs':>7} {'batched':>8}"
+        f"{'p95 ms':>8} {'p99 ms':>8} {'commit p99':>10} "
+        f"{'fsyncs':>7} {'batched':>8}"
     )
     lines = [header]
     for record in results:
@@ -133,7 +138,8 @@ def test_concurrency_throughput_and_latency(results):
             f"  {record['clients']:>7} "
             f"{'on' if record['group_commit'] else 'off':>6} "
             f"{record['throughput_tps']:>8} {record['p50_ms']:>8} "
-            f"{record['p99_ms']:>8} {record['wal_fsyncs']:>7} "
+            f"{record['p95_ms']:>8} {record['p99_ms']:>8} "
+            f"{record['commit_p99_ms']:>10} {record['wal_fsyncs']:>7} "
             f"{record['group_commit_batched']:>8}"
         )
     lines.append(f"  -> {RESULTS_PATH}")

@@ -14,6 +14,11 @@ else
     echo "== ruff == (not installed; skipping lint)"
 fi
 
+echo "== metric inventory lint =="
+# Every metric emitted under src/ must be documented in
+# repro.obs.METRIC_INVENTORY (its # HELP text in the exposition).
+python scripts/lint_metrics.py
+
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -x -q
 

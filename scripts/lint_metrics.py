@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Metric-inventory lint: every metric emitted in src/ must be documented.
+
+The inventory in ``repro.obs`` (``METRIC_INVENTORY``) is the contract
+the Prometheus exposition and the docs are built on.  This script
+regex-extracts every instrument registration under ``src/`` —
+
+    get_registry().counter("wal.frames")
+    registry.labeled_histogram("server.request.seconds", ...)
+
+— and fails when a registered name is missing from the inventory, so a
+new metric cannot ship undocumented (and un-HELP-ed in the exposition).
+
+Run from the repository root: ``python scripts/lint_metrics.py``
+(``scripts/check.sh`` runs it as a gate).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+#: ``.counter("name")`` etc. on a registry object, first argument a
+#: string literal (dynamic names cannot be linted and are not used)
+_REGISTRATION = re.compile(
+    r"\.(?:counter|labeled_counter|gauge|histogram|labeled_histogram)\(\s*"
+    r"['\"]([^'\"]+)['\"]"
+)
+
+
+def emitted_metrics() -> dict[str, list[str]]:
+    """Metric name -> files registering it, across every src/ module."""
+    found: dict[str, list[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in _REGISTRATION.finditer(text):
+            found.setdefault(match.group(1), []).append(
+                str(path.relative_to(ROOT))
+            )
+    return found
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    from repro.obs import METRIC_INVENTORY
+
+    emitted = emitted_metrics()
+    missing = sorted(set(emitted) - set(METRIC_INVENTORY))
+    if missing:
+        print(
+            "FAIL: metrics emitted in src/ but missing from "
+            "METRIC_INVENTORY in src/repro/obs/__init__.py:",
+            file=sys.stderr,
+        )
+        for name in missing:
+            files = ", ".join(sorted(set(emitted[name])))
+            print(f"  {name}  ({files})", file=sys.stderr)
+        return 1
+    print(
+        f"metric inventory ok: {len(emitted)} emitted names all documented "
+        f"({len(METRIC_INVENTORY)} inventory entries)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,9 @@ class Result:
         A dict of execution facts (elapsed seconds, translated SQL,
         fallback reason, server day...) — whatever the producing entry
         point knows.  Never ``None``; may be empty.
+        ``server.Client.execute`` adds ``trace_id``: the distributed
+        trace id the request travelled under, matching the server-side
+        root span and any slow-query log entries it produced.
     ``trace``
         The root span of the query's trace when tracing captured one,
         else ``None``.

@@ -18,6 +18,7 @@ The invariants of Section 6.1 hold for every tuple in a frozen segment:
 from __future__ import annotations
 
 import contextlib
+import time
 from dataclasses import dataclass
 
 from repro.errors import ArchisError
@@ -34,6 +35,10 @@ _USEFULNESS_AT_FREEZE = get_registry().histogram(
     "clustering.usefulness_at_freeze", DEFAULT_RATIO_BUCKETS
 )
 _LIVE_SEGNO = get_registry().gauge("clustering.live_segno")
+#: a freeze runs synchronously inside whatever archival apply triggered
+#: it — its duration is exactly how long that apply (and every waiter on
+#: the history lock) stalled
+_FREEZE_STALL = get_registry().histogram("ingest.freeze_stall.seconds")
 
 
 @dataclass
@@ -195,6 +200,7 @@ class SegmentManager:
         boundary = max(self.last_change, self.live_start)
         frozen_segno = self.live_segno
         usefulness = self.stats.usefulness
+        started = time.perf_counter()
         with get_tracer().span(
             "archis.freeze", segno=frozen_segno, usefulness=usefulness
         ) as span:
@@ -216,6 +222,7 @@ class SegmentManager:
             self.freeze_count += 1
             span.set("rows_rewritten", rewritten)
             span.set("live_rows_copied", live_count)
+        _FREEZE_STALL.observe(time.perf_counter() - started)
         _SEGMENTS_FROZEN.inc()
         _ROWS_REWRITTEN.inc(rewritten)
         _LIVE_COPIED.inc(live_count)

@@ -16,6 +16,7 @@ clustering, compression and the XQuery→SQL/XML translator:
 
 from __future__ import annotations
 
+import copy
 import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass
@@ -426,7 +427,11 @@ class ArchIS:
             if out is not None:
                 out.stats["seconds"] = elapsed
             self.slow_query_log.record(
-                query, elapsed, sql=sql_text, fallback_reason=fallback_reason
+                query,
+                elapsed,
+                sql=sql_text,
+                fallback_reason=fallback_reason,
+                trace_id=get_tracer().current_trace_id(),
             )
 
     def _native_fallback(self, query: str) -> list:
@@ -581,10 +586,15 @@ class ArchIS:
     # -- observability ----------------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """A full telemetry snapshot: metrics, cache, segments, slow log."""
+        """A full telemetry snapshot: metrics, cache, segments, slow log.
+
+        The returned structure is a deep copy: callers may mutate or
+        retain it without aliasing live registry internals, and two
+        snapshots never share state.
+        """
         pool = self.db.pool.stats
         pager = self.db.pager.stats
-        return {
+        return copy.deepcopy({
             "metrics": get_registry().snapshot(),
             "buffer": {
                 "hits": pool.hits,
@@ -649,7 +659,7 @@ class ArchIS:
             "slow_queries": [
                 asdict(entry) for entry in self.slow_query_log
             ],
-        }
+        })
 
     def explain(self, query: str, allow_fallback: bool = True) -> ExplainResult:
         """Run ``query`` with tracing forced on and report how it ran.

@@ -1,0 +1,73 @@
+"""Span export: append finished trace trees to a JSONL file.
+
+One line per finished *root* span; the whole tree is nested under it, so
+a line is a self-contained trace of one request.  Registered on the
+process tracer via :meth:`~repro.obs.tracer.Tracer.add_exporter` (the
+``repro.tools serve --span-log`` flag wires this up for the server):
+
+    {"trace_id": "4f...", "span_id": "9a...", "parent_id": null,
+     "name": "server.request", "start": ..., "end": ...,
+     "seconds": 0.0012, "attrs": {"op": "sql", ...}, "children": [...]}
+
+The writer holds a lock per line, so spans finishing on many worker
+threads interleave whole lines, never bytes.  Export failures are
+swallowed by the tracer — telemetry must never take down requests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+
+def span_to_record(span) -> dict:
+    """The JSONL record for one span (children nested recursively)."""
+    return {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start": span.start_time,
+        "end": span.end_time,
+        "seconds": span.duration,
+        "attrs": {
+            key: value
+            if isinstance(value, (str, int, float, bool, type(None)))
+            else repr(value)
+            for key, value in span.attrs.items()
+        },
+        "children": [span_to_record(child) for child in span.children],
+    }
+
+
+class JsonlSpanExporter:
+    """Appends every exported root span as one JSON line to ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def export(self, span) -> None:
+        line = json.dumps(
+            span_to_record(span), separators=(",", ":"), sort_keys=True
+        )
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "JsonlSpanExporter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+__all__ = ["JsonlSpanExporter", "span_to_record"]

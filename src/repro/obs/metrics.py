@@ -139,11 +139,117 @@ class Histogram:
         bounds = [*self.bounds, float("inf")]
         return list(zip(bounds, self.counts))
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating inside buckets.
+
+        The estimate assumes observations are uniformly distributed
+        within each bucket (the Prometheus ``histogram_quantile``
+        convention): the target rank is located in its bucket's
+        cumulative count and interpolated linearly between the bucket's
+        lower and upper bounds.  Values landing in the overflow bucket
+        clamp to the last finite bound — the histogram cannot know how
+        far beyond it they reached.  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+        if not total:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                if index >= len(self.bounds):
+                    # overflow bucket: unbounded above, clamp
+                    return float(self.bounds[-1]) if self.bounds else 0.0
+                lower = float(self.bounds[index - 1]) if index else 0.0
+                upper = float(self.bounds[index])
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+            cumulative += bucket_count
+        return float(self.bounds[-1]) if self.bounds else 0.0
+
+    def quantiles(self) -> dict[str, float]:
+        """The conventional latency summary: p50, p95, p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def reset(self) -> None:
         with self._lock:
             self.counts = [0] * (len(self.bounds) + 1)
             self.sum = 0.0
             self.count = 0
+
+
+class LabeledHistogram:
+    """A histogram family keyed by a free-form label (all same bounds).
+
+    Used where the latency *breakdown* matters as much as the aggregate
+    — e.g. ``server.request.seconds`` per protocol op.  The family also
+    maintains one aggregate histogram across every label, so overall
+    quantiles need no cross-label merging.
+    """
+
+    __slots__ = ("name", "bounds", "values", "aggregate", "label_key", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        bounds=DEFAULT_TIME_BUCKETS,
+        label_key: str = "label",
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        self.values: dict[str, Histogram] = {}
+        self.aggregate = Histogram(name, self.bounds)
+        #: label name used by the Prometheus exposition (e.g. ``op``)
+        self.label_key = label_key
+        self._lock = threading.Lock()
+
+    def observe(self, label: str, value: float) -> None:
+        with self._lock:
+            histogram = self.values.get(label)
+            if histogram is None:
+                histogram = self.values[label] = Histogram(
+                    f"{self.name}{{{label}}}", self.bounds
+                )
+        histogram.observe(value)
+        self.aggregate.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self.aggregate.count
+
+    @property
+    def sum(self) -> float:
+        return self.aggregate.sum
+
+    @property
+    def mean(self) -> float:
+        return self.aggregate.mean
+
+    def quantile(self, q: float) -> float:
+        """Aggregate quantile across every label."""
+        return self.aggregate.quantile(q)
+
+    def labels(self) -> list[tuple[str, Histogram]]:
+        """(label, histogram) pairs in sorted label order."""
+        with self._lock:
+            return sorted(self.values.items())
+
+    def reset(self) -> None:
+        with self._lock:
+            histograms = list(self.values.values())
+        for histogram in histograms:
+            histogram.reset()
+        self.aggregate.reset()
 
 
 class MetricsRegistry:
@@ -161,6 +267,7 @@ class MetricsRegistry:
         self._labeled: dict[str, LabeledCounter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._labeled_histograms: dict[str, LabeledHistogram] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -191,32 +298,96 @@ class MetricsRegistry:
                 instrument = self._histograms[name] = Histogram(name, bounds)
             return instrument
 
+    def labeled_histogram(
+        self,
+        name: str,
+        bounds=DEFAULT_TIME_BUCKETS,
+        label_key: str = "label",
+    ) -> LabeledHistogram:
+        with self._lock:
+            instrument = self._labeled_histograms.get(name)
+            if instrument is None:
+                instrument = self._labeled_histograms[name] = (
+                    LabeledHistogram(name, bounds, label_key)
+                )
+            return instrument
+
+    def names(self) -> list[str]:
+        """Every registered instrument name, sorted."""
+        with self._lock:
+            return sorted(
+                [
+                    *self._counters,
+                    *self._labeled,
+                    *self._gauges,
+                    *self._histograms,
+                    *self._labeled_histograms,
+                ]
+            )
+
+    def instrument(self, name: str) -> tuple[str, object]:
+        """``(kind, instrument)`` for one registered name.
+
+        ``kind`` is one of ``counter``, ``labeled_counter``, ``gauge``,
+        ``histogram``, ``labeled_histogram``.  Raises ``KeyError`` for
+        unknown names.
+        """
+        with self._lock:
+            for kind, table in (
+                ("counter", self._counters),
+                ("labeled_counter", self._labeled),
+                ("gauge", self._gauges),
+                ("histogram", self._histograms),
+                ("labeled_histogram", self._labeled_histograms),
+            ):
+                if name in table:
+                    return kind, table[name]
+        raise KeyError(name)
+
+    @staticmethod
+    def _histogram_data(histogram: Histogram) -> dict[str, object]:
+        data: dict[str, object] = {
+            "count": histogram.count,
+            "sum": histogram.sum,
+            "mean": histogram.mean,
+            "buckets": histogram.bucket_counts(),
+        }
+        data.update(histogram.quantiles())
+        return data
+
     def snapshot(self) -> dict[str, object]:
         """A plain-data view of every instrument, keyed by name.
 
         Counters and gauges map to numbers; labeled counters to
         ``{label: count}`` dicts; histograms to
-        ``{count, sum, mean, buckets}`` dicts.
+        ``{count, sum, mean, p50, p95, p99, buckets}`` dicts, labeled
+        histograms additionally carrying a per-label ``labels`` dict of
+        the same shape.  Every dict is freshly built and label keys are
+        sorted, so the snapshot is safe to mutate and deterministic to
+        render.
         """
         with self._lock:
             counters = list(self._counters.items())
             labeled = list(self._labeled.items())
             gauges = list(self._gauges.items())
             histograms = list(self._histograms.items())
+            labeled_histograms = list(self._labeled_histograms.items())
         out: dict[str, object] = {}
         for name, counter in counters:
             out[name] = counter.value
         for name, family in labeled:
-            out[name] = dict(family.values)
+            out[name] = dict(sorted(family.values.items()))
         for name, gauge in gauges:
             out[name] = gauge.value
         for name, histogram in histograms:
-            out[name] = {
-                "count": histogram.count,
-                "sum": histogram.sum,
-                "mean": histogram.mean,
-                "buckets": histogram.bucket_counts(),
+            out[name] = self._histogram_data(histogram)
+        for name, family in labeled_histograms:
+            data = self._histogram_data(family.aggregate)
+            data["labels"] = {
+                label: self._histogram_data(histogram)
+                for label, histogram in family.labels()
             }
+            out[name] = data
         return dict(sorted(out.items()))
 
     def reset(self) -> None:
@@ -227,6 +398,7 @@ class MetricsRegistry:
                 list(self._labeled.values()),
                 list(self._gauges.values()),
                 list(self._histograms.values()),
+                list(self._labeled_histograms.values()),
             ]
         for group in groups:
             for instrument in group:

@@ -1,0 +1,164 @@
+"""Prometheus text-exposition rendering of the metrics registry.
+
+Renders every instrument in the (or a) :class:`MetricsRegistry` in the
+Prometheus text format, version 0.0.4 — the format every scraper and
+``promtool`` understands:
+
+    # HELP repro_server_request_seconds ...
+    # TYPE repro_server_request_seconds histogram
+    repro_server_request_seconds_bucket{op="sql",le="0.001"} 4
+    ...
+
+Naming conventions (see DESIGN.md §4g):
+
+- every series is prefixed ``repro_`` and internal dots become
+  underscores (``server.request.seconds`` → ``repro_server_request_seconds``);
+- durations are in seconds and named ``*_seconds``; sizes in bytes are
+  ``*_bytes`` — the unit lives in the metric name, never in a label;
+- labeled counters expose their label as ``{label="..."}``; labeled
+  histograms use a metric-specific label name (``op`` for server
+  requests) carried by the instrument's ``label_key``;
+- each histogram additionally exposes ``<name>_quantile`` gauge series
+  (``{quantile="0.5"|"0.95"|"0.99"}``) holding the bucket-interpolated
+  estimates of :meth:`Histogram.quantile` — scrape-side
+  ``histogram_quantile`` needs rate windows; these give instant values
+  for dashboards and the ``repro.tools top`` monitor.
+
+Output is **deterministic**: metric names, label keys and label values
+are emitted in sorted order, so expositions diff cleanly and the golden
+test in ``tests/obs`` can pin the exact bytes.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Histogram,
+    LabeledHistogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+#: prefix of every exposed series
+PREFIX = "repro_"
+
+_QUANTILES = (("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99))
+
+
+def metric_name(name: str) -> str:
+    """The exposition name of an internal metric: prefixed, dots (and
+    any other non-identifier characters) flattened to underscores."""
+    safe = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return PREFIX + safe
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _header(lines: list[str], name: str, kind: str, help_text: str | None):
+    if help_text:
+        lines.append(f"# HELP {name} {_escape(help_text)}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def _render_histogram(
+    lines: list[str],
+    name: str,
+    histogram: Histogram,
+    label: str | None = None,
+) -> None:
+    """The ``_bucket``/``_sum``/``_count`` series of one histogram, with
+    an optional fixed label (for one member of a labeled family)."""
+    extra = f'{label},' if label else ""
+    cumulative = 0
+    for bound, count in histogram.bucket_counts():
+        cumulative += count
+        le = "+Inf" if bound == float("inf") else _format_value(float(bound))
+        lines.append(
+            f'{name}_bucket{{{extra}le="{le}"}} {cumulative}'
+        )
+    suffix = f"{{{label}}}" if label else ""
+    lines.append(f"{name}_sum{suffix} {_format_value(histogram.sum)}")
+    lines.append(f"{name}_count{suffix} {histogram.count}")
+
+
+def _render_quantiles(
+    lines: list[str], name: str, histogram: Histogram | LabeledHistogram
+) -> None:
+    _header(
+        lines,
+        f"{name}_quantile",
+        "gauge",
+        "bucket-interpolated quantile estimates",
+    )
+    for text, q in _QUANTILES:
+        lines.append(
+            f'{name}_quantile{{quantile="{text}"}} '
+            f"{_format_value(histogram.quantile(q))}"
+        )
+
+
+def render_prometheus(
+    registry: MetricsRegistry | None = None,
+    help_texts: dict[str, str] | None = None,
+) -> str:
+    """The full Prometheus text exposition of ``registry`` (the
+    process-wide one by default).  ``help_texts`` maps internal metric
+    names to ``# HELP`` lines; the documented inventory in
+    :mod:`repro.obs` is used when not given."""
+    if registry is None:
+        registry = get_registry()
+    if help_texts is None:
+        from repro.obs import METRIC_INVENTORY
+
+        help_texts = METRIC_INVENTORY
+    lines: list[str] = []
+    for name in sorted(registry.names()):
+        kind, instrument = registry.instrument(name)
+        exposed = metric_name(name)
+        help_text = help_texts.get(name)
+        if kind == "counter":
+            _header(lines, exposed, "counter", help_text)
+            lines.append(f"{exposed} {instrument.value}")
+        elif kind == "gauge":
+            _header(lines, exposed, "gauge", help_text)
+            lines.append(f"{exposed} {_format_value(instrument.value)}")
+        elif kind == "labeled_counter":
+            _header(lines, exposed, "counter", help_text)
+            for label, count in sorted(instrument.values.items()):
+                lines.append(
+                    f'{exposed}{{label="{_escape(label)}"}} {count}'
+                )
+        elif kind == "histogram":
+            _header(lines, exposed, "histogram", help_text)
+            _render_histogram(lines, exposed, instrument)
+            _render_quantiles(lines, exposed, instrument)
+        elif kind == "labeled_histogram":
+            _header(lines, exposed, "histogram", help_text)
+            for label, histogram in instrument.labels():
+                _render_histogram(
+                    lines,
+                    exposed,
+                    histogram,
+                    label=f'{instrument.label_key}="{_escape(label)}"',
+                )
+            _render_quantiles(lines, exposed, instrument)
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["PREFIX", "metric_name", "render_prometheus"]

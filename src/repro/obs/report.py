@@ -7,20 +7,35 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 
 
+def _histogram_lines(lines: list[str], name: str, value: dict) -> None:
+    lines.append(
+        f"{name:<36s} count={value['count']:<8d} "
+        f"mean={value['mean'] * 1000:.3f}ms sum={value['sum']:.4f}s"
+    )
+    lines.append(
+        f"{'':<38s}p50 {value['p50'] * 1000:.3f}ms  "
+        f"p95 {value['p95'] * 1000:.3f}ms  "
+        f"p99 {value['p99'] * 1000:.3f}ms"
+    )
+    for bound, count in value["buckets"]:
+        if not count:
+            continue
+        label = "+Inf" if bound == float("inf") else f"{bound:g}"
+        lines.append(f"{'':<38s}le {label:<10s} {count}")
+
+
 def format_metrics(registry: MetricsRegistry) -> str:
-    """Render every instrument in the registry as an aligned table."""
+    """Render every instrument in the registry as an aligned table.
+
+    Output order is deterministic: the snapshot sorts metric names and
+    label keys, so two runs over the same registry render identically.
+    """
     lines = ["== metrics =="]
     for name, value in registry.snapshot().items():
         if isinstance(value, dict) and "buckets" in value:
-            lines.append(
-                f"{name:<36s} count={value['count']:<8d} "
-                f"mean={value['mean'] * 1000:.3f}ms sum={value['sum']:.4f}s"
-            )
-            for bound, count in value["buckets"]:
-                if not count:
-                    continue
-                label = "+Inf" if bound == float("inf") else f"{bound:g}"
-                lines.append(f"{'':<38s}le {label:<10s} {count}")
+            _histogram_lines(lines, name, value)
+            for label, sub in sorted(value.get("labels", {}).items()):
+                _histogram_lines(lines, f"  {name}{{{label}}}", sub)
         elif isinstance(value, dict):
             total = sum(value.values())
             lines.append(f"{name:<36s} {total}")

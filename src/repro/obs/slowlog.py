@@ -14,6 +14,10 @@ class SlowQuery:
     seconds: float
     sql: str | None = None
     fallback_reason: str | None = None
+    #: the distributed trace the query ran under (client-minted when it
+    #: arrived through the server protocol), or ``None`` outside any
+    #: trace context
+    trace_id: str | None = None
 
 
 class SlowQueryLog:
@@ -34,11 +38,14 @@ class SlowQueryLog:
         seconds: float,
         sql: str | None = None,
         fallback_reason: str | None = None,
+        trace_id: str | None = None,
     ) -> bool:
         """Record the query if it is slow; returns whether it was kept."""
         if self.threshold is None or seconds < self.threshold:
             return False
-        self.entries.append(SlowQuery(query, seconds, sql, fallback_reason))
+        self.entries.append(
+            SlowQuery(query, seconds, sql, fallback_reason, trace_id)
+        )
         return True
 
     def clear(self) -> None:

@@ -5,8 +5,17 @@ no-op handle, so instrumented hot paths pay one attribute check and no
 allocation.  When enabled (globally via :meth:`Tracer.enable`, or scoped
 via :meth:`Tracer.capture`), spans record name, attributes, wall-clock
 start/end and their children; finished *root* spans land in a bounded
-ring buffer (and in any active capture sinks), so memory stays flat under
-production traffic.
+ring buffer (and in any active capture sinks and registered exporters),
+so memory stays flat under production traffic.
+
+**Distributed trace context.**  Every recorded span carries a
+``trace_id`` (shared by a whole request tree, across processes), its own
+``span_id`` and its ``parent_id``.  A server receiving a request enters
+:meth:`Tracer.context` with the ids the client sent on the wire; the
+next root span opened on that thread joins the client's trace instead of
+minting a fresh id.  The context is tracked *independently of whether
+tracing is enabled*, so the slow-query log can stamp trace ids even when
+span recording is off.
 
 ``ArchIS.explain`` and the benchmark harness both read query timings from
 these spans — paper figures and production telemetry come from the same
@@ -18,14 +27,29 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from collections import deque
+from secrets import token_hex
 from time import perf_counter
 from typing import Iterator
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return token_hex(8)
 
 
 class Span:
     """One timed operation: name, attributes, wall time, children."""
 
-    __slots__ = ("name", "attrs", "start_time", "end_time", "children")
+    __slots__ = (
+        "name",
+        "attrs",
+        "start_time",
+        "end_time",
+        "children",
+        "trace_id",
+        "span_id",
+        "parent_id",
+    )
 
     def __init__(self, name: str, attrs: dict | None = None) -> None:
         self.name = name
@@ -33,6 +57,9 @@ class Span:
         self.start_time = 0.0
         self.end_time = 0.0
         self.children: list["Span"] = []
+        self.trace_id: str | None = None
+        self.span_id: str = token_hex(8)
+        self.parent_id: str | None = None
 
     @property
     def duration(self) -> float:
@@ -57,6 +84,9 @@ class Span:
         return {
             "name": self.name,
             "seconds": self.duration,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
             "attrs": dict(self.attrs),
             "children": [child.to_dict() for child in self.children],
         }
@@ -99,7 +129,17 @@ class _ActiveSpan:
         span = self._span
         stack = self._tracer._thread_stack()
         if stack:
-            stack[-1].children.append(span)
+            parent = stack[-1]
+            parent.children.append(span)
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+        else:
+            context = self._tracer._thread_context()
+            if context is not None:
+                span.trace_id = context[0]
+                span.parent_id = context[1]
+            else:
+                span.trace_id = new_trace_id()
         stack.append(span)
         span.start_time = perf_counter()
         return span
@@ -124,7 +164,8 @@ class Tracer:
     gets its own stack, so concurrent queries build independent span
     trees instead of interleaving children into each other's roots.
     Finished roots from all threads land in the shared ring buffer (and
-    in any active capture sinks), guarded by a lock.
+    in any active capture sinks and registered exporters), guarded by a
+    lock.
     """
 
     def __init__(self, capacity: int = 256) -> None:
@@ -132,6 +173,7 @@ class Tracer:
         self.finished: deque[Span] = deque(maxlen=capacity)
         self._local = threading.local()
         self._sinks: list[list[Span]] = []
+        self._exporters: list = []
         self._lock = threading.Lock()
 
     def _thread_stack(self) -> list[Span]:
@@ -140,11 +182,50 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def _thread_context(self) -> tuple[str, str | None] | None:
+        """The propagated (trace_id, parent_span_id) for this thread."""
+        return getattr(self._local, "context", None)
+
     def span(self, name: str, **attrs):
         """Open a span; a shared no-op handle when tracing is disabled."""
         if not self.enabled:
             return _NOOP
         return _ActiveSpan(self, name, attrs)
+
+    @contextmanager
+    def context(self, trace_id: str | None, parent_id: str | None = None):
+        """Adopt a propagated trace context for the scope.
+
+        Root spans opened inside the scope carry ``trace_id`` (and
+        ``parent_id`` as their remote parent) instead of minting a fresh
+        trace id.  Tracks regardless of the enabled flag, so
+        :meth:`current_trace_id` (and through it the slow-query log)
+        sees the propagated id even with span recording off.  A ``None``
+        trace id makes the scope a no-op.
+        """
+        if trace_id is None:
+            yield
+            return
+        previous = getattr(self._local, "context", None)
+        self._local.context = (str(trace_id), parent_id)
+        try:
+            yield
+        finally:
+            self._local.context = previous
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def current_trace_id(self) -> str | None:
+        """The trace id of the innermost open span, falling back to the
+        propagated context (which works with tracing disabled)."""
+        span = self.current_span()
+        if span is not None and span.trace_id:
+            return span.trace_id
+        context = self._thread_context()
+        return context[0] if context is not None else None
 
     def enable(self) -> None:
         self.enabled = True
@@ -155,6 +236,24 @@ class Tracer:
     def clear(self) -> None:
         self.finished.clear()
         self._thread_stack().clear()
+
+    # -- export ------------------------------------------------------------
+
+    def add_exporter(self, exporter) -> None:
+        """Register a callable/object receiving every finished root span.
+
+        An exporter is either a callable ``exporter(span)`` or an object
+        with an ``export(span)`` method (see
+        :class:`repro.obs.export.JsonlSpanExporter`).  Exporter failures
+        are swallowed — telemetry must never take down the request path.
+        """
+        with self._lock:
+            self._exporters.append(exporter)
+
+    def remove_exporter(self, exporter) -> None:
+        with self._lock:
+            if exporter in self._exporters:
+                self._exporters.remove(exporter)
 
     @contextmanager
     def capture(self):
@@ -180,6 +279,13 @@ class Tracer:
             self.finished.append(span)
             for sink in self._sinks:
                 sink.append(span)
+            exporters = list(self._exporters)
+        for exporter in exporters:
+            try:
+                export = getattr(exporter, "export", exporter)
+                export(span)
+            except Exception:  # noqa: BLE001 - never fail the hot path
+                pass
 
 
 _TRACER = Tracer()

@@ -17,6 +17,12 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro.obs.metrics import get_registry
+
+#: archival backlog depth, process-wide (last log to change wins; one
+#: ArchIS per process in the server deployment)
+_BACKLOG = get_registry().gauge("updatelog.backlog")
+
 
 @dataclass(frozen=True)
 class LogEntry:
@@ -57,6 +63,7 @@ class UpdateLog:
             self._next_seq += 1
             self._entries.append(entry)
             self._pending.append(entry)
+            _BACKLOG.set(len(self._pending))
             return entry
 
     def pending(self) -> list[LogEntry]:
@@ -78,9 +85,12 @@ class UpdateLog:
             if predicate is None:
                 out = self._pending
                 self._pending = []
-                return out
-            out = [e for e in self._pending if predicate(e)]
-            self._pending = [e for e in self._pending if not predicate(e)]
+            else:
+                out = [e for e in self._pending if predicate(e)]
+                self._pending = [
+                    e for e in self._pending if not predicate(e)
+                ]
+            _BACKLOG.set(len(self._pending))
             return out
 
     def drain_ordered(
@@ -110,6 +120,7 @@ class UpdateLog:
             self._entries = [
                 e for e in self._entries if e.sequence not in sequences
             ]
+            _BACKLOG.set(len(self._pending))
             return dropped
 
     def __len__(self) -> int:
@@ -122,3 +133,4 @@ class UpdateLog:
         with self._lock:
             self._entries.clear()
             self._pending.clear()
+            _BACKLOG.set(0)

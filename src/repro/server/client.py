@@ -16,6 +16,7 @@ from repro.errors import (
     ServerError,
     UnsupportedVersionError,
 )
+from repro.obs.tracer import get_tracer, new_trace_id
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     recv_message,
@@ -27,7 +28,11 @@ class Client:
     """One connection to a :class:`~repro.server.server.Server`.
 
     Every request this client builds carries the protocol version
-    (``"v"``); a server that does not speak it answers with a
+    (``"v"``) and a ``trace`` field: inside a client-side span the
+    active trace continues onto the server (the server's root span
+    becomes a child of the caller's span); outside any span the
+    connection's own ``trace_id`` groups all its requests into one
+    trace.  A server that does not speak the version answers with a
     structured ``UNSUPPORTED_VERSION`` error, surfaced here as
     :class:`~repro.errors.UnsupportedVersionError`.
     """
@@ -36,6 +41,8 @@ class Client:
         self, host: str, port: int, timeout: float | None = 30.0
     ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
+        #: the trace id stamped on requests sent outside any local span
+        self.trace_id = new_trace_id()
 
     def request(self, message: dict) -> dict:
         """Send one request and return the raw response dict.
@@ -51,8 +58,15 @@ class Client:
             raise ProtocolError("server closed the connection")
         return response
 
+    def _trace_context(self) -> dict:
+        span = get_tracer().current_span()
+        if span is not None and span.trace_id:
+            return {"id": span.trace_id, "parent": span.span_id}
+        return {"id": self.trace_id}
+
     def _checked(self, message: dict) -> dict:
         message.setdefault("v", PROTOCOL_VERSION)
+        message.setdefault("trace", self._trace_context())
         response = self.request(message)
         if not response.get("ok"):
             error = response.get("error", "ServerError")
@@ -80,8 +94,14 @@ class Client:
         names; DML carries an empty ``rows`` with ``row_count`` set to
         the affected-row count.
         """
-        response = self.sql(text, params)
+        message: dict = {"op": "sql", "text": text}
+        if params:
+            message["params"] = params
+        trace = self._trace_context()
+        message["trace"] = trace
+        response = self._checked(message)
         stats = dict(response.get("stats") or {})
+        stats.setdefault("trace_id", trace["id"])
         if "columns" in response:
             return Result(
                 response["rows"], list(response["columns"]), stats=stats
@@ -125,6 +145,18 @@ class Client:
 
     def stats(self) -> dict:
         return self._checked({"op": "stats"})["stats"]
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition."""
+        return self._checked({"op": "metrics"})["exposition"]
+
+    def health(self) -> dict:
+        """Liveness check; returns ``{"status", "gauges"}``."""
+        response = self._checked({"op": "health"})
+        return {
+            "status": response["status"],
+            "gauges": response["gauges"],
+        }
 
     def close(self) -> None:
         try:

@@ -11,8 +11,18 @@ protocol version ``v``, plus op-specific fields; responses carry ``ok``
 
 Operations: ``ping``, ``sql``, ``xquery``, ``begin``, ``commit``,
 ``abort``, ``snapshot`` (pin / re-pin the session's read snapshot),
-``stats``.  The server answers ``BUSY`` (``error = "ServerBusyError"``)
-when admission control rejects a request.
+``stats``, ``metrics`` (the Prometheus text exposition of the server's
+metrics registry) and ``health`` (liveness plus load gauges).  The
+server answers ``BUSY`` (``error = "ServerBusyError"``) when admission
+control rejects a request.
+
+Distributed tracing: a request may carry a ``trace`` object —
+``{"id": "<hex>", "parent": "<hex>"}`` — naming the client's trace and
+(optionally) the client-side span that issued the request.  The server
+adopts the id for the request's root span and its slow-query log
+entries, so one trace id follows a query from the caller through the
+wire into the engine.  The field is optional and ignored by older
+servers; it never changes the protocol version.
 
 Versioning: this build speaks :data:`PROTOCOL_VERSION`.  A request whose
 ``v`` is a version the server does not support gets a structured

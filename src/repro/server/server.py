@@ -24,6 +24,7 @@ from __future__ import annotations
 import queue
 import socket
 import threading
+import time
 
 from repro.errors import ProtocolError, ServerError
 from repro.obs.metrics import get_registry
@@ -202,20 +203,33 @@ class Server:
     def _serve(self, conn: socket.socket, session: Session) -> None:
         while not self._stopping.is_set():
             try:
+                recv_started = time.perf_counter()
                 request = recv_message(conn)
             except (ProtocolError, OSError):
                 return
             if request is None:
                 return
+            recv_seconds = time.perf_counter() - recv_started
+            wait_started = time.perf_counter()
             if not self._slots.acquire(timeout=self.queue_timeout):
                 _BUSY.inc()
-                response = _BUSY_RESPONSE
-            else:
                 try:
-                    response = session.handle(request)
+                    send_message(conn, _BUSY_RESPONSE)
+                except OSError:
+                    return
+                continue
+            wait_seconds = time.perf_counter() - wait_started
+            try:
+                try:
+                    # the session sends the response itself so wire time
+                    # lands inside the request's root span
+                    session.handle(
+                        request,
+                        send=lambda response: send_message(conn, response),
+                        recv_seconds=recv_seconds,
+                        wait_seconds=wait_seconds,
+                    )
                 finally:
                     self._slots.release()
-            try:
-                send_message(conn, response)
             except OSError:
                 return

@@ -18,8 +18,11 @@ engine errors come back as ``{"ok": false, "error": ..., "message":
 
 from __future__ import annotations
 
+import time
+
 from repro.errors import ReproError, TxnError
 from repro.obs.metrics import get_registry
+from repro.obs.promtext import render_prometheus
 from repro.obs.tracer import get_tracer
 from repro.server.protocol import check_version
 from repro.sql import ast
@@ -30,6 +33,9 @@ from repro.xmlkit.serializer import serialize
 
 _REQUESTS = get_registry().labeled_counter("server.requests")
 _ERRORS = get_registry().counter("server.errors")
+_REQUEST_SECONDS = get_registry().labeled_histogram(
+    "server.request.seconds", label_key="op"
+)
 
 _OPS = (
     "ping",
@@ -40,6 +46,8 @@ _OPS = (
     "abort",
     "snapshot",
     "stats",
+    "metrics",
+    "health",
 )
 
 
@@ -69,13 +77,55 @@ class Session:
 
     # -- dispatch ----------------------------------------------------------
 
-    def handle(self, request: dict) -> dict:
-        """Execute one request dict, returning the response dict."""
+    def handle(
+        self,
+        request: dict,
+        *,
+        send=None,
+        recv_seconds: float | None = None,
+        wait_seconds: float | None = None,
+    ) -> dict:
+        """Execute one request dict, returning the response dict.
+
+        The request's root span covers the whole server-side lifetime:
+        ``recv_seconds`` (how long the wire read took) and
+        ``wait_seconds`` (time queued on admission control) arrive as
+        attributes, execution and the optional ``send`` callable run as
+        child spans.  A ``trace`` field on the request —
+        ``{"id": ..., "parent": ...}`` — links the root span (and the
+        slow-query log) to the client's distributed trace, whether or
+        not span recording is enabled.
+        """
+        started = time.perf_counter()
+        op = request.get("op")
+        trace = request.get("trace")
+        if not isinstance(trace, dict):
+            trace = {}
+        tracer = get_tracer()
+        with tracer.context(trace.get("id"), trace.get("parent")):
+            with tracer.span(
+                "server.request", op=op, session=self.id
+            ) as span:
+                if recv_seconds is not None:
+                    span.set("recv_seconds", recv_seconds)
+                if wait_seconds is not None:
+                    span.set("wait_seconds", wait_seconds)
+                with tracer.span("server.execute"):
+                    response = self._execute(op, request)
+                if send is not None:
+                    with tracer.span("server.send"):
+                        send(response)
+            _REQUEST_SECONDS.observe(
+                op if op in _OPS else "invalid",
+                time.perf_counter() - started,
+            )
+        return response
+
+    def _execute(self, op, request: dict) -> dict:
         rejection = check_version(request)
         if rejection is not None:
             _ERRORS.inc()
             return rejection
-        op = request.get("op")
         if op not in _OPS:
             _ERRORS.inc()
             return {
@@ -84,23 +134,22 @@ class Session:
                 "message": f"unknown op {op!r}",
             }
         _REQUESTS.inc(op)
-        with get_tracer().span("server.request", op=op, session=self.id):
-            try:
-                return getattr(self, f"_op_{op}")(request)
-            except ReproError as exc:
-                _ERRORS.inc()
-                return {
-                    "ok": False,
-                    "error": type(exc).__name__,
-                    "message": str(exc),
-                }
-            except Exception as exc:  # noqa: BLE001 - protect the worker
-                _ERRORS.inc()
-                return {
-                    "ok": False,
-                    "error": "InternalError",
-                    "message": f"{type(exc).__name__}: {exc}",
-                }
+        try:
+            return getattr(self, f"_op_{op}")(request)
+        except ReproError as exc:
+            _ERRORS.inc()
+            return {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        except Exception as exc:  # noqa: BLE001 - protect the worker
+            _ERRORS.inc()
+            return {
+                "ok": False,
+                "error": "InternalError",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
 
     def close(self) -> None:
         """Abort any in-flight transaction (connection teardown)."""
@@ -212,6 +261,33 @@ class Session:
         if self.archis is not None:
             return {"ok": True, "stats": self.archis.stats()}
         return {"ok": True, "stats": {"txn": self.manager.stats()}}
+
+    def _op_metrics(self, request: dict) -> dict:
+        """The full Prometheus text exposition of the process registry."""
+        return {"ok": True, "exposition": render_prometheus()}
+
+    def _op_health(self, request: dict) -> dict:
+        """Liveness plus the engine's load-bearing gauges."""
+        registry = get_registry()
+        return {
+            "ok": True,
+            "status": "ok",
+            "gauges": {
+                "server.sessions": registry.gauge("server.sessions").value,
+                "txn.active": registry.gauge("txn.active").value,
+                "txn.aborts": registry.counter("txn.aborts").value,
+                "buffer.occupancy": registry.gauge(
+                    "buffer.occupancy"
+                ).value,
+                "pager.dirty_pages": registry.gauge(
+                    "pager.dirty_pages"
+                ).value,
+                "wal.size_bytes": registry.gauge("wal.size_bytes").value,
+                "updatelog.backlog": registry.gauge(
+                    "updatelog.backlog"
+                ).value,
+            },
+        }
 
     def _require_txn(self):
         if self.txn is None or self.txn.state != "active":

@@ -23,6 +23,9 @@ from repro.storage.pager import Pager
 # for instance-level attribution).
 _HITS = get_registry().counter("buffer.hits")
 _MISSES = get_registry().counter("buffer.misses")
+#: pages currently cached, process-wide (last pool to change wins; with
+#: one ArchIS per process — the server deployment — that is *the* pool)
+_OCCUPANCY = get_registry().gauge("buffer.occupancy")
 
 
 @dataclass
@@ -107,11 +110,13 @@ class BufferPool:
             self._capacity = capacity
             while len(self._frames) > self._capacity:
                 self._frames.popitem(last=False)
+            _OCCUPANCY.set(len(self._frames))
 
     def reset(self) -> None:
         """Drop all cached pages (cold-cache measurement protocol)."""
         with self._lock:
             self._frames.clear()
+            _OCCUPANCY.set(0)
 
     def reset_stats(self) -> None:
         """Zero the counters in place.
@@ -132,3 +137,4 @@ class BufferPool:
         self._frames[page_no] = frame
         while len(self._frames) > self._capacity:
             self._frames.popitem(last=False)
+        _OCCUPANCY.set(len(self._frames))

@@ -34,6 +34,9 @@ from repro.storage.wal import RecoveryReport, WriteAheadLog, require_durability
 _READS = get_registry().counter("pager.reads")
 _WRITES = get_registry().counter("pager.writes")
 _ALLOCATIONS = get_registry().counter("pager.allocations")
+#: pages staged in the WAL overlay, awaiting checkpoint (process-wide;
+#: last pager to change wins — one ArchIS per process in practice)
+_DIRTY_PAGES = get_registry().gauge("pager.dirty_pages")
 
 WAL_SUFFIX = ".wal"
 
@@ -154,6 +157,7 @@ class Pager:
         if report.replayed:
             self._overlay = pages
             self._meta_overlay = metas
+            _DIRTY_PAGES.set(len(self._overlay))
             if pages:
                 self._page_count = max(
                     self._page_count, max(pages) + 1
@@ -189,6 +193,7 @@ class Pager:
                 self._wal.append_page(page_no, zero, self.wal_txn)
                 self._overlay[page_no] = zero
                 self._dirty_txns.add(self.wal_txn)
+                _DIRTY_PAGES.set(len(self._overlay))
             else:
                 self._file.seek(page_no * PAGE_SIZE)
                 self._file.write(zero)
@@ -226,6 +231,7 @@ class Pager:
                 self._wal.append_page(page_no, data, self.wal_txn)
                 self._overlay[page_no] = data
                 self._dirty_txns.add(self.wal_txn)
+                _DIRTY_PAGES.set(len(self._overlay))
             else:
                 self._file.seek(page_no * PAGE_SIZE)
                 self._file.write(data)
@@ -263,6 +269,7 @@ class Pager:
         with self._lock:
             self._check_open()
             self._overlay.clear()
+            _DIRTY_PAGES.set(0)
             if self._wal is not None:
                 self._wal.truncate()
                 self._dirty_txns.clear()
@@ -327,6 +334,7 @@ class Pager:
         self._wal.truncate()  # fires wal.checkpoint.truncated
         self._overlay.clear()
         self._meta_overlay.clear()
+        _DIRTY_PAGES.set(0)
 
     def sync(self) -> None:
         """Make writes durable: WAL commit, or flush + fsync in ``none``."""

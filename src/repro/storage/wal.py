@@ -73,7 +73,12 @@ _CHECKPOINTS = get_registry().counter("wal.checkpoints")
 _RECOVERIES = get_registry().counter("wal.recoveries")
 _FRAMES_REPLAYED = get_registry().counter("wal.frames_replayed")
 _FSYNCS = get_registry().counter("wal.fsyncs")
+_FSYNC_SECONDS = get_registry().histogram("wal.fsync.seconds")
 _GROUP_BATCHED = get_registry().counter("wal.group_commit.batched")
+_BATCH_SIZE = get_registry().histogram(
+    "wal.group_commit.batch_size", (1, 2, 4, 8, 16, 32, 64, 128)
+)
+_SIZE_BYTES = get_registry().gauge("wal.size_bytes")
 #: commit frames by what triggered them: "txn" (transaction commit /
 #: checkpoint), "ingest" (one frame per BatchArchiver batch), ...
 _COMMIT_CAUSES = get_registry().labeled_counter("wal.commits.cause")
@@ -149,6 +154,7 @@ class WriteAheadLog:
         self._append_seq = 0  # frames appended so far
         self._durable_seq = 0  # highest append_seq known fsynced
         self._leader_active = False
+        self._pending_commits = 0  # COMMIT frames since the last fsync
 
     # -- appending ---------------------------------------------------------
 
@@ -188,6 +194,9 @@ class WriteAheadLog:
             self._file.flush()
             self._append_seq += 1
             seq = self._append_seq
+            if frame_type == FRAME_COMMIT:
+                self._pending_commits += 1
+            _SIZE_BYTES.set(self._file.tell())
         _FRAMES.inc()
         _BYTES.inc(len(frame))
         fire("wal.frame.appended")
@@ -196,9 +205,15 @@ class WriteAheadLog:
     def sync(self) -> None:
         with self._lock:
             target = self._append_seq
+            batch = self._pending_commits
+            self._pending_commits = 0
             self._file.flush()
+            started = time.perf_counter()
             os.fsync(self._file.fileno())
+            _FSYNC_SECONDS.observe(time.perf_counter() - started)
             _FSYNCS.inc()
+            if batch:
+                _BATCH_SIZE.observe(batch)
             if target > self._durable_seq:
                 self._durable_seq = target
 
@@ -226,12 +241,18 @@ class WriteAheadLog:
                 time.sleep(self.group_window)
             with self._lock:
                 target = self._append_seq
+                batch = self._pending_commits
+                self._pending_commits = 0
                 self._file.flush()
                 fileno = self._file.fileno()
             # fsync outside the lock: followers may keep appending (their
             # frames simply ride the *next* fsync).
+            started = time.perf_counter()
             os.fsync(fileno)
+            _FSYNC_SECONDS.observe(time.perf_counter() - started)
             _FSYNCS.inc()
+            if batch:
+                _BATCH_SIZE.observe(batch)
             with self._cond:
                 if target > self._durable_seq:
                     self._durable_seq = target
@@ -316,6 +337,7 @@ class WriteAheadLog:
             self._file.seek(0)
             self._file.truncate(0)
             self.sync()
+            _SIZE_BYTES.set(0)
         _CHECKPOINTS.inc()
         fire("wal.checkpoint.truncated")
 

@@ -217,6 +217,14 @@ def cmd_serve(args) -> int:
     manager = TxnManager(
         setup.archis.db, setup.archis, lock_timeout=args.lock_timeout
     )
+    exporter = None
+    if args.span_log:
+        from repro.obs import JsonlSpanExporter, get_tracer
+
+        exporter = JsonlSpanExporter(args.span_log)
+        get_tracer().enable()
+        get_tracer().add_exporter(exporter)
+        print(f"exporting request traces to {args.span_log}", file=sys.stderr)
     server = Server(
         manager,
         setup.archis,
@@ -238,7 +246,57 @@ def cmd_serve(args) -> int:
         print("stopping", file=sys.stderr)
     finally:
         server.stop()
+        if exporter is not None:
+            from repro.obs import get_tracer
+
+            get_tracer().remove_exporter(exporter)
+            get_tracer().disable()
+            exporter.close()
     return 0
+
+
+def cmd_top(args) -> int:
+    """Live monitor: poll a running server's gauges and tail latencies.
+
+    Each refresh issues one ``health`` and one ``metrics`` request and
+    prints the load gauges plus the quantile series of the key latency
+    histograms.  ``--iterations`` bounds the loop (default: forever).
+    """
+    import time
+
+    from repro.server.client import Client
+
+    watch = (
+        "repro_server_request_seconds_quantile",
+        "repro_txn_commit_seconds_quantile",
+        "repro_txn_lock_wait_seconds_quantile",
+        "repro_wal_fsync_seconds_quantile",
+        "repro_ingest_seconds_quantile",
+        "repro_ingest_freeze_stall_seconds_quantile",
+    )
+    remaining = args.iterations
+    while True:
+        with Client(args.host, args.port) as client:
+            health = client.health()
+            exposition = client.metrics()
+        print(
+            f"== repro top @ {args.host}:{args.port} "
+            f"(status: {health['status']}) =="
+        )
+        gauges = health["gauges"]
+        for name in sorted(gauges):
+            print(f"  {name:<24s} {gauges[name]:g}")
+        for line in exposition.splitlines():
+            if line.startswith(watch):
+                print(f"  {line}")
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_recover(args) -> int:
@@ -398,7 +456,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="accepted connections waiting for a worker before BUSY",
     )
     serve.add_argument("--lock-timeout", type=float, default=5.0)
+    serve.add_argument(
+        "--span-log", default=None, metavar="PATH",
+        help="enable tracing and append finished request traces "
+             "to PATH as JSONL",
+    )
     serve.set_defaults(fn=cmd_serve)
+
+    top = commands.add_parser(
+        "top",
+        help="live-monitor a running server (health gauges + latency "
+             "quantiles)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7171)
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop after this many refreshes (default: run until Ctrl-C)",
+    )
+    top.set_defaults(fn=cmd_top)
 
     recover = commands.add_parser(
         "recover",

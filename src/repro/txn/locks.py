@@ -25,6 +25,7 @@ from repro.obs.metrics import get_registry
 
 _ACQUIRED = get_registry().counter("txn.locks.acquired")
 _WAITS = get_registry().counter("txn.locks.waits")
+_WAIT_SECONDS = get_registry().histogram("txn.lock_wait.seconds")
 _DEADLOCKS = get_registry().counter("txn.deadlocks")
 _TIMEOUTS = get_registry().counter("txn.lock_timeouts")
 
@@ -131,7 +132,7 @@ class LockTable:
         if timeout is None:
             timeout = self.default_timeout
         deadline = monotonic() + timeout
-        waited = False
+        wait_started: float | None = None
         with self._cond:
             while True:
                 owner = self._owners.get(resource)
@@ -141,11 +142,15 @@ class LockTable:
                     self._depth[key] = self._depth.get(key, 0) + 1
                     self._waits.pop(txn_id, None)
                     _ACQUIRED.inc()
+                    if wait_started is not None:
+                        _WAIT_SECONDS.observe(monotonic() - wait_started)
                     return
                 self._waits[txn_id] = resource
                 if self._closes_cycle(txn_id):
                     del self._waits[txn_id]
                     _DEADLOCKS.inc()
+                    if wait_started is not None:
+                        _WAIT_SECONDS.observe(monotonic() - wait_started)
                     raise DeadlockError(
                         f"txn {txn_id} waiting for {resource!r} (held by "
                         f"txn {owner}) would deadlock; aborting the wait"
@@ -154,12 +159,13 @@ class LockTable:
                 if remaining <= 0:
                     del self._waits[txn_id]
                     _TIMEOUTS.inc()
+                    _WAIT_SECONDS.observe(timeout)
                     raise LockTimeoutError(
                         f"txn {txn_id} timed out after {timeout:.1f}s "
                         f"waiting for {resource!r} (held by txn {owner})"
                     )
-                if not waited:
-                    waited = True
+                if wait_started is None:
+                    wait_started = monotonic()
                     _WAITS.inc()
                 # Bounded wait so a cycle formed *while we sleep* (another
                 # txn starts waiting on a lock we hold) is re-checked.

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 
 from repro.errors import TxnError
 from repro.obs.metrics import get_registry
@@ -45,6 +46,7 @@ from repro.txn.locks import HistoryLock, LockTable
 
 _BEGUN = get_registry().counter("txn.begun")
 _COMMITS = get_registry().counter("txn.commits")
+_COMMIT_SECONDS = get_registry().histogram("txn.commit.seconds")
 _ABORTS = get_registry().counter("txn.aborts")
 _SNAPSHOTS = get_registry().counter("txn.snapshots")
 _ACTIVE = get_registry().gauge("txn.active")
@@ -354,6 +356,7 @@ class TxnManager:
     def commit(self, txn: Transaction) -> None:
         self._check_active(txn)
         self._check_poisoned()
+        started = time.perf_counter()
         with get_tracer().span("txn.commit", txn=txn.id, day=txn.day):
             txcontext.set_clock(txn.day)
             txcontext.set_undo_sink(None)
@@ -398,6 +401,7 @@ class TxnManager:
                 self.db.pager.clear_wal_txn()
             self._complete(txn, "committed")
             self.db.advance_to(txn.day)
+        _COMMIT_SECONDS.observe(time.perf_counter() - started)
         _COMMITS.inc()
 
     def abort(self, txn: Transaction) -> None:

@@ -1,0 +1,83 @@
+"""JSONL span export: one self-contained trace tree per line."""
+
+import json
+
+from repro.obs.export import JsonlSpanExporter, span_to_record
+from repro.obs.tracer import Tracer
+
+
+class TestSpanToRecord:
+    def test_nested_tree_with_ids(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("root", op="sql") as root:
+            with tracer.span("child"):
+                pass
+        record = span_to_record(root)
+        assert record["name"] == "root"
+        assert record["trace_id"] == root.trace_id
+        assert record["parent_id"] is None
+        assert record["attrs"] == {"op": "sql"}
+        (child,) = record["children"]
+        assert child["parent_id"] == root.span_id
+        assert child["trace_id"] == root.trace_id
+
+    def test_non_scalar_attrs_are_coerced(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("root") as root:
+            root.set("rows", [1, 2])
+            root.set("ok", True)
+        record = span_to_record(root)
+        assert record["attrs"]["rows"] == "[1, 2]"
+        assert record["attrs"]["ok"] is True
+
+
+class TestJsonlSpanExporter:
+    def test_exports_one_line_per_root(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = Tracer()
+        tracer.enable()
+        with JsonlSpanExporter(path) as exporter:
+            tracer.add_exporter(exporter)
+            try:
+                for index in range(3):
+                    with tracer.span(f"req{index}"):
+                        with tracer.span("inner"):
+                            pass
+            finally:
+                tracer.remove_exporter(exporter)
+        with open(path, encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert [line["name"] for line in lines] == ["req0", "req1", "req2"]
+        assert all(line["children"][0]["name"] == "inner" for line in lines)
+        # only roots are exported — inner spans appear nested, not as lines
+        assert all(line["parent_id"] is None for line in lines)
+
+    def test_export_failure_never_raises(self):
+        tracer = Tracer()
+        tracer.enable()
+
+        def broken(span):
+            raise RuntimeError("sink died")
+
+        tracer.add_exporter(broken)
+        try:
+            with tracer.span("survives"):
+                pass
+        finally:
+            tracer.remove_exporter(broken)
+        assert [s.name for s in tracer.finished] == ["survives"]
+
+    def test_close_is_idempotent_and_blocks_writes(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        exporter = JsonlSpanExporter(path)
+        exporter.close()
+        exporter.close()
+        tracer = Tracer()
+        tracer.enable()
+        tracer.add_exporter(exporter)
+        with tracer.span("after-close"):
+            pass
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == ""

@@ -1,0 +1,108 @@
+"""Prometheus exposition: golden bytes, determinism, inventory HELP."""
+
+from repro.obs import METRIC_INVENTORY, format_metrics, get_registry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import metric_name, render_prometheus
+
+GOLDEN = """\
+# TYPE repro_latency_seconds histogram
+repro_latency_seconds_bucket{le="0.01"} 1
+repro_latency_seconds_bucket{le="0.1"} 2
+repro_latency_seconds_bucket{le="1"} 2
+repro_latency_seconds_bucket{le="+Inf"} 3
+repro_latency_seconds_sum 5.055
+repro_latency_seconds_count 3
+# HELP repro_latency_seconds_quantile bucket-interpolated quantile estimates
+# TYPE repro_latency_seconds_quantile gauge
+repro_latency_seconds_quantile{quantile="0.5"} 0.05500000000000001
+repro_latency_seconds_quantile{quantile="0.95"} 1
+repro_latency_seconds_quantile{quantile="0.99"} 1
+# TYPE repro_ops counter
+repro_ops{label="read"} 2
+repro_ops{label="write"} 1
+# TYPE repro_queue_depth gauge
+repro_queue_depth 2.5
+# TYPE repro_request_seconds histogram
+repro_request_seconds_bucket{op="ping",le="0.1"} 1
+repro_request_seconds_bucket{op="ping",le="1"} 1
+repro_request_seconds_bucket{op="ping",le="+Inf"} 1
+repro_request_seconds_sum{op="ping"} 0.01
+repro_request_seconds_count{op="ping"} 1
+repro_request_seconds_bucket{op="sql",le="0.1"} 1
+repro_request_seconds_bucket{op="sql",le="1"} 1
+repro_request_seconds_bucket{op="sql",le="+Inf"} 1
+repro_request_seconds_sum{op="sql"} 0.05
+repro_request_seconds_count{op="sql"} 1
+# HELP repro_request_seconds_quantile bucket-interpolated quantile estimates
+# TYPE repro_request_seconds_quantile gauge
+repro_request_seconds_quantile{quantile="0.5"} 0.05
+repro_request_seconds_quantile{quantile="0.95"} 0.095
+repro_request_seconds_quantile{quantile="0.99"} 0.099
+# HELP repro_requests total requests
+# TYPE repro_requests counter
+repro_requests 3
+"""
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("requests").inc(3)
+    registry.gauge("queue.depth").set(2.5)
+    ops = registry.labeled_counter("ops")
+    ops.inc("read")
+    ops.inc("write")
+    ops.inc("read")
+    latency = registry.histogram("latency.seconds", (0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 5.0):
+        latency.observe(value)
+    requests = registry.labeled_histogram(
+        "request.seconds", (0.1, 1.0), label_key="op"
+    )
+    requests.observe("sql", 0.05)
+    requests.observe("ping", 0.01)
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_golden_exposition(self):
+        registry = build_registry()
+        text = render_prometheus(
+            registry, help_texts={"requests": "total requests"}
+        )
+        assert text == GOLDEN
+
+    def test_deterministic_across_calls(self):
+        registry = build_registry()
+        first = render_prometheus(registry, help_texts={})
+        second = render_prometheus(registry, help_texts={})
+        assert first == second
+
+    def test_process_registry_uses_inventory_help(self):
+        # the process registry hoists wal.frames at import time; its
+        # exposition line must carry the documented HELP text
+        text = render_prometheus(get_registry())
+        assert (
+            f"# HELP {metric_name('wal.frames')} "
+            f"{METRIC_INVENTORY['wal.frames']}" in text
+        )
+        assert text.endswith("\n")
+
+    def test_metric_name_sanitizes(self):
+        assert metric_name("server.request.seconds") == (
+            "repro_server_request_seconds"
+        )
+        assert metric_name("a-b c") == "repro_a_b_c"
+
+
+class TestCliDeterminism:
+    def test_format_metrics_is_deterministic_and_sorted(self):
+        registry = build_registry()
+        first = format_metrics(registry)
+        second = format_metrics(registry)
+        assert first == second
+        names = [
+            line.split()[0]
+            for line in first.splitlines()[1:]
+            if line and not line.startswith(" ")
+        ]
+        assert names == sorted(names)

@@ -1,0 +1,96 @@
+"""Quantile estimation on histograms: edge cases and labeled families."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, LabeledHistogram, MetricsRegistry
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_zero(self):
+        h = Histogram("h", (0.1, 1.0))
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.99) == 0.0
+        assert h.quantiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_out_of_range_q_raises(self):
+        h = Histogram("h", (0.1,))
+        with pytest.raises(ValueError):
+            h.quantile(-0.01)
+        with pytest.raises(ValueError):
+            h.quantile(1.01)
+
+    def test_single_bucket_interpolates_from_zero(self):
+        h = Histogram("h", (1.0, 2.0))
+        for _ in range(4):
+            h.observe(0.5)  # all land in the first bucket [0, 1.0]
+        # rank q*4 of 4 observations, linear within [0, 1.0]
+        assert h.quantile(0.5) == pytest.approx(0.5)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+        assert h.quantile(0.25) == pytest.approx(0.25)
+
+    def test_interpolation_across_buckets(self):
+        h = Histogram("h", (0.01, 0.1, 1.0))
+        h.observe(0.005)  # bucket [0, 0.01]
+        h.observe(0.05)  # bucket (0.01, 0.1]
+        h.observe(0.5)  # bucket (0.1, 1.0]
+        h.observe(0.6)  # bucket (0.1, 1.0]
+        # rank 2 of 4 = upper edge of the second bucket
+        assert h.quantile(0.5) == pytest.approx(0.1)
+        # rank 3 of 4 = halfway through the (0.1, 1.0] bucket
+        assert h.quantile(0.75) == pytest.approx(0.55)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        h = Histogram("h", (0.1, 1.0))
+        h.observe(50.0)
+        h.observe(100.0)
+        # everything is in the +Inf bucket: the estimate cannot exceed
+        # the last finite bound
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.99) == 1.0
+
+    def test_zero_quantile_of_populated_histogram(self):
+        h = Histogram("h", (1.0,))
+        h.observe(0.5)
+        assert h.quantile(0.0) == 0.0
+
+    def test_quantiles_keys(self):
+        h = Histogram("h")
+        h.observe(0.02)
+        assert set(h.quantiles()) == {"p50", "p95", "p99"}
+
+
+class TestLabeledHistogram:
+    def test_aggregate_combines_labels(self):
+        lh = LabeledHistogram("req", (0.1, 1.0), label_key="op")
+        lh.observe("sql", 0.05)
+        lh.observe("ping", 0.05)
+        assert lh.count == 2
+        assert lh.aggregate.count == 2
+        assert [label for label, _ in lh.labels()] == ["ping", "sql"]
+        assert lh.quantile(0.5) == pytest.approx(0.05)
+
+    def test_registry_snapshot_carries_quantiles_and_labels(self):
+        registry = MetricsRegistry()
+        lh = registry.labeled_histogram("req.seconds", (0.1,), label_key="op")
+        lh.observe("sql", 0.05)
+        h = registry.histogram("plain.seconds", (0.1,))
+        h.observe(0.05)
+        snap = registry.snapshot()
+        assert {"p50", "p95", "p99"} <= set(snap["plain.seconds"])
+        assert snap["req.seconds"]["count"] == 1
+        assert snap["req.seconds"]["labels"]["sql"]["count"] == 1
+        assert {"p50", "p95", "p99"} <= set(
+            snap["req.seconds"]["labels"]["sql"]
+        )
+
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        lh = registry.labeled_histogram("req.seconds", label_key="op")
+        lh.observe("sql", 0.05)
+        registry.reset()
+        assert lh.count == 0
+        assert lh.aggregate.count == 0
+        # label families survive reset with zeroed counts
+        assert registry.labeled_histogram(
+            "req.seconds", label_key="op"
+        ) is lh

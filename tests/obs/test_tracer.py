@@ -120,4 +120,12 @@ class TestSpanHelpers:
         assert data["name"] == "root"
         assert data["attrs"] == {"sql": "SELECT 1"}
         assert data["children"][0]["name"] == "child"
-        assert set(data) == {"name", "seconds", "attrs", "children"}
+        assert set(data) == {
+            "name",
+            "seconds",
+            "attrs",
+            "children",
+            "trace_id",
+            "span_id",
+            "parent_id",
+        }
