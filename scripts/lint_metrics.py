@@ -27,7 +27,8 @@ SRC = ROOT / "src"
 #: ``.counter("name")`` etc. on a registry object, first argument a
 #: string literal (dynamic names cannot be linted and are not used)
 _REGISTRATION = re.compile(
-    r"\.(?:counter|labeled_counter|gauge|histogram|labeled_histogram)\(\s*"
+    r"\.(?:counter|labeled_counter|gauge|labeled_gauge|histogram"
+    r"|labeled_histogram)\(\s*"
     r"['\"]([^'\"]+)['\"]"
 )
 

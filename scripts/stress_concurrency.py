@@ -11,6 +11,10 @@ subsystem in one short run, then verifies the process is clean:
    broken by a ``DeadlockError`` well inside the lock timeout.
 3. **Group commit** — concurrent disjoint writers on a WAL-backed
    database fsync measurably less often than they commit.
+4. **Background maintenance** — transactional writers and XQuery readers
+   run while the maintenance worker freezes and rewrites segments; the
+   drained archive must pass every invariant check and the final
+   snapshot must match the writers' last committed steps.
 
 On exit the script fails if any ``repro-*`` thread or any socket file
 descriptor leaked.  Run it via ``scripts/check.sh`` or directly:
@@ -25,7 +29,8 @@ import tempfile
 import threading
 import time
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
+from repro.archis.validation import check_archive
 from repro.errors import DeadlockError
 from repro.obs import get_registry
 from repro.rdb import ColumnType, Database
@@ -250,6 +255,117 @@ def stress_group_commit():
     return None
 
 
+def stress_maintenance(seconds):
+    """Phase 4: background freezes under live writers and readers."""
+    db = Database()
+    db.set_date("1995-01-01")
+    db.create_table(
+        "employee",
+        [
+            ("id", ColumnType.INT),
+            ("name", ColumnType.VARCHAR),
+            ("salary", ColumnType.INT),
+        ],
+        primary_key=("id",),
+    )
+    archis = ArchIS(
+        db,
+        config=ArchISConfig(
+            umin=0.8,
+            min_segment_rows=32,
+            maintenance="background",
+            maintenance_step_rows=64,
+        ),
+    )
+    archis.track_table("employee", document_name="employees.xml")
+    manager = TxnManager(db, archis)
+    stop = threading.Event()
+    failures = []
+    final_steps = {}
+
+    for writer_id in range(WRITERS):
+        with manager.begin() as txn:
+            txn.sql(
+                f"INSERT INTO employee VALUES "
+                f"({writer_id}, 'w{writer_id}', 0)"
+            )
+
+    def writer(writer_id):
+        try:
+            step = 0
+            while not stop.is_set() and step < 200:
+                step += 1
+                with manager.begin() as txn:
+                    txn.sql(
+                        f"UPDATE employee SET salary = {step} "
+                        f"WHERE id = {writer_id}"
+                    )
+                final_steps[writer_id] = step
+        except Exception as exc:
+            failures.append(exc)
+
+    def reader():
+        query = (
+            'for $s in doc("employees.xml")/employees/employee/salary '
+            "return $s"
+        )
+        try:
+            while not stop.is_set():
+                archis.xquery(query, allow_fallback=False)
+        except Exception as exc:
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(w,)) for w in range(WRITERS)
+    ] + [threading.Thread(target=reader) for _ in range(READERS // 2)]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + max(seconds, 1.0) * 10
+    for thread in threads[:WRITERS]:
+        thread.join(timeout=max(0.1, deadline - time.monotonic()))
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    if any(thread.is_alive() for thread in threads):
+        failures.append(RuntimeError("maintenance stress thread stuck"))
+    if failures:
+        archis.close()
+        return f"maintenance stress errors: {failures[:3]}"
+
+    archis.apply_pending()  # drain committed entries into the archive
+    archis.drain_maintenance()
+    worker = archis.maintenance.stats()
+    freezes = archis.segments.freeze_count
+    violations = check_archive(archis)
+    snapshot = dict(
+        archis.snapshot_rows("employee", "salary", db.current_date).rows
+    )
+    archis.close()
+    if worker["error"] is not None:
+        return f"maintenance worker recorded an error: {worker['error']}"
+    if archis.segments.pending_rewrites:
+        return (
+            "drained worker left rewrites pending: "
+            f"{archis.segments.pending_rewrites}"
+        )
+    if freezes == 0:
+        return "workload never triggered a background freeze"
+    if violations:
+        return f"archive invariants violated: {violations[:3]}"
+    if snapshot != final_steps:
+        return (
+            f"final snapshot diverges from committed steps: "
+            f"{snapshot} != {final_steps}"
+        )
+    rewritten = get_registry().counter("maintenance.rows_moved").value
+    print(
+        f"  maintenance: {freezes} background freezes, "
+        f"{sum(final_steps.values())} updates archived, snapshot exact "
+        f"({rewritten} rows moved lifetime)"
+    )
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -267,6 +383,7 @@ def main():
         ("server", lambda: stress_server(args.seconds)),
         ("deadlock", stress_deadlock),
         ("group-commit", stress_group_commit),
+        ("maintenance", lambda: stress_maintenance(args.seconds)),
     ):
         error = phase()
         if error:

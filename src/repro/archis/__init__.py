@@ -11,6 +11,7 @@ from repro.archis.compression import (
     decompress_block,
 )
 from repro.archis.htables import TrackedRelation, create_htables
+from repro.archis.maintenance import MaintenanceWorker
 from repro.archis.publisher import history_rows, publish_relation
 from repro.archis.system import ArchIS, PROFILES, Profile
 from repro.archis.validation import Violation, check_archive
@@ -25,6 +26,7 @@ __all__ = [
     "PROFILES",
     "Profile",
     "CompressedArchive",
+    "MaintenanceWorker",
     "SegmentManager",
     "CompressedBlock",
     "compress_records",

@@ -75,6 +75,10 @@ class BatchArchiver:
         self.durable = durable and (
             self.db.pager.path is not None and self.db.durability == "wal"
         )
+        # entries dispatched inside the currently-running batch; on a
+        # mid-batch failure everything past ``applied + _batch_progress``
+        # is requeued rather than lost
+        self._batch_progress = 0
 
     def apply(self, predicate=None) -> int:
         """Drain matching pending entries and archive them in batches.
@@ -83,6 +87,12 @@ class BatchArchiver:
         caches live for the whole drain (every batch of one apply call
         shares them); entries for untracked tables are dropped, as in
         row-at-a-time apply.
+
+        A failure partway through a batch re-queues the drained-but-
+        unapplied suffix to the front of the update log before
+        re-raising, so the next apply sees those entries again in the
+        same relative order — a transient error never silently drops
+        history.
         """
         entries = [
             entry
@@ -92,27 +102,38 @@ class BatchArchiver:
         if not entries:
             return 0
         applied = 0
-        with get_tracer().span(
-            "archis.batch_apply",
-            entries=len(entries),
-            batch_size=self.batch_size,
-        ) as span:
-            for writer in self.writers.values():
-                writer.begin_batch()
-            try:
-                for start in range(0, len(entries), self.batch_size):
-                    batch = entries[start:start + self.batch_size]
-                    self._apply_batch(batch)
-                    applied += len(batch)
-            finally:
+        try:
+            with get_tracer().span(
+                "archis.batch_apply",
+                entries=len(entries),
+                batch_size=self.batch_size,
+            ) as span:
                 for writer in self.writers.values():
-                    writer.end_batch()
-            span.set("applied", applied)
+                    writer.begin_batch()
+                try:
+                    for start in range(0, len(entries), self.batch_size):
+                        batch = entries[start:start + self.batch_size]
+                        self._batch_progress = 0
+                        self._apply_batch(batch)
+                        applied += len(batch)
+                finally:
+                    for writer in self.writers.values():
+                        writer.end_batch()
+                span.set("applied", applied)
+        except BaseException:
+            self.db.update_log.requeue(
+                entries[applied + self._batch_progress:]
+            )
+            raise
         return applied
 
     # -- one batch ---------------------------------------------------------
 
     def _apply_batch(self, batch: list) -> None:
+        with self.archis.history_lock.write():
+            self._apply_batch_locked(batch)
+
+    def _apply_batch_locked(self, batch: list) -> None:
         started = perf_counter()
         # Group per relation and key, sorted by (table, key, when):
         # warming the caches in this order turns the batch's H-table
@@ -141,7 +162,11 @@ class BatchArchiver:
         with checks:
             for entry in batch:
                 dispatch_entry(self.writers[entry.table], entry)
+                self._batch_progress += 1
         if self.durable:
+            # the whole batch is applied; a commit failure must not
+            # requeue (and later double-apply) its entries
+            self._batch_progress = len(batch)
             self._commit_batch()
         _BATCHES.inc()
         _ENTRIES.inc(len(batch))

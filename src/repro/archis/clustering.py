@@ -25,6 +25,7 @@ from repro.errors import ArchisError
 from repro.obs.metrics import DEFAULT_RATIO_BUCKETS, get_registry
 from repro.obs.tracer import get_tracer
 from repro.rdb.database import Database
+from repro.storage.record import encode_record, encoded_int
 from repro.util.timeutil import FOREVER
 from repro.archis.htables import SEGMENT_TABLE
 
@@ -35,10 +36,17 @@ _USEFULNESS_AT_FREEZE = get_registry().histogram(
     "clustering.usefulness_at_freeze", DEFAULT_RATIO_BUCKETS
 )
 _LIVE_SEGNO = get_registry().gauge("clustering.live_segno")
-#: a freeze runs synchronously inside whatever archival apply triggered
-#: it — its duration is exactly how long that apply (and every waiter on
-#: the history lock) stalled
+#: an inline freeze runs synchronously inside whatever archival apply
+#: triggered it — its duration is exactly how long that apply (and every
+#: waiter on the history lock) stalled
 _FREEZE_STALL = get_registry().histogram("ingest.freeze_stall.seconds")
+#: in background-maintenance mode the apply path only pays the logical
+#: switch (segment-table row + live-copy); the sorted rewrite happens on
+#: the maintenance worker
+_SWITCH_SECONDS = get_registry().histogram("maintenance.switch.seconds")
+
+#: recognized maintenance modes (see ArchISConfig.maintenance)
+MAINTENANCE_MODES = ("inline", "background", "off")
 
 
 @dataclass
@@ -64,12 +72,33 @@ class SegmentManager:
         db: Database,
         umin: float | None = 0.4,
         min_rows: int = 64,
+        mode: str = "inline",
     ) -> None:
         if umin is not None and not 0.0 < umin < 1.0:
             raise ArchisError("U_min must be in (0, 1)")
+        if mode not in MAINTENANCE_MODES:
+            raise ArchisError(
+                f"unknown maintenance mode {mode!r}; use "
+                + ", ".join(MAINTENANCE_MODES)
+            )
         self.db = db
         self.umin = umin
         self.min_rows = min_rows
+        #: how freezes run: ``inline`` rewrites synchronously inside the
+        #: apply, ``background`` performs the cheap logical switch and
+        #: leaves the sorted rewrite to the maintenance worker, ``off``
+        #: never freezes (boundaries stay where they are)
+        self.mode = mode
+        #: frozen segment numbers whose physical rewrite has not finished
+        #: (FIFO; persisted in the archive sidecar so a reopened archive
+        #: resumes where the worker left off)
+        self.pending_rewrites: list[int] = []
+        #: callable invoked with the frozen segno after a logical switch
+        #: (set by ArchIS to wake the maintenance worker)
+        self.on_freeze_request = None
+        #: counts completed physical rewrites/compactions — part of
+        #: :attr:`generation` so caches drop rids the rewrite relocated
+        self.rewrites = 0
         self.live_segno = 1
         self.live_start = db.current_date
         #: timestamp of the last archived change; segment boundaries are
@@ -102,10 +131,16 @@ class SegmentManager:
     def is_registered(self, name: str) -> bool:
         return name in self._tables
 
+    def registered_tables(self) -> list[str]:
+        """Registered H-table names, in registration order."""
+        return list(self._tables)
+
     @property
-    def generation(self) -> tuple[int, int]:
-        """Changes whenever segment boundaries move (cache invalidation)."""
-        return (self.freeze_count, self.live_segno)
+    def generation(self) -> tuple[int, int, int]:
+        """Changes whenever segment boundaries move — or a background
+        rewrite compacts a table and relocates rows (cache
+        invalidation)."""
+        return (self.freeze_count, self.live_segno, self.rewrites)
 
     # -- bookkeeping hooks called by the tracker ---------------------------------
 
@@ -129,8 +164,14 @@ class SegmentManager:
         moved past the last archived one, so every row archived afterwards
         starts strictly after the frozen segment's period — the property
         segment-restricted queries rely on.
+
+        In ``background`` maintenance mode only the logical switch runs
+        here (same boundary, same counters, same decision point as an
+        inline freeze); the sorted rewrite of the frozen segment is
+        queued for the maintenance worker.  In ``off`` mode nothing ever
+        freezes.
         """
-        if self.umin is None:
+        if self.umin is None or self.mode == "off":
             return False
         if self._suspended:
             return False
@@ -150,7 +191,12 @@ class SegmentManager:
                 # draw; freezing now would strand its rows in a segment
                 # whose period cannot cover them
                 return False
-        self.freeze()
+        if self.mode == "background":
+            frozen = self.freeze_switch()
+            if self.on_freeze_request is not None:
+                self.on_freeze_request(frozen)
+        else:
+            self.freeze()
         return True
 
     # -- batched-ingest clearance (one check per batch) --------------------------
@@ -170,7 +216,7 @@ class SegmentManager:
         single archived byte.  Returns ``False`` (no clearance) in any
         case it cannot prove.
         """
-        if self.umin is None:
+        if self.umin is None or self.mode == "off":
             return True
         if self.stats.total + inserts < self.min_rows:
             return True
@@ -262,6 +308,163 @@ class SegmentManager:
             table.insert(tuple(fresh))
         table.compact()
         return len(live_rows), len(frozen_rows)
+
+    # -- background maintenance: logical switch now, sorted rewrite later ---------
+
+    def freeze_switch(self) -> int:
+        """The cheap half of a freeze: draw the boundary, copy live rows.
+
+        Runs synchronously at the exact decision point an inline
+        :meth:`freeze` would — same segment-table row, same boundary,
+        same counter/stat updates — so segment boundaries and the
+        ``clustering.*`` counters are identical across modes.  What it
+        *defers* is the physically expensive part: rows of the frozen
+        segment stay where they are (unsorted) until the maintenance
+        worker relocates them with :meth:`rewrite_step`.  Live tuples
+        must still be copied here — the tracker closes versions through
+        the live segment, so the new live segment has to exist before
+        the next archived change.
+
+        Returns the frozen segment number, now queued in
+        :attr:`pending_rewrites`.
+        """
+        if not self.segmented:
+            raise ArchisError("cannot freeze: segmentation is disabled")
+        boundary = max(self.last_change, self.live_start)
+        frozen_segno = self.live_segno
+        usefulness = self.stats.usefulness
+        started = time.perf_counter()
+        with get_tracer().span(
+            "archis.freeze_switch", segno=frozen_segno, usefulness=usefulness
+        ) as span:
+            self.db.table(SEGMENT_TABLE).insert(
+                (frozen_segno, self.live_start, boundary)
+            )
+            new_live = frozen_segno + 1
+            live_count = 0
+            for table_name in self._tables:
+                live_count += self._copy_live(
+                    table_name, frozen_segno, new_live
+                )
+            self.live_segno = new_live
+            self.live_start = boundary + 1
+            self.stats = SegmentStats(live=live_count, total=live_count)
+            self.freeze_count += 1
+            self.pending_rewrites.append(frozen_segno)
+            span.set("live_rows_copied", live_count)
+        _SWITCH_SECONDS.observe(time.perf_counter() - started)
+        _SEGMENTS_FROZEN.inc()
+        _LIVE_COPIED.inc(live_count)
+        _USEFULNESS_AT_FREEZE.observe(usefulness)
+        _LIVE_SEGNO.set(new_live)
+        return frozen_segno
+
+    def _copy_live(
+        self, table_name: str, frozen_segno: int, new_live: int
+    ) -> int:
+        """Copy the frozen segment's live tuples into the new live segment.
+
+        Reads only the frozen segment via the ``(segno, id)`` index, so
+        the switch costs O(frozen segment), not O(heap) — the heap holds
+        every older segment too, and a full scan here would put an
+        ever-growing stall back on the ingest path the background mode
+        exists to protect.  Dead versions (the segment's majority once
+        usefulness fell below U_min) are skipped before decoding via a
+        byte-level prefilter on the ``tend = FOREVER`` encoding.
+        """
+        table = self.db.table(table_name)
+        seg_pos = table.schema.position("segno")
+        tend_pos = table.schema.position("tend")
+        old_suffix = encoded_int(frozen_segno)
+        new_suffix = encoded_int(new_live)
+        copies: list[tuple] = []
+        payloads: list[bytes] = []
+        for payload, row in table.index_records_containing(
+            f"{table_name}_ix_id",
+            (frozen_segno,),
+            (frozen_segno + 1,),
+            encoded_int(FOREVER),
+            high_inclusive=False,
+        ):
+            if row[tend_pos] != FOREVER:
+                continue
+            fresh = list(row)
+            fresh[seg_pos] = new_live
+            fresh = tuple(fresh)
+            copies.append(fresh)
+            if payload.endswith(old_suffix):
+                # segno is the trailing int field: splice the stored
+                # bytes instead of re-encoding the whole row
+                payloads.append(payload[: -len(old_suffix)] + new_suffix)
+            else:  # pragma: no cover - defensive, schema always trails segno
+                payloads.append(encode_record(fresh))
+        # rows came straight out of this table's heap: already coerced
+        table.insert_many(copies, validated=True, payloads=payloads)
+        return len(copies)
+
+    def rewrite_step(
+        self,
+        table_name: str,
+        segno: int,
+        cursor: int | None,
+        budget: int,
+    ) -> tuple[int | None, int, bool]:
+        """Relocate one bounded slice of a frozen segment, id-sorted.
+
+        Moves rows of ``segno`` with id **after** ``cursor`` to the heap
+        tail in id order (delete + re-insert), at most ``budget`` rows
+        per step — but never splitting an id's version group, so a step
+        boundary is always a clean id boundary and a resumed (or
+        crash-recovered) rewrite can restart from any completed step.
+        The move is content-neutral: only rids change.
+
+        Returns ``(new_cursor, rows_moved, done)``; ``done`` means the
+        segment has no rows past ``new_cursor`` in this table.
+        """
+        table = self.db.table(table_name)
+        id_pos = table.schema.position("id")
+        low = (segno,) if cursor is None else (segno, cursor)
+        pairs: list[tuple[object, tuple]] = []
+        done = True
+        for rid, row in table.index_scan(
+            f"{table_name}_ix_id",
+            low=low,
+            high=(segno + 1,),
+            low_inclusive=cursor is None,
+            high_inclusive=False,
+        ):
+            if (
+                len(pairs) >= budget
+                and row[id_pos] != pairs[-1][1][id_pos]
+            ):
+                done = False
+                break
+            pairs.append((rid, row))
+        if not pairs:
+            return cursor, 0, True
+        for rid, row in pairs:
+            table.delete_rid(rid)
+            table.insert(row)
+        _ROWS_REWRITTEN.inc(len(pairs))
+        return pairs[-1][1][id_pos], len(pairs), done
+
+    def finish_rewrite(self, segno: int) -> None:
+        """Close out a background rewrite: reclaim space, invalidate caches.
+
+        The moved rows left holes behind, clustered in pages that now
+        hold nothing live, so releasing empty pages reclaims the space
+        without touching a rid — a full :meth:`~repro.rdb.table.Table.compact`
+        here would rebuild every index under the history write lock and
+        stall concurrent appliers for O(heap), exactly the tail the
+        background mode exists to remove.  :attr:`rewrites` bumps so
+        rid-carrying caches keyed on :attr:`generation` drop the
+        positions the step moves relocated.
+        """
+        for table_name in self._tables:
+            self.db.table(table_name).prune_empty_pages()
+        if segno in self.pending_rewrites:
+            self.pending_rewrites.remove(segno)
+        self.rewrites += 1
 
     # -- lookups used by the segment-restriction optimizer rule
     # (repro.plan.rules.restrict_segments, paper Sections 6.3/6.4) -------------

@@ -44,6 +44,15 @@ class ArchISConfig:
         Pager mode for file-backed archives: ``"wal"`` or ``"none"``.
     ``buffer_pages``
         Buffer-pool capacity for file-backed archives.
+    ``maintenance``
+        How segment freezes run: ``"inline"`` (synchronous sorted
+        rewrite inside the apply that triggered it), ``"background"``
+        (cheap logical switch on the apply path; a maintenance worker
+        performs the rewrite in bounded steps), or ``"off"`` (never
+        freeze).
+    ``maintenance_step_rows``
+        Row budget per background rewrite step (bounds how long the
+        worker holds the history lock at a time).
     """
 
     profile: str = "atlas"
@@ -53,8 +62,19 @@ class ArchISConfig:
     batch_size: int | None = None
     durability: str = "wal"
     buffer_pages: int = 1024
+    maintenance: str = "inline"
+    maintenance_step_rows: int = 1024
 
     def __post_init__(self) -> None:
+        from repro.archis.clustering import MAINTENANCE_MODES
+
+        if self.maintenance not in MAINTENANCE_MODES:
+            raise ArchisError(
+                f"unknown maintenance mode {self.maintenance!r}; use "
+                + ", ".join(MAINTENANCE_MODES)
+            )
+        if self.maintenance_step_rows < 1:
+            raise ArchisError("maintenance_step_rows must be >= 1")
         if self.translation_cache_size < 1:
             raise ArchisError("translation_cache_size must be >= 1")
         if self.batch_size is not None and self.batch_size < 1:

@@ -1,0 +1,239 @@
+"""Background segment maintenance: the deferred half of a freeze.
+
+In ``background`` mode :meth:`SegmentManager.maybe_freeze` performs only
+the cheap *logical switch* (segment-table row + live-copy) on the apply
+path and queues the frozen segment here.  The worker then performs the
+*physical rewrite* — relocating the frozen segment's rows to the heap
+tail in id order — in bounded steps, each taken under the shared
+:class:`~repro.txn.locks.HistoryLock` write side so snapshot readers and
+appliers never observe a half-moved row.
+
+Crash story (file-backed, WAL durability): every step that moved rows
+stages the catalog and archive sidecars and commits them with its page
+writes in one WAL transaction, so a crash leaves the archive at a clean
+step boundary.  The rewrite itself is *content-neutral* (a move changes
+rids, never rows), and :attr:`SegmentManager.pending_rewrites` rides in
+the archive sidecar, so a reopened archive simply resumes the rewrite
+from the start of the segment — re-moving already-moved rows is
+harmless.
+
+The worker thread is lazy (started on the first request), daemonic, and
+drained by :meth:`MaintenanceWorker.drain` wherever the archive needs a
+settled physical layout (save, compression, equivalence checks).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ArchisError
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
+from repro.storage.crashpoints import fire
+
+_ENQUEUED = get_registry().counter("maintenance.freezes_enqueued")
+_COMPLETED = get_registry().counter("maintenance.freezes_completed")
+_STEPS = get_registry().counter("maintenance.steps")
+_ROWS_MOVED = get_registry().counter("maintenance.rows_moved")
+_STEP_SECONDS = get_registry().histogram("maintenance.step.seconds")
+#: process-wide (one background archive per process in practice)
+_QUEUE_DEPTH = get_registry().gauge("maintenance.queue_depth")
+
+
+class MaintenanceWorker:
+    """Owns the physical rewrites queued by background-mode freezes.
+
+    The queue itself is :attr:`SegmentManager.pending_rewrites` (mutated
+    only under the history write lock: the switch appends, the worker's
+    ``finish_rewrite`` removes) — this class adds the thread, the wakeup
+    condition, bounded steps and per-step durability around it.
+    """
+
+    def __init__(self, archis, step_rows: int = 1024) -> None:
+        if step_rows < 1:
+            raise ArchisError("maintenance step budget must be >= 1")
+        self.archis = archis
+        self.segments = archis.segments
+        self.history = archis.history_lock
+        self.step_rows = step_rows
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._busy = False
+        self._stopping = False
+        self._error: BaseException | None = None
+
+    # -- front-end (apply path / ArchIS) -----------------------------------
+
+    def request(self, segno: int) -> None:
+        """A logical switch queued ``segno``; wake the worker.
+
+        Called under the history write lock (it is the segment manager's
+        ``on_freeze_request``); the condition is only held to notify, so
+        the lock order here (history → cond) never inverts against the
+        worker, which never blocks on the history lock while holding the
+        condition.
+        """
+        _ENQUEUED.inc()
+        with self._cond:
+            _QUEUE_DEPTH.set(len(self.segments.pending_rewrites))
+            self._ensure_thread()
+            self._cond.notify_all()
+
+    def kick(self) -> None:
+        """Wake the worker if rewrites are pending (after a reopen)."""
+        with self._cond:
+            if self.segments.pending_rewrites and not self._stopping:
+                self._ensure_thread()
+                _QUEUE_DEPTH.set(len(self.segments.pending_rewrites))
+                self._cond.notify_all()
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Block until every queued rewrite has finished.
+
+        Re-raises an error the worker recorded (clearing it first, so
+        the worker can be resumed with another :meth:`drain` or
+        :meth:`kick` once the cause is fixed).  Must not be called while
+        holding the history lock — the worker needs its write side to
+        make progress.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            if self.segments.pending_rewrites and not self._stopping:
+                self._ensure_thread()
+                self._cond.notify_all()
+            while True:
+                if self._error is not None:
+                    error = self._error
+                    self._error = None
+                    self._cond.notify_all()
+                    raise error
+                if self._stopping:
+                    return
+                if not self.segments.pending_rewrites and not self._busy:
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ArchisError(
+                        "maintenance drain timed out after "
+                        f"{timeout:.0f}s ({self.backlog()} pending)"
+                    )
+                self._cond.wait(remaining)
+
+    def stop(self) -> None:
+        """Stop the worker (between steps) and join the thread."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def backlog(self) -> int:
+        return len(self.segments.pending_rewrites)
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "pending": list(self.segments.pending_rewrites),
+                "busy": self._busy,
+                "started": self._thread is not None,
+                "error": str(self._error) if self._error else None,
+            }
+
+    # -- the worker --------------------------------------------------------
+
+    def _ensure_thread(self) -> None:
+        # caller holds self._cond
+        if self._thread is None and not self._stopping:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-maintenance", daemon=True
+            )
+            self._thread.start()
+
+    def _ready(self) -> bool:
+        return bool(self.segments.pending_rewrites) and self._error is None
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stopping and not self._ready():
+                    self._cond.wait()
+                if self._stopping:
+                    return
+                # only the worker removes from the queue, so the head
+                # peeked here stays valid outside the condition
+                segno = self.segments.pending_rewrites[0]
+                self._busy = True
+            try:
+                self._process(segno)
+            except BaseException as exc:  # noqa: BLE001 - recorded, re-raised by drain
+                with self._cond:
+                    self._error = exc
+                    self._busy = False
+                    self._cond.notify_all()
+            else:
+                with self._cond:
+                    self._busy = False
+                    _QUEUE_DEPTH.set(len(self.segments.pending_rewrites))
+                    self._cond.notify_all()
+
+    def _process(self, segno: int) -> None:
+        """Rewrite one frozen segment in bounded, individually-durable steps."""
+        with get_tracer().span(
+            "maintenance.rewrite", segno=segno, step_rows=self.step_rows
+        ) as span:
+            total_moved = 0
+            steps = 0
+            for table_name in self.segments.registered_tables():
+                cursor = None
+                done = False
+                while not done:
+                    if self._stopping:
+                        return
+                    started = time.perf_counter()
+                    with self.history.write():
+                        cursor, moved, done = self.segments.rewrite_step(
+                            table_name, segno, cursor, self.step_rows
+                        )
+                        if moved:
+                            self._commit_step()
+                    if moved:
+                        _STEPS.inc()
+                        _ROWS_MOVED.inc(moved)
+                        _STEP_SECONDS.observe(
+                            time.perf_counter() - started
+                        )
+                        total_moved += moved
+                        steps += 1
+            if self._stopping:
+                return
+            # compaction + dequeue is itself one crash-atomic step: after
+            # it commits, the segment never re-enters the queue
+            started = time.perf_counter()
+            with self.history.write():
+                self.segments.finish_rewrite(segno)
+                self._commit_step()
+            _STEPS.inc()
+            _STEP_SECONDS.observe(time.perf_counter() - started)
+            span.set("rows_moved", total_moved)
+            span.set("steps", steps + 1)
+        _COMPLETED.inc()
+
+    def _commit_step(self) -> None:
+        """Make one step durable (file-backed WAL archives only).
+
+        Runs under the history write lock: the sidecar staging and the
+        tag-0 COMMIT frame must not interleave with another tag-0 stager
+        (the batch archiver's durable ingest commits under the same
+        lock).
+        """
+        db = self.archis.db
+        if db.pager.path is None or db.durability != "wal":
+            return
+        from repro.archis.persistence import stage_archive
+        from repro.rdb.persistence import save_catalog
+
+        save_catalog(db, _defer_checkpoint=True)
+        stage_archive(self.archis)
+        fire("maintenance.step.commit")
+        db.pager.commit(cause="maintenance")

@@ -47,6 +47,10 @@ def archive_payload(archis) -> dict:
             "live": archis.segments.stats.live,
             "total": archis.segments.stats.total,
             "freeze_count": archis.segments.freeze_count,
+            # frozen segments whose background rewrite has not finished;
+            # a reopened archive resumes (idempotently) where the
+            # maintenance worker left off
+            "pending_rewrites": list(archis.segments.pending_rewrites),
         },
         "relations": [
             {
@@ -90,10 +94,15 @@ def save_archive(archis) -> str:
     """Persist the database catalog plus the ArchIS metadata sidecar."""
     if archis.db.pager.path is None:
         raise StorageError("only file-backed archives can be saved")
+    if archis.maintenance is not None:
+        archis.maintenance.drain()
     archis.apply_pending()
-    save_catalog(archis.db, _defer_checkpoint=True)
-    path = stage_archive(archis)
-    archis.db.pager.checkpoint()
+    # the write lock keeps the maintenance worker's own step commits
+    # from interleaving with this staging (both are tag-0 WAL writers)
+    with archis.history_lock.write():
+        save_catalog(archis.db, _defer_checkpoint=True)
+        path = stage_archive(archis)
+        archis.db.pager.checkpoint()
     return path
 
 
@@ -162,6 +171,9 @@ def load_archive(
     archis.segments.stats.live = seg["live"]
     archis.segments.stats.total = seg["total"]
     archis.segments.freeze_count = seg["freeze_count"]
+    archis.segments.pending_rewrites = list(
+        seg.get("pending_rewrites", [])
+    )
 
     for spec in payload["relations"]:
         relation = TrackedRelation(
@@ -190,4 +202,7 @@ def load_archive(
         archis.archive._register_table_function(
             spec["table"], spec["blob_table"]
         )
+    if archis.maintenance is not None:
+        # resume any rewrite a crash (or an unfinished queue) left behind
+        archis.maintenance.kick()
     return archis

@@ -29,6 +29,7 @@ from repro.obs.metrics import get_registry
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.tracer import get_tracer
 from repro.rdb.database import Database
+from repro.txn.locks import HistoryLock
 from repro.archis.blobstore import CompressedArchive
 from repro.archis.clustering import SegmentManager
 from repro.archis.config import (
@@ -102,9 +103,26 @@ class ArchIS:
         self.config = config
         self.db = db if db is not None else Database()
         self.profile = PROFILES[config.profile]
+        #: serializes H-table mutation against snapshot reads; the
+        #: transaction manager adopts this instance, and the maintenance
+        #: worker takes its write side per rewrite step
+        self.history_lock = HistoryLock()
         self.segments = SegmentManager(
-            self.db, config.umin, config.min_segment_rows
+            self.db,
+            config.umin,
+            config.min_segment_rows,
+            mode=config.maintenance,
         )
+        #: background maintenance worker (``config.maintenance ==
+        #: "background"`` only); owns the physical half of every freeze
+        self.maintenance = None
+        if config.maintenance == "background":
+            from repro.archis.maintenance import MaintenanceWorker
+
+            self.maintenance = MaintenanceWorker(
+                self, config.maintenance_step_rows
+            )
+            self.segments.on_freeze_request = self.maintenance.request
         self.relations: dict[str, TrackedRelation] = {}
         self.writers: dict[str, HTableWriter] = {}
         self.trackers: dict[str, object] = {}
@@ -215,13 +233,18 @@ class ArchIS:
         """
         if self.profile.tracking != "log":
             return 0
+        if self.history_lock.held_read():
+            # a reader holding the history lock (an XQuery mid-scan)
+            # must not mutate the H-tables it is reading; the entries
+            # stay pending for the next apply outside the read
+            return 0
         if self.txn_manager is not None:
             self.txn_manager.apply_committed()
             return 0
         if batch_size is _UNSET:
             batch_size = self.config.batch_size
         if batch_size is None:
-            return apply_log(self.db, self.writers)
+            return apply_log(self.db, self.writers, history=self.history_lock)
         from repro.archis.batch import BatchArchiver
 
         return BatchArchiver(self, batch_size, durable=durable).apply()
@@ -243,7 +266,9 @@ class ArchIS:
         if batch_size is _UNSET:
             batch_size = self.config.batch_size
         if batch_size is None:
-            return apply_log(self.db, self.writers, predicate)
+            return apply_log(
+                self.db, self.writers, predicate, history=self.history_lock
+            )
         from repro.archis.batch import BatchArchiver
 
         return BatchArchiver(self, batch_size, durable=False).apply(predicate)
@@ -257,9 +282,10 @@ class ArchIS:
         BlockZIPed, so publication is storage-layout independent.
         """
         relation = self._relation(relation_name)
-        return publish_relation(
-            self.db, relation, rows_provider=self._all_rows_of
-        )
+        with self.history_lock.read():
+            return publish_relation(
+                self.db, relation, rows_provider=self._all_rows_of
+            )
 
     def _all_rows_of(self, table_name: str):
         yield from self.db.table(table_name).rows()
@@ -283,7 +309,8 @@ class ArchIS:
             if attribute is None
             else relation.attribute_table(attribute)
         )
-        return history_rows(self.db, table, self._all_rows_of(table))
+        with self.history_lock.read():
+            return history_rows(self.db, table, self._all_rows_of(table))
 
     # -- queries --------------------------------------------------------------------------
 
@@ -411,13 +438,18 @@ class ArchIS:
                         return out
                 sql_text = translation.sql
                 span.set("sql", sql_text)
-                with tracer.span("sql.execute"):
-                    result = self.db.sql(translation.sql, translation.params)
-                with tracer.span("xquery.post"):
-                    if translation.post is not None:
-                        rows = translation.post(result)
-                    else:
-                        rows = result.xml()
+                # the read side keeps the maintenance worker (and any
+                # other H-table mutator) out while the query scans
+                with self.history_lock.read():
+                    with tracer.span("sql.execute"):
+                        result = self.db.sql(
+                            translation.sql, translation.params
+                        )
+                    with tracer.span("xquery.post"):
+                        if translation.post is not None:
+                            rows = translation.post(result)
+                        else:
+                            rows = result.xml()
                 out = Result(rows, stats={"sql": sql_text})
                 return out
         finally:
@@ -438,7 +470,7 @@ class ArchIS:
         from repro.xquery import make_context, parse_xquery
         from repro.xquery.evaluator import evaluate_query
 
-        with get_tracer().span("xquery.publish"):
+        with get_tracer().span("xquery.publish"), self.history_lock.read():
             documents = {
                 doc: publish_relation(self.db, self.relations[rel])
                 for doc, rel in self._doc_names.items()
@@ -461,33 +493,34 @@ class ArchIS:
         table_name = relation.attribute_table(attribute)
         columns = ["id", attribute]
         stats = {"table": table_name, "date": date}
-        segno = self.segments.segment_for(date)
-        stats["segno"] = segno
-        if table_name in self.archive.compressed_tables and (
-            segno != self.segments.live_segno
-        ):
-            rows = self.archive.read_rows(table_name, [segno])
-            table = self.db.table(table_name)
-            seg_pos = table.schema.position("segno")
-            tstart_pos = table.schema.position("tstart")
-            tend_pos = table.schema.position("tend")
-            stats["compressed"] = True
-            return Result(
-                [
-                    (row[0], row[1])
-                    for row in rows
-                    if row[seg_pos] == segno
-                    and row[tstart_pos] <= date <= row[tend_pos]
-                ],
-                columns,
-                stats=stats,
+        with self.history_lock.read():
+            segno = self.segments.segment_for(date)
+            stats["segno"] = segno
+            if table_name in self.archive.compressed_tables and (
+                segno != self.segments.live_segno
+            ):
+                rows = self.archive.read_rows(table_name, [segno])
+                table = self.db.table(table_name)
+                seg_pos = table.schema.position("segno")
+                tstart_pos = table.schema.position("tstart")
+                tend_pos = table.schema.position("tend")
+                stats["compressed"] = True
+                return Result(
+                    [
+                        (row[0], row[1])
+                        for row in rows
+                        if row[seg_pos] == segno
+                        and row[tstart_pos] <= date <= row[tend_pos]
+                    ],
+                    columns,
+                    stats=stats,
+                )
+            result = self.db.sql(
+                f"SELECT t.id, t.{attribute} FROM {table_name} t "
+                f"WHERE t.segno = :segno AND t.tstart <= :d AND t.tend >= :d",
+                {"segno": segno, "d": date},
             )
-        result = self.db.sql(
-            f"SELECT t.id, t.{attribute} FROM {table_name} t "
-            f"WHERE t.segno = :segno AND t.tstart <= :d AND t.tend >= :d",
-            {"segno": segno, "d": date},
-        )
-        stats["compressed"] = False
+            stats["compressed"] = False
         return Result(list(result.rows), columns, stats=stats)
 
     def max_increase_one_scan(
@@ -534,7 +567,13 @@ class ArchIS:
     # -- compression ----------------------------------------------------------------------------
 
     def compress_archive(self) -> dict[str, object]:
-        """BlockZIP every tracked H-table's frozen segments into BLOBs."""
+        """BlockZIP every tracked H-table's frozen segments into BLOBs.
+
+        Background rewrites are drained first: compression snapshots a
+        frozen segment's physical layout, so the sorted rewrite must be
+        in place before its rows move into BLOBs.
+        """
+        self.drain_maintenance()
         report = {}
         with get_tracer().span("archis.compress_archive") as span:
             for relation in self.relations.values():
@@ -550,10 +589,38 @@ class ArchIS:
     # -- persistence ------------------------------------------------------------------------
 
     def save(self) -> str:
-        """Persist a file-backed archive (catalog + ArchIS metadata)."""
+        """Persist a file-backed archive (catalog + ArchIS metadata).
+
+        Queued background rewrites are drained first so the saved
+        archive carries a settled physical layout (an unfinished queue
+        would still reload correctly — ``pending_rewrites`` rides in the
+        sidecar — but a clean save should not need a resume).
+        """
+        self.drain_maintenance()
         from repro.archis.persistence import save_archive
 
         return save_archive(self)
+
+    def drain_maintenance(self, timeout: float = 60.0) -> None:
+        """Wait for every queued background rewrite to finish.
+
+        A no-op outside background mode.  Re-raises an error the worker
+        recorded.
+        """
+        if self.maintenance is not None:
+            self.maintenance.drain(timeout)
+
+    def close(self) -> None:
+        """Stop the maintenance worker and close the database."""
+        if self.maintenance is not None:
+            self.maintenance.stop()
+        self.db.close()
+
+    def __enter__(self) -> "ArchIS":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     @classmethod
     def open(
@@ -647,6 +714,27 @@ class ArchIS:
                 "freezes": self.segments.freeze_count,
                 "live_segno": self.segments.live_segno,
                 "usefulness": self.segments.stats.usefulness,
+            },
+            "maintenance": {
+                "mode": self.config.maintenance,
+                "step_rows": self.config.maintenance_step_rows,
+                "pending_rewrites": list(self.segments.pending_rewrites),
+                "rewrites_completed": self.segments.rewrites,
+                "worker": (
+                    self.maintenance.stats()
+                    if self.maintenance is not None
+                    else None
+                ),
+                "freezes_enqueued": get_registry().counter(
+                    "maintenance.freezes_enqueued"
+                ).value,
+                "freezes_completed": get_registry().counter(
+                    "maintenance.freezes_completed"
+                ).value,
+                "steps": get_registry().counter("maintenance.steps").value,
+                "rows_moved": get_registry().counter(
+                    "maintenance.rows_moved"
+                ).value,
             },
             "translator": {
                 "cache_size": len(self._translation_cache),

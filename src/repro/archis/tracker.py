@@ -15,6 +15,8 @@ created and closed on the same day keeps a one-day interval.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from repro.errors import ArchisError
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
@@ -372,7 +374,8 @@ class LogTracker:
 
 
 def apply_log(
-    db: Database, writers: dict[str, HTableWriter], predicate=None
+    db: Database, writers: dict[str, HTableWriter], predicate=None,
+    history=None,
 ) -> int:
     """Drain the update log into H-tables, dispatching by relation name.
 
@@ -381,16 +384,28 @@ def apply_log(
     transaction layer passes "the entry's transaction has committed" so
     in-flight writers' changes stay pending.  Returns the number of
     entries applied.
+
+    ``history`` (a :class:`~repro.txn.locks.HistoryLock`) is held on the
+    write side for the whole drain when given, so snapshot readers and
+    the maintenance worker never interleave with a half-applied entry.
+    A failure mid-drain re-queues the unapplied suffix (including the
+    failing entry) before re-raising — drained entries are never lost.
     """
     applied = 0
-    with get_tracer().span("archis.apply_log") as span:
+    guard = history.write() if history is not None else nullcontext()
+    with get_tracer().span("archis.apply_log") as span, guard:
         # Day order, not log order — see UpdateLog.drain_ordered.
-        for entry in db.update_log.drain_ordered(predicate):
-            writer = writers.get(entry.table)
-            if writer is None:
-                continue
-            dispatch_entry(writer, entry)
-            applied += 1
+        entries = db.update_log.drain_ordered(predicate)
+        try:
+            for index, entry in enumerate(entries):
+                writer = writers.get(entry.table)
+                if writer is None:
+                    continue
+                dispatch_entry(writer, entry)
+                applied += 1
+        except BaseException:
+            db.update_log.requeue(entries[index:])
+            raise
         span.set("applied", applied)
     return applied
 

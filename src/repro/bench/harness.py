@@ -55,6 +55,8 @@ def build_archis(
     min_segment_rows: int = 512,
     compress: bool = False,
     seed: int = 20060403,
+    maintenance: str = "inline",
+    maintenance_step_rows: int = 1024,
 ) -> tuple[EmployeeHistoryGenerator, ArchIS, int]:
     """Generate the dataset into a tracked current database."""
     generator = EmployeeHistoryGenerator(
@@ -68,12 +70,17 @@ def build_archis(
     archis = ArchIS(
         db,
         config=ArchISConfig(
-            profile=profile, umin=umin, min_segment_rows=min_segment_rows
+            profile=profile,
+            umin=umin,
+            min_segment_rows=min_segment_rows,
+            maintenance=maintenance,
+            maintenance_step_rows=maintenance_step_rows,
         ),
     )
     archis.track_table("employee", document_name="employees.xml")
     events = generator.apply_to(db)
     archis.apply_pending()
+    archis.drain_maintenance()
     if compress:
         archis.compress_archive()
     return generator, archis, events

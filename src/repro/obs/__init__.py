@@ -25,6 +25,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     LabeledCounter,
+    LabeledGauge,
     LabeledHistogram,
     MetricsRegistry,
     get_registry,
@@ -101,7 +102,25 @@ METRIC_INVENTORY: dict[str, str] = {
     ),
     "ingest.clearance_granted": "batches granted freeze clearance",
     "ingest.clearance_denied": "batches denied freeze clearance",
-    "updatelog.backlog": "update-log entries pending archival",
+    "updatelog.backlog": "update-log entries pending archival, per log",
+    # -- background segment maintenance ---------------------------------
+    "maintenance.freezes_enqueued": (
+        "freeze rewrites handed to the maintenance worker"
+    ),
+    "maintenance.freezes_completed": (
+        "freeze rewrites fully applied by the maintenance worker"
+    ),
+    "maintenance.steps": "bounded maintenance steps performed",
+    "maintenance.step.seconds": (
+        "history-lock hold time of one maintenance step"
+    ),
+    "maintenance.rows_moved": (
+        "frozen-segment rows rewritten by the maintenance worker"
+    ),
+    "maintenance.queue_depth": "freeze rewrites waiting for the worker",
+    "maintenance.switch.seconds": (
+        "time one apply spent in the synchronous logical segment switch"
+    ),
     # -- plan / optimizer -----------------------------------------------
     "plan.rules_fired": "optimizer rule firings by rule",
     # -- transactions ---------------------------------------------------
@@ -133,6 +152,7 @@ __all__ = [
     "Histogram",
     "JsonlSpanExporter",
     "LabeledCounter",
+    "LabeledGauge",
     "LabeledHistogram",
     "METRIC_INVENTORY",
     "MetricsRegistry",

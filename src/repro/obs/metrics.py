@@ -90,6 +90,49 @@ class Gauge:
         self.value = 0.0
 
 
+class LabeledGauge:
+    """A gauge family keyed by a free-form label.
+
+    Used where one *name* is reported by several independent instances —
+    e.g. ``updatelog.backlog`` per update log: a process-wide scalar
+    gauge would be clobbered by whichever log last changed, so each log
+    sets its own labelled series and the exposition reports the real
+    per-log backlog.  ``total`` sums the family (meaningful for
+    additive gauges like backlog depths).
+    """
+
+    __slots__ = ("name", "values", "label_key", "_lock")
+
+    def __init__(self, name: str, label_key: str = "label") -> None:
+        self.name = name
+        self.values: dict[str, float] = {}
+        #: label name used by the Prometheus exposition (e.g. ``log``)
+        self.label_key = label_key
+        self._lock = threading.Lock()
+
+    def set(self, label: str, value: float) -> None:
+        with self._lock:
+            self.values[label] = value
+
+    def get(self, label: str) -> float:
+        with self._lock:
+            return self.values.get(label, 0.0)
+
+    def remove(self, label: str) -> None:
+        """Drop one series (an instance going away)."""
+        with self._lock:
+            self.values.pop(label, None)
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return sum(self.values.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self.values.clear()
+
+
 #: Default bucket bounds for duration histograms, in seconds.  Spans the
 #: range from sub-millisecond translations to multi-second full-history
 #: scans; the last bucket is the +Inf overflow.
@@ -266,6 +309,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._labeled: dict[str, LabeledCounter] = {}
         self._gauges: dict[str, Gauge] = {}
+        self._labeled_gauges: dict[str, LabeledGauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._labeled_histograms: dict[str, LabeledHistogram] = {}
         self._lock = threading.Lock()
@@ -289,6 +333,17 @@ class MetricsRegistry:
             instrument = self._gauges.get(name)
             if instrument is None:
                 instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def labeled_gauge(
+        self, name: str, label_key: str = "label"
+    ) -> LabeledGauge:
+        with self._lock:
+            instrument = self._labeled_gauges.get(name)
+            if instrument is None:
+                instrument = self._labeled_gauges[name] = LabeledGauge(
+                    name, label_key
+                )
             return instrument
 
     def histogram(self, name: str, bounds=DEFAULT_TIME_BUCKETS) -> Histogram:
@@ -320,6 +375,7 @@ class MetricsRegistry:
                     *self._counters,
                     *self._labeled,
                     *self._gauges,
+                    *self._labeled_gauges,
                     *self._histograms,
                     *self._labeled_histograms,
                 ]
@@ -337,6 +393,7 @@ class MetricsRegistry:
                 ("counter", self._counters),
                 ("labeled_counter", self._labeled),
                 ("gauge", self._gauges),
+                ("labeled_gauge", self._labeled_gauges),
                 ("histogram", self._histograms),
                 ("labeled_histogram", self._labeled_histograms),
             ):
@@ -370,6 +427,7 @@ class MetricsRegistry:
             counters = list(self._counters.items())
             labeled = list(self._labeled.items())
             gauges = list(self._gauges.items())
+            labeled_gauges = list(self._labeled_gauges.items())
             histograms = list(self._histograms.items())
             labeled_histograms = list(self._labeled_histograms.items())
         out: dict[str, object] = {}
@@ -379,6 +437,8 @@ class MetricsRegistry:
             out[name] = dict(sorted(family.values.items()))
         for name, gauge in gauges:
             out[name] = gauge.value
+        for name, family in labeled_gauges:
+            out[name] = dict(sorted(family.values.items()))
         for name, histogram in histograms:
             out[name] = self._histogram_data(histogram)
         for name, family in labeled_histograms:
@@ -397,6 +457,7 @@ class MetricsRegistry:
                 list(self._counters.values()),
                 list(self._labeled.values()),
                 list(self._gauges.values()),
+                list(self._labeled_gauges.values()),
                 list(self._histograms.values()),
                 list(self._labeled_histograms.values()),
             ]

@@ -138,6 +138,13 @@ def render_prometheus(
         elif kind == "gauge":
             _header(lines, exposed, "gauge", help_text)
             lines.append(f"{exposed} {_format_value(instrument.value)}")
+        elif kind == "labeled_gauge":
+            _header(lines, exposed, "gauge", help_text)
+            for label, value in sorted(instrument.values.items()):
+                lines.append(
+                    f'{exposed}{{{instrument.label_key}='
+                    f'"{_escape(label)}"}} {_format_value(value)}'
+                )
         elif kind == "labeled_counter":
             _header(lines, exposed, "counter", help_text)
             for label, count in sorted(instrument.values.items()):

@@ -64,7 +64,7 @@ class Database:
         # sessions (DDL takes the transaction layer's logical "#catalog"
         # lock too; this latch covers lock-free readers).
         self._catalog_lock = threading.RLock()
-        self.update_log = UpdateLog()
+        self.update_log = UpdateLog(scope=path)
         self._clock = parse_date("1985-01-01")
         self._functions: dict[str, Callable] = {}
         self._table_functions: dict[str, Callable] = {}

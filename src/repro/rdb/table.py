@@ -234,6 +234,54 @@ class Table:
         self._fire("insert", row, None)
         return rid
 
+    def insert_many(
+        self,
+        values_list: list[tuple],
+        validated: bool = False,
+        payloads: list[bytes] | None = None,
+    ) -> list[Rid]:
+        """Insert many rows under one latch hold, batching page writes.
+
+        Equivalent to calling :meth:`insert` per row — same RIDs, same
+        index entries, same undo records, same triggers — but the heap
+        writes each filled page back once, which is what lets the freeze
+        switch copy a segment's live rows without stalling appliers.
+        ``validated=True`` skips per-row schema coercion for rows that
+        were just read out of this table (already stored coerced).
+        ``payloads`` (requires ``validated=True``) supplies the exact
+        encoded bytes per row so a physical clone skips re-encoding;
+        each entry must equal ``encode_record`` of its row.
+        """
+        if validated:
+            rows = [tuple(values) for values in values_list]
+        else:
+            rows = [self.schema.validate_row(values) for values in values_list]
+        with self._latch:
+            if self._pk_index is not None:
+                seen: set = set()
+                for row in rows:
+                    key = self.schema.key_of(row)
+                    if key in seen or self._pk_index.search(key):
+                        raise IntegrityError(
+                            f"table {self.name}: duplicate primary key {key}"
+                        )
+                    seen.add(key)
+            if payloads is not None:
+                rids = self._heap.insert_payloads(payloads)
+            else:
+                rids = self._heap.insert_many(rows)
+            sink = txcontext.undo_sink()
+            for row, rid in zip(rows, rids):
+                if self._pk_index is not None:
+                    self._pk_index.insert(self.schema.key_of(row), rid)
+                for info in self._indexes.values():
+                    self._index_insert(info, row, rid)
+                if sink is not None:
+                    sink.append(("insert", self, rid))
+        for row in rows:
+            self._fire("insert", row, None)
+        return rids
+
     def read(self, rid: Rid) -> tuple:
         with self._latch:
             return self._heap.read(rid)
@@ -336,6 +384,17 @@ class Table:
                 for info in self._indexes.values():
                     self._index_insert(info, row, rid)
 
+    def prune_empty_pages(self) -> int:
+        """Release heap pages that hold no live records.
+
+        RIDs never change, so indexes stay valid and no rebuild happens —
+        the cheap space reclamation the background segment rewrite uses
+        in place of :meth:`compact` (whose full index rebuild would hold
+        the history lock for O(heap)).  Returns the pages released.
+        """
+        with self._latch:
+            return self._heap.prune_empty_pages()
+
     # -- reads ----------------------------------------------------------------
 
     def scan(self) -> Iterator[tuple[Rid, tuple]]:
@@ -364,6 +423,36 @@ class Table:
     def row_dict(self, row: tuple) -> dict[str, object]:
         return dict(zip(self.schema.column_names, row))
 
+    def index_records_containing(
+        self,
+        index_name: str,
+        low: tuple,
+        high: tuple,
+        pattern: bytes,
+        high_inclusive: bool = True,
+    ) -> list[tuple[bytes, tuple]]:
+        """(payload, row) pairs in an index range containing ``pattern``.
+
+        A raw-storage bulk read (no AS-OF rendering) with a byte-level
+        prefilter — rows that cannot contain the searched field value
+        are skipped before decoding.  Conservative: the caller must
+        re-check the decoded field (the pattern can straddle another
+        field's bytes).  The freeze switch uses this to pull a segment's
+        live rows without decoding the dead majority, then clones the
+        payloads directly (see :meth:`insert_many`'s ``payloads``).
+        """
+        info = self._indexes.get(index_name)
+        if info is None:
+            raise CatalogError(f"no index named {index_name}")
+        with self._latch:
+            rids = [
+                rid
+                for _, rid in info.tree.range(
+                    low, high, True, high_inclusive
+                )
+            ]
+            return self._heap.read_records_containing(rids, pattern)
+
     def index_scan(
         self,
         index_name: str,
@@ -381,12 +470,15 @@ class Table:
         if info is None:
             raise CatalogError(f"no index named {index_name}")
         with self._latch:
-            items = [
-                (rid, self._heap.read(rid))
+            rids = [
+                rid
                 for _, rid in info.tree.range(
                     low, high, low_inclusive, high_inclusive
                 )
             ]
+            # key-order reads revisit pages arbitrarily; the bulk read
+            # parses each touched page once instead of once per row
+            items = list(zip(rids, self._heap.read_many(rids)))
         day = txcontext.as_of_day()
         if day is None:
             return iter(items)

@@ -283,9 +283,9 @@ class Session:
                     "pager.dirty_pages"
                 ).value,
                 "wal.size_bytes": registry.gauge("wal.size_bytes").value,
-                "updatelog.backlog": registry.gauge(
+                "updatelog.backlog": registry.labeled_gauge(
                     "updatelog.backlog"
-                ).value,
+                ).total,
             },
         }
 

@@ -64,6 +64,58 @@ class HeapFile:
         self._live += 1
         return (page_no, slot)
 
+    def insert_many(self, rows: list[tuple]) -> list[Rid]:
+        """Append many records, writing each filled page back once.
+
+        Produces exactly the RIDs a sequence of :meth:`insert` calls
+        would (append-only, same order) — it only batches the per-row
+        pool round-trip (fetch, whole-page serialize, write-through)
+        into one per page, which is what makes the freeze switch's
+        live-copy cheap enough for the ingest path.
+        """
+        return self.insert_payloads(
+            [encode_record(values) for values in rows]
+        )
+
+    def insert_payloads(self, payloads: list[bytes]) -> list[Rid]:
+        """Bulk-append pre-encoded record payloads (see :meth:`insert_many`).
+
+        The physical-clone path: maintenance copies a row to another
+        segment by splicing the stored payload instead of re-encoding
+        the decoded tuple.  Callers must pass payloads produced by
+        :func:`~repro.storage.record.encode_record`.
+        """
+        rids: list[Rid] = []
+        page_no: int | None = self._pages[-1] if self._pages else None
+        page = SlottedPage(self._pool.get(page_no)) if page_no is not None else None
+        dirty = False
+        fresh = False
+        for payload in payloads:
+            while True:
+                if page is None:
+                    page_no = self._pool.allocate()
+                    self._pages.append(page_no)
+                    page = SlottedPage(self._pool.get(page_no))
+                    dirty = False
+                    fresh = True
+                try:
+                    slot = page.insert(payload)
+                except PageFullError:
+                    if fresh:
+                        raise  # a fresh page always fits sane records
+                    if dirty:
+                        self._pool.put(page_no, page.to_bytes())
+                    page = None
+                    continue
+                dirty = True
+                fresh = False
+                self._live += 1
+                rids.append((page_no, slot))
+                break
+        if dirty:
+            self._pool.put(page_no, page.to_bytes())
+        return rids
+
     def read(self, rid: Rid) -> tuple:
         """Fetch the record at ``rid``."""
         page_no, slot_no = rid
@@ -97,6 +149,56 @@ class HeapFile:
         self._pool.put(page_no, page.to_bytes())
         self._live -= 1
 
+    def read_many(self, rids: list[Rid]) -> list[tuple]:
+        """Fetch many records, parsing each touched page only once.
+
+        Row-at-a-time :meth:`read` pays a pool fetch (which copies the
+        page image) plus page-header parsing per record; an index range
+        scan in key order revisits the same pages in arbitrary order and
+        multiplies that cost.  Grouping by page keeps bulk reads linear
+        in pages touched, not records read.  Results come back in
+        ``rids`` order.
+        """
+        pages: dict[int, SlottedPage] = {}
+        out = []
+        for rid in rids:
+            page_no, slot_no = rid
+            page = pages.get(page_no)
+            if page is None:
+                page = pages[page_no] = SlottedPage(self._pool.get(page_no))
+            payload = page.read(slot_no)
+            if payload is None:
+                raise StorageError(f"record {rid} is deleted")
+            out.append(decode_record(payload))
+        return out
+
+    def read_records_containing(
+        self, rids: list[Rid], pattern: bytes
+    ) -> list[tuple[bytes, tuple]]:
+        """Decode only the records whose payload contains ``pattern``.
+
+        Byte-level prefilter over a bulk read (see
+        :func:`~repro.storage.record.encoded_int`): records whose raw
+        payload cannot contain the searched field value are skipped
+        before any decoding.  Conservative — callers must re-check the
+        decoded field.  Returns matching ``(payload, row)`` pairs in
+        ``rids`` order; the raw payload rides along so physical clones
+        can splice it instead of re-encoding.
+        """
+        pages: dict[int, SlottedPage] = {}
+        out = []
+        for rid in rids:
+            page_no, slot_no = rid
+            page = pages.get(page_no)
+            if page is None:
+                page = pages[page_no] = SlottedPage(self._pool.get(page_no))
+            payload = page.read(slot_no)
+            if payload is None:
+                raise StorageError(f"record {rid} is deleted")
+            if pattern in payload:
+                out.append((payload, decode_record(payload)))
+        return out
+
     def scan(self) -> Iterator[tuple[Rid, tuple]]:
         """Iterate live records in page order."""
         for page_no in self._pages:
@@ -123,6 +225,27 @@ class HeapFile:
         for row in rows:
             self.insert(row)
         return rows
+
+    def prune_empty_pages(self) -> int:
+        """Drop pages with no live records from this heap's page list.
+
+        Surviving records keep their RIDs (nothing is rewritten), so
+        callers' indexes stay valid — unlike :meth:`compact`.  Costs one
+        page-header walk instead of a full decode/re-encode pass; the
+        background segment rewrite relies on this, because its deletes
+        empty whole pages (the frozen segment's rows were clustered) and
+        a full compact would stall concurrent appliers for O(heap).
+
+        Returns the number of pages released.
+        """
+        kept = []
+        for page_no in self._pages:
+            page = SlottedPage(self._pool.get(page_no))
+            if any(True for _ in page.records()):
+                kept.append(page_no)
+        dropped = len(self._pages) - len(kept)
+        self._pages = kept
+        return dropped
 
     def truncate(self) -> None:
         """Forget every record.  Pages are abandoned, not reclaimed; the

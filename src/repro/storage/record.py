@@ -62,6 +62,18 @@ def encode_record(values: tuple) -> bytes:
     return bytes([count]) + bytes(bitmap) + b"".join(parts)
 
 
+def encoded_int(value: int) -> bytes:
+    """The exact bytes an integer field contributes to a record payload.
+
+    A payload that does not *contain* this pattern cannot hold ``value``
+    in any integer field, so substring search (C speed) works as a
+    conservative prefilter before :func:`decode_record` — callers must
+    still re-check the decoded field, since the pattern can also appear
+    inside a different field's bytes.
+    """
+    return b"i" + _INT.pack(value)
+
+
 def decode_record(data: bytes) -> tuple:
     """Deserialize record bytes produced by :func:`encode_record`."""
     if not data:

@@ -41,6 +41,16 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
         "--compress", action="store_true",
         help="BlockZIP the frozen segments before querying",
     )
+    parser.add_argument(
+        "--maintenance", choices=["inline", "background", "off"],
+        default="inline",
+        help="how segment freezes run: synchronously on the apply path "
+             "(inline), via the background maintenance worker, or never",
+    )
+    parser.add_argument(
+        "--maintenance-step-rows", type=int, default=1024,
+        help="row budget per background rewrite step",
+    )
 
 
 def _build(args) -> "object":
@@ -52,6 +62,8 @@ def _build(args) -> "object":
         profile=args.profile,
         umin=umin,
         compress=args.compress,
+        maintenance=args.maintenance,
+        maintenance_step_rows=args.maintenance_step_rows,
     )
 
 
@@ -246,6 +258,9 @@ def cmd_serve(args) -> int:
         print("stopping", file=sys.stderr)
     finally:
         server.stop()
+        # stops the background maintenance worker (if any) before the
+        # database goes away under it
+        setup.archis.close()
         if exporter is not None:
             from repro.obs import get_tracer
 

@@ -43,20 +43,30 @@ class HistoryLock:
 
     The read side is re-entrant per thread — the XQuery path calls
     ``apply_pending`` mid-read, which must become a no-op rather than a
-    self-deadlock (see :meth:`held_read`).  Writers are preferred: once
-    one waits, new first-acquisition readers queue behind it.
+    self-deadlock (see :meth:`held_read`).  The write side is re-entrant
+    per thread too: the transaction manager's ``apply_committed`` holds
+    write while the batch archiver (and, in background-maintenance mode,
+    the segment switch) re-acquires it on the same thread.  Writers are
+    preferred: once one waits, new first-acquisition readers queue
+    behind it.
     """
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
+        self._writer_owner: int | None = None
+        self._writer_depth = 0
         self._writers_waiting = 0
         self._local = threading.local()
 
     def held_read(self) -> bool:
         """Is the calling thread inside the read side?"""
         return getattr(self._local, "depth", 0) > 0
+
+    def held_write(self) -> bool:
+        """Is the calling thread inside the write side?"""
+        return self._writer_owner == threading.get_ident()
 
     def acquire_read(self) -> None:
         depth = getattr(self._local, "depth", 0)
@@ -79,17 +89,28 @@ class HistoryLock:
                 self._cond.notify_all()
 
     def acquire_write(self) -> None:
+        me = threading.get_ident()
+        if self._writer_owner == me:
+            self._writer_depth += 1
+            return
         with self._cond:
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._readers:
                     self._cond.wait()
                 self._writer_active = True
+                self._writer_owner = me
+                self._writer_depth = 1
             finally:
                 self._writers_waiting -= 1
 
     def release_write(self) -> None:
+        if self._writer_depth > 1:
+            self._writer_depth -= 1
+            return
         with self._cond:
+            self._writer_owner = None
+            self._writer_depth = 0
             self._writer_active = False
             self._cond.notify_all()
 

@@ -228,8 +228,13 @@ class TxnManager:
         # update-log application / tracked DML / undo replay the write
         # side.  Applying an entry rewrites rows (closing a version can
         # move it within its page), so even MVCC-invisible mutations
-        # must not run under an active history scan.
-        self.history = HistoryLock()
+        # must not run under an active history scan.  The archive already
+        # owns such a lock (its maintenance worker and batch archiver
+        # synchronize on it); adopt that instance so there is exactly one
+        # lock per archive.
+        self.history = (
+            getattr(archis, "history_lock", None) if archis is not None else None
+        ) or HistoryLock()
         if archis is not None:
             archis.txn_manager = self
             archis.segments.freeze_floor = self._freeze_floor
@@ -369,11 +374,22 @@ class TxnManager:
                 ):
                     from repro.rdb.persistence import save_catalog
 
-                    save_catalog(self.db, _defer_checkpoint=True)
-                    if self.archis is not None:
-                        from repro.archis.persistence import stage_archive
+                    # Stage under the history write lock: the sidecars
+                    # snapshot catalog/segment state that the background
+                    # maintenance worker mutates under the same lock.
+                    # The COMMIT frame below stays outside it — the
+                    # group-commit leader wait must not stall appliers,
+                    # and WAL transaction tags keep this transaction's
+                    # staged frames isolated from the worker's tag-0
+                    # commits.
+                    with self.history.write():
+                        save_catalog(self.db, _defer_checkpoint=True)
+                        if self.archis is not None:
+                            from repro.archis.persistence import (
+                                stage_archive,
+                            )
 
-                        stage_archive(self.archis)
+                            stage_archive(self.archis)
                 # default cause ("txn") labels the wal.commits.cause
                 # counter; passed implicitly so test doubles with narrower
                 # signatures keep working

@@ -119,6 +119,53 @@ class TestIndexes:
             emp.drop_index("i")
 
 
+class TestBulkInsert:
+    def test_insert_many_equals_sequential_inserts(self, emp):
+        rows = [(i, f"n{i}", i * 100) for i in range(50)]
+        emp.create_index("by_salary", ("salary",))
+        rids = emp.insert_many(rows)
+        assert [row for _, row in emp.scan()] == rows
+        assert emp.read(rids[7]) == rows[7]
+        # indexes were maintained per row
+        hit = [r for _, r in emp.index_scan("by_salary", (700,), (700,))]
+        assert hit == [(7, "n7", 700)]
+
+    def test_insert_many_rejects_duplicate_pk(self, emp):
+        emp.insert((1, "Bob", 1))
+        with pytest.raises(IntegrityError):
+            emp.insert_many([(2, "A", 2), (1, "dup", 3)])
+        with pytest.raises(IntegrityError):
+            emp.insert_many([(3, "B", 4), (3, "B-again", 5)])
+
+    def test_insert_many_fires_triggers(self, emp):
+        seen = []
+        emp.add_trigger(lambda op, row, old: seen.append((op, row[0])))
+        emp.insert_many([(1, "a", 1), (2, "b", 2)])
+        assert seen == [("insert", 1), ("insert", 2)]
+
+    def test_insert_many_with_payloads_clones_bytes(self, emp):
+        from repro.storage.record import encode_record
+
+        rows = [(1, "a", 10), (2, "b", 20)]
+        emp.insert_many(
+            rows, validated=True, payloads=[encode_record(r) for r in rows]
+        )
+        assert [row for _, row in emp.scan()] == rows
+
+    def test_prune_empty_pages_preserves_content_and_indexes(self, emp):
+        emp.create_index("by_salary", ("salary",))
+        rows = [(i, "pad" * 40, i) for i in range(400)]
+        emp.insert_many(rows)
+        emp.delete_where(lambda r: r["id"] < 390)
+        assert emp.prune_empty_pages() > 0
+        kept = [row for _, row in emp.scan()]
+        assert kept == rows[390:]
+        # rids did not move: the index still resolves every survivor
+        for i in range(390, 400):
+            hit = [r for _, r in emp.index_scan("by_salary", (i,), (i,))]
+            assert hit == [rows[i]]
+
+
 class TestTriggers:
     def test_insert_trigger_fires(self, emp):
         events = []

@@ -6,6 +6,8 @@ trace id, the slow-query log attributes queries to that trace, and the
 ``metrics``/``health`` ops expose the registry live.
 """
 
+import time
+
 import pytest
 
 from repro.obs import get_registry, get_tracer
@@ -160,6 +162,14 @@ class TestLiveExposition:
         with connect(served) as client:
             client.ping()
             client.execute("SELECT id FROM employee")
+        # the worker observes *after* sending the response, so give it a
+        # moment to get scheduled past the send
+        deadline = time.time() + 2.0
+        while (
+            histogram.aggregate.count < before + 2
+            and time.time() < deadline
+        ):
+            time.sleep(0.01)
         assert histogram.aggregate.count >= before + 2
         labels = dict(histogram.labels())
         assert "ping" in labels and "sql" in labels

@@ -86,6 +86,81 @@ class TestHeapFile:
         assert heap.size_bytes() == PAGE_SIZE
 
 
+class TestBulkPaths:
+    """The batched read/write paths the freeze switch rides on."""
+
+    def test_insert_many_matches_sequential_inserts(self, pool):
+        one = HeapFile(pool, "one")
+        many = HeapFile(pool, "many")
+        rows = [(i, "name" * 10, i * 3) for i in range(300)]
+        sequential = [one.insert(row) for row in rows]
+        bulk = many.insert_many(rows)
+        # identical rids (page offsets aside) and identical content
+        assert [r[1] for r in bulk] == [r[1] for r in sequential]
+        assert [row for _, row in many.scan()] == rows
+        assert many.record_count == 300
+
+    def test_insert_many_continues_a_partial_page(self, pool):
+        heap = HeapFile(pool)
+        heap.insert((0, "x"))
+        rids = heap.insert_many([(1, "y"), (2, "z")])
+        assert rids[0][0] == heap.page_numbers[0]  # same page as row 0
+        assert [row for _, row in heap.scan()] == [(0, "x"), (1, "y"), (2, "z")]
+
+    def test_insert_payloads_round_trips(self, pool):
+        from repro.storage.record import encode_record
+
+        heap = HeapFile(pool)
+        rows = [(i, f"v{i}") for i in range(50)]
+        heap.insert_payloads([encode_record(row) for row in rows])
+        assert [row for _, row in heap.scan()] == rows
+
+    def test_read_many_returns_rows_in_rid_order(self, pool):
+        heap = HeapFile(pool)
+        rows = [(i, "pad" * 30) for i in range(200)]
+        rids = [heap.insert(row) for row in rows]
+        shuffled = rids[::-2] + rids[::2]  # arbitrary page-hopping order
+        want = [rows[rids.index(rid)] for rid in shuffled]
+        assert heap.read_many(shuffled) == want
+
+    def test_read_many_raises_on_deleted_record(self, pool):
+        heap = HeapFile(pool)
+        rid = heap.insert((1,))
+        heap.delete(rid)
+        with pytest.raises(StorageError):
+            heap.read_many([rid])
+
+    def test_read_records_containing_prefilters_without_losing_matches(
+        self, pool
+    ):
+        from repro.storage.record import encoded_int
+
+        heap = HeapFile(pool)
+        rids = [heap.insert((i, 999_999 if i % 3 == 0 else i)) for i in range(30)]
+        hits = heap.read_records_containing(rids, encoded_int(999_999))
+        assert [row for _, row in hits] == [
+            (i, 999_999) for i in range(30) if i % 3 == 0
+        ]
+
+    def test_prune_empty_pages_keeps_surviving_rids(self, pool):
+        heap = HeapFile(pool)
+        rows = [(i, "pad" * 40) for i in range(300)]
+        rids = [heap.insert(row) for row in rows]
+        # empty out every page except the one holding the last record
+        survivor = rids[-1]
+        for rid in rids[:-1]:
+            if rid[0] != survivor[0]:
+                heap.delete(rid)
+        before = heap.page_count
+        dropped = heap.prune_empty_pages()
+        assert dropped > 0
+        assert heap.page_count == before - dropped
+        assert heap.read(survivor) == rows[-1]
+        # survivors on the kept page are still scannable
+        kept = [row for _, row in heap.scan()]
+        assert rows[-1] in kept
+
+
 class TestBlobStore:
     def test_roundtrip_small(self, pool):
         store = BlobStore(pool)

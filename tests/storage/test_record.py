@@ -75,3 +75,12 @@ def test_decode_corrupt_tag_raises():
     bad = good[:2] + b"z" + good[3:]
     with pytest.raises(StorageError):
         decode_record(bad)
+
+
+def test_encoded_int_is_the_field_encoding():
+    from repro.storage.record import encoded_int
+
+    # the pattern an int field contributes appears verbatim in any
+    # record holding that value, so substring search is a sound prefilter
+    assert encoded_int(42) in encode_record((1, "x", 42))
+    assert encoded_int(43) not in encode_record((1, "x", 42))
