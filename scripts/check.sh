@@ -60,6 +60,14 @@ echo "== batched-ingest smoke benchmark =="
 PYTHONPATH=src timeout 300 python benchmarks/bench_ingest.py --smoke \
     --out "$(mktemp --suffix=.json)"
 
+echo "== sharded scalability smoke benchmark =="
+# Proves sharded answers match the single store and that key-equality
+# pruning reaches the Exchange operator (shards=1/4 in EXPLAIN).  The
+# throughput gate only applies to the full run; smoke writes to a
+# scratch path so the committed BENCH JSON keeps full-run numbers.
+PYTHONPATH=src timeout 300 python benchmarks/bench_fig10_scalability.py \
+    --smoke --shards 4 --out "$(mktemp --suffix=.json)"
+
 echo "== concurrency stress (bounded) =="
 # Snapshot-vs-replay consistency under concurrent clients, deadlock
 # breaking, group-commit batching — fails on leaked threads or sockets.

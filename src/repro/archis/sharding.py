@@ -1,0 +1,119 @@
+"""Key partitioning for sharded archives.
+
+The paper's H-table design (Sections 5–6) partitions cleanly by key:
+every version of a tuple lives under its ``id``, so splitting the id
+space across N independent stores preserves the per-shard usefulness
+accounting, segment restriction and compression machinery unchanged —
+each shard is simply a smaller single-store ArchIS.
+
+This module holds the pure routing logic: :class:`ShardRouter` maps a
+key to its shard and, when a query carries a key-equality predicate,
+prunes the shard fan-out to one.  The coordinator wiring (per-shard
+stores, scatter-gather, cross-shard ingest) lives in
+:mod:`repro.archis.system` and :mod:`repro.plan.physical`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: supported values of ``ArchISConfig.shard_by``
+SHARD_MODES = ("hash", "range")
+
+#: keys per contiguous block under range partitioning; blocks are
+#: striped round-robin across shards so a growing key space fills every
+#: shard evenly while adjacent keys (one block) stay co-located
+RANGE_BLOCK = 64
+
+#: Knuth's multiplicative constant — decorrelates sequential int keys
+#: so hash sharding spreads a dense id space evenly
+_MIX = 2654435761
+
+
+def shard_of(key, shards: int, shard_by: str = "hash") -> int:
+    """The shard index of ``key`` under the given layout.
+
+    Stable across processes and Python versions (never the salted
+    builtin ``hash``): the mapping is part of the on-disk layout, so a
+    reopened archive must route every key exactly as its writer did.
+    """
+    if shards <= 1:
+        return 0
+    if isinstance(key, bool) or not isinstance(key, int):
+        # non-integer keys: hash stable bytes; range striping needs an
+        # ordered integer space, so such keys always hash
+        data = repr(key).encode("utf-8")
+        return zlib.crc32(data) % shards
+    if shard_by == "range":
+        return (key // RANGE_BLOCK) % shards
+    return ((key * _MIX) & 0xFFFFFFFF) % shards
+
+
+@dataclass
+class ShardRouter:
+    """Routes keys (and key predicates) to shard indexes.
+
+    ``count == 1`` is the degenerate single-store layout: everything
+    routes to shard 0 and no scatter-gather machinery engages.
+    """
+
+    count: int = 1
+    shard_by: str = "hash"
+
+    def shard_for(self, key) -> int:
+        return shard_of(key, self.count, self.shard_by)
+
+    def all_shards(self) -> list[int]:
+        return list(range(self.count))
+
+    def shards_for_key(self, key) -> list[int]:
+        """The pruned fan-out of a key-equality predicate."""
+        return [self.shard_for(key)]
+
+    @property
+    def sharded(self) -> bool:
+        return self.count > 1
+
+
+@dataclass
+class ShardTarget:
+    """What the physical layer needs to scatter one leaf across shards.
+
+    Installed per H-table (and per ``history_``/``seg_``/``slice_``
+    function name) through ``Database.shard_provider`` by the sharded
+    coordinator; :func:`repro.plan.physical.compile_plan` wraps any leaf
+    that resolves to a target in an ``Exchange`` operator.
+
+    ``stores`` are the per-shard ArchIS instances (each with its own
+    ``db``, ``history_lock``, segment manager and table functions);
+    ``prepare`` syncs shard clocks to the coordinator before a gather;
+    ``submit`` runs a thunk on the coordinator's shard thread pool and
+    returns a future.
+    """
+
+    table: str
+    key_column: str
+    router: ShardRouter
+    stores: tuple = ()
+    prepare: Callable[[], None] = lambda: None
+    submit: Callable = None
+    #: index of the shard-local optimizer entry points, bound lazily to
+    #: avoid a plan->archis import cycle
+    extra: dict = field(default_factory=dict)
+
+
+def shard_path(path: str, index: int) -> str:
+    """The backing file of shard ``index`` for a front store at ``path``."""
+    return f"{path}.shard{index}"
+
+
+__all__ = [
+    "RANGE_BLOCK",
+    "SHARD_MODES",
+    "ShardRouter",
+    "ShardTarget",
+    "shard_of",
+    "shard_path",
+]

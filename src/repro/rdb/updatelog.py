@@ -178,3 +178,16 @@ class UpdateLog:
         with self._lock:
             self._pending.clear()
             self._publish_backlog()
+
+    def close(self) -> None:
+        """Retire this log's gauge series.
+
+        A closed database's backlog is not a live series: leaving it in
+        the registry would accumulate one stale ``updatelog.backlog``
+        label per archive (or per shard) ever opened in the process and
+        poison the family's ``total``.  Idempotent; the log itself stays
+        usable (a later append republished the series), so close order
+        against in-flight drains does not matter.
+        """
+        with self._lock:
+            _BACKLOG.remove(self.scope)

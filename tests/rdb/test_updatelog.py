@@ -91,6 +91,46 @@ class TestBacklogGauge:
         gauge.remove("test-backlog-a")
         gauge.remove("test-backlog-b")
 
+    def test_close_retires_the_series(self):
+        gauge = get_registry().labeled_gauge(
+            "updatelog.backlog", label_key="log"
+        )
+        log = UpdateLog(scope="test-backlog-closed")
+        fill(log, 2)
+        assert "test-backlog-closed" in gauge.values
+        log.close()
+        # a closed log must not linger in the family: stale series would
+        # accumulate per archive/shard ever opened and poison total()
+        assert "test-backlog-closed" not in gauge.values
+        log.close()  # idempotent
+        assert "test-backlog-closed" not in gauge.values
+
+    def test_append_after_close_republishes(self):
+        gauge = get_registry().labeled_gauge(
+            "updatelog.backlog", label_key="log"
+        )
+        log = UpdateLog(scope="test-backlog-reopen")
+        fill(log, 1)
+        log.close()
+        log.append(2, "t", "insert", (9,))
+        assert gauge.get("test-backlog-reopen") == 2
+        log.close()
+        assert "test-backlog-reopen" not in gauge.values
+
+    def test_database_close_retires_its_logs_series(self, tmp_path):
+        gauge = get_registry().labeled_gauge(
+            "updatelog.backlog", label_key="log"
+        )
+        path = str(tmp_path / "retired.db")
+        db = Database(path)
+        db.create_table(
+            "t", [("id", ColumnType.INT)], primary_key=("id",)
+        )
+        db.update_log.append(1, "t", "insert", (1,))
+        assert path in gauge.values
+        db.close()
+        assert path not in gauge.values
+
     def test_anonymous_logs_get_unique_scopes(self):
         a, b = UpdateLog(), UpdateLog()
         assert a.scope != b.scope

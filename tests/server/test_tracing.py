@@ -48,6 +48,21 @@ def connect(served, **kwargs):
     return Client(host, port, **kwargs)
 
 
+def server_roots(tracer, deadline=5.0):
+    """The finished ``server.request`` roots, waiting out the send race.
+
+    The client unblocks as soon as the response bytes arrive; the worker
+    thread closes its root span just *after* the send, so the span can
+    land in ``tracer.finished`` a beat after the client call returns.
+    """
+    end = time.monotonic() + deadline
+    while True:
+        roots = [s for s in tracer.finished if s.name == "server.request"]
+        if roots or time.monotonic() >= end:
+            return roots
+        time.sleep(0.01)
+
+
 class TestTracePropagation:
     def test_server_root_span_carries_client_trace_id(
         self, served, tracing
@@ -56,9 +71,7 @@ class TestTracePropagation:
             client.execute("INSERT INTO employee VALUES (1, 'ann', 100)")
             result = client.execute("SELECT id FROM employee")
         assert result.stats["trace_id"] == client.trace_id
-        roots = [
-            s for s in tracing.finished if s.name == "server.request"
-        ]
+        roots = server_roots(tracing)
         assert roots, "no server-side root spans recorded"
         assert {s.trace_id for s in roots} == {client.trace_id}
         # the root wraps execution and the response write as children
@@ -69,9 +82,7 @@ class TestTracePropagation:
         with connect(served) as client:
             with tracing.span("client.batch") as local:
                 client.ping()
-        roots = [
-            s for s in tracing.finished if s.name == "server.request"
-        ]
+        roots = server_roots(tracing)
         assert roots
         assert roots[-1].trace_id == local.trace_id
         assert roots[-1].parent_id == local.span_id
