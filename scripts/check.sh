@@ -68,6 +68,15 @@ echo "== sharded scalability smoke benchmark =="
 PYTHONPATH=src timeout 300 python benchmarks/bench_fig10_scalability.py \
     --smoke --shards 4 --out "$(mktemp --suffix=.json)"
 
+echo "== temporal SQL smoke benchmark =="
+# FOR SYSTEM_TIME AS OF must answer exactly like snapshot_rows, the
+# sequenced operators exactly like their XQuery equivalents, the AS OF
+# EXPLAIN must show segment-restriction firing, and a keyed AS OF on a
+# 4-shard archive must prune the Exchange to shards=1/4.  Performance
+# ratios only gate the full run.
+PYTHONPATH=src timeout 300 python benchmarks/bench_temporal_sql.py \
+    --smoke --out "$(mktemp --suffix=.json)"
+
 echo "== concurrency stress (bounded) =="
 # Snapshot-vs-replay consistency under concurrent clients, deadlock
 # breaking, group-commit batching — fails on leaked threads or sockets.

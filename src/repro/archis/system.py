@@ -50,6 +50,8 @@ from repro.archis.tracker import (
 
 _XQUERY_COUNT = get_registry().counter("archis.xquery.count")
 _XQUERY_SECONDS = get_registry().histogram("archis.xquery.seconds")
+_TEMPORAL_QUERIES = get_registry().counter("temporal.queries")
+_TEMPORAL_SECONDS = get_registry().histogram("temporal.query.seconds")
 _FALLBACKS = get_registry().labeled_counter("xquery.fallback")
 _CACHE_HITS = get_registry().counter("translator.cache_hits")
 _CACHE_MISSES = get_registry().counter("translator.cache_misses")
@@ -701,6 +703,84 @@ class ArchIS:
             }
         ctx = make_context(documents, self.db.current_date)
         return evaluate_query(parse_xquery(query), ctx)
+
+    # -- temporal SQL (first-class FOR SYSTEM_TIME) ------------------------------------------
+
+    def sql(self, text: str, params=None) -> Result:
+        """Execute SQL — including the temporal surface — on the archive.
+
+        This is the SQL-native sibling of :meth:`xquery`: ``FOR
+        SYSTEM_TIME`` clauses, ``TEMPORAL JOIN``, ``SELECT NORMALIZE``
+        and sequenced aggregates (``tavg``/``tcount``/...) lower straight
+        into the plan IR, so time-travel queries pick up segment
+        restriction, index selection and Exchange shard pruning without
+        any XQuery translation.  Pending changes are archived first and
+        SELECTs run under the history read lock, mirroring the ``xquery``
+        path; use :meth:`explain_sql` / ``db.last_plan`` for the plan.
+        """
+        from repro.plan.build import select_is_temporal
+        from repro.sql import ast as sql_ast
+        from repro.sql.parser import parse_sql
+        from repro.sql.session import execute_statement
+
+        statement = parse_sql(text)
+        if not isinstance(statement, sql_ast.Select):
+            return self.db.sql(text, params)
+        temporal = select_is_temporal(statement)
+        tracer = get_tracer()
+        started = perf_counter()
+        with tracer.span("archis.sql", sql=text):
+            self.apply_pending()
+            with self.history_lock.read():
+                result = execute_statement(
+                    self.db, statement, params, text=text
+                )
+        elapsed = perf_counter() - started
+        if temporal:
+            _TEMPORAL_QUERIES.inc()
+            _TEMPORAL_SECONDS.observe(elapsed)
+            self.slow_query_log.record(
+                text,
+                elapsed,
+                sql=text,
+                trace_id=tracer.current_trace_id(),
+            )
+        result.stats.update({"sql": text, "seconds": elapsed})
+        return result
+
+    def explain_sql(self, text: str, params=None) -> ExplainResult:
+        """Run SQL with tracing forced on and report how it ran.
+
+        The SQL sibling of :meth:`explain`: returns the span tree, the
+        statement's :class:`~repro.obs.explain.PlanReport` (where the
+        segment restriction and shard pruning are visible) and the
+        buffer-pool IO the run performed.
+        """
+        registry = get_registry()
+        misses = registry.counter("buffer.misses")
+        hits = registry.counter("buffer.hits")
+        misses_before = misses.value
+        hits_before = hits.value
+        with get_tracer().capture() as roots:
+            result = self.sql(text, params)
+        root = next(
+            (s for s in reversed(roots) if s.name == "archis.sql"),
+            roots[-1],
+        )
+        plan = None
+        if getattr(self.db, "last_plan", None) is not None:
+            plan = self.db.last_plan.report()
+        return ExplainResult(
+            query=text,
+            seconds=root.duration,
+            result_count=result.row_count,
+            physical_reads=misses.value - misses_before,
+            cache_hits=hits.value - hits_before,
+            root=root,
+            sql=text,
+            params=dict(params or {}),
+            plan=plan,
+        )
 
     # -- snapshots (the segment fast path, Section 6.3) -------------------------------------
 

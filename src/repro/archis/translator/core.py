@@ -211,28 +211,22 @@ class Analyzer:
         var.used = True
         if var.kind != "attribute":
             raise _unsupported(f"{name}() over a non-attribute path")
+        # emit the aggregate itself: the planner lowers tavg/tcount/...
+        # into a SequencedAggregate plan node whose output rows are
+        # (value, tstart, tend) — one per constant-value period — so the
+        # sweep runs inside the engine, not in a Python post-pass
         sql = self._build_sql(
-            select=(
-                f"{self._alias_col(var, var.value_column)}, "
-                f"{self._alias_col(var, 'tstart')}, "
-                f"{self._alias_col(var, 'tend')}"
-            )
+            select=f"{name}({self._alias_col(var, var.value_column)})"
         )
-        kind = {"tavg": "avg", "tsum": "sum", "tcount": "count",
-                "tmin": "min", "tmax": "max"}[name]
 
         def post(result):
-            from repro.util.intervals import Interval, sweep_aggregate
+            from repro.util.intervals import Interval
             from repro.xquery.temporal import interval_element
             from repro.xmlkit.dom import Text
 
-            pairs = [
-                (float(value), Interval(tstart, tend))
-                for value, tstart, tend in result.rows
-            ]
             out = []
-            for value, interval in sweep_aggregate(pairs, kind=kind):
-                element = interval_element(interval)
+            for value, tstart, tend in result.rows:
+                element = interval_element(Interval(int(tstart), int(tend)))
                 element.name = name
                 rendered = (
                     str(int(value)) if float(value).is_integer() else str(value)

@@ -33,7 +33,26 @@ class IntegrityError(ReproError):
 
 
 class SqlError(ReproError):
-    """Base class for SQL front-end failures."""
+    """Base class for SQL front-end failures.
+
+    Parser errors carry the source position (``line``/``column``, both
+    1-based) and the offending token text so callers — and the server's
+    structured error responses — can point at the exact spot in the
+    statement instead of an opaque "unexpected token".
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line: int | None = None,
+        column: int | None = None,
+        token: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.line = line
+        self.column = column
+        self.token = token
 
 
 class SqlSyntaxError(SqlError):

@@ -133,6 +133,20 @@ METRIC_INVENTORY: dict[str, str] = {
     ),
     # -- plan / optimizer -----------------------------------------------
     "plan.rules_fired": "optimizer rule firings by rule",
+    # -- temporal sql (FOR SYSTEM_TIME + sequenced operators) -----------
+    "temporal.clauses": "FOR SYSTEM_TIME clauses planned, by kind",
+    "temporal.queries": "temporal SQL statements executed via ArchIS.sql",
+    "temporal.query.seconds": "end-to-end temporal SQL latency",
+    "temporal.join.rows": "rows emitted by temporal joins",
+    "temporal.join.dropped": (
+        "matched pairs dropped by temporal joins (no interval overlap)"
+    ),
+    "temporal.coalesce.rows_merged": (
+        "rows absorbed into merged periods by NORMALIZE coalescing"
+    ),
+    "temporal.aggregate.periods": (
+        "constant-value periods emitted by sequenced aggregates"
+    ),
     # -- transactions ---------------------------------------------------
     "txn.begun": "write transactions begun",
     "txn.commits": "transactions committed",

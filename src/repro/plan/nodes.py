@@ -105,6 +105,59 @@ class Aggregate:
 
 
 @dataclass(frozen=True)
+class TemporalJoin:
+    """Sequenced (interval-intersecting) equi-join.
+
+    Matches rows on ``pairs`` like a hash :class:`Join`, then intersects
+    the two sides' ``[tstart, tend]`` validity intervals: pairs whose
+    intervals do not overlap are dropped, surviving pairs carry the
+    intersection as their interval (every alias on both sides sees the
+    intersected ``tstart``/``tend``).
+    """
+
+    left: object
+    right: object
+    pairs: tuple = ()  # of ((lalias, lcol), (ralias, rcol))
+
+
+@dataclass(frozen=True)
+class Coalesce:
+    """NORMALIZE-style period coalescing over output tuples.
+
+    Groups rows by every output column except the period columns at
+    ``start_index``/``end_index``, merges adjacent-or-overlapping
+    ``[tstart, tend]`` intervals per group, and emits one row per merged
+    period.  Sits above :class:`Project`/:class:`Aggregate` (tuple flow),
+    like :class:`Distinct`.
+    """
+
+    child: object
+    start_index: int
+    end_index: int
+
+
+@dataclass(frozen=True)
+class SequencedAggregate:
+    """Time-weighted aggregate (``tavg``/``tsum``/``tcount``/...).
+
+    Sweeps each group's ``(value, [tstart, tend])`` pairs into
+    constant-value periods and emits one tuple per (group, period).
+    ``items`` are the SELECT outputs; the aggregate call itself appears
+    at ``value_index`` and the last two items are the synthesized
+    ``tstart``/``tend`` period bounds.
+    """
+
+    child: object
+    kind: str  # avg | sum | count | min | max
+    operand: object | None  # value expression; None for tcount(*)
+    start: object  # ColumnRef reading the interval start
+    end: object  # ColumnRef reading the interval end
+    value_index: int = 0
+    group_by: tuple = ()  # of expression nodes
+    items: tuple = ()  # of Output (incl. trailing tstart/tend)
+
+
+@dataclass(frozen=True)
 class Sort:
     child: object
     keys: tuple = ()  # of (expr, descending)
@@ -124,11 +177,14 @@ class Limit:
 LEAVES = (Scan, IndexScan, FunctionScan)
 _CHILD_FIELDS = {
     Join: ("left", "right"),
+    TemporalJoin: ("left", "right"),
     Filter: ("child",),
     Project: ("child",),
     Aggregate: ("child",),
+    SequencedAggregate: ("child",),
     Sort: ("child",),
     Distinct: ("child",),
+    Coalesce: ("child",),
     Limit: ("child",),
 }
 
@@ -173,9 +229,10 @@ def contains_join(node) -> bool:
 
 
 def output_node(node):
-    """The Project or Aggregate that defines the plan's output columns."""
-    while isinstance(node, (Limit, Distinct)):
+    """The node that defines the plan's output columns (Project,
+    Aggregate or SequencedAggregate)."""
+    while isinstance(node, (Limit, Distinct, Coalesce)):
         node = node.child
-    if not isinstance(node, (Project, Aggregate)):
+    if not isinstance(node, (Project, Aggregate, SequencedAggregate)):
         raise TypeError(f"plan has no output node: {type(node).__name__}")
     return node

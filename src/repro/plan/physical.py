@@ -124,6 +124,20 @@ def compile_plan(plan, ctx: ExecContext):
         return DistinctOp(compile_plan(plan.child, ctx))
     if isinstance(plan, nodes.Limit):
         return LimitOp(compile_plan(plan.child, ctx), plan.count)
+    if isinstance(plan, nodes.TemporalJoin):
+        from repro.plan.temporal import TemporalJoinOp
+
+        return TemporalJoinOp(
+            compile_plan(plan.left, ctx), compile_plan(plan.right, ctx), plan
+        )
+    if isinstance(plan, nodes.Coalesce):
+        from repro.plan.temporal import CoalesceOp
+
+        return CoalesceOp(compile_plan(plan.child, ctx), plan)
+    if isinstance(plan, nodes.SequencedAggregate):
+        from repro.plan.temporal import SequencedAggregateOp
+
+        return SequencedAggregateOp(compile_plan(plan.child, ctx), plan, ctx)
     raise SqlPlanError(f"cannot compile plan node {type(plan).__name__}")
 
 

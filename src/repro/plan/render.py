@@ -175,12 +175,16 @@ def to_sql(plan) -> str:
     """
     limit = None
     distinct = False
+    normalize = False
     node = plan
     if isinstance(node, nodes.Limit):
         limit = node.count
         node = node.child
     if isinstance(node, nodes.Distinct):
         distinct = True
+        node = node.child
+    if isinstance(node, nodes.Coalesce):
+        normalize = True
         node = node.child
 
     order_by: tuple = ()
@@ -189,6 +193,12 @@ def to_sql(plan) -> str:
         items = node.items
         group_by = node.group_by
         order_by = node.order_by
+        body = node.child
+    elif isinstance(node, nodes.SequencedAggregate):
+        # the trailing tstart/tend outputs are synthesized; the parser
+        # re-creates them when the rendered text is planned again
+        items = node.items[:-2]
+        group_by = node.group_by
         body = node.child
     elif isinstance(node, nodes.Project):
         items = node.items
@@ -210,6 +220,8 @@ def to_sql(plan) -> str:
             text += f" AS {item.name}"
         rendered_items.append(text)
     head = "SELECT DISTINCT" if distinct else "SELECT"
+    if normalize:
+        head += " NORMALIZE"
     sql = f"{head} {', '.join(rendered_items)} FROM {', '.join(sources)}"
     if conditions:
         sql += " WHERE " + " AND ".join(conditions)
@@ -255,6 +267,18 @@ def _flatten(node, sources: list, conditions: list) -> None:
         _flatten(node.right, sources, conditions)
         for (lalias, lcol), (ralias, rcol) in node.pairs:
             conditions.append(f"{lalias}.{lcol} = {ralias}.{rcol}")
+        return
+    if isinstance(node, nodes.TemporalJoin):
+        left_sources: list = []
+        right_sources: list = []
+        _flatten(node.left, left_sources, conditions)
+        _flatten(node.right, right_sources, conditions)
+        on = " AND ".join(
+            f"{l[0]}.{l[1]} = {r[0]}.{r[1]}" for l, r in node.pairs
+        )
+        sources.append(
+            f"{left_sources[0]} TEMPORAL JOIN {right_sources[0]} ON {on}"
+        )
         return
     if isinstance(node, nodes.Filter):
         _flatten(node.child, sources, conditions)
@@ -352,6 +376,16 @@ def _render_node(node, lines: list, depth: int) -> None:
         _render_node(node.left, lines, depth + 1)
         _render_node(node.right, lines, depth + 1)
         return
+    if isinstance(node, nodes.TemporalJoin):
+        keys = ", ".join(
+            f"{l[0]}.{l[1]} = {r[0]}.{r[1]}" for l, r in node.pairs
+        )
+        lines.append(
+            f"{indent}TemporalJoin on {keys} intersect [tstart, tend]"
+        )
+        _render_node(node.left, lines, depth + 1)
+        _render_node(node.right, lines, depth + 1)
+        return
     if isinstance(node, nodes.Filter):
         lines.append(f"{indent}Filter" + _predicate_suffix(node.predicates))
     elif isinstance(node, nodes.Project):
@@ -367,10 +401,23 @@ def _render_node(node, lines: list, depth: int) -> None:
         if node.order_by:
             text += " order by [" + _order_sql(node.order_by) + "]"
         lines.append(text)
+    elif isinstance(node, nodes.SequencedAggregate):
+        items = ", ".join(_output_sql(item) for item in node.items)
+        text = f"{indent}SequencedAggregate [{node.kind}] [{items}]"
+        if node.group_by:
+            text += " group by [" + ", ".join(
+                _expr(g, 0) for g in node.group_by
+            ) + "]"
+        lines.append(text)
     elif isinstance(node, nodes.Sort):
         lines.append(f"{indent}Sort [{_order_sql(node.keys)}]")
     elif isinstance(node, nodes.Distinct):
         lines.append(f"{indent}Distinct")
+    elif isinstance(node, nodes.Coalesce):
+        lines.append(
+            f"{indent}Coalesce periods at "
+            f"[{node.start_index}, {node.end_index}]"
+        )
     elif isinstance(node, nodes.Limit):
         lines.append(f"{indent}Limit {node.count}")
     else:

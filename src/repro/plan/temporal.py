@@ -1,0 +1,232 @@
+"""Volcano operators for the sequenced temporal plan nodes.
+
+These are the physical implementations of
+:class:`~repro.plan.nodes.TemporalJoin`,
+:class:`~repro.plan.nodes.Coalesce` and
+:class:`~repro.plan.nodes.SequencedAggregate` — the temporal SQL surface
+(``TEMPORAL JOIN``, ``SELECT NORMALIZE``, ``tavg``/``tcount``/...) runs
+entirely in the plan layer, over the closed day-granularity
+``[tstart, tend]`` intervals of H-table rows.  No XQuery translation is
+involved; the interval algebra lives in :mod:`repro.util.intervals`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.obs.metrics import get_registry
+from repro.plan import nodes
+from repro.util.intervals import Interval, coalesce, sweep_aggregate
+
+_JOIN_ROWS = get_registry().counter("temporal.join.rows")
+_JOIN_DROPPED = get_registry().counter("temporal.join.dropped")
+_COALESCE_MERGED = get_registry().counter("temporal.coalesce.rows_merged")
+_AGG_PERIODS = get_registry().counter("temporal.aggregate.periods")
+
+
+def _null_safe_key(value):
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, value)
+    return (2, str(value))
+
+
+def _hashable(value):
+    if isinstance(value, (int, float, str, type(None))):
+        return value
+    return str(value)
+
+
+class TemporalJoinOp:
+    """Hash equi-join that intersects validity intervals.
+
+    Matched row pairs whose ``[tstart, tend]`` intervals overlap are
+    emitted with the intersection written back under *every* alias of
+    both sides (so downstream expressions read the sequenced interval no
+    matter which alias they qualify it with); non-overlapping pairs are
+    dropped.
+    """
+
+    name = "TemporalJoin"
+
+    def __init__(self, left, right, plan: nodes.TemporalJoin) -> None:
+        self.left = left
+        self.right = right
+        self.plan = plan
+        self.pairs = plan.pairs
+        self.left_keys = [pair[0] for pair in plan.pairs]
+        self.right_keys = [pair[1] for pair in plan.pairs]
+        self.left_aliases = sorted(nodes.node_aliases(plan.left))
+        self.right_aliases = sorted(nodes.node_aliases(plan.right))
+
+    def rows(self, params: Mapping) -> Iterator[dict]:
+        build: dict[tuple, list[dict]] = {}
+        rstart_slot = (self.right_aliases[0], "tstart")
+        rend_slot = (self.right_aliases[0], "tend")
+        lstart_slot = (self.left_aliases[0], "tstart")
+        lend_slot = (self.left_aliases[0], "tend")
+        interval_slots = [
+            (alias, column)
+            for alias in self.left_aliases + self.right_aliases
+            for column in ("tstart", "tend")
+        ]
+        for env in self.right.rows(params):
+            key = tuple(env.get(k) for k in self.right_keys)
+            if None in key:
+                continue
+            build.setdefault(key, []).append(env)
+        emitted = dropped = 0
+        try:
+            for env in self.left.rows(params):
+                key = tuple(env.get(k) for k in self.left_keys)
+                matches = build.get(key)
+                if not matches:
+                    continue
+                lstart = env.get(lstart_slot)
+                lend = env.get(lend_slot)
+                if lstart is None or lend is None:
+                    dropped += len(matches)
+                    continue
+                for match in matches:
+                    rstart = match.get(rstart_slot)
+                    rend = match.get(rend_slot)
+                    if rstart is None or rend is None:
+                        dropped += 1
+                        continue
+                    low = max(lstart, rstart)
+                    high = min(lend, rend)
+                    if low > high:
+                        dropped += 1
+                        continue
+                    merged = dict(env)
+                    merged.update(match)
+                    for start_slot, end_slot in zip(
+                        interval_slots[::2], interval_slots[1::2]
+                    ):
+                        merged[start_slot] = low
+                        merged[end_slot] = high
+                    emitted += 1
+                    yield merged
+        finally:
+            _JOIN_ROWS.inc(emitted)
+            _JOIN_DROPPED.inc(dropped)
+
+
+class CoalesceOp:
+    """NORMALIZE: merge adjacent-or-overlapping periods per value group.
+
+    Operates on output tuples (above Project/Aggregate): rows identical
+    in every column but the period columns are collapsed into maximal
+    periods.  Output is sorted by the non-period columns, then period
+    start, so results are deterministic.
+    """
+
+    name = "Coalesce"
+
+    def __init__(self, child, plan: nodes.Coalesce) -> None:
+        self.child = child
+        self.plan = plan
+
+    def rows(self, params: Mapping) -> Iterator[tuple]:
+        start_index = self.plan.start_index
+        end_index = self.plan.end_index
+        groups: dict[tuple, tuple] = {}
+        for row in self.child.rows(params):
+            rest = tuple(
+                value
+                for index, value in enumerate(row)
+                if index not in (start_index, end_index)
+            )
+            key = tuple(_hashable(value) for value in rest)
+            _, intervals = groups.setdefault(key, (row, []))
+            start = row[start_index]
+            end = row[end_index]
+            if start is None or end is None:
+                continue
+            intervals.append(Interval(int(start), int(end)))
+        out = []
+        for representative, intervals in groups.values():
+            merged = coalesce(intervals)
+            _COALESCE_MERGED.inc(max(0, len(intervals) - len(merged)))
+            for interval in merged:
+                row = list(representative)
+                row[start_index] = interval.start
+                row[end_index] = interval.end
+                out.append(tuple(row))
+        out.sort(
+            key=lambda row: tuple(
+                _null_safe_key(value)
+                for index, value in enumerate(row)
+                if index not in (start_index, end_index)
+            )
+            + (_null_safe_key(row[start_index]),)
+        )
+        yield from out
+
+
+class SequencedAggregateOp:
+    """Time-weighted aggregate over ``(value, [tstart, tend])`` streams.
+
+    Groups child rows, sweeps each group's weighted intervals into
+    constant-value periods (:func:`repro.util.intervals.sweep_aggregate`)
+    and emits one tuple per (group, period).  Output order is group key,
+    then period start.
+    """
+
+    name = "SequencedAggregate"
+
+    @property
+    def render_detail(self) -> str:
+        return f" [{self.plan.kind}]"
+
+    def __init__(self, child, plan: nodes.SequencedAggregate, ctx) -> None:
+        self.child = child
+        self.plan = plan
+        self.group_keys = [ctx.compile(g) for g in plan.group_by]
+        self.operand = (
+            ctx.compile(plan.operand) if plan.operand is not None else None
+        )
+        self.start = ctx.compile(plan.start)
+        self.end = ctx.compile(plan.end)
+        # the last two items are the synthesized period bounds; the item
+        # at value_index is the aggregate call itself (filled per period)
+        self.item_exprs = []
+        for index, item in enumerate(plan.items[:-2]):
+            if index == plan.value_index:
+                self.item_exprs.append(None)
+            else:
+                self.item_exprs.append(ctx.compile(item.expr))
+
+    def rows(self, params: Mapping) -> Iterator[tuple]:
+        groups: dict[tuple, tuple] = {}
+        for env in self.child.rows(params):
+            key = tuple(
+                _null_safe_key(k(env, params)) for k in self.group_keys
+            )
+            _, pairs = groups.setdefault(key, (env, []))
+            start = self.start(env, params)
+            end = self.end(env, params)
+            if start is None or end is None:
+                continue
+            value = (
+                1.0 if self.operand is None else self.operand(env, params)
+            )
+            if value is None:
+                continue
+            pairs.append((float(value), Interval(int(start), int(end))))
+        kind = self.plan.kind
+        for key in sorted(groups):
+            representative, pairs = groups[key]
+            periods = sweep_aggregate(pairs, kind)
+            _AGG_PERIODS.inc(len(periods))
+            for value, interval in periods:
+                if kind == "count":
+                    value = int(value)
+                row = [
+                    value if expr is None else expr(representative, params)
+                    for expr in self.item_exprs
+                ]
+                row.append(interval.start)
+                row.append(interval.end)
+                yield tuple(row)

@@ -30,6 +30,12 @@ Versioning: this build speaks :data:`PROTOCOL_VERSION`.  A request whose
 ``code = "UNSUPPORTED_VERSION"``, plus ``offered``/``supported``
 fields) instead of a confusing decode failure.  Requests without ``v``
 are treated as version-1 legacy clients and accepted.
+
+Feature gating works the same way: a version-1 client that sends a
+``sql`` request binding parameters inside a ``FOR SYSTEM_TIME`` clause
+(a version-2 feature) gets ``code = "TEMPORAL_PARAMS_UNSUPPORTED"``
+with ``supported`` naming the versions that speak it, rather than a
+silently mis-planned query.
 """
 
 from __future__ import annotations
@@ -40,11 +46,16 @@ import struct
 
 from repro.errors import ProtocolError
 
-#: the wire-protocol version this build speaks
-PROTOCOL_VERSION = 1
+#: the wire-protocol version this build speaks.  Version 2 adds named
+#: parameters bound inside ``FOR SYSTEM_TIME`` clauses on the ``sql`` op
+PROTOCOL_VERSION = 2
 
 #: versions the server accepts (requests without ``v`` count as 1)
-SUPPORTED_VERSIONS = (1,)
+SUPPORTED_VERSIONS = (1, 2)
+
+#: the first protocol version whose ``sql`` op may bind parameters in
+#: temporal (``FOR SYSTEM_TIME``) clause positions
+TEMPORAL_PARAMS_VERSION = 2
 
 _LENGTH = struct.Struct(">I")
 
@@ -69,6 +80,37 @@ def check_version(request: dict) -> dict | None:
         ),
         "offered": offered,
         "supported": list(SUPPORTED_VERSIONS),
+    }
+
+
+def check_temporal_params(request: dict, param_names: list) -> dict | None:
+    """The ``TEMPORAL_PARAMS_UNSUPPORTED`` response for ``request``, or
+    ``None`` when the client's version may bind temporal parameters.
+
+    ``param_names`` are the parameters the statement binds inside
+    ``FOR SYSTEM_TIME`` clauses (see
+    :func:`repro.sql.ast.temporal_param_names`); an empty list never
+    rejects.
+    """
+    if not param_names:
+        return None
+    offered = request.get("v", 1)
+    if offered >= TEMPORAL_PARAMS_VERSION:
+        return None
+    shown = ", ".join(f":{name}" for name in sorted(set(param_names)))
+    return {
+        "ok": False,
+        "error": "UnsupportedVersionError",
+        "code": "TEMPORAL_PARAMS_UNSUPPORTED",
+        "message": (
+            f"parameters in FOR SYSTEM_TIME clauses ({shown}) need "
+            f"protocol version {TEMPORAL_PARAMS_VERSION}; this request "
+            f"offered version {offered}"
+        ),
+        "offered": offered,
+        "supported": [
+            v for v in SUPPORTED_VERSIONS if v >= TEMPORAL_PARAMS_VERSION
+        ],
     }
 
 

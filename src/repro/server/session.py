@@ -24,7 +24,7 @@ from repro.errors import ReproError, TxnError
 from repro.obs.metrics import get_registry
 from repro.obs.promtext import render_prometheus
 from repro.obs.tracer import get_tracer
-from repro.server.protocol import check_version
+from repro.server.protocol import check_temporal_params, check_version
 from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.sql.session import execute_statement
@@ -194,10 +194,18 @@ class Session:
         if not isinstance(text, str):
             raise TxnError("sql op needs a 'text' string")
         params = request.get("params") or None
+        statement = parse_sql(text)
+        if isinstance(statement, ast.Select):
+            rejection = check_temporal_params(
+                request, ast.temporal_param_names(statement)
+            )
+            if rejection is not None:
+                _ERRORS.inc()
+                return rejection
         if self.txn is not None and self.txn.state == "active":
             result = self.txn.sql(text, params)
         else:
-            result = self._autocommit(text, params)
+            result = self._autocommit(text, params, statement)
         if hasattr(result, "columns"):
             return {
                 "ok": True,
@@ -206,13 +214,14 @@ class Session:
             }
         return {"ok": True, "rowcount": result}
 
-    def _autocommit(self, text: str, params):
+    def _autocommit(self, text: str, params, statement=None):
         """A statement outside any transaction: SELECTs run on the
         session snapshot, anything else through a one-statement write
         transaction.  The split is decided by statement type — catching
         the snapshot's read-only rejection instead would also re-execute
         a SELECT whose TxnError had some unrelated cause."""
-        statement = parse_sql(text)
+        if statement is None:
+            statement = parse_sql(text)
         if isinstance(statement, ast.Select):
             return self._snapshot.run(
                 execute_statement,

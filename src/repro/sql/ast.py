@@ -145,9 +145,25 @@ class SelectItem:
 
 
 @dataclass(frozen=True)
+class TemporalClause:
+    """``FOR SYSTEM_TIME ...`` suffix on a table source.
+
+    ``kind`` is ``"as_of"`` (``high`` is None), ``"from_to"``
+    (closed-open window ``[low, high)``) or ``"between"`` (closed-closed
+    window ``[low, high]``).  Bounds are expressions: DateLiteral,
+    integer Literal (days since epoch) or Param.
+    """
+
+    kind: str  # as_of | from_to | between
+    low: object
+    high: object | None = None
+
+
+@dataclass(frozen=True)
 class TableRef:
     name: str
     alias: str
+    temporal: TemporalClause | None = None
 
 
 @dataclass(frozen=True)
@@ -158,6 +174,20 @@ class TableFunctionRef:
     args: tuple
     alias: str
     columns: tuple
+    temporal: TemporalClause | None = None
+
+
+@dataclass(frozen=True)
+class TemporalJoinRef:
+    """``left TEMPORAL JOIN right ON condition`` — a sequenced join source.
+
+    Both sides must expose ``tstart``/``tend``; matched rows carry the
+    intersection of the two validity intervals.
+    """
+
+    left: object  # TableRef | TableFunctionRef | TemporalJoinRef
+    right: object
+    on: object  # join condition expression
 
 
 @dataclass(frozen=True)
@@ -169,12 +199,13 @@ class OrderItem:
 @dataclass(frozen=True)
 class Select:
     items: tuple
-    sources: tuple  # of TableRef | TableFunctionRef
+    sources: tuple  # of TableRef | TableFunctionRef | TemporalJoinRef
     where: object | None = None
     group_by: tuple = ()
     order_by: tuple = ()
     limit: int | None = None
     distinct: bool = False
+    normalize: bool = False  # SELECT NORMALIZE: coalesce adjacent periods
 
 
 @dataclass(frozen=True)
@@ -281,3 +312,31 @@ def walk_exprs(node: object):
     yield node
     for child in child_exprs(node):
         yield from walk_exprs(child)
+
+
+def flat_source_refs(sources):
+    """Yield every TableRef/TableFunctionRef in ``sources``, flattening
+    TemporalJoinRef trees into their leaf references."""
+    for source in sources:
+        if isinstance(source, TemporalJoinRef):
+            yield from flat_source_refs((source.left, source.right))
+        else:
+            yield source
+
+
+def temporal_param_names(select: Select) -> list[str]:
+    """Names of parameters bound inside FOR SYSTEM_TIME clauses.
+
+    Used by the server's version gate: a v1 client cannot bind temporal
+    clause positions, so a temporal statement carrying these gets a
+    structured UNSUPPORTED_VERSION-style rejection.
+    """
+    names: list[str] = []
+    for ref in flat_source_refs(select.sources):
+        clause = getattr(ref, "temporal", None)
+        if clause is None:
+            continue
+        for bound in (clause.low, clause.high):
+            if isinstance(bound, Param):
+                names.append(bound.name)
+    return names

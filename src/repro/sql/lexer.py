@@ -33,7 +33,11 @@ KEYWORDS = {
     "asc", "desc", "distinct", "date", "case", "when", "then", "else", "end",
     "int", "integer", "float", "double", "varchar", "blob", "char",
     "xmlelement", "xmlattributes", "xmlagg", "name",
+    "for", "system_time", "of", "temporal", "normalize",
 }
+# NOTE: ``to`` (FOR SYSTEM_TIME FROM .. TO ..) and ``join`` (TEMPORAL
+# JOIN) stay plain NAMEs matched contextually by the parser, so columns
+# with those names keep working.
 
 
 @dataclass(frozen=True)
@@ -41,6 +45,14 @@ class Token:
     kind: str  # NUMBER STRING QNAME NAME KEYWORD PARAM OP EOF
     value: str
     pos: int
+    line: int = 1
+    column: int = 1
+
+
+def _line_column(text: str, offset: int) -> tuple[int, int]:
+    line = text.count("\n", 0, offset) + 1
+    start = text.rfind("\n", 0, offset) + 1
+    return line, offset - start + 1
 
 
 def tokenize(text: str) -> list[Token]:
@@ -49,8 +61,13 @@ def tokenize(text: str) -> list[Token]:
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if not match:
+            line, column = _line_column(text, pos)
             raise SqlSyntaxError(
-                f"SQL lexer: unexpected character {text[pos]!r} at offset {pos}"
+                f"SQL lexer: unexpected character {text[pos]!r}"
+                f" at line {line}:{column}",
+                line=line,
+                column=column,
+                token=text[pos],
             )
         pos = match.end()
         if match.lastgroup in ("ws", "comment"):
@@ -69,6 +86,8 @@ def tokenize(text: str) -> list[Token]:
             value = value[1:-1]
         elif kind == "PARAM":
             value = value[1:]
-        tokens.append(Token(kind, value, match.start()))
-    tokens.append(Token("EOF", "", len(text)))
+        line, column = _line_column(text, match.start())
+        tokens.append(Token(kind, value, match.start(), line, column))
+    line, column = _line_column(text, len(text))
+    tokens.append(Token("EOF", "", len(text), line, column))
     return tokens

@@ -30,20 +30,31 @@ class SqlParser:
         token = self.peek()
         return token.kind == "OP" and token.value in ops
 
+    def at_name(self, word: str) -> bool:
+        """Contextual (non-reserved) word match, e.g. TO / JOIN."""
+        token = self.peek()
+        return token.kind == "NAME" and token.value == word
+
+    def fail(self, message: str, token: Token | None = None) -> None:
+        token = token if token is not None else self.peek()
+        shown = token.value if token.kind != "EOF" else "end of input"
+        raise SqlSyntaxError(
+            f"{message} at line {token.line}:{token.column} near {shown!r}",
+            line=token.line,
+            column=token.column,
+            token=shown,
+        )
+
     def expect_keyword(self, word: str) -> Token:
         token = self.next()
         if token.kind != "KEYWORD" or token.value != word:
-            raise SqlSyntaxError(
-                f"expected {word.upper()}, got {token.value!r} at {token.pos}"
-            )
+            self.fail(f"expected {word.upper()}", token)
         return token
 
     def expect_op(self, op: str) -> Token:
         token = self.next()
         if token.kind != "OP" or token.value != op:
-            raise SqlSyntaxError(
-                f"expected {op!r}, got {token.value!r} at {token.pos}"
-            )
+            self.fail(f"expected {op!r}", token)
         return token
 
     def expect_name(self) -> str:
@@ -52,19 +63,17 @@ class SqlParser:
             return token.value
         # non-reserved keywords usable as identifiers
         if token.kind == "KEYWORD" and token.value in (
-            "name", "date", "key", "table", "index",
+            "name", "date", "key", "table", "index", "of", "normalize",
         ):
             return token.value
-        raise SqlSyntaxError(
-            f"expected identifier, got {token.value!r} at {token.pos}"
-        )
+        self.fail("expected identifier", token)
 
     # -- entry point -------------------------------------------------------------
 
     def parse_statement(self):
         token = self.peek()
         if token.kind != "KEYWORD":
-            raise SqlSyntaxError(f"expected a statement, got {token.value!r}")
+            self.fail("expected a statement", token)
         if token.value == "select":
             stmt = self.parse_select()
         elif token.value == "insert":
@@ -78,13 +87,11 @@ class SqlParser:
         elif token.value == "drop":
             stmt = self.parse_drop()
         else:
-            raise SqlSyntaxError(f"unsupported statement {token.value!r}")
+            self.fail(f"unsupported statement {token.value!r}", token)
         if self.at_op(";"):
             self.next()
         if self.peek().kind != "EOF":
-            raise SqlSyntaxError(
-                f"trailing input at {self.peek().pos}: {self.peek().value!r}"
-            )
+            self.fail("trailing input")
         return stmt
 
     # -- SELECT ---------------------------------------------------------------------
@@ -92,18 +99,21 @@ class SqlParser:
     def parse_select(self) -> ast.Select:
         self.expect_keyword("select")
         distinct = False
-        if self.at_keyword("distinct"):
-            self.next()
-            distinct = True
+        normalize = False
+        while self.at_keyword("distinct", "normalize"):
+            if self.next().value == "distinct":
+                distinct = True
+            else:
+                normalize = True
         items = [self.parse_select_item()]
         while self.at_op(","):
             self.next()
             items.append(self.parse_select_item())
         self.expect_keyword("from")
-        sources = [self.parse_source()]
+        sources = [self.parse_joined_source()]
         while self.at_op(","):
             self.next()
-            sources.append(self.parse_source())
+            sources.append(self.parse_joined_source())
         where = None
         if self.at_keyword("where"):
             self.next()
@@ -129,11 +139,11 @@ class SqlParser:
             self.next()
             token = self.next()
             if token.kind != "NUMBER":
-                raise SqlSyntaxError("LIMIT expects a number")
+                self.fail("LIMIT expects a number", token)
             limit = int(token.value)
         return ast.Select(
             tuple(items), tuple(sources), where, tuple(group_by),
-            tuple(order_by), limit, distinct,
+            tuple(order_by), limit, distinct, normalize,
         )
 
     def parse_select_item(self) -> ast.SelectItem:
@@ -148,6 +158,21 @@ class SqlParser:
         elif self.peek().kind in ("NAME", "QNAME"):
             alias = self.next().value
         return ast.SelectItem(expr, alias)
+
+    def parse_joined_source(self):
+        """One FROM-list entry: a source, optionally chained with
+        ``TEMPORAL JOIN ... ON ...`` (left-associative)."""
+        source = self.parse_source()
+        while self.at_keyword("temporal"):
+            self.next()
+            if not self.at_name("join"):
+                self.fail("expected JOIN after TEMPORAL")
+            self.next()
+            right = self.parse_source()
+            self.expect_keyword("on")
+            on = self.parse_expr()
+            source = ast.TemporalJoinRef(source, right, on)
+        return source
 
     def parse_source(self):
         if self.at_keyword("table"):
@@ -175,16 +200,68 @@ class SqlParser:
                     columns.append(self.expect_name())
                 self.expect_op(")")
             return ast.TableFunctionRef(
-                function, tuple(args), alias, tuple(columns)
+                function, tuple(args), alias, tuple(columns),
+                self.parse_temporal_clause(),
             )
         name = self.expect_name()
         alias = name
         if self.at_keyword("as"):
             self.next()
             alias = self.expect_name()
-        elif self.peek().kind == "NAME":
+        elif self.peek().kind == "NAME" and not self.at_name("join"):
             alias = self.next().value
-        return ast.TableRef(name, alias)
+        return ast.TableRef(name, alias, self.parse_temporal_clause())
+
+    def parse_temporal_clause(self) -> ast.TemporalClause | None:
+        """``FOR SYSTEM_TIME AS OF t | FROM t1 TO t2 | BETWEEN t1 AND t2``."""
+        if not self.at_keyword("for"):
+            return None
+        self.next()
+        self.expect_keyword("system_time")
+        if self.at_keyword("as"):
+            self.next()
+            self.expect_keyword("of")
+            return ast.TemporalClause("as_of", self.parse_temporal_bound())
+        if self.at_keyword("from"):
+            self.next()
+            low = self.parse_temporal_bound()
+            if not self.at_name("to"):
+                self.fail("expected TO in FOR SYSTEM_TIME FROM ... TO ...")
+            self.next()
+            return ast.TemporalClause("from_to", low, self.parse_temporal_bound())
+        if self.at_keyword("between"):
+            self.next()
+            low = self.parse_temporal_bound()
+            self.expect_keyword("and")
+            return ast.TemporalClause("between", low, self.parse_temporal_bound())
+        self.fail("expected AS OF, FROM or BETWEEN after FOR SYSTEM_TIME")
+        return None
+
+    def parse_temporal_bound(self):
+        """A temporal bound: DATE '...', a bare '...' date string (``'now'``
+        allowed), an integer day number, or a ``:name`` parameter."""
+        token = self.peek()
+        if token.kind == "PARAM":
+            self.next()
+            return ast.Param(token.value)
+        if token.kind == "NUMBER" and "." not in token.value:
+            self.next()
+            return ast.Literal(int(token.value))
+        if token.kind == "STRING" or self.at_keyword("date"):
+            if self.at_keyword("date"):
+                self.next()
+                token = self.peek()
+                if token.kind != "STRING":
+                    self.fail("DATE literal expects a string", token)
+            self.next()
+            from repro.util.timeutil import parse_date
+
+            try:
+                return ast.DateLiteral(parse_date(token.value))
+            except ValueError:
+                self.fail(f"bad date {token.value!r} in temporal bound", token)
+        self.fail("expected a date bound after FOR SYSTEM_TIME", token)
+        return None
 
     def parse_order_item(self) -> ast.OrderItem:
         expr = self.parse_expr()
@@ -471,9 +548,7 @@ class SqlParser:
         if token.kind == "KEYWORD" and token.value in ("name", "key", "index"):
             # soft keywords usable as column names
             return self.parse_name_expr()
-        raise SqlSyntaxError(
-            f"unexpected token {token.value!r} at {token.pos}"
-        )
+        self.fail("unexpected token", token)
 
     def parse_case(self) -> ast.CaseExpr:
         self.expect_keyword("case")

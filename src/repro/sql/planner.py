@@ -48,7 +48,7 @@ def function_registry(db: Database) -> dict:
 
 def source_scope(db: Database, sources) -> Scope:
     columns_by_alias: dict[str, list[str]] = {}
-    for ref in sources:
+    for ref in ast.flat_source_refs(sources):
         if ref.alias in columns_by_alias:
             raise SqlPlanError(f"duplicate alias {ref.alias!r}")
         if isinstance(ref, ast.TableRef):

@@ -120,6 +120,7 @@ def cmd_sql(args) -> int:
 def cmd_plan(args) -> int:
     """Show the three plan stages (logical / optimized / physical) of a
     query.  Accepts SQL directly, or an XQuery which is translated first."""
+    from repro.errors import SqlPlanError
     from repro.plan.render import to_sql
     from repro.sql import parse_sql
     from repro.sql import ast as sql_ast
@@ -141,7 +142,10 @@ def cmd_plan(args) -> int:
         return 1
     plan = SelectPlan(setup.archis.db, statement)
     print(plan.report().format())
-    print(f"\noptimized sql: {to_sql(plan.optimized)}")
+    try:
+        print(f"\noptimized sql: {to_sql(plan.optimized)}")
+    except (SqlPlanError, TypeError) as exc:
+        print(f"\noptimized sql: (not renderable: {exc})")
     return 0
 
 

@@ -78,7 +78,7 @@ def referenced_tables(statement) -> set[str]:
                     visit_select(node.subquery.select)
 
     def visit_select(select) -> None:
-        for source in select.sources:
+        for source in ast.flat_source_refs(select.sources):
             if isinstance(source, ast.TableRef):
                 tables.add(source.name)
         visit_exprs(item.expr for item in select.items)

@@ -131,3 +131,163 @@ class TestGoldenPlans:
         first = SelectPlan(db, parse_sql(sql))
         second = SelectPlan(db, parse_sql(to_sql(first.optimized)))
         assert to_sql(second.optimized) == to_sql(first.optimized)
+
+
+@pytest.fixture
+def temporal_db():
+    """Two H-tables plus the hooks ArchIS would install: registered
+    ``history_`` functions and a segment provider that answers one
+    uncompressed segment for ``emp_salary`` (so the Section 6.4 segment
+    restriction fires deterministically)."""
+    from repro.plan import SegmentHints
+
+    database = Database()
+    database.sql(
+        "CREATE TABLE emp_salary "
+        "(id INT, salary INT, tstart INT, tend INT, segno INT)"
+    )
+    database.sql(
+        "CREATE TABLE emp_title "
+        "(id INT, title VARCHAR, tstart INT, tend INT, segno INT)"
+    )
+    database.register_table_function("history_emp_salary", lambda: iter(()))
+    database.register_table_function("history_emp_title", lambda: iter(()))
+    database.segment_provider = lambda name: (
+        SegmentHints(False, lambda lo, hi: [2])
+        if name == "emp_salary"
+        else None
+    )
+    return database
+
+
+class TestGoldenTemporalPlans:
+    """FOR SYSTEM_TIME and the sequenced operators, rendered end to end."""
+
+    def test_as_of_drives_segment_restriction(self, temporal_db):
+        plan, report = report_of(
+            temporal_db,
+            "SELECT t.id, t.salary FROM TABLE(history_emp_salary()) "
+            "AS t(id, salary, tstart, tend, segno) "
+            "FOR SYSTEM_TIME AS OF 4000",
+        )
+        assert report == golden(
+            """
+            rules:
+              segment-restriction: t: history_emp_salary() -> emp_salary WHERE segno = 2
+            logical plan:
+              Project [t.id, t.salary]
+                FunctionScan history_emp_salary() AS t [t.tstart <= 4000 AND t.tend >= 4000]
+            optimized plan:
+              Project [t.id, t.salary]
+                Scan emp_salary AS t [t.tstart <= 4000 AND t.tend >= 4000 AND t.segno = 2]
+            physical plan:
+              Project
+                SeqScan emp_salary AS t
+            """
+        )
+        assert to_sql(plan.optimized) == (
+            "SELECT t.id, t.salary FROM emp_salary AS t "
+            "WHERE t.tstart <= 4000 AND t.tend >= 4000 AND t.segno = 2"
+        )
+
+    def test_temporal_join_reads_through_history_functions(self, temporal_db):
+        plan, report = report_of(
+            temporal_db,
+            "SELECT a.id, a.salary, b.title, a.tstart, a.tend "
+            "FROM emp_salary a TEMPORAL JOIN emp_title b ON a.id = b.id",
+        )
+        assert report == golden(
+            """
+            rules:
+              (none fired)
+            logical plan:
+              Project [a.id, a.salary, b.title, a.tstart, a.tend]
+                TemporalJoin on a.id = b.id intersect [tstart, tend]
+                  FunctionScan history_emp_salary() AS a
+                  FunctionScan history_emp_title() AS b
+            optimized plan:
+              Project [a.id, a.salary, b.title, a.tstart, a.tend]
+                TemporalJoin on a.id = b.id intersect [tstart, tend]
+                  FunctionScan history_emp_salary() AS a
+                  FunctionScan history_emp_title() AS b
+            physical plan:
+              Project
+                TemporalJoin on a.id = b.id
+                  FunctionScan history_emp_salary AS a
+                  FunctionScan history_emp_title AS b
+            """
+        )
+        assert to_sql(plan.optimized) == (
+            "SELECT a.id, a.salary, b.title, a.tstart, a.tend "
+            "FROM TABLE(history_emp_salary()) "
+            "AS a(id, salary, tstart, tend, segno) "
+            "TEMPORAL JOIN TABLE(history_emp_title()) "
+            "AS b(id, title, tstart, tend, segno) ON a.id = b.id"
+        )
+
+    def test_normalize_plan(self, temporal_db):
+        plan, report = report_of(
+            temporal_db,
+            "SELECT NORMALIZE t.id, t.tstart, t.tend FROM emp_salary t",
+        )
+        assert report == golden(
+            """
+            rules:
+              (none fired)
+            logical plan:
+              Coalesce periods at [1, 2]
+                Project [t.id, t.tstart, t.tend]
+                  FunctionScan history_emp_salary() AS t
+            optimized plan:
+              Coalesce periods at [1, 2]
+                Project [t.id, t.tstart, t.tend]
+                  FunctionScan history_emp_salary() AS t
+            physical plan:
+              Coalesce
+                Project
+                  FunctionScan history_emp_salary AS t
+            """
+        )
+        assert to_sql(plan.optimized) == (
+            "SELECT NORMALIZE t.id, t.tstart, t.tend "
+            "FROM TABLE(history_emp_salary()) "
+            "AS t(id, salary, tstart, tend, segno)"
+        )
+
+    def test_sequenced_aggregate_plan(self, temporal_db):
+        plan, report = report_of(
+            temporal_db,
+            "SELECT t.id, tavg(t.salary) FROM emp_salary t GROUP BY t.id",
+        )
+        assert report == golden(
+            """
+            rules:
+              (none fired)
+            logical plan:
+              SequencedAggregate [avg] [t.id, tavg(t.salary), t.tstart, t.tend] group by [t.id]
+                FunctionScan history_emp_salary() AS t
+            optimized plan:
+              SequencedAggregate [avg] [t.id, tavg(t.salary), t.tstart, t.tend] group by [t.id]
+                FunctionScan history_emp_salary() AS t
+            physical plan:
+              SequencedAggregate [avg]
+                FunctionScan history_emp_salary AS t
+            """
+        )
+        assert to_sql(plan.optimized) == (
+            "SELECT t.id, tavg(t.salary) FROM TABLE(history_emp_salary()) "
+            "AS t(id, salary, tstart, tend, segno) GROUP BY t.id"
+        )
+
+    def test_temporal_sql_reparses_to_the_same_plan(self, temporal_db):
+        for sql in (
+            "SELECT a.id, b.title FROM emp_salary a "
+            "TEMPORAL JOIN emp_title b ON a.id = b.id",
+            "SELECT NORMALIZE t.id, t.tstart, t.tend FROM emp_salary t",
+            "SELECT t.id, tavg(t.salary) FROM emp_salary t GROUP BY t.id",
+        ):
+            first = SelectPlan(temporal_db, parse_sql(sql))
+            second = SelectPlan(
+                temporal_db, parse_sql(to_sql(first.optimized))
+            )
+            assert to_sql(second.optimized) == to_sql(first.optimized)

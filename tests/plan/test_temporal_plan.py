@@ -1,0 +1,266 @@
+"""The sequenced temporal operators and FOR SYSTEM_TIME lowering.
+
+Runs against a plain :class:`Database` holding hand-built H-table rows
+(closed day intervals, ``FOREVER`` = still current), so every operator's
+semantics is pinned without the full archive machinery on top.
+"""
+
+import pytest
+
+from repro.errors import SqlPlanError
+from repro.rdb import ColumnType, Database
+from repro.util.timeutil import FOREVER
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "emp_salary",
+        [
+            ("id", ColumnType.INT),
+            ("salary", ColumnType.INT),
+            ("tstart", ColumnType.INT),
+            ("tend", ColumnType.INT),
+        ],
+    )
+    database.create_table(
+        "emp_title",
+        [
+            ("id", ColumnType.INT),
+            ("title", ColumnType.VARCHAR),
+            ("tstart", ColumnType.INT),
+            ("tend", ColumnType.INT),
+        ],
+    )
+    salary = database.table("emp_salary")
+    # id 1: 100 on [10, 19], 200 on [20, now); id 2: 500 on [15, 24]
+    salary.insert((1, 100, 10, 19))
+    salary.insert((1, 200, 20, FOREVER))
+    salary.insert((2, 500, 15, 24))
+    title = database.table("emp_title")
+    # id 1: clerk [10, 24], boss [25, now); id 2: clerk [30, now)
+    title.insert((1, "clerk", 10, 24))
+    title.insert((1, "boss", 25, FOREVER))
+    title.insert((2, "clerk", 30, FOREVER))
+    return database
+
+
+def rows(db, sql):
+    return db.sql(sql).rows
+
+
+class TestForSystemTime:
+    def test_as_of_picks_the_covering_versions(self, db):
+        got = rows(
+            db,
+            "SELECT t.id, t.salary FROM emp_salary t "
+            "FOR SYSTEM_TIME AS OF 18 ORDER BY t.id",
+        )
+        assert got == [(1, 100), (2, 500)]
+
+    def test_as_of_now_sees_only_current_rows(self, db):
+        got = rows(
+            db,
+            "SELECT t.id, t.salary FROM emp_salary t "
+            "FOR SYSTEM_TIME AS OF 'now' ORDER BY t.id",
+        )
+        assert got == [(1, 200)]
+
+    def test_from_to_is_closed_open(self, db):
+        # [15, 20): version starting exactly at 20 is excluded
+        got = rows(
+            db,
+            "SELECT t.id, t.salary FROM emp_salary t "
+            "FOR SYSTEM_TIME FROM 15 TO 20 ORDER BY t.id, t.salary",
+        )
+        assert got == [(1, 100), (2, 500)]
+
+    def test_between_is_closed_closed(self, db):
+        got = rows(
+            db,
+            "SELECT t.id, t.salary FROM emp_salary t "
+            "FOR SYSTEM_TIME BETWEEN 15 AND 20 ORDER BY t.id, t.salary",
+        )
+        assert got == [(1, 100), (1, 200), (2, 500)]
+
+    def test_params_bind_the_window(self, db):
+        got = db.sql(
+            "SELECT t.id FROM emp_salary t FOR SYSTEM_TIME FROM :lo TO :hi "
+            "ORDER BY t.id",
+            {"lo": 15, "hi": 20},
+        ).rows
+        assert got == [(1,), (2,)]
+
+    def test_matches_explicit_interval_predicates(self, db):
+        sugar = rows(
+            db,
+            "SELECT t.id, t.salary FROM emp_salary t "
+            "FOR SYSTEM_TIME AS OF 22 ORDER BY t.id",
+        )
+        spelled = rows(
+            db,
+            "SELECT t.id, t.salary FROM emp_salary t "
+            "WHERE t.tstart <= 22 AND t.tend >= 22 ORDER BY t.id",
+        )
+        assert sugar == spelled == [(1, 200), (2, 500)]
+
+
+class TestTemporalJoin:
+    def test_intersects_intervals_and_drops_disjoint_pairs(self, db):
+        got = rows(
+            db,
+            "SELECT a.id, a.salary, b.title, a.tstart, a.tend "
+            "FROM emp_salary a TEMPORAL JOIN emp_title b ON a.id = b.id "
+            "ORDER BY a.id, a.tstart",
+        )
+        # id 1: (100,[10,19])x(clerk,[10,24]) -> [10,19];
+        #       (200,[20,now))x(clerk,[10,24]) -> [20,24];
+        #       (200,[20,now))x(boss,[25,now)) -> [25,now)
+        # id 2: (500,[15,24]) x (clerk,[30,now)) -> disjoint, dropped
+        assert got == [
+            (1, 100, "clerk", 10, 19),
+            (1, 200, "clerk", 20, 24),
+            (1, 200, "boss", 25, FOREVER),
+        ]
+
+    def test_interval_readable_under_either_alias(self, db):
+        via_b = rows(
+            db,
+            "SELECT a.id, b.tstart, b.tend "
+            "FROM emp_salary a TEMPORAL JOIN emp_title b ON a.id = b.id "
+            "ORDER BY a.id, b.tstart",
+        )
+        via_a = rows(
+            db,
+            "SELECT a.id, a.tstart, a.tend "
+            "FROM emp_salary a TEMPORAL JOIN emp_title b ON a.id = b.id "
+            "ORDER BY a.id, a.tstart",
+        )
+        assert via_a == via_b
+
+    def test_join_needs_an_equality_pair(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql(
+                "SELECT a.id FROM emp_salary a TEMPORAL JOIN emp_title b "
+                "ON a.id > b.id"
+            )
+
+    def test_join_sides_need_interval_columns(self, db):
+        db.sql("CREATE TABLE plain (id INT, v INT)")
+        with pytest.raises(SqlPlanError):
+            db.sql(
+                "SELECT a.id FROM emp_salary a TEMPORAL JOIN plain b "
+                "ON a.id = b.id"
+            )
+
+
+class TestNormalize:
+    def test_adjacent_periods_with_equal_values_merge(self, db):
+        # project id only: id 1's [10,19] and [20,now) rows become one period
+        got = rows(
+            db,
+            "SELECT NORMALIZE t.id, t.tstart, t.tend FROM emp_salary t",
+        )
+        assert got == [(1, 10, FOREVER), (2, 15, 24)]
+
+    def test_value_changes_keep_periods_apart(self, db):
+        got = rows(
+            db,
+            "SELECT NORMALIZE t.id, t.salary, t.tstart, t.tend "
+            "FROM emp_salary t",
+        )
+        assert got == [
+            (1, 100, 10, 19),
+            (1, 200, 20, FOREVER),
+            (2, 500, 15, 24),
+        ]
+
+    def test_normalize_requires_period_columns(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT NORMALIZE t.id FROM emp_salary t")
+
+
+class TestSequencedAggregates:
+    def test_tavg_emits_constant_value_periods(self, db):
+        got = rows(db, "SELECT tavg(t.salary) FROM emp_salary t")
+        assert got == [
+            (100.0, 10, 14),
+            (300.0, 15, 19),
+            (350.0, 20, 24),
+            (200.0, 25, FOREVER),
+        ]
+
+    def test_tcount_star_counts_live_versions(self, db):
+        got = rows(db, "SELECT tcount(*) FROM emp_salary t")
+        assert got == [(1, 10, 14), (2, 15, 24), (1, 25, FOREVER)]
+
+    def test_tsum_group_by_key(self, db):
+        got = rows(
+            db,
+            "SELECT t.id, tsum(t.salary) FROM emp_salary t GROUP BY t.id",
+        )
+        assert got == [
+            (1, 100.0, 10, 19),
+            (1, 200.0, 20, FOREVER),
+            (2, 500.0, 15, 24),
+        ]
+
+    def test_alias_names_the_value_column(self, db):
+        result = db.sql("SELECT tavg(t.salary) AS avg_salary FROM emp_salary t")
+        assert result.columns == ["avg_salary", "tstart", "tend"]
+
+    def test_windowed_aggregate_composes_with_for_system_time(self, db):
+        got = rows(
+            db,
+            "SELECT tcount(*) FROM emp_salary t "
+            "FOR SYSTEM_TIME BETWEEN 15 AND 24",
+        )
+        # only versions overlapping [15, 24] feed the sweep
+        assert got == [(1, 10, 14), (2, 15, 24), (1, 25, FOREVER)]
+
+    def test_mixing_row_and_sequenced_aggregates_fails(self, db):
+        with pytest.raises(SqlPlanError):
+            db.sql("SELECT tavg(t.salary), count(*) FROM emp_salary t")
+
+
+class TestOptimizerEquivalence:
+    QUERIES = (
+        "SELECT t.id, t.salary FROM emp_salary t FOR SYSTEM_TIME AS OF 18 "
+        "ORDER BY t.id",
+        "SELECT a.id, a.salary, b.title, a.tstart, a.tend "
+        "FROM emp_salary a TEMPORAL JOIN emp_title b ON a.id = b.id "
+        "ORDER BY a.id, a.tstart",
+        "SELECT NORMALIZE t.id, t.tstart, t.tend FROM emp_salary t",
+        "SELECT tavg(t.salary) FROM emp_salary t",
+    )
+
+    def test_same_rows_with_optimizer_off(self, db):
+        for sql in self.QUERIES:
+            optimized = db.sql(sql).rows
+            db.optimizer_enabled = False
+            try:
+                naive = db.sql(sql).rows
+            finally:
+                db.optimizer_enabled = True
+            assert optimized == naive, sql
+
+
+class TestTemporalMetrics:
+    def test_clause_and_operator_counters_move(self, db):
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        clauses = registry.labeled_counter("temporal.clauses")
+        join_rows = registry.counter("temporal.join.rows")
+        periods = registry.counter("temporal.aggregate.periods")
+        before = (clauses.total, join_rows.value, periods.value)
+        db.sql("SELECT t.id FROM emp_salary t FOR SYSTEM_TIME AS OF 18")
+        db.sql(
+            "SELECT a.id FROM emp_salary a TEMPORAL JOIN emp_title b "
+            "ON a.id = b.id"
+        )
+        db.sql("SELECT tavg(t.salary) FROM emp_salary t")
+        assert clauses.total > before[0]
+        assert join_rows.value > before[1]
+        assert periods.value > before[2]
