@@ -1,0 +1,287 @@
+"""Server jobs + binary encoding benchmark: protocol v3 end to end.
+
+Two cells against one live server over loopback sockets:
+
+**encoding** — the same large SELECT fetched through ``Client.execute``
+with the JSON row encoding and with the negotiated ``colframe1`` binary
+frames, interleaved round-robin so scan-time drift hits both paths
+equally.  Records wire bytes for the row payload (the JSON rows array
+vs the binary frame the server announced) and client-observed fetch
+latency for each.  The acceptance gate requires the binary frame at
+least ``SIZE_TARGET``x smaller *and* the fetch measurably faster on a
+100k-row result.
+
+**jobs** — a heavy scan submitted as an async job while a second
+connection hammers short point lookups on a tiny table.  Records
+submit latency, the interactive p50/p99 while the job runs, and the
+job wall time.  The gate requires the interactive p99 to stay under
+``P99_CEILING_MS`` while the job is in flight — the job executor is
+separate from the session worker pool, so a long analytics query must
+not starve short requests.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_server_jobs.py           # full (100k rows)
+    PYTHONPATH=src python benchmarks/bench_server_jobs.py --smoke   # CI-sized
+
+Emits ``BENCH_server_jobs.json`` next to this file (``--out``
+overrides) and exits non-zero if any gate fails.
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+from repro.obs import Histogram
+from repro.rdb import ColumnType, Database
+from repro.server import Client, Server
+from repro.txn import TxnManager
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_server_jobs.json"
+)
+
+#: binary frame must be at least this many times smaller than JSON rows
+SIZE_TARGET = 2.0
+
+#: interactive p99 ceiling while a job occupies the job executor
+P99_CEILING_MS = 250.0
+
+QUERY = "SELECT id, name, title, dept, salary, day FROM big"
+HEAVY_QUERY = "SELECT b.id, b.salary FROM big b ORDER BY b.salary"
+PING_QUERY = "SELECT v FROM kv WHERE k = 3"
+
+TITLES = (
+    "Engineer",
+    "Sr Engineer",
+    "Manager",
+    "Analyst",
+    "Director",
+    "Intern",
+    "Contractor",
+)
+
+
+def build_server(rows):
+    """An in-memory database with one ``rows``-row employee-history
+    shaped table (plus a tiny lookup table for interactive pings),
+    served."""
+    db = Database()
+    db.set_date("1995-01-01")
+    db.create_table(
+        "big",
+        [
+            ("id", ColumnType.INT),
+            ("name", ColumnType.VARCHAR),
+            ("title", ColumnType.VARCHAR),
+            ("dept", ColumnType.VARCHAR),
+            ("salary", ColumnType.FLOAT),
+            ("day", ColumnType.INT),
+        ],
+        primary_key=("id",),
+    )
+    table = db.table("big")
+    for index in range(rows):
+        table.insert(
+            (
+                index,
+                f"emp-{index % 997}",
+                TITLES[index % len(TITLES)],
+                f"d{index % 23:02d}",
+                40000.0 + (index % 50) * 512.5,
+                9131 + index % 365,
+            )
+        )
+    db.create_table(
+        "kv",
+        [("k", ColumnType.INT), ("v", ColumnType.INT)],
+        primary_key=("k",),
+    )
+    kv = db.table("kv")
+    for key in range(8):
+        kv.insert((key, key * 11))
+    manager = TxnManager(db)
+    return Server(manager, workers=4, job_workers=2)
+
+
+def measure_fetch(host, port, repeats):
+    """Interleaved best-of-``repeats`` fetches for both encodings.
+
+    One JSON fetch then one binary fetch per round, so scan-time drift
+    (page cache, allocator state) lands on both paths instead of
+    biasing whichever ran second.  Returns ``{encoding: cell}``.
+    """
+    cells = {}
+    with Client(host, port) as plain, Client(
+        host, port, encoding="binary"
+    ) as packed:
+        clients = (("json", plain), ("binary", packed))
+        for _, client in clients:  # warm each session's snapshot
+            client._checked({"op": "ping"})
+        for _ in range(repeats):
+            for encoding, client in clients:
+                started = time.perf_counter()
+                response = client._checked({"op": "sql", "text": QUERY})
+                seconds = time.perf_counter() - started
+                rows = response["rows"]
+                assert rows, "empty result"
+                if encoding == "binary":
+                    payload_bytes = response["binary"]["bytes"]
+                else:
+                    payload_bytes = len(
+                        json.dumps(rows, separators=(",", ":")).encode(
+                            "utf-8"
+                        )
+                    )
+                cell = cells.setdefault(
+                    encoding,
+                    {
+                        "encoding": encoding,
+                        "rows": len(rows),
+                        "payload_bytes": payload_bytes,
+                        "fetch_seconds": seconds,
+                    },
+                )
+                cell["fetch_seconds"] = min(cell["fetch_seconds"], seconds)
+    for cell in cells.values():
+        cell["fetch_seconds"] = round(cell["fetch_seconds"], 4)
+    return cells
+
+
+def measure_jobs(host, port, pings):
+    """Submit the heavy query as a job; measure interactive latency
+    while it runs on the separate job executor."""
+    latencies = Histogram("bench.jobs.interactive.seconds")
+    with Client(host, port) as submitter, Client(host, port) as fast:
+        # steady-state the interactive session first: the gate measures
+        # job interference, not first-request snapshot warmup
+        fast.execute(PING_QUERY)
+        started = time.perf_counter()
+        job_id = submitter.submit(HEAVY_QUERY)
+        submit_seconds = time.perf_counter() - started
+
+        done = threading.Event()
+
+        def waiter():
+            submitter.job_wait(job_id, timeout=120.0)
+            done.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        observed = 0
+        while observed < pings and not done.is_set():
+            ping_started = time.perf_counter()
+            fast.execute(PING_QUERY)
+            latencies.observe(time.perf_counter() - ping_started)
+            observed += 1
+        thread.join(timeout=120.0)
+        job_wall = time.perf_counter() - started
+        status = submitter.job_status(job_id)
+        result = submitter.job_result(job_id)
+    return {
+        "job_state": status["state"],
+        "job_rows": result.row_count,
+        "submit_ms": round(submit_seconds * 1000, 3),
+        "job_wall_seconds": round(job_wall, 3),
+        "interactive_requests": observed,
+        "interactive_p50_ms": round(latencies.quantile(0.50) * 1000, 3),
+        "interactive_p99_ms": round(latencies.quantile(0.99) * 1000, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized workload (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        default=RESULTS_PATH,
+        help="where to write the JSON results "
+        "(default: BENCH_server_jobs.json)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = 5_000 if args.smoke else 100_000
+    repeats = 2 if args.smoke else 3
+    pings = 50 if args.smoke else 400
+
+    with build_server(rows) as server:
+        host, port = server.address
+        cells = measure_fetch(host, port, repeats)
+        json_cell, binary_cell = cells["json"], cells["binary"]
+        jobs_cell = measure_jobs(host, port, pings)
+
+    size_ratio = round(
+        json_cell["payload_bytes"] / binary_cell["payload_bytes"], 2
+    )
+    speed_ratio = round(
+        json_cell["fetch_seconds"] / binary_cell["fetch_seconds"], 2
+    )
+    payload = {
+        "smoke": args.smoke,
+        "rows": rows,
+        "encoding": {
+            "json": json_cell,
+            "binary": binary_cell,
+            "size_ratio": size_ratio,
+            "speed_ratio": speed_ratio,
+        },
+        "jobs": jobs_cell,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"rows={rows}: json {json_cell['payload_bytes']}B/"
+        f"{json_cell['fetch_seconds']}s, binary "
+        f"{binary_cell['payload_bytes']}B/{binary_cell['fetch_seconds']}s "
+        f"-> {size_ratio}x smaller, {speed_ratio}x faster"
+    )
+    print(
+        f"job: {jobs_cell['job_state']} in {jobs_cell['job_wall_seconds']}s, "
+        f"submit {jobs_cell['submit_ms']}ms, interactive p99 "
+        f"{jobs_cell['interactive_p99_ms']}ms over "
+        f"{jobs_cell['interactive_requests']} requests"
+    )
+    print(f"wrote {args.out}")
+
+    failed = False
+    if size_ratio < SIZE_TARGET:
+        print(
+            f"FAIL: binary frame only {size_ratio}x smaller than JSON "
+            f"(target {SIZE_TARGET}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if not args.smoke and speed_ratio <= 1.0:
+        # smoke results are too small to time reliably; the full run
+        # must show the binary path measurably faster end to end
+        print(
+            f"FAIL: binary fetch not faster than JSON ({speed_ratio}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if jobs_cell["job_state"] != "COMPLETED":
+        print(
+            f"FAIL: job finished {jobs_cell['job_state']}", file=sys.stderr
+        )
+        failed = True
+    if jobs_cell["interactive_p99_ms"] >= P99_CEILING_MS:
+        print(
+            f"FAIL: interactive p99 {jobs_cell['interactive_p99_ms']}ms "
+            f"breached {P99_CEILING_MS}ms while a job was running",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

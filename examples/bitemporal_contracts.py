@@ -8,7 +8,7 @@ rate applied in the real world) and ArchIS supplies *transaction time*
 Run:  python examples/bitemporal_contracts.py
 """
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.archis.bitemporal import BitemporalArchive
 from repro.rdb import ColumnType, Database
 from repro.xmlkit import serialize
@@ -17,7 +17,7 @@ from repro.xmlkit import serialize
 def main() -> None:
     db = Database()
     db.set_date("2000-01-01")
-    archis = ArchIS(db, profile="db2", umin=None)
+    archis = ArchIS(db, config=ArchISConfig(profile="db2", umin=None))
     contracts = BitemporalArchive(
         archis, "contract", key="customer",
         attributes={"rate": ColumnType.INT},

@@ -9,7 +9,7 @@ back to native XQuery evaluation over the published views automatically.
 Run:  python examples/employee_history.py
 """
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.rdb import ColumnType, Database
 from repro.xmlkit import serialize
 
@@ -38,7 +38,7 @@ def build() -> ArchIS:
         ],
         primary_key=("deptid",),
     )
-    archis = ArchIS(db, profile="atlas")
+    archis = ArchIS(db, config=ArchISConfig(profile="atlas"))
     archis.track_table("employee", document_name="employees.xml")
     archis.track_table("dept", key="deptid", document_name="depts.xml")
 

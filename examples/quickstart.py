@@ -6,7 +6,7 @@ temporal questions in XQuery over the (virtual) XML view of the history.
 Run:  python examples/quickstart.py
 """
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.rdb import ColumnType, Database
 from repro.xmlkit import serialize
 
@@ -28,7 +28,7 @@ def main() -> None:
     )
 
     # 2. Attach ArchIS: from now on every change is archived.
-    archis = ArchIS(db, profile="atlas", umin=0.4)
+    archis = ArchIS(db, config=ArchISConfig(profile="atlas", umin=0.4))
     archis.track_table("employee", document_name="employees.xml")
 
     # 3. Live with the data: ordinary inserts, updates, deletes.

@@ -14,6 +14,29 @@ else
     echo "== ruff == (not installed; skipping lint)"
 fi
 
+echo "== legacy API lint =="
+# The v3 API redesign removed the deprecated ArchIS config aliases
+# (profile=/umin=/... on ArchIS(), buffer_pages=/durability= on
+# ArchIS.open()) and the bare-list Result shim.  Fail if anything in
+# the tree reaches for them again.  (Database.open keeps its own
+# buffer_pages/durability parameters — the lint anchors on ArchIS.)
+LEGACY="$(grep -rnE \
+    'ArchIS(\.open)?\([^()]*\b(profile|umin|min_segment_rows|translation_cache_size|buffer_pages|durability)=' \
+    --include='*.py' src tests examples scripts benchmarks || true)"
+if [ -n "$LEGACY" ]; then
+    echo "FAIL: legacy ArchIS config aliases are gone; pass config=ArchISConfig(...):" >&2
+    echo "$LEGACY" >&2
+    exit 1
+fi
+SHIM="$(grep -rnE '_WARNED_ALIASES|reset_alias_warnings|from repro\.archis\.config import .*_UNSET' \
+    --include='*.py' src tests examples scripts benchmarks || true)"
+if [ -n "$SHIM" ]; then
+    echo "FAIL: the deprecated-alias shim machinery was removed:" >&2
+    echo "$SHIM" >&2
+    exit 1
+fi
+echo "no references to removed legacy API surface"
+
 echo "== metric inventory lint =="
 # Every metric emitted under src/ must be documented in
 # repro.obs.METRIC_INVENTORY (its # HELP text in the exposition).
@@ -75,6 +98,15 @@ echo "== temporal SQL smoke benchmark =="
 # 4-shard archive must prune the Exchange to shards=1/4.  Performance
 # ratios only gate the full run.
 PYTHONPATH=src timeout 300 python benchmarks/bench_temporal_sql.py \
+    --smoke --out "$(mktemp --suffix=.json)"
+
+echo "== server jobs + binary encoding smoke benchmark =="
+# Protocol v3 end to end: the colframe1 size gate and async job
+# isolation (interactive p99 stays bounded while a job occupies the
+# job executor).  The encoding speed gate only applies to the full
+# run; smoke writes to a scratch path so the committed full-run
+# BENCH_server_jobs.json is never clobbered.
+PYTHONPATH=src timeout 300 python benchmarks/bench_server_jobs.py \
     --smoke --out "$(mktemp --suffix=.json)"
 
 echo "== concurrency stress (bounded) =="

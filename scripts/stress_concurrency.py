@@ -68,7 +68,7 @@ def make_managed():
         ],
         primary_key=("id",),
     )
-    archis = ArchIS(db, profile="atlas")
+    archis = ArchIS(db, config=ArchISConfig(profile="atlas"))
     archis.track_table("employee", document_name="employees.xml")
     return archis, TxnManager(db, archis)
 

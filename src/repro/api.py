@@ -6,36 +6,16 @@ Every read entry point of the engine — ``ArchIS.xquery``,
 column names (when the source has any), the row count, and a ``stats``
 / ``trace`` handle describing how the query ran.
 
-Compatibility: before this module existed those entry points returned
-bare lists (an XML forest, ``(id, value)`` tuples).  ``Result`` still
-*behaves* like that list — iteration, ``len``, indexing, equality
-against a plain list all work — but using it as one emits a
-``DeprecationWarning`` (once per process per operation).  New code
-should read ``result.rows`` explicitly.
-
-:class:`repro.sql.result.ResultSet` subclasses :class:`Result`; its
-sequence behaviour has always been documented API, so the subclass
-overrides the shims to stay silent.
+A :class:`Result` is *not* a list: read ``result.rows``.  (Earlier
+releases shimmed the bare-list shape these entry points once returned —
+iteration, ``len``, indexing, list equality — behind per-process
+``DeprecationWarning``s; the shim is gone.)
+:class:`repro.sql.result.ResultSet` subclasses :class:`Result` and
+keeps first-class sequence behaviour — that has always been its
+documented API.
 """
 
 from __future__ import annotations
-
-import warnings
-
-_WARNED: set[str] = set()
-
-
-def _warn_legacy(operation: str) -> None:
-    """Emit the legacy-shape DeprecationWarning once per operation."""
-    if operation in _WARNED:
-        return
-    _WARNED.add(operation)
-    warnings.warn(
-        f"treating a Result like a bare list ({operation}) is deprecated; "
-        "use Result.rows",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 class Result:
@@ -93,30 +73,9 @@ class Result:
     def first(self):
         return self.rows[0] if self.rows else None
 
-    # -- legacy list shim (deprecated) -------------------------------------
-
-    def __iter__(self):
-        _warn_legacy("iteration")
-        return iter(self.rows)
-
-    def __len__(self) -> int:
-        _warn_legacy("len()")
-        return len(self.rows)
-
-    def __getitem__(self, index):
-        _warn_legacy("indexing")
-        return self.rows[index]
-
-    def __contains__(self, item) -> bool:
-        _warn_legacy("membership test")
-        return item in self.rows
-
     def __eq__(self, other) -> bool:
         if isinstance(other, Result):
             return self.rows == other.rows
-        if isinstance(other, list):
-            _warn_legacy("comparison to a list")
-            return self.rows == other
         return NotImplemented
 
     # equality compares rows, but a Result is still usable as a dict key

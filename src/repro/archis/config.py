@@ -4,24 +4,20 @@
 positional flag — profile selection, clustering thresholds, cache and
 buffer sizes, durability mode and the batched-ingest batch size — into
 a single keyword-only frozen dataclass consumed by
-``ArchIS.__init__``/``ArchIS.open``.  The old per-call flags still work
-as deprecated aliases (they build a config under the hood).
+``ArchIS.__init__``/``ArchIS.open``.  The old per-call flags
+(``profile=``, ``umin=``, ``buffer_pages=``, ...) were deprecated
+aliases for several releases and are now gone: pass
+``config=ArchISConfig(...)``.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields, replace
 
 from repro.errors import ArchisError
 
 #: default bound on the per-system XQuery → Translation LRU cache
 DEFAULT_TRANSLATION_CACHE_SIZE = 128
-
-#: sentinel for "caller did not pass this legacy flag"
-_UNSET = object()
-
-_WARNED_ALIASES: set[str] = set()
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -125,35 +121,9 @@ class ArchISConfig:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
-def resolve_config(
-    config: ArchISConfig | None, **legacy
-) -> ArchISConfig:
-    """Fold deprecated per-call flags into a config.
-
-    ``legacy`` maps field names to values, with :data:`_UNSET` marking
-    flags the caller did not pass.  Passing both a ``config`` and an
-    explicit legacy flag is a conflict (which one wins would be a silent
-    guess); passing only legacy flags builds a config from them and
-    warns once per flag per process.
-    """
-    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
-    if config is not None:
-        if passed:
-            raise ArchisError(
-                "pass either config= or the legacy flags "
-                f"({', '.join(sorted(passed))}), not both"
-            )
-        return config
-    for name in passed:
-        if name not in _WARNED_ALIASES:
-            _WARNED_ALIASES.add(name)
-            warnings.warn(
-                f"the {name}= flag is a deprecated alias; pass "
-                f"config=ArchISConfig({name}=...) instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-    return ArchISConfig(**passed)
+def resolve_config(config: ArchISConfig | None) -> ArchISConfig:
+    """Default a missing config (the legacy-alias folding is gone)."""
+    return config if config is not None else ArchISConfig()
 
 
 __all__ = [

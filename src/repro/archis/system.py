@@ -34,7 +34,6 @@ from repro.archis.blobstore import CompressedArchive
 from repro.archis.clustering import SegmentManager
 from repro.archis.config import (
     DEFAULT_TRANSLATION_CACHE_SIZE,
-    _UNSET,
     ArchISConfig,
     resolve_config,
 )
@@ -56,6 +55,10 @@ _FALLBACKS = get_registry().labeled_counter("xquery.fallback")
 _CACHE_HITS = get_registry().counter("translator.cache_hits")
 _CACHE_MISSES = get_registry().counter("translator.cache_misses")
 _SHARD_ROUTED = get_registry().labeled_counter("shard.entries_routed")
+
+#: sentinel distinguishing "batch_size not passed" (use the configured
+#: default) from an explicit ``batch_size=None`` (row-at-a-time apply)
+_UNSET = object()
 _SHARD_APPLIES = get_registry().counter("shard.applies")
 
 
@@ -87,20 +90,10 @@ class ArchIS:
     def __init__(
         self,
         db: Database | None = None,
-        profile: str = _UNSET,
-        umin: float | None = _UNSET,
-        min_segment_rows: int = _UNSET,
-        translation_cache_size: int = _UNSET,
         *,
         config: ArchISConfig | None = None,
     ) -> None:
-        config = resolve_config(
-            config,
-            profile=profile,
-            umin=umin,
-            min_segment_rows=min_segment_rows,
-            translation_cache_size=translation_cache_size,
-        )
+        config = resolve_config(config)
         if config.profile not in PROFILES:
             raise ArchisError(
                 f"unknown profile {config.profile!r}; use db2 or atlas"
@@ -976,8 +969,6 @@ class ArchIS:
     def open(
         cls,
         path: str,
-        buffer_pages: int = _UNSET,
-        durability: str = _UNSET,
         *,
         config: ArchISConfig | None = None,
     ) -> "ArchIS":
@@ -985,15 +976,11 @@ class ArchIS:
 
         ``config`` supplies the runtime knobs (buffer pool, durability,
         batch size, cache sizes); the archive's *state* — profile, U_min,
-        segment boundaries — always comes from the saved sidecar.  The
-        ``buffer_pages``/``durability`` flags are deprecated aliases.
+        segment boundaries — always comes from the saved sidecar.
         """
         from repro.archis.persistence import load_archive
 
-        config = resolve_config(
-            config, buffer_pages=buffer_pages, durability=durability
-        )
-        return load_archive(path, config=config)
+        return load_archive(path, config=resolve_config(config))
 
     @property
     def durability(self) -> str:

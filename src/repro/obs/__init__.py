@@ -60,6 +60,12 @@ METRIC_INVENTORY: dict[str, str] = {
     "wal.fsync.seconds": "WAL fsync latency",
     "wal.group_commit.batched": "commits that rode another leader's fsync",
     "wal.group_commit.batch_size": "COMMIT frames made durable per fsync",
+    "wal.group_commit.adaptive_waits": (
+        "group-commit leaders that lingered the window (contended)"
+    ),
+    "wal.group_commit.fast_syncs": (
+        "group-commit leaders that fsynced immediately (uncontended)"
+    ),
     # -- sql ------------------------------------------------------------
     "sql.statements": "SQL statements executed",
     "sql.rows_scanned": "rows scanned by SQL execution",
@@ -167,6 +173,20 @@ METRIC_INVENTORY: dict[str, str] = {
     "server.errors": "requests answered with an error",
     "server.requests": "requests by protocol op",
     "server.request.seconds": "request latency (received to sent) by op",
+    # -- async jobs -----------------------------------------------------
+    "jobs.submitted": "async jobs accepted by job.submit",
+    "jobs.completed": "async jobs that finished with a result",
+    "jobs.failed": "async jobs that finished in ERROR",
+    "jobs.aborted": "async jobs cancelled before completing",
+    "jobs.rejected": "job submissions rejected (queue full)",
+    "jobs.evicted": "finished jobs evicted past the result TTL",
+    "jobs.active": "jobs currently queued or running",
+    "job.seconds": "async job run time (queue exit to finish)",
+    # -- binary result encoding -----------------------------------------
+    "encoding.binary.frames": "binary result frames encoded",
+    "encoding.binary.rows": "rows shipped in binary result frames",
+    "encoding.binary.bytes": "bytes of binary result frames produced",
+    "encoding.binary.seconds": "binary result frame encode latency",
 }
 
 __all__ = [

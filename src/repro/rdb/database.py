@@ -38,9 +38,12 @@ class Database:
         pages in place.  Memory databases are always ``"none"``.
     group_commit:
         When True (default) concurrent COMMIT frames share WAL fsyncs
-        (leader/follower batching); ``group_window`` optionally holds
-        the leader's fsync open for that many seconds so more followers
-        can ride it.  Both only matter under ``"wal"`` durability.
+        (leader/follower batching); ``group_window`` holds the leader's
+        fsync open for that many seconds so more followers can ride it
+        — but only while the WAL's contention score says committers are
+        actually arriving concurrently, so a serial client never pays
+        the window (see :mod:`repro.storage.wal`).  Both only matter
+        under ``"wal"`` durability.
     """
 
     def __init__(
@@ -49,7 +52,7 @@ class Database:
         buffer_pages: int = 1024,
         durability: str = "wal",
         group_commit: bool = True,
-        group_window: float = 0.0,
+        group_window: float = 0.002,
     ) -> None:
         self.pager = Pager(
             path,
@@ -226,7 +229,7 @@ class Database:
         buffer_pages: int = 1024,
         durability: str = "wal",
         group_commit: bool = True,
-        group_window: float = 0.0,
+        group_window: float = 0.002,
     ) -> "Database":
         """Reopen a previously :meth:`save`-d file-backed database.
 

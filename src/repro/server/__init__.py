@@ -7,9 +7,15 @@ A small socket server speaking a length-prefixed JSON protocol
 and locked write transactions against one :class:`~repro.archis.ArchIS`
 instance.  Start it with ``python -m repro.tools serve`` and talk to it
 with :class:`~repro.server.client.Client`.
+
+Protocol version 3 adds an async job service for heavy analytics
+(:mod:`repro.server.jobs`) and a compact binary result encoding
+(:mod:`repro.server.encoding`), both negotiated per connection; older
+clients keep the JSON protocol byte for byte.
 """
 
 from repro.server.client import Client
+from repro.server.jobs import JobManager
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
@@ -21,6 +27,7 @@ from repro.server.session import Session
 
 __all__ = [
     "Client",
+    "JobManager",
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",
     "Server",

@@ -1,0 +1,355 @@
+"""Compact binary result encoding: typed columnar frames (``colframe1``).
+
+JSON serializes a 100k-row result as text — every integer re-printed in
+decimal, every string re-quoted and re-escaped, every row wrapped in
+brackets.  This module encodes the same result as one length-prefixed
+**columnar frame**: per column a type tag, an optional null bitmap and a
+packed value block, with integer columns narrowed to the smallest of
+1/2/4/8 bytes that holds their range (an id column under 2^31 costs 4
+bytes per row, a small measure column 2) and string columns stored as a
+width-narrowed length array plus one UTF-8 blob.  Packing goes through
+the :mod:`array` module so encode/decode run at C speed, and the whole
+body is zlib-compressed when that shrinks it.
+
+Frame layout (little-endian)::
+
+    magic "CF1" | flags u8 | body
+    body:  rows u32 | cols u16 | column*
+    column: name_len u16 | name utf8 | type u8 | width u8 | colflags u8
+            [null bitmap ceil(rows/8) bytes, LSB-first, 1 = null]
+            values (type-specific, see _encode_column)
+
+``flags`` bit 0 marks a zlib-compressed body.  ``colflags`` bit 0
+marks a column with nulls, bit 1 a dictionary-encoded string column
+(repetitive columns ship distinct values once plus a packed index
+array — both directions run through C-speed ``map``).  Type codes:
+0 int, 1 float, 2 str, 3 date (an int on the wire — day count),
+4 bool, 5 json (per-column JSON fallback for mixed/exotic cells, so
+*any* result row set round-trips).
+
+The codec is negotiated per connection behind protocol version 3 (see
+:mod:`repro.server.protocol`); version-1/2 clients keep the JSON row
+encoding byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import time
+import zlib
+from array import array
+from itertools import accumulate
+from operator import itemgetter
+
+from repro.errors import ProtocolError
+from repro.obs.metrics import get_registry
+
+#: codec name stamped into response headers; bump on layout changes
+CODEC = "colframe1"
+
+MAGIC = b"CF1"
+FLAG_ZLIB = 1
+
+TYPE_INT = 0
+TYPE_FLOAT = 1
+TYPE_STR = 2
+TYPE_DATE = 3
+TYPE_BOOL = 4
+TYPE_JSON = 5
+
+_HEAD = struct.Struct("<3sB")
+_BODY = struct.Struct("<IH")
+_NAME = struct.Struct("<H")
+_COL = struct.Struct("<BBB")
+
+#: signed array typecode per width (int/date values)
+_SIGNED = {1: "b", 2: "h", 4: "i", 8: "q"}
+#: unsigned array typecode per width (string lengths, dict indices)
+_UNSIGNED = {1: "B", 2: "H", 4: "I"}
+
+FLAG_COL_NULLS = 1
+FLAG_COL_DICT = 2
+
+_FRAMES = get_registry().counter("encoding.binary.frames")
+_ROWS = get_registry().counter("encoding.binary.rows")
+_BYTES = get_registry().counter("encoding.binary.bytes")
+_SECONDS = get_registry().histogram("encoding.binary.seconds")
+
+
+def _int_width(lo: int, hi: int) -> int:
+    for width, code in _SIGNED.items():
+        bound = 1 << (8 * width - 1)
+        if -bound <= lo and hi < bound:
+            return width
+    raise ProtocolError(f"integer {lo}..{hi} exceeds 8-byte encoding")
+
+
+def _len_width(hi: int) -> int:
+    for width in (1, 2, 4):
+        if hi < 1 << (8 * width):
+            return width
+    raise ProtocolError(f"string of {hi} bytes exceeds length encoding")
+
+
+def _bitmap(values: tuple) -> bytes:
+    bits = bytearray((len(values) + 7) // 8)
+    for index, value in enumerate(values):
+        if value is None:
+            bits[index >> 3] |= 1 << (index & 7)
+    return bytes(bits)
+
+
+def _column_type(kinds: set) -> int:
+    """The narrowest type tag covering every non-null cell kind."""
+    if not kinds:
+        return TYPE_INT  # all-null column: packs as zero-width ints
+    if kinds == {str}:
+        return TYPE_STR
+    if kinds == {bool}:
+        return TYPE_BOOL
+    if kinds <= {bool, int}:
+        return TYPE_INT
+    if kinds <= {bool, int, float}:
+        return TYPE_FLOAT
+    return TYPE_JSON
+
+
+def _pack_strings(cells) -> tuple[int, bytes]:
+    """Pack strings as a char-length array plus one UTF-8 blob.
+
+    Lengths are in *characters* so the decoder can slice one decoded
+    text instead of decoding per cell; the blob is length-prefixed
+    because its byte count differs from the char count for non-ASCII.
+    Returns ``(length_width, packed)``.
+    """
+    lengths = array("I", map(len, cells))
+    width = _len_width(max(lengths) if lengths else 0)
+    if width != 4:
+        lengths = array(_UNSIGNED[width], lengths)
+    blob = "".join(cells).encode("utf-8")
+    return width, lengths.tobytes() + struct.pack("<I", len(blob)) + blob
+
+
+def _unpack_strings(
+    body: bytes, offset: int, count: int, width: int
+) -> tuple[list[str], int]:
+    """Inverse of :func:`_pack_strings`; returns ``(cells, offset)``."""
+    lengths = array(_UNSIGNED[width])
+    lengths.frombytes(body[offset : offset + width * count])
+    offset += width * count
+    (blob_len,) = struct.unpack_from("<I", body, offset)
+    offset += 4
+    text = body[offset : offset + blob_len].decode("utf-8")
+    offset += blob_len
+    # slice the single decoded text at C speed: accumulate the char
+    # lengths into offsets, then map slice objects over it
+    ends = list(accumulate(lengths))
+    starts = [0]
+    starts.extend(ends[:-1])
+    return list(map(text.__getitem__, map(slice, starts, ends))), offset
+
+
+def _encode_column(
+    name: str, values: tuple, type_tag: int | None, json_default=None
+) -> bytes:
+    # one C-speed scan yields both the cell kinds and null presence;
+    # the per-value Python loop this replaces dominated encode time
+    kinds = set(map(type, values))
+    has_nulls = type(None) in kinds
+    kinds.discard(type(None))
+    if type_tag is None:
+        type_tag = _column_type(kinds)
+    col_flags = FLAG_COL_NULLS if has_nulls else 0
+    parts = []
+    if type_tag in (TYPE_INT, TYPE_DATE):
+        cells = (
+            [0 if v is None else v for v in values] if has_nulls else values
+        )
+        width = _int_width(min(cells, default=0), max(cells, default=0))
+        data = array(_SIGNED[width], cells).tobytes()
+    elif type_tag == TYPE_FLOAT:
+        width = 8
+        cells = (
+            [0.0 if v is None else v for v in values] if has_nulls else values
+        )
+        data = array("d", cells).tobytes()
+    elif type_tag == TYPE_BOOL:
+        width = 1
+        data = bytes(1 if v else 0 for v in values)
+    elif type_tag == TYPE_STR:
+        cells = (
+            ["" if v is None else v for v in values] if has_nulls else values
+        )
+        uniq = list(dict.fromkeys(cells))
+        if 1 <= len(uniq) <= 0xFFFF and len(uniq) * 4 <= len(cells):
+            # dictionary encoding: repetitive columns (statuses, names,
+            # enum-ish values) ship each distinct string once plus a
+            # packed index array; both sides stay in C-speed map calls
+            col_flags |= FLAG_COL_DICT
+            lookup = {value: index for index, value in enumerate(uniq)}
+            width = 1 if len(uniq) <= 0xFF else 2
+            indices = array(_UNSIGNED[width], map(lookup.__getitem__, cells))
+            uniq_width, uniq_block = _pack_strings(uniq)
+            data = (
+                struct.pack("<IB", len(uniq), uniq_width)
+                + uniq_block
+                + indices.tobytes()
+            )
+        else:
+            width, data = _pack_strings(cells)
+    else:  # TYPE_JSON: anything goes, one JSON list for the column
+        width = 0
+        blob = json.dumps(
+            list(values), separators=(",", ":"), default=json_default
+        ).encode("utf-8")
+        data = struct.pack("<I", len(blob)) + blob
+        has_nulls = False  # nulls ride inside the JSON itself
+    raw_name = name.encode("utf-8")
+    parts.append(_NAME.pack(len(raw_name)) + raw_name)
+    if not has_nulls:
+        col_flags &= ~FLAG_COL_NULLS
+    parts.append(_COL.pack(type_tag, width, col_flags))
+    if has_nulls:
+        parts.append(_bitmap(values))
+    parts.append(data)
+    return b"".join(parts)
+
+
+def encode_result(
+    rows: list,
+    columns: list[str],
+    types: list[int] | None = None,
+    *,
+    compress: bool = False,
+    json_default=None,
+) -> bytes:
+    """Encode ``rows`` x ``columns`` as one ``colframe1`` frame.
+
+    ``types`` optionally forces per-column type tags (e.g. ``TYPE_DATE``
+    where the caller knows the schema); by default each column's tag is
+    inferred from its values.  Cells the typed encodings cannot carry
+    fall back to the per-column JSON encoding, so any result that the
+    JSON protocol could ship round-trips here too; ``json_default`` is
+    handed to that fallback's :func:`json.dumps` so callers can feed
+    raw engine rows (XML cells and all) without a per-row conversion
+    pass first — the typed columns never needed one.
+
+    ``compress`` zlib-deflates the body when that shrinks it.  The raw
+    columnar frame already runs ~3x smaller than the JSON rows, so the
+    default trades the extra ~2.5x size cut for encode speed — right
+    for a local socket; callers shipping results over a real network
+    can opt in.  Decode handles both transparently via the flag bit.
+    """
+    started = time.perf_counter()
+    count = len(rows)
+    body = [_BODY.pack(count, len(columns))]
+    for index, name in enumerate(columns):
+        # itemgetter keeps the transpose in C and beats zip(*rows),
+        # which pays for unpacking one argument per row
+        column = tuple(map(itemgetter(index), rows)) if count else ()
+        tag = types[index] if types else None
+        body.append(_encode_column(name, column, tag, json_default))
+    raw = b"".join(body)
+    flags = 0
+    if compress and len(raw) > 512:
+        packed = zlib.compress(raw, 1)
+        if len(packed) < len(raw):
+            raw = packed
+            flags |= FLAG_ZLIB
+    frame = _HEAD.pack(MAGIC, flags) + raw
+    _FRAMES.inc()
+    _ROWS.inc(count)
+    _BYTES.inc(len(frame))
+    _SECONDS.observe(time.perf_counter() - started)
+    return frame
+
+
+def decode_result(frame: bytes) -> tuple[list[str], list[list]]:
+    """Decode a ``colframe1`` frame back to ``(columns, rows)``.
+
+    Rows come back as tuples (like engine-side results); date columns
+    come back as the int day counts the engine stores.
+    """
+    magic, flags = _HEAD.unpack_from(frame)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad binary frame magic {magic!r}")
+    body = frame[_HEAD.size :]
+    if flags & FLAG_ZLIB:
+        body = zlib.decompress(body)
+    count, col_count = _BODY.unpack_from(body)
+    offset = _BODY.size
+    names: list[str] = []
+    column_values: list[list] = []
+    for _ in range(col_count):
+        (name_len,) = _NAME.unpack_from(body, offset)
+        offset += _NAME.size
+        names.append(body[offset : offset + name_len].decode("utf-8"))
+        offset += name_len
+        type_tag, width, col_flags = _COL.unpack_from(body, offset)
+        offset += _COL.size
+        has_nulls = col_flags & FLAG_COL_NULLS
+        bitmap = b""
+        if has_nulls:
+            size = (count + 7) // 8
+            bitmap = body[offset : offset + size]
+            offset += size
+        if type_tag in (TYPE_INT, TYPE_DATE):
+            values = array(_SIGNED[width])
+            values.frombytes(body[offset : offset + width * count])
+            offset += width * count
+            cells = values.tolist()
+        elif type_tag == TYPE_FLOAT:
+            values = array("d")
+            values.frombytes(body[offset : offset + 8 * count])
+            offset += 8 * count
+            cells = values.tolist()
+        elif type_tag == TYPE_BOOL:
+            cells = [bool(b) for b in body[offset : offset + count]]
+            offset += count
+        elif type_tag == TYPE_STR:
+            if col_flags & FLAG_COL_DICT:
+                uniq_count, uniq_width = struct.unpack_from(
+                    "<IB", body, offset
+                )
+                offset += 5
+                uniq, offset = _unpack_strings(
+                    body, offset, uniq_count, uniq_width
+                )
+                indices = array(_UNSIGNED[width])
+                indices.frombytes(body[offset : offset + width * count])
+                offset += width * count
+                cells = list(map(uniq.__getitem__, indices))
+            else:
+                cells, offset = _unpack_strings(body, offset, count, width)
+        elif type_tag == TYPE_JSON:
+            (blob_len,) = struct.unpack_from("<I", body, offset)
+            offset += 4
+            cells = json.loads(body[offset : offset + blob_len])
+            offset += blob_len
+        else:
+            raise ProtocolError(f"unknown column type tag {type_tag}")
+        if has_nulls:
+            for index in range(count):
+                if bitmap[index >> 3] & (1 << (index & 7)):
+                    cells[index] = None
+        column_values.append(cells)
+    rows = list(zip(*column_values)) if col_count else []
+    if col_count and len(rows) != count:
+        raise ProtocolError(
+            f"frame declared {count} rows, decoded {len(rows)}"
+        )
+    return names, rows
+
+
+__all__ = [
+    "CODEC",
+    "TYPE_BOOL",
+    "TYPE_DATE",
+    "TYPE_FLOAT",
+    "TYPE_INT",
+    "TYPE_JSON",
+    "TYPE_STR",
+    "decode_result",
+    "encode_result",
+]

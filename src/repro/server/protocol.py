@@ -36,6 +36,21 @@ Feature gating works the same way: a version-1 client that sends a
 (a version-2 feature) gets ``code = "TEMPORAL_PARAMS_UNSUPPORTED"``
 with ``supported`` naming the versions that speak it, rather than a
 silently mis-planned query.
+
+Version 3 adds two features, each gated the same way:
+
+- **async jobs** — the ``job.submit`` / ``job.status`` / ``job.result``
+  / ``job.cancel`` / ``job.list`` ops (``code = "JOBS_UNSUPPORTED"``
+  for older clients that try them);
+- **binary results** — a request carrying ``"enc": "binary"`` asks for
+  the response's rows as one :mod:`repro.server.encoding` columnar
+  frame.  The JSON header is sent as usual (with the row data replaced
+  by a ``binary`` descriptor) followed by one length-prefixed raw
+  payload frame; see :func:`send_response` / :func:`recv_payload`.
+  Version-1/2 requests never get a payload frame — their responses stay
+  byte-identical to what those protocol versions always shipped — and a
+  v1/v2 request asking for ``enc`` gets
+  ``code = "BINARY_ENCODING_UNSUPPORTED"``.
 """
 
 from __future__ import annotations
@@ -44,18 +59,25 @@ import json
 import socket
 import struct
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, error_response
 
 #: the wire-protocol version this build speaks.  Version 2 adds named
-#: parameters bound inside ``FOR SYSTEM_TIME`` clauses on the ``sql`` op
-PROTOCOL_VERSION = 2
+#: parameters bound inside ``FOR SYSTEM_TIME`` clauses on the ``sql``
+#: op; version 3 adds async jobs and the binary result encoding
+PROTOCOL_VERSION = 3
 
 #: versions the server accepts (requests without ``v`` count as 1)
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: the first protocol version whose ``sql`` op may bind parameters in
 #: temporal (``FOR SYSTEM_TIME``) clause positions
 TEMPORAL_PARAMS_VERSION = 2
+
+#: the first protocol version that speaks the ``job.*`` ops
+JOBS_VERSION = 3
+
+#: the first protocol version that may negotiate binary result frames
+BINARY_ENCODING_VERSION = 3
 
 _LENGTH = struct.Struct(">I")
 
@@ -70,17 +92,34 @@ def check_version(request: dict) -> dict | None:
     offered = request.get("v", PROTOCOL_VERSION)
     if offered in SUPPORTED_VERSIONS:
         return None
-    return {
-        "ok": False,
-        "error": "UnsupportedVersionError",
-        "code": "UNSUPPORTED_VERSION",
-        "message": (
+    return error_response(
+        code="UNSUPPORTED_VERSION",
+        message=(
             f"protocol version {offered!r} is not supported; this server "
             f"speaks {', '.join(str(v) for v in SUPPORTED_VERSIONS)}"
         ),
-        "offered": offered,
-        "supported": list(SUPPORTED_VERSIONS),
-    }
+        offered=offered,
+        supported=list(SUPPORTED_VERSIONS),
+    )
+
+
+def _feature_gate(
+    request: dict, code: str, needs: int, feature: str
+) -> dict | None:
+    """The structured rejection for a request whose version predates
+    ``needs``, or ``None`` when the feature is available to it."""
+    offered = request.get("v", 1)
+    if offered >= needs:
+        return None
+    return error_response(
+        code=code,
+        message=(
+            f"{feature} needs protocol version {needs}; this request "
+            f"offered version {offered}"
+        ),
+        offered=offered,
+        supported=[v for v in SUPPORTED_VERSIONS if v >= needs],
+    )
 
 
 def check_temporal_params(request: dict, param_names: list) -> dict | None:
@@ -94,24 +133,44 @@ def check_temporal_params(request: dict, param_names: list) -> dict | None:
     """
     if not param_names:
         return None
-    offered = request.get("v", 1)
-    if offered >= TEMPORAL_PARAMS_VERSION:
-        return None
     shown = ", ".join(f":{name}" for name in sorted(set(param_names)))
-    return {
-        "ok": False,
-        "error": "UnsupportedVersionError",
-        "code": "TEMPORAL_PARAMS_UNSUPPORTED",
-        "message": (
-            f"parameters in FOR SYSTEM_TIME clauses ({shown}) need "
-            f"protocol version {TEMPORAL_PARAMS_VERSION}; this request "
-            f"offered version {offered}"
-        ),
-        "offered": offered,
-        "supported": [
-            v for v in SUPPORTED_VERSIONS if v >= TEMPORAL_PARAMS_VERSION
-        ],
-    }
+    return _feature_gate(
+        request,
+        "TEMPORAL_PARAMS_UNSUPPORTED",
+        TEMPORAL_PARAMS_VERSION,
+        f"parameters in FOR SYSTEM_TIME clauses ({shown})",
+    )
+
+
+def check_jobs(request: dict) -> dict | None:
+    """The ``JOBS_UNSUPPORTED`` rejection for a pre-v3 request using a
+    ``job.*`` op, or ``None`` when jobs are available to it."""
+    return _feature_gate(
+        request,
+        "JOBS_UNSUPPORTED",
+        JOBS_VERSION,
+        f"the {request.get('op')!r} op",
+    )
+
+
+def check_encoding(request: dict) -> dict | None:
+    """The ``BINARY_ENCODING_UNSUPPORTED`` rejection for a pre-v3
+    request asking for a non-JSON result encoding, or ``None`` when the
+    request's encoding is fine (missing/``"json"`` always is)."""
+    encoding = request.get("enc")
+    if encoding in (None, "json"):
+        return None
+    if encoding != "binary":
+        return error_response(
+            code="PROTOCOL",
+            message=f"unknown result encoding {encoding!r}",
+        )
+    return _feature_gate(
+        request,
+        "BINARY_ENCODING_UNSUPPORTED",
+        BINARY_ENCODING_VERSION,
+        "binary result encoding",
+    )
 
 
 def send_message(sock: socket.socket, message: dict) -> None:
@@ -122,6 +181,43 @@ def send_message(sock: socket.socket, message: dict) -> None:
             f"message of {len(body)} bytes exceeds {MAX_MESSAGE_BYTES}"
         )
     sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def send_response(sock: socket.socket, response: dict) -> None:
+    """Send a response, including its binary payload frame if any.
+
+    A response carrying rows in the negotiated binary encoding holds the
+    encoded frame under the transient ``"_payload"`` key (never part of
+    the JSON) and describes it under ``"binary"``.  The JSON header goes
+    first, then the payload as one length-prefixed raw frame — so v1/v2
+    responses (which never have a payload) remain byte-identical to what
+    :func:`send_message` always produced.
+    """
+    payload = response.pop("_payload", None)
+    send_message(sock, response)
+    if payload is not None:
+        send_bytes(sock, payload)
+
+
+def send_bytes(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed raw frame (no JSON envelope)."""
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds {MAX_MESSAGE_BYTES}"
+        )
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def recv_payload(sock: socket.socket) -> bytes:
+    """Read one length-prefixed raw frame (the binary result payload
+    announced by a response's ``binary`` descriptor)."""
+    prefix = _recv_exact(sock, _LENGTH.size, eof_ok=False)
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds {MAX_MESSAGE_BYTES}"
+        )
+    return _recv_exact(sock, length, eof_ok=False)
 
 
 def recv_message(sock: socket.socket) -> dict | None:

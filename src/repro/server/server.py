@@ -26,20 +26,19 @@ import socket
 import threading
 import time
 
-from repro.errors import ProtocolError, ServerError
+from repro.errors import ProtocolError, ServerError, error_response
 from repro.obs.metrics import get_registry
-from repro.server.protocol import recv_message, send_message
+from repro.server.jobs import JobManager
+from repro.server.protocol import recv_message, send_message, send_response
 from repro.server.session import Session
 
 _CONNECTIONS = get_registry().counter("server.connections")
 _BUSY = get_registry().counter("server.busy_rejections")
 _SESSIONS = get_registry().gauge("server.sessions")
 
-_BUSY_RESPONSE = {
-    "ok": False,
-    "error": "ServerBusyError",
-    "message": "server at capacity; retry later",
-}
+_BUSY_RESPONSE = error_response(
+    code="BUSY", message="server at capacity; retry later"
+)
 
 
 class Server:
@@ -55,6 +54,8 @@ class Server:
         max_in_flight: int | None = None,
         queue_size: int = 16,
         queue_timeout: float = 1.0,
+        job_workers: int = 2,
+        job_result_ttl: float = 300.0,
     ) -> None:
         if workers < 1:
             raise ServerError("need at least one worker")
@@ -64,6 +65,9 @@ class Server:
         self.port = port
         self.workers = workers
         self.queue_timeout = queue_timeout
+        self.job_workers = job_workers
+        self.job_result_ttl = job_result_ttl
+        self.jobs: JobManager | None = None
         self._slots = threading.BoundedSemaphore(
             max_in_flight if max_in_flight is not None else workers
         )
@@ -96,6 +100,15 @@ class Server:
         listener.settimeout(0.2)
         self._listener = listener
         self._stopping.clear()
+        # the job executor is deliberately separate from the session
+        # worker pool: a long analytics job never occupies a slot a
+        # short interactive request is waiting for
+        self.jobs = JobManager(
+            self.manager,
+            self.archis,
+            workers=self.job_workers,
+            result_ttl=self.job_result_ttl,
+        )
         acceptor = threading.Thread(
             target=self._accept_loop, name="repro-acceptor", daemon=True
         )
@@ -133,6 +146,9 @@ class Server:
         for thread in self._threads:
             thread.join(timeout=10.0)
         self._threads = []
+        if self.jobs is not None:
+            self.jobs.close()
+            self.jobs = None
         # drain connections that were queued but never picked up
         while True:
             try:
@@ -188,7 +204,10 @@ class Server:
                 self._active_sessions += 1
                 _SESSIONS.set(self._active_sessions)
             session = Session(
-                self.manager, self.archis, session_id=session_id
+                self.manager,
+                self.archis,
+                session_id=session_id,
+                jobs=self.jobs,
             )
             try:
                 self._serve(conn, session)
@@ -222,10 +241,11 @@ class Server:
             try:
                 try:
                     # the session sends the response itself so wire time
-                    # lands inside the request's root span
+                    # lands inside the request's root span; send_response
+                    # also ships any negotiated binary payload frame
                     session.handle(
                         request,
-                        send=lambda response: send_message(conn, response),
+                        send=lambda response: send_response(conn, response),
                         recv_seconds=recv_seconds,
                         wait_seconds=wait_seconds,
                     )

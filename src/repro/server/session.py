@@ -20,11 +20,17 @@ from __future__ import annotations
 
 import time
 
-from repro.errors import ReproError, TxnError
+from repro.errors import JobError, TxnError, error_response
 from repro.obs.metrics import get_registry
 from repro.obs.promtext import render_prometheus
 from repro.obs.tracer import get_tracer
-from repro.server.protocol import check_temporal_params, check_version
+from repro.server.encoding import CODEC, encode_result
+from repro.server.protocol import (
+    check_encoding,
+    check_jobs,
+    check_temporal_params,
+    check_version,
+)
 from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.sql.session import execute_statement
@@ -48,7 +54,15 @@ _OPS = (
     "stats",
     "metrics",
     "health",
+    "job.submit",
+    "job.status",
+    "job.result",
+    "job.cancel",
+    "job.list",
 )
+
+#: ops that need the server's :class:`~repro.server.jobs.JobManager`
+_JOB_OPS = frozenset(op for op in _OPS if op.startswith("job."))
 
 
 def _jsonable(value):
@@ -62,12 +76,25 @@ def _jsonable(value):
     return value
 
 
+def _cell_default(value):
+    """``json.dumps`` fallback for raw engine cells that land in a
+    binary TYPE_JSON column (XML → serialized text, like _jsonable)."""
+    if isinstance(value, Element):
+        return serialize(value)
+    raise TypeError(
+        f"result cell of type {type(value).__name__} is not serializable"
+    )
+
+
 class Session:
     """One client's view of the shared transaction manager."""
 
-    def __init__(self, manager, archis=None, session_id: int = 0) -> None:
+    def __init__(
+        self, manager, archis=None, session_id: int = 0, jobs=None
+    ) -> None:
         self.manager = manager
         self.archis = archis
+        self.jobs = jobs
         self.id = session_id
         self.txn = None
         self._snapshot = manager.snapshot()
@@ -123,33 +150,24 @@ class Session:
 
     def _execute(self, op, request: dict) -> dict:
         rejection = check_version(request)
+        if rejection is None:
+            rejection = check_encoding(request)
+        if rejection is None and op in _JOB_OPS:
+            rejection = check_jobs(request)
         if rejection is not None:
             _ERRORS.inc()
             return rejection
         if op not in _OPS:
             _ERRORS.inc()
-            return {
-                "ok": False,
-                "error": "ProtocolError",
-                "message": f"unknown op {op!r}",
-            }
+            return error_response(
+                code="PROTOCOL", message=f"unknown op {op!r}"
+            )
         _REQUESTS.inc(op)
         try:
-            return getattr(self, f"_op_{op}")(request)
-        except ReproError as exc:
-            _ERRORS.inc()
-            return {
-                "ok": False,
-                "error": type(exc).__name__,
-                "message": str(exc),
-            }
+            return getattr(self, f"_op_{op.replace('.', '_')}")(request)
         except Exception as exc:  # noqa: BLE001 - protect the worker
             _ERRORS.inc()
-            return {
-                "ok": False,
-                "error": "InternalError",
-                "message": f"{type(exc).__name__}: {exc}",
-            }
+            return error_response(exc)
 
     def close(self) -> None:
         """Abort any in-flight transaction (connection teardown)."""
@@ -207,12 +225,37 @@ class Session:
         else:
             result = self._autocommit(text, params, statement)
         if hasattr(result, "columns"):
-            return {
-                "ok": True,
-                "columns": list(result.columns),
-                "rows": [_jsonable(row) for row in result.rows],
-            }
+            columns = list(result.columns)
+            if request.get("enc") == "binary":
+                # engine rows go straight to the columnar encoder — the
+                # typed columns never needed the per-row JSON conversion
+                # pass, and a TYPE_JSON fallback column serializes its
+                # XML cells through _cell_default instead
+                return self._binary_rows(
+                    {"ok": True}, columns, list(result.rows)
+                )
+            rows = [_jsonable(row) for row in result.rows]
+            return {"ok": True, "columns": columns, "rows": rows}
         return {"ok": True, "rowcount": result}
+
+    @staticmethod
+    def _binary_rows(response: dict, columns: list, rows: list) -> dict:
+        """Attach ``rows`` x ``columns`` as a binary payload frame.
+
+        The JSON header keeps the column names and gains a ``binary``
+        descriptor; the encoded frame rides the transient ``_payload``
+        key that :func:`repro.server.protocol.send_response` ships as a
+        separate raw frame after the header.
+        """
+        frame = encode_result(rows, columns, json_default=_cell_default)
+        response["columns"] = columns
+        response["binary"] = {
+            "codec": CODEC,
+            "rows": len(rows),
+            "bytes": len(frame),
+        }
+        response["_payload"] = frame
+        return response
 
     def _autocommit(self, text: str, params, statement=None):
         """A statement outside any transaction: SELECTs run on the
@@ -252,18 +295,94 @@ class Session:
             text,
             allow_fallback=bool(request.get("allow_fallback", True)),
         )
-        return {
+        results = [
+            serialize(item) if isinstance(item, Element) else item
+            for item in result.rows
+        ]
+        response = {
             "ok": True,
             "day": self._snapshot.day,
-            "results": [
-                serialize(item) if isinstance(item, Element) else item
-                for item in result.rows
-            ],
             "stats": {
                 k: v
                 for k, v in result.stats.items()
                 if isinstance(v, (str, int, float, bool))
             },
+        }
+        if request.get("enc") == "binary":
+            # a forest is one "results" column; the marker tells the
+            # client to unwrap the single-column rows back to a list
+            response = self._binary_rows(
+                response, ["results"], [[item] for item in results]
+            )
+            response["forest"] = True
+            return response
+        response["results"] = results
+        return response
+
+    # -- async jobs --------------------------------------------------------
+
+    def _require_jobs(self):
+        if self.jobs is None:
+            raise JobError(
+                "this server has no job manager; async jobs unavailable"
+            )
+        return self.jobs
+
+    @staticmethod
+    def _job_id(request: dict) -> str:
+        job_id = request.get("job")
+        if not isinstance(job_id, str):
+            raise JobError("job ops need a 'job' id string")
+        return job_id
+
+    def _op_job_submit(self, request: dict) -> dict:
+        text = request.get("text")
+        if not isinstance(text, str):
+            raise JobError("job.submit needs a 'text' string")
+        job = self._require_jobs().submit(
+            request.get("kind", "sql"),
+            text,
+            params=request.get("params") or None,
+            allow_fallback=bool(request.get("allow_fallback", True)),
+            day=request.get("day"),
+            trace_id=get_tracer().current_trace_id(),
+        )
+        return {"ok": True, **job.describe()}
+
+    def _op_job_status(self, request: dict) -> dict:
+        job = self._require_jobs().get(self._job_id(request))
+        return {"ok": True, **job.describe()}
+
+    def _op_job_result(self, request: dict) -> dict:
+        payload = self._require_jobs().result(self._job_id(request))
+        response = {"ok": True, "day": payload["day"]}
+        if "forest" in payload:
+            if request.get("enc") == "binary":
+                response = self._binary_rows(
+                    response,
+                    ["results"],
+                    [[item] for item in payload["forest"]],
+                )
+                response["forest"] = True
+                return response
+            response["results"] = payload["forest"]
+            return response
+        if request.get("enc") == "binary":
+            return self._binary_rows(
+                response, payload["columns"], payload["rows"]
+            )
+        response["columns"] = payload["columns"]
+        response["rows"] = payload["rows"]
+        return response
+
+    def _op_job_cancel(self, request: dict) -> dict:
+        job = self._require_jobs().cancel(self._job_id(request))
+        return {"ok": True, **job.describe()}
+
+    def _op_job_list(self, request: dict) -> dict:
+        return {
+            "ok": True,
+            "jobs": [job.describe() for job in self._require_jobs().list()],
         }
 
     def _op_stats(self, request: dict) -> dict:

@@ -73,7 +73,7 @@ class Pager:
         path: str | None = None,
         durability: str = "wal",
         group_commit: bool = True,
-        group_window: float = 0.0,
+        group_window: float = 0.002,
     ) -> None:
         require_durability(durability)
         self._path = path

@@ -302,6 +302,8 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         max_in_flight=args.max_in_flight,
         queue_size=args.queue_size,
+        job_workers=args.job_workers,
+        job_result_ttl=args.job_ttl,
     )
     server.start()
     host, port = server.address
@@ -343,6 +345,55 @@ def cmd_serve(args) -> int:
             get_tracer().remove_exporter(exporter)
             get_tracer().disable()
             exporter.close()
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    """Drive the async-job ops of a running server from the shell.
+
+    ``submit`` prints the shareable job id (add ``--wait`` to block
+    until it finishes and print the result); ``status`` / ``result`` /
+    ``cancel`` / ``list`` do what they say.  Results print as
+    tab-separated rows after a header line.
+    """
+    from repro.server.client import Client
+
+    def show_status(status: dict) -> None:
+        progress = status.get("progress") or {}
+        line = f"{status['job']}  {status['kind']:<6s} {status['state']}"
+        if "elapsed_seconds" in progress:
+            line += f"  {progress['elapsed_seconds']:.3f}s"
+        if "rows" in status:
+            line += f"  {status['rows']} rows"
+        if "message" in status:
+            line += f"  {status['message']}"
+        print(line)
+
+    def show_result(result) -> None:
+        if result.columns:
+            print("\t".join(str(c) for c in result.columns))
+        for row in result.rows:
+            print("\t".join(str(cell) for cell in row))
+
+    with Client(args.host, args.port, encoding="binary") as client:
+        if args.action == "submit":
+            job_id = client.submit(args.text, kind=args.kind)
+            print(job_id)
+            if args.wait:
+                status = client.job_wait(job_id, timeout=None)
+                if status["state"] != "COMPLETED":
+                    show_status(status)
+                    return 1
+                show_result(client.job_result(job_id))
+        elif args.action == "status":
+            show_status(client.job_status(args.job))
+        elif args.action == "result":
+            show_result(client.job_result(args.job))
+        elif args.action == "cancel":
+            show_status(client.job_cancel(args.job))
+        else:
+            for status in client.job_list():
+                show_status(status)
     return 0
 
 
@@ -555,11 +606,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--lock-timeout", type=float, default=5.0)
     serve.add_argument(
+        "--job-workers", type=int, default=2,
+        help="threads for async analytics jobs (separate from --workers)",
+    )
+    serve.add_argument(
+        "--job-ttl", type=float, default=300.0,
+        help="seconds a finished job's result stays fetchable",
+    )
+    serve.add_argument(
         "--span-log", default=None, metavar="PATH",
         help="enable tracing and append finished request traces "
              "to PATH as JSONL",
     )
     serve.set_defaults(fn=cmd_serve)
+
+    jobs = commands.add_parser(
+        "jobs",
+        help="submit, watch and fetch async analytics jobs on a "
+             "running server",
+    )
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument("--port", type=int, default=7171)
+    jobs_actions = jobs.add_subparsers(dest="action", required=True)
+    jobs_submit = jobs_actions.add_parser(
+        "submit", help="submit a read-only query as an async job"
+    )
+    jobs_submit.add_argument("text", help="the SELECT or XQuery text")
+    jobs_submit.add_argument(
+        "--kind", choices=("sql", "xquery"), default="sql"
+    )
+    jobs_submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print its result",
+    )
+    jobs_status = jobs_actions.add_parser(
+        "status", help="print one job's lifecycle status"
+    )
+    jobs_status.add_argument("job")
+    jobs_result = jobs_actions.add_parser(
+        "result", help="fetch a completed job's result"
+    )
+    jobs_result.add_argument("job")
+    jobs_cancel = jobs_actions.add_parser(
+        "cancel", help="request cooperative cancellation"
+    )
+    jobs_cancel.add_argument("job")
+    jobs_actions.add_parser("list", help="list live jobs on the server")
+    jobs.set_defaults(fn=cmd_jobs)
 
     top = commands.add_parser(
         "top",

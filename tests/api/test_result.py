@@ -1,22 +1,9 @@
-"""The Result facade: explicit surface, legacy list shims, warnings."""
-
-import warnings
+"""The Result facade: explicit surface; the legacy list shim is gone."""
 
 import pytest
 
-import repro.api
 from repro import Result
 from repro.sql.result import ResultSet
-
-
-@pytest.fixture(autouse=True)
-def reset_warned():
-    """Each test observes the once-per-process warning fresh."""
-    saved = set(repro.api._WARNED)
-    repro.api._WARNED.clear()
-    yield
-    repro.api._WARNED.clear()
-    repro.api._WARNED.update(saved)
 
 
 class TestExplicitSurface:
@@ -44,58 +31,44 @@ class TestExplicitSurface:
         text = repr(Result([(1,)], ["id"]))
         assert "1" in text
 
-    def test_results_with_same_rows_compare_equal_silently(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert Result([(1,)]) == Result([(1,)])
-            assert Result([(1,)]) != Result([(2,)])
+    def test_results_with_same_rows_compare_equal(self):
+        assert Result([(1,)]) == Result([(1,)])
+        assert Result([(1,)]) != Result([(2,)])
 
     def test_result_is_hashable(self):
         assert len({Result([]), Result([])}) == 2
 
 
-class TestLegacyListShims:
-    def test_iteration_works_but_warns_once(self):
-        result = Result([(1,), (2,)])
-        with pytest.warns(DeprecationWarning, match="Result.rows"):
-            assert list(result) == [(1,), (2,)]
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert list(result) == [(1,), (2,)]  # second use: silent
+class TestLegacyShimIsGone:
+    """Result stopped impersonating a list: sequence protocol removed."""
 
-    def test_len_getitem_contains(self):
+    def test_result_is_not_iterable(self):
+        with pytest.raises(TypeError):
+            list(Result([(1,), (2,)]))
+
+    def test_no_len_getitem_contains(self):
         result = Result([(1,), (2,), (3,)])
-        with pytest.warns(DeprecationWarning):
-            assert len(result) == 3
-        with pytest.warns(DeprecationWarning):
-            assert result[0] == (1,)
-        with pytest.warns(DeprecationWarning):
-            assert (2,) in result
+        with pytest.raises(TypeError):
+            len(result)
+        with pytest.raises(TypeError):
+            result[0]
+        with pytest.raises(TypeError):
+            (2,) in result
 
-    def test_equality_against_bare_list_warns(self):
-        result = Result([(1,)])
-        with pytest.warns(DeprecationWarning):
-            assert result == [(1,)]
-
-    def test_each_operation_warns_independently(self):
-        result = Result([(1,)])
-        with pytest.warns(DeprecationWarning):
-            list(result)  # warns for iteration (list() also probes len())
-        with pytest.warns(DeprecationWarning):
-            result[0]  # indexing still gets its own first warning
+    def test_equality_against_bare_list_is_false(self):
+        assert Result([(1,)]) != [(1,)]
+        assert not Result([(1,)]) == [(1,)]
 
 
-class TestResultSetStaysSilent:
-    """ResultSet's sequence behaviour is documented API — no warnings."""
+class TestResultSetKeepsSequenceBehaviour:
+    """ResultSet's sequence behaviour is documented API and stays."""
 
-    def test_sequence_protocol_is_silent(self):
+    def test_sequence_protocol(self):
         rs = ResultSet(["id"], [(1,), (2,)])
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert list(rs) == [(1,), (2,)]
-            assert len(rs) == 2
-            assert rs[0] == (1,)
-            assert (1,) in rs
+        assert list(rs) == [(1,), (2,)]
+        assert len(rs) == 2
+        assert rs[0] == (1,)
+        assert (1,) in rs
 
     def test_resultset_is_a_result(self):
         rs = ResultSet(["id"], [(1,)])

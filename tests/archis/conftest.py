@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.rdb import ColumnType, Database
 
 
@@ -20,8 +20,9 @@ def make_archis(profile="db2", umin=0.4, min_segment_rows=8, **kwargs):
         ],
         primary_key=("id",),
     )
-    archis = ArchIS(db, profile=profile, umin=umin,
-                    min_segment_rows=min_segment_rows, **kwargs)
+    archis = ArchIS(db, config=ArchISConfig(
+        profile=profile, umin=umin,
+        min_segment_rows=min_segment_rows, **kwargs))
     archis.track_table("employee", document_name="employees.xml")
     return archis
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.errors import ArchisError, StorageError
 from repro.rdb import ColumnType, Database
 from repro.xmlkit import serialize
@@ -24,7 +24,8 @@ def build(path, profile="db2", umin=0.4):
         ],
         primary_key=("id",),
     )
-    archis = ArchIS(db, profile=profile, umin=umin, min_segment_rows=8)
+    archis = ArchIS(db, config=ArchISConfig(
+        profile=profile, umin=umin, min_segment_rows=8))
     archis.track_table("employee", document_name="employees.xml")
     return archis
 
@@ -70,11 +71,11 @@ def test_queries_work_after_reopen(db_path):
         'for $s in doc("employees.xml")/employees/employee[id="3"]/salary '
         "return $s"
     )
-    before = [serialize(e) for e in archis.xquery(query, allow_fallback=False)]
+    before = [serialize(e) for e in archis.xquery(query, allow_fallback=False).rows]
     archis.save()
     archis.db.close()
     again = ArchIS.open(db_path)
-    after = [serialize(e) for e in again.xquery(query, allow_fallback=False)]
+    after = [serialize(e) for e in again.xquery(query, allow_fallback=False).rows]
     assert after == before
 
 
@@ -128,7 +129,7 @@ def test_validation_clean_after_reopen(db_path):
 
 def test_memory_archive_cannot_save():
     db = Database()
-    archis = ArchIS(db, umin=None)
+    archis = ArchIS(db, config=ArchISConfig(umin=None))
     with pytest.raises(StorageError):
         archis.save()
 

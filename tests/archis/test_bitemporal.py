@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.archis.bitemporal import BitemporalArchive
 from repro.errors import ArchisError
 from repro.rdb import ColumnType, Database
@@ -13,7 +13,7 @@ from repro.util.timeutil import parse_date
 def store():
     db = Database()
     db.set_date("2000-01-01")
-    archis = ArchIS(db, profile="db2", umin=None)
+    archis = ArchIS(db, config=ArchISConfig(profile="db2", umin=None))
     return BitemporalArchive(
         archis, "contract", key="customer",
         attributes={"rate": ColumnType.INT},
@@ -72,7 +72,7 @@ class TestFactMaintenance:
 
     def test_key_collision_with_attribute(self):
         db = Database()
-        archis = ArchIS(db, umin=None)
+        archis = ArchIS(db, config=ArchISConfig(umin=None))
         with pytest.raises(ArchisError):
             BitemporalArchive(
                 archis, "t", key="rate", attributes={"rate": ColumnType.INT}

@@ -150,7 +150,7 @@ class TestSegmentInvariants:
         unsegmented = make_archis(umin=None)
         churn(unsegmented)
         date = parse_date("1995-03-15")
-        a = sorted(archis.snapshot_rows("employee", "salary", date))
-        b = sorted(unsegmented.snapshot_rows("employee", "salary", date))
+        a = sorted(archis.snapshot_rows("employee", "salary", date).rows)
+        b = sorted(unsegmented.snapshot_rows("employee", "salary", date).rows)
         assert a == b
         assert a  # non-empty: the window covers live employees

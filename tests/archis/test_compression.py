@@ -155,9 +155,9 @@ class TestCompressedArchive:
 
     def test_snapshot_identical_after_compression(self, frozen_archis):
         date = parse_date("1995-03-15")
-        before = sorted(frozen_archis.snapshot_rows("employee", "salary", date))
+        before = sorted(frozen_archis.snapshot_rows("employee", "salary", date).rows)
         frozen_archis.compress_archive()
-        after = sorted(frozen_archis.snapshot_rows("employee", "salary", date))
+        after = sorted(frozen_archis.snapshot_rows("employee", "salary", date).rows)
         assert before == after
 
     def test_storage_shrinks_with_compression(self, frozen_archis):

@@ -1,10 +1,7 @@
-"""ArchISConfig: validation, legacy-flag resolution, plumbing into ArchIS."""
-
-import warnings
+"""ArchISConfig: validation, resolution, plumbing into ArchIS."""
 
 import pytest
 
-import repro.archis.config as config_module
 from repro import ArchIS, ArchISConfig
 from repro.archis.config import resolve_config
 from repro.errors import ArchisError
@@ -20,15 +17,6 @@ def make_db():
         primary_key=("id",),
     )
     return db
-
-
-@pytest.fixture(autouse=True)
-def reset_alias_warnings():
-    saved = set(config_module._WARNED_ALIASES)
-    config_module._WARNED_ALIASES.clear()
-    yield
-    config_module._WARNED_ALIASES.clear()
-    config_module._WARNED_ALIASES.update(saved)
 
 
 class TestValidation:
@@ -76,46 +64,18 @@ class TestValidation:
 
 
 class TestResolution:
-    def test_config_wins_when_alone(self):
+    def test_config_passes_through(self):
         config = ArchISConfig(umin=0.7)
         assert resolve_config(config) is config
 
-    def test_config_plus_legacy_flag_is_a_conflict(self):
-        with pytest.raises(ArchisError, match="not both"):
-            resolve_config(ArchISConfig(), umin=0.7)
+    def test_none_yields_defaults(self):
+        assert resolve_config(None) == ArchISConfig()
 
-    def test_unset_legacy_flags_do_not_conflict(self):
-        config = ArchISConfig()
-        assert resolve_config(config, umin=config_module._UNSET) is config
-
-    def test_legacy_flags_build_a_config_and_warn_once(self):
-        with pytest.warns(DeprecationWarning, match="umin"):
-            config = resolve_config(None, umin=0.9)
-        assert config.umin == 0.9
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            resolve_config(None, umin=0.8)  # second use: silent
-
-    def test_no_config_no_flags_yields_defaults(self):
-        config = resolve_config(None)
-        assert config == ArchISConfig()
-
-    def test_conflict_names_the_offending_flag(self):
-        with pytest.raises(ArchisError, match="batch_size"):
-            resolve_config(ArchISConfig(), batch_size=8)
-
-    def test_multiple_legacy_flags_combine(self):
-        with pytest.warns(DeprecationWarning):
-            config = resolve_config(None, umin=0.9, batch_size=16)
-        assert (config.umin, config.batch_size) == (0.9, 16)
-
-    def test_none_is_a_real_legacy_value_not_unset(self):
-        # umin=None means "disable segmentation", not "flag not passed"
-        with pytest.warns(DeprecationWarning):
-            config = resolve_config(None, umin=None)
-        assert config.umin is None
-        with pytest.raises(ArchisError, match="not both"):
-            resolve_config(ArchISConfig(), umin=None)
+    def test_legacy_flags_are_gone(self):
+        # the deprecated per-call alias folding was removed: passing a
+        # legacy flag is now an ordinary TypeError, not a warning
+        with pytest.raises(TypeError):
+            resolve_config(None, umin=0.9)
 
 
 class TestShardingConfig:
@@ -189,15 +149,11 @@ class TestArchISPlumbing:
         assert archis.config.umin is None
         assert archis.segments.umin is None
 
-    def test_legacy_positional_flags_still_work_with_warning(self):
-        with pytest.warns(DeprecationWarning):
-            archis = ArchIS(make_db(), umin=0.6)
-        assert archis.config.umin == 0.6
-        assert archis.segments.umin == 0.6
-
-    def test_config_and_legacy_flags_conflict(self):
-        with pytest.raises(ArchisError, match="not both"):
-            ArchIS(make_db(), umin=0.6, config=ArchISConfig())
+    def test_legacy_flags_are_rejected(self):
+        with pytest.raises(TypeError):
+            ArchIS(make_db(), umin=0.6)
+        with pytest.raises(TypeError):
+            ArchIS(make_db(), profile="db2")
 
     def test_stats_reports_the_config(self):
         archis = ArchIS(make_db(), config=ArchISConfig(batch_size=17))

@@ -149,14 +149,14 @@ class TestCrashMatrix:
     ):
         path = str(tmp_path / "snap.db")
         archis = build_saved(path)
-        pre_rows = sorted(archis.snapshot_rows("employee", "salary", 9150))
+        pre_rows = sorted(archis.snapshot_rows("employee", "salary", 9150).rows)
         advance_to_post(archis)
-        post_rows = sorted(archis.snapshot_rows("employee", "salary", 9150))
+        post_rows = sorted(archis.snapshot_rows("employee", "salary", 9150).rows)
         with pytest.raises(InjectedCrash):
             with get_crash_points().crash_at("wal.checkpoint.page_applied", 3):
                 archis.save()
         again = ArchIS.open(path)
-        rows = sorted(again.snapshot_rows("employee", "salary", 9150))
+        rows = sorted(again.snapshot_rows("employee", "salary", 9150).rows)
         assert rows in (pre_rows, post_rows)
         again.db.close()
 

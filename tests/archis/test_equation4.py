@@ -9,7 +9,7 @@ paper's qualitative claims: higher update rate ⇒ shorter segments, higher
 insert rate ⇒ longer segments, higher U_min ⇒ shorter segments.
 """
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.rdb import ColumnType, Database
 
 
@@ -22,7 +22,8 @@ def drive(umin, updates_per_day, inserts_per_day=0, days=600, start_pop=60):
         [("id", ColumnType.INT), ("v", ColumnType.INT)],
         primary_key=("id",),
     )
-    archis = ArchIS(db, profile="db2", umin=umin, min_segment_rows=1)
+    archis = ArchIS(db, config=ArchISConfig(
+        profile="db2", umin=umin, min_segment_rows=1))
     archis.track_table("item")
     table = db.table("item")
     next_id = 0

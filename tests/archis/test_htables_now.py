@@ -94,7 +94,7 @@ class TestNowHandling:
         out = archis.xquery(
             'for $e in doc("employees.xml")/employees/employee'
             "[tend(.) = current-date()] return $e/name"
-        )
+        ).rows
         assert [e.text() for e in out] == ["Ann"]
 
     def test_rtend_via_fallback(self):
@@ -104,7 +104,7 @@ class TestNowHandling:
         archis.apply_pending()
         out = archis.xquery(
             'rtend(doc("employees.xml")/employees/employee[1])'
-        )
+        ).rows
         assert out[0].get("tend") == "1996-03-15"
 
     def test_externalnow_via_fallback(self):
@@ -113,7 +113,7 @@ class TestNowHandling:
         archis.apply_pending()
         out = archis.xquery(
             'externalnow(doc("employees.xml")/employees/employee[1])'
-        )
+        ).rows
         assert out[0].get("tend") == "now"
 
     def test_tendval_udf_registered(self):
@@ -134,5 +134,5 @@ class TestNowHandling:
             '[tstart(.) <= xs:date("1995-06-01") and '
             'tend(.) >= xs:date("1995-06-01")] return $e/name',
             allow_fallback=False,
-        )
+        ).rows
         assert [e.text() for e in out] == ["Ann"]

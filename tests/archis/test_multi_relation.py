@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.rdb import ColumnType, Database
 from repro.xmlkit import serialize
 
@@ -30,7 +30,8 @@ def archis():
         ],
         primary_key=("deptid",),
     )
-    system = ArchIS(db, profile="atlas", umin=0.5, min_segment_rows=6)
+    system = ArchIS(db, config=ArchISConfig(
+        profile="atlas", umin=0.5, min_segment_rows=6))
     system.track_table("employee", document_name="employees.xml")
     system.track_table("dept", key="deptid", document_name="depts.xml")
     return system
@@ -70,12 +71,12 @@ def test_queries_against_each_document(archis):
     out = archis.xquery(
         'for $m in doc("depts.xml")/depts/dept/mgrno return $m',
         allow_fallback=False,
-    )
+    ).rows
     assert sorted(e.text() for e in out) == ["2501", "3402", "9"]
     out = archis.xquery(
         'for $s in doc("employees.xml")/employees/employee/salary return $s',
         allow_fallback=False,
-    )
+    ).rows
     assert len(out) == 2
 
 
@@ -85,7 +86,7 @@ def test_cross_document_query_via_fallback(archis):
         'for $e in doc("employees.xml")/employees/employee '
         'for $d in doc("depts.xml")/depts/dept '
         "where $e/deptno = $d/deptno return $d/mgrno"
-    )
+    ).rows
     assert [e.text() for e in out] == ["2501"]
 
 

@@ -137,22 +137,22 @@ class TestEquivalenceWithNative:
         ids=["projection", "snapshot", "slicing", "history-one"],
     )
     def test_element_queries(self, loaded, query):
-        translated = loaded.xquery(query, allow_fallback=False)
+        translated = loaded.xquery(query, allow_fallback=False).rows
         reference = native(loaded, query)
         assert as_texts(translated) == as_texts(reference)
 
     def test_count(self, loaded):
-        assert loaded.xquery(QUERY_COUNT, allow_fallback=False) == native(
+        assert loaded.xquery(QUERY_COUNT, allow_fallback=False).rows == native(
             loaded, QUERY_COUNT
         )
 
     def test_avg_snapshot(self, loaded):
-        got = loaded.xquery(QUERY_AVG_SNAPSHOT, allow_fallback=False)
+        got = loaded.xquery(QUERY_AVG_SNAPSHOT, allow_fallback=False).rows
         want = native(loaded, QUERY_AVG_SNAPSHOT)
         assert abs(got[0] - want[0]) < 1e-9
 
     def test_tavg(self, loaded):
-        got = loaded.xquery(QUERY_TAVG, allow_fallback=False)
+        got = loaded.xquery(QUERY_TAVG, allow_fallback=False).rows
         want = native(loaded, QUERY_TAVG)
         assert as_texts(got) == as_texts(want)
 
@@ -162,7 +162,7 @@ class TestEquivalenceWithNative:
             "for $a in $e/salary for $b in $e/salary "
             "where tstart($b) > tstart($a) return $b - $a)"
         )
-        got = loaded.xquery(query, allow_fallback=False)
+        got = loaded.xquery(query, allow_fallback=False).rows
         want = native(loaded, query)
         assert got == want
         assert got[0] == 10000  # Bob: 70000 - 60000
@@ -172,7 +172,7 @@ class TestEquivalenceWithNative:
             'for $e in doc("employees.xml")/employees/employee '
             "order by string($e/name) return $e/name"
         )
-        translated = loaded.xquery(query, allow_fallback=False)
+        translated = loaded.xquery(query, allow_fallback=False).rows
         reference = native(loaded, query)
         assert [e.text() for e in translated] == [e.text() for e in reference]
         assert [e.text() for e in translated] == ["Ann", "Bob", "Carl"]
@@ -182,7 +182,7 @@ class TestEquivalenceWithNative:
             'for $s in doc("employees.xml")/employees/employee[id="1001"]'
             "/salary order by tstart($s) descending return $s"
         )
-        out = loaded.xquery(query, allow_fallback=False)
+        out = loaded.xquery(query, allow_fallback=False).rows
         starts = [e.get("tstart") for e in out]
         assert starts == sorted(starts, reverse=True)
 
@@ -195,7 +195,7 @@ class TestEquivalenceWithNative:
             " where not(empty($d)) and not(empty($m))"
             " return <employee>{$e/id, $e/name}</employee>"
         )
-        translated = loaded.xquery(query, allow_fallback=False)
+        translated = loaded.xquery(query, allow_fallback=False).rows
         reference = native(loaded, query)
         assert as_texts(translated) == as_texts(reference)
         assert len(translated) == 1
@@ -207,7 +207,7 @@ class TestEquivalenceWithNative:
             "where every $s in $e/salary satisfies $s > 50000 "
             "return $e/name"
         )
-        out = loaded.xquery(query, allow_fallback=True)
+        out = loaded.xquery(query, allow_fallback=True).rows
         assert len(out) >= 1
 
     def test_no_fallback_raises(self, loaded):
@@ -257,7 +257,7 @@ class TestEquivalenceUnderStorageVariants:
     def test_all_variants_agree(self, query):
         variants = self.make_variants()
         results = {
-            name: as_texts(archis.xquery(query, allow_fallback=False))
+            name: as_texts(archis.xquery(query, allow_fallback=False).rows)
             for name, archis in variants.items()
         }
         baseline = results.pop("unsegmented")
@@ -282,7 +282,7 @@ class TestDistinctCount:
             '[salary[toverlaps(., telement(xs:date("1995-01-01"), '
             'xs:date("1996-12-31"))) and . > 50000]]/id))'
         )
-        got = loaded.xquery(query, allow_fallback=False)
+        got = loaded.xquery(query, allow_fallback=False).rows
         want = native(loaded, query)
         assert got == want
 
@@ -298,5 +298,5 @@ class TestDistinctCount:
             '[name="Bob"][salary[. > 50000]]/id))',
             allow_fallback=False,
         )
-        assert versions == [2]
-        assert employees == [1]
+        assert versions.rows == [2]
+        assert employees.rows == [1]

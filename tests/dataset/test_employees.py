@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.dataset import (
     DEPARTMENTS,
     TITLES,
@@ -86,7 +86,7 @@ class TestApplication:
         db = Database()
         db.set_date("1985-01-01")
         EmployeeHistoryGenerator.create_current_table(db)
-        archis = ArchIS(db, profile="db2", umin=None)
+        archis = ArchIS(db, config=ArchISConfig(profile="db2", umin=None))
         archis.track_table("employee")
         generator.apply_to(db)
         salary_history = archis.history("employee", "salary")

@@ -32,7 +32,7 @@ class TestExplain:
         result = loaded.explain(SNAPSHOT_QUERY)
         assert result.fallback_reason is None
         assert "SELECT" in result.sql.upper()
-        assert result.result_count == len(loaded.xquery(SNAPSHOT_QUERY))
+        assert result.result_count == len(loaded.xquery(SNAPSHOT_QUERY).rows)
         assert result.seconds > 0
         assert result.physical_reads > 0
         stages = result.stages()

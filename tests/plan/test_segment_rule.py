@@ -40,7 +40,7 @@ def clustered():
 def run_counted(archis, query):
     scanned = get_registry().counter("sql.rows_scanned")
     before = scanned.value
-    rows = canon(archis.xquery(query, allow_fallback=False))
+    rows = canon(archis.xquery(query, allow_fallback=False).rows)
     return rows, scanned.value - before
 
 

@@ -8,7 +8,7 @@ satisfy the paper's covering conditions.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.rdb import ColumnType, Database
 from repro.util.intervals import Interval
 from repro.util.timeutil import FOREVER
@@ -25,7 +25,8 @@ def build_pair():
             [("id", ColumnType.INT), ("price", ColumnType.INT)],
             primary_key=("id",),
         )
-        archis = ArchIS(db, profile="db2", umin=umin, min_segment_rows=6)
+        archis = ArchIS(db, config=ArchISConfig(
+            profile="db2", umin=umin, min_segment_rows=6))
         archis.track_table("item", document_name="items.xml")
         out.append(archis)
     return out
@@ -81,8 +82,8 @@ def test_snapshot_independent_of_segmentation(ops, offset):
     date = segmented.db.current_date - offset
     if date < 0:
         return
-    a = sorted(segmented.snapshot_rows("item", "price", date))
-    b = sorted(unsegmented.snapshot_rows("item", "price", date))
+    a = sorted(segmented.snapshot_rows("item", "price", date).rows)
+    b = sorted(unsegmented.snapshot_rows("item", "price", date).rows)
     assert a == b
 
 

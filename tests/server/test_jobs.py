@@ -1,0 +1,336 @@
+"""The async job service: lifecycle, admission control, isolation.
+
+Covers both layers — :class:`~repro.server.jobs.JobManager` directly
+(deterministic cancel/queue-full scenarios via an instrumented
+evaluate) and the full wire path through ``job.*`` protocol ops.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    JobError,
+    JobNotFoundError,
+    JobStateError,
+    ServerBusyError,
+)
+from repro.obs import Histogram
+from repro.server import Client, Server
+from repro.server.jobs import (
+    ABORTED,
+    COMPLETED,
+    ERROR,
+    JobManager,
+    PENDING,
+    RUNNING,
+    TERMINAL,
+)
+
+from tests.txn.conftest import make_managed
+
+QUERY = "SELECT id, name, salary FROM employee ORDER BY id"
+HISTORY_XQUERY = (
+    'for $s in doc("employees.xml")/employees/employee/salary return $s'
+)
+
+
+def seed_rows(manager, count=3):
+    with manager.begin() as txn:
+        for index in range(count):
+            txn.sql(
+                f"INSERT INTO employee VALUES "
+                f"({index + 1}, 'emp{index + 1}', {50000 + index})"
+            )
+
+
+def wait_state(jm, job_id, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = jm.get(job_id)
+        if job.state in TERMINAL:
+            return job
+        time.sleep(0.005)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+class TestJobManagerLifecycle:
+    @pytest.fixture
+    def jm(self):
+        archis, manager = make_managed()
+        seed_rows(manager)
+        jm = JobManager(manager, archis, workers=2)
+        try:
+            yield jm
+        finally:
+            jm.close()
+
+    def test_sql_job_completes_with_cached_result(self, jm):
+        job = jm.submit("sql", QUERY)
+        assert len(job.id) == 12
+        final = wait_state(jm, job.id)
+        assert final.state == COMPLETED
+        payload = jm.result(job.id)
+        assert payload["columns"] == ["id", "name", "salary"]
+        assert payload["row_count"] == 3
+        assert payload["rows"][0] == [1, "emp1", 50000]
+        # the result is cached: a second fetch returns the same payload
+        assert jm.result(job.id) is payload
+
+    def test_xquery_job_returns_serialized_forest(self, jm):
+        job = jm.submit("xquery", HISTORY_XQUERY)
+        assert wait_state(jm, job.id).state == COMPLETED
+        payload = jm.result(job.id)
+        assert payload["row_count"] == 3
+        assert all(isinstance(item, str) for item in payload["forest"])
+        assert "<salary" in payload["forest"][0]
+
+    def test_non_select_sql_rejected_at_submit(self, jm):
+        with pytest.raises(JobError, match="read-only"):
+            jm.submit("sql", "INSERT INTO employee VALUES (9, 'x', 1)")
+
+    def test_unknown_kind_rejected(self, jm):
+        with pytest.raises(JobError, match="kind"):
+            jm.submit("graphql", "{ employees }")
+
+    def test_failed_job_stores_and_reraises_typed_error(self, jm):
+        job = jm.submit("sql", "SELECT id FROM no_such_table")
+        assert wait_state(jm, job.id).state == ERROR
+        with pytest.raises(CatalogError):
+            jm.result(job.id)
+        status = jm.get(job.id).describe()
+        assert status["state"] == ERROR
+        assert "no_such_table" in status["message"]
+
+    def test_result_before_completion_is_a_state_error(self, jm):
+        release = threading.Event()
+        original = jm._evaluate
+        jm._evaluate = lambda job: (release.wait(10), original(job))[1]
+        try:
+            job = jm.submit("sql", QUERY)
+            with pytest.raises(JobStateError):
+                jm.result(job.id)
+        finally:
+            release.set()
+        wait_state(jm, job.id)
+
+    def test_unknown_id_mentions_the_ttl(self, jm):
+        with pytest.raises(JobNotFoundError, match="TTL"):
+            jm.get("nope")
+
+    def test_describe_carries_progress_and_rows(self, jm):
+        job = jm.submit("sql", QUERY)
+        wait_state(jm, job.id)
+        status = jm.get(job.id).describe()
+        assert status["rows"] == 3
+        assert status["progress"]["phase"] == "done"
+        assert status["progress"]["elapsed_seconds"] >= 0
+        assert status["finished_at"] >= status["started_at"]
+
+    def test_snapshot_pinned_at_run_not_at_fetch(self, jm):
+        """A job runs on its own snapshot: rows committed after the job
+        finished are invisible to its cached result."""
+        job = jm.submit("sql", "SELECT COUNT(*) FROM employee")
+        wait_state(jm, job.id)
+        with jm.manager.begin() as txn:
+            txn.sql("INSERT INTO employee VALUES (99, 'late', 1)")
+        assert jm.result(job.id)["rows"] == [[3]]
+
+
+class TestCancelAndAdmission:
+    @pytest.fixture
+    def gated(self):
+        """A one-worker manager whose evaluate blocks until released —
+        the deterministic way to observe RUNNING/PENDING states."""
+        archis, manager = make_managed()
+        seed_rows(manager)
+        jm = JobManager(manager, archis, workers=1, max_queued=2)
+        release = threading.Event()
+        original = jm._evaluate
+        jm._evaluate = lambda job: (release.wait(15), original(job))[1]
+        try:
+            yield jm, release
+        finally:
+            release.set()
+            jm.close()
+
+    def test_cancel_pending_job_never_runs(self, gated):
+        jm, release = gated
+        running = jm.submit("sql", QUERY)
+        queued = jm.submit("sql", QUERY)
+        assert jm.get(queued.id).state == PENDING
+        jm.cancel(queued.id)
+        assert jm.get(queued.id).state == ABORTED
+        release.set()
+        assert wait_state(jm, running.id).state == COMPLETED
+
+    def test_cancel_running_job_discards_its_result(self, gated):
+        jm, release = gated
+        job = jm.submit("sql", QUERY)
+        deadline = time.monotonic() + 5
+        while jm.get(job.id).state != RUNNING:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        jm.cancel(job.id)
+        release.set()
+        final = wait_state(jm, job.id)
+        assert final.state == ABORTED
+        assert final.result is None
+        with pytest.raises(JobStateError):
+            jm.result(job.id)
+
+    def test_queue_full_rejects_with_busy(self, gated):
+        jm, release = gated
+        jm.submit("sql", QUERY)  # running
+        jm.submit("sql", QUERY)  # queued: at max_queued=2
+        with pytest.raises(ServerBusyError, match="queue full"):
+            jm.submit("sql", QUERY)
+        release.set()
+
+    def test_terminal_jobs_free_admission_slots(self, gated):
+        jm, release = gated
+        first = jm.submit("sql", QUERY)
+        second = jm.submit("sql", QUERY)
+        release.set()
+        wait_state(jm, first.id)
+        wait_state(jm, second.id)
+        third = jm.submit("sql", QUERY)  # no longer BUSY
+        assert wait_state(jm, third.id).state == COMPLETED
+
+
+class TestResultTtl:
+    def test_finished_jobs_evicted_past_the_ttl(self):
+        archis, manager = make_managed()
+        seed_rows(manager)
+        jm = JobManager(manager, archis, workers=1, result_ttl=0.05)
+        try:
+            job = jm.submit("sql", QUERY)
+            wait_state(jm, job.id)
+            assert jm.result(job.id)["row_count"] == 3
+            time.sleep(0.12)
+            with pytest.raises(JobNotFoundError):
+                jm.get(job.id)
+        finally:
+            jm.close()
+
+
+class TestJobsOverTheWire:
+    @pytest.fixture
+    def served(self):
+        archis, manager = make_managed()
+        seed_rows(manager)
+        server = Server(manager, archis, workers=4, job_workers=2).start()
+        host, port = server.address
+        try:
+            yield server, host, port
+        finally:
+            server.stop()
+
+    def test_submit_wait_fetch(self, served):
+        _, host, port = served
+        with Client(host, port) as client:
+            job_id = client.submit(QUERY)
+            status = client.job_wait(job_id)
+            assert status["state"] == COMPLETED
+            result = client.job_result(job_id)
+            assert result.columns == ["id", "name", "salary"]
+            assert result.row_count == 3
+            assert result.stats["job"] == job_id
+
+    def test_job_ids_are_shareable_across_connections(self, served):
+        _, host, port = served
+        with Client(host, port) as submitter:
+            job_id = submitter.submit(QUERY)
+        # the submitting connection is gone; any other client may poll
+        with Client(host, port) as reader:
+            reader.job_wait(job_id)
+            result = reader.job_result(job_id)
+            assert result.row_count == 3
+            listed = {status["job"] for status in reader.job_list()}
+            assert job_id in listed
+
+    def test_xquery_job_over_the_wire(self, served):
+        _, host, port = served
+        with Client(host, port) as client:
+            job_id = client.submit(HISTORY_XQUERY, kind="xquery")
+            client.job_wait(job_id)
+            result = client.job_result(job_id)
+            assert result.columns == ["results"]
+            assert result.row_count == 3
+
+    def test_binary_encoding_applies_to_job_results(self, served):
+        _, host, port = served
+        with Client(host, port, encoding="binary") as client:
+            job_id = client.submit(QUERY)
+            client.job_wait(job_id)
+            result = client.job_result(job_id)
+            assert result.rows[0] == (1, "emp1", 50000)  # tuples: binary
+
+    def test_write_submission_raises_job_error(self, served):
+        _, host, port = served
+        with Client(host, port) as client:
+            with pytest.raises(JobError, match="read-only"):
+                client.submit("DELETE FROM employee")
+
+    def test_server_error_job_reraises_original_class(self, served):
+        _, host, port = served
+        with Client(host, port) as client:
+            job_id = client.submit("SELECT id FROM ghost_table")
+            status = client.job_wait(job_id)
+            assert status["state"] == ERROR
+            with pytest.raises(CatalogError) as excinfo:
+                client.job_result(job_id)
+            assert excinfo.value.code == "CATALOG"
+
+    def test_long_job_does_not_block_interactive_sessions(self, served):
+        """Acceptance criterion: while a slow job occupies the job
+        executor, concurrent session requests keep a bounded p99 — the
+        job pool is separate from the session worker pool."""
+        server, host, port = served
+        release = threading.Event()
+        jm = server.jobs
+        original = jm._evaluate
+        jm._evaluate = lambda job: (release.wait(20), original(job))[1]
+        latencies = Histogram("bench.jobs.ping.seconds")
+        try:
+            with Client(host, port) as submitter, Client(host, port) as fast:
+                job_ids = [submitter.submit(QUERY) for _ in range(2)]
+                for _ in range(60):
+                    started = time.perf_counter()
+                    fast.execute(QUERY)
+                    latencies.observe(time.perf_counter() - started)
+                states = {
+                    status["state"] for status in submitter.job_list()
+                }
+                assert states <= {PENDING, RUNNING}  # jobs still held
+                release.set()
+                for job_id in job_ids:
+                    submitter.job_wait(job_id)
+        finally:
+            release.set()
+            jm._evaluate = original
+        assert latencies.quantile(0.99) < 0.5, (
+            "interactive p99 ballooned while jobs were running: "
+            f"{latencies.quantile(0.99) * 1000:.1f}ms"
+        )
+
+    def test_cancel_over_the_wire(self, served):
+        server, host, port = served
+        release = threading.Event()
+        jm = server.jobs
+        original = jm._evaluate
+        jm._evaluate = lambda job: (release.wait(20), original(job))[1]
+        try:
+            with Client(host, port) as client:
+                first = client.submit(QUERY)
+                second = client.submit(QUERY)
+                status = client.job_cancel(second)
+                assert status["state"] in (PENDING, RUNNING, ABORTED)
+                release.set()
+                assert client.job_wait(second)["state"] == ABORTED
+                assert client.job_wait(first)["state"] == COMPLETED
+        finally:
+            release.set()
+            jm._evaluate = original

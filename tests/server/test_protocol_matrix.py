@@ -1,0 +1,174 @@
+"""The v1/v2/v3 negotiation matrix against a v3 server.
+
+Protocol v3 is additive: every feature it introduces (async jobs, the
+binary result encoding) is gated on the request's declared version, and
+requests that do not opt in are answered exactly as a v1/v2 server
+would have answered them — same keys, same JSON row shape, no binary
+payload ever trailing the response.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError, UnsupportedVersionError
+from repro.server import Client, Server
+from repro.server.protocol import (
+    BINARY_ENCODING_VERSION,
+    JOBS_VERSION,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    check_encoding,
+    check_jobs,
+)
+
+from tests.txn.conftest import make_managed
+
+QUERY = "SELECT id, name, salary FROM employee ORDER BY id"
+
+
+@pytest.fixture
+def served():
+    archis, manager = make_managed()
+    with manager.begin() as txn:
+        txn.sql("INSERT INTO employee VALUES (1, 'Bob', 60000)")
+        txn.sql("INSERT INTO employee VALUES (2, 'Eve', 70000)")
+    server = Server(manager, archis, workers=2, job_workers=1).start()
+    host, port = server.address
+    try:
+        yield host, port
+    finally:
+        server.stop()
+
+
+class TestVersionConstants:
+    def test_v3_is_current_and_all_versions_supported(self):
+        assert PROTOCOL_VERSION == 3
+        assert SUPPORTED_VERSIONS == (1, 2, 3)
+        assert JOBS_VERSION == 3
+        assert BINARY_ENCODING_VERSION == 3
+
+
+class TestFeatureGates:
+    def test_jobs_gate_accepts_v3_rejects_older(self):
+        assert check_jobs({"op": "job.submit", "v": 3}) is None
+        for version in (1, 2, None):
+            request = {"op": "job.submit"}
+            if version is not None:
+                request["v"] = version
+            rejection = check_jobs(request)
+            assert rejection["ok"] is False
+            assert rejection["code"] == "JOBS_UNSUPPORTED"
+            assert rejection["supported"] == [3]
+
+    def test_encoding_gate_accepts_json_everywhere(self):
+        for version in (1, 2, 3):
+            assert check_encoding({"op": "sql", "v": version}) is None
+            assert (
+                check_encoding({"op": "sql", "v": version, "enc": "json"})
+                is None
+            )
+
+    def test_binary_encoding_needs_v3(self):
+        assert check_encoding({"op": "sql", "v": 3, "enc": "binary"}) is None
+        rejection = check_encoding({"op": "sql", "v": 2, "enc": "binary"})
+        assert rejection["code"] == "BINARY_ENCODING_UNSUPPORTED"
+        assert rejection["offered"] == 2
+
+    def test_unknown_encoding_is_a_protocol_error(self):
+        rejection = check_encoding({"op": "sql", "v": 3, "enc": "msgpack"})
+        assert rejection["ok"] is False
+        assert rejection["code"] == "PROTOCOL"
+
+
+class TestMatrixOverTheWire:
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_every_version_runs_plain_sql(self, served, version):
+        host, port = served
+        with Client(host, port) as client:
+            response = client.request(
+                {"op": "sql", "v": version, "text": QUERY}
+            )
+        assert response["ok"] is True
+        assert response["rows"] == [[1, "Bob", 60000], [2, "Eve", 70000]]
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_legacy_responses_carry_json_rows_only(self, served, version):
+        """No binary negotiation: the response must be pure JSON with
+        rows inline — the exact shape a v1/v2 server shipped."""
+        host, port = served
+        with Client(host, port) as client:
+            response = client.request(
+                {"op": "sql", "v": version, "text": QUERY}
+            )
+        assert "binary" not in response
+        assert response["rows"] == [[1, "Bob", 60000], [2, "Eve", 70000]]
+        # byte-stable under JSON round-trip: only JSON scalars inside
+        assert json.loads(json.dumps(response)) == response
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_binary_request_from_old_version_rejected(self, served, version):
+        host, port = served
+        with Client(host, port) as client:
+            response = client.request(
+                {"op": "sql", "v": version, "text": QUERY, "enc": "binary"}
+            )
+            assert response["ok"] is False
+            assert response["code"] == "BINARY_ENCODING_UNSUPPORTED"
+            assert response["supported"] == [BINARY_ENCODING_VERSION]
+            assert client.ping() is True  # connection survived
+
+    def test_binary_rows_only_after_negotiation(self, served):
+        host, port = served
+        with Client(host, port, encoding="binary") as client:
+            result = client.execute(QUERY)
+            assert result.rows == [(1, "Bob", 60000), (2, "Eve", 70000)]
+        # same server, json client: lists, not tuples
+        with Client(host, port) as client:
+            result = client.execute(QUERY)
+            assert result.rows == [[1, "Bob", 60000], [2, "Eve", 70000]]
+
+    def test_v3_without_enc_still_gets_json(self, served):
+        host, port = served
+        with Client(host, port) as client:
+            response = client.request({"op": "sql", "v": 3, "text": QUERY})
+        assert "binary" not in response
+        assert isinstance(response["rows"][0], list)
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_job_ops_gated_behind_v3(self, served, version):
+        host, port = served
+        with Client(host, port) as client:
+            response = client.request(
+                {"op": "job.submit", "v": version, "kind": "sql",
+                 "text": QUERY}
+            )
+            assert response["ok"] is False
+            assert response["code"] == "JOBS_UNSUPPORTED"
+            assert client.ping() is True
+
+    def test_job_ops_allowed_at_v3(self, served):
+        host, port = served
+        with Client(host, port) as client:
+            job_id = client.submit(QUERY)
+            assert client.job_wait(job_id)["state"] == "COMPLETED"
+
+    def test_unknown_encoding_over_the_wire(self, served):
+        host, port = served
+        with Client(host, port) as client:
+            response = client.request(
+                {"op": "sql", "v": 3, "text": QUERY, "enc": "msgpack"}
+            )
+            assert response["ok"] is False
+            assert response["code"] == "PROTOCOL"
+
+    def test_future_version_still_rejected(self, served):
+        host, port = served
+        with Client(host, port) as client:
+            with pytest.raises(UnsupportedVersionError) as excinfo:
+                client._checked({"op": "ping", "v": 99})
+            assert excinfo.value.supported == [1, 2, 3]
+
+    def test_client_constructor_rejects_unknown_encoding(self):
+        with pytest.raises(ProtocolError, match="encoding"):
+            Client("localhost", 1, encoding="msgpack")

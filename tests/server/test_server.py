@@ -10,7 +10,7 @@ import time
 
 import pytest
 
-from repro.errors import ProtocolError, ServerBusyError, ServerError
+from repro.errors import CatalogError, ProtocolError, ServerBusyError
 from repro.server import Client, Server
 
 from tests.txn.conftest import make_managed
@@ -115,9 +115,12 @@ class TestSqlOverTheWire:
 
     def test_sql_error_does_not_kill_the_session(self, served):
         with connect(served) as client:
-            with pytest.raises(ServerError) as excinfo:
+            # the structured {code, message} response rebuilds the
+            # engine's own exception type client-side
+            with pytest.raises(CatalogError) as excinfo:
                 client.sql("SELECT nope FROM missing")
             assert excinfo.value.remote_error
+            assert excinfo.value.code == "CATALOG"
             assert client.ping() is True
 
     def test_xquery_runs_on_the_session_snapshot(self, served):

@@ -12,6 +12,7 @@ import pytest
 from repro.errors import UnsupportedVersionError
 from repro.server import Client, Server
 from repro.server.protocol import (
+    SUPPORTED_VERSIONS,
     TEMPORAL_PARAMS_VERSION,
     check_temporal_params,
 )
@@ -72,7 +73,7 @@ class TestOverTheWire:
         host, port = served
         day = parse_date("1995-01-15")
         with Client(host, port) as client:
-            result = client.execute(TEMPORAL_TEXT, {"d": day})
+            result = client.execute(TEMPORAL_TEXT, params={"d": day})
         assert result.rows == [[1, 60000], [2, 70000]]
 
     def test_temporal_literals_fine_at_v1(self, served):
@@ -106,7 +107,9 @@ class TestOverTheWire:
             )
             assert response["ok"] is False
             assert response["code"] == "TEMPORAL_PARAMS_UNSUPPORTED"
-            assert response["supported"] == [TEMPORAL_PARAMS_VERSION]
+            assert response["supported"] == [
+                v for v in SUPPORTED_VERSIONS if v >= TEMPORAL_PARAMS_VERSION
+            ]
             # the connection survives the rejection
             assert client.ping() is True
 

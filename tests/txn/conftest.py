@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.archis import ArchIS
+from repro.archis import ArchIS, ArchISConfig
 from repro.rdb import ColumnType, Database
 from repro.txn import TxnManager
 
@@ -19,7 +19,7 @@ def make_managed(profile="atlas", **kwargs):
         ],
         primary_key=("id",),
     )
-    archis = ArchIS(db, profile=profile)
+    archis = ArchIS(db, config=ArchISConfig(profile=profile))
     archis.track_table("employee", document_name="employees.xml")
     manager = TxnManager(db, archis, **kwargs)
     return archis, manager

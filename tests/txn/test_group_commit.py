@@ -1,4 +1,10 @@
-"""Group commit: concurrent COMMIT frames share WAL fsyncs, durably."""
+"""Group commit: concurrent COMMIT frames share WAL fsyncs, durably.
+
+The linger is adaptive (see :mod:`repro.storage.wal`): a leader only
+sleeps ``group_window`` before its fsync while the EWMA contention
+score says concurrent committers are actually arriving, so a solo
+client never pays the window and a contended burst still batches.
+"""
 
 import threading
 
@@ -8,6 +14,14 @@ from repro.txn import TxnManager
 
 TABLES = 8
 TXNS_PER_TABLE = 4
+
+
+def adaptive_counters():
+    registry = get_registry()
+    return (
+        registry.counter("wal.group_commit.adaptive_waits").value,
+        registry.counter("wal.group_commit.fast_syncs").value,
+    )
 
 
 def run_commits(path, group_commit, group_window=0.0):
@@ -83,3 +97,79 @@ class TestGroupCommit:
             rows = db.sql(f"SELECT id, v FROM t{index} ORDER BY id").rows
             assert rows == [(s, s * 10) for s in range(TXNS_PER_TABLE)]
         db.close()
+
+
+class TestAdaptiveLinger:
+    def test_solo_client_never_pays_the_window(self, tmp_path):
+        """A serial committer has zero contention: every leader takes
+        the fast path and fsyncs immediately, window or not."""
+        path = str(tmp_path / "solo.db")
+        db = Database(path, group_commit=True, group_window=0.005)
+        db.create_table(
+            "t",
+            [("id", ColumnType.INT), ("v", ColumnType.INT)],
+            primary_key=("id",),
+        )
+        db.save()
+        manager = TxnManager(db)
+        waits0, fast0 = adaptive_counters()
+        for step in range(10):
+            with manager.begin() as txn:
+                txn.sql(f"INSERT INTO t VALUES ({step}, {step})")
+        waits, fast = adaptive_counters()
+        db.close()
+        assert waits - waits0 == 0, "a solo client lingered"
+        assert fast - fast0 >= 10
+
+    def test_contended_commits_linger_and_batch(self, tmp_path):
+        """Concurrent committers push the EWMA over the threshold, so
+        at least one leader lingers — and batching still happens."""
+        path = str(tmp_path / "contended.db")
+        waits0, _ = adaptive_counters()
+        fsyncs, batched, commits = run_commits(
+            path, group_commit=True, group_window=0.002
+        )
+        waits, _ = adaptive_counters()
+        assert waits - waits0 > 0, "no leader ever lingered under load"
+        assert batched > 0
+        assert fsyncs < commits
+
+    def test_contention_decays_back_to_fast_path(self, tmp_path):
+        """After a contended burst, a serial tail decays the EWMA below
+        the threshold: later solo commits on the *same* WAL stop
+        lingering (the score is in-memory state, not persisted)."""
+        path = str(tmp_path / "decay.db")
+        db = Database(path, group_commit=True, group_window=0.002)
+        for index in range(TABLES):
+            db.create_table(
+                f"t{index}",
+                [("id", ColumnType.INT), ("v", ColumnType.INT)],
+                primary_key=("id",),
+            )
+        db.save()
+        manager = TxnManager(db)
+
+        def worker(table_index):
+            for step in range(TXNS_PER_TABLE):
+                with manager.begin() as txn:
+                    txn.sql(f"INSERT INTO t{table_index} VALUES ({step}, 0)")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(TABLES)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        # with alpha 0.25, ~5 uncontended commits decay 1.0 under 0.2;
+        # run a longer serial tail, then check the last commit was fast
+        for step in range(12):
+            with manager.begin() as txn:
+                txn.sql(f"INSERT INTO t0 VALUES ({100 + step}, 0)")
+        waits0, fast0 = adaptive_counters()
+        with manager.begin() as txn:
+            txn.sql("INSERT INTO t0 VALUES (999, 0)")
+        waits, fast = adaptive_counters()
+        db.close()
+        assert waits == waits0, "the EWMA never decayed"
+        assert fast == fast0 + 1

@@ -75,8 +75,8 @@ class TestSnapshotIsolation:
         with manager.begin() as txn:
             txn.sql("UPDATE employee SET salary = 70000 WHERE id = 1")
         # the pinned xquery sees one salary version, the fresh one two
-        old = snap.run(archis.xquery, HISTORY_XQUERY)
-        new = manager.snapshot().run(archis.xquery, HISTORY_XQUERY)
+        old = snap.run(archis.xquery, HISTORY_XQUERY).rows
+        new = manager.snapshot().run(archis.xquery, HISTORY_XQUERY).rows
         assert len(old) == 1
         assert len(new) == 2
 
@@ -89,7 +89,7 @@ class TestAbortUndo:
         before_current = manager.snapshot().sql(QUERY).rows
         before_history = [
             str(e)
-            for e in manager.snapshot().run(archis.xquery, HISTORY_XQUERY)
+            for e in manager.snapshot().run(archis.xquery, HISTORY_XQUERY).rows
         ]
         txn = manager.begin()
         txn.sql("UPDATE employee SET salary = 99999 WHERE id = 1")
@@ -99,7 +99,7 @@ class TestAbortUndo:
         assert manager.snapshot().sql(QUERY).rows == before_current
         after_history = [
             str(e)
-            for e in manager.snapshot().run(archis.xquery, HISTORY_XQUERY)
+            for e in manager.snapshot().run(archis.xquery, HISTORY_XQUERY).rows
         ]
         assert after_history == before_history
         # direct read of the live table agrees (no transaction active)
@@ -193,7 +193,7 @@ class TestCommitFailurePoisoning:
         txn.abort()
         assert manager.snapshot().sql(QUERY).rows == []
         assert (
-            manager.snapshot().run(archis.xquery, HISTORY_XQUERY) == []
+            manager.snapshot().run(archis.xquery, HISTORY_XQUERY).rows == []
         )
 
 
